@@ -1,0 +1,14 @@
+//! Benchmark-only crate: the Criterion benches under `benches/` regenerate
+//! every table and figure of the paper (see DESIGN.md §3 for the index)
+//! and the ablations of the design choices. There is no library code here.
+//!
+//! Run with `cargo bench -p rta-bench`; individual suites:
+//!
+//! ```text
+//! cargo bench -p rta-bench --bench tables      # Tables I–III
+//! cargo bench -p rta-bench --bench figure2     # Figure 2 panels + timing
+//! cargo bench -p rta-bench --bench ablations   # solver / algorithm ablations
+//! cargo bench -p rta-bench --bench substrates  # microbenches
+//! ```
+
+#![forbid(unsafe_code)]

@@ -1,0 +1,331 @@
+//! A compact growable bitset over `usize` indices.
+//!
+//! [`BitSet`] backs every node-set representation in the DAG model: the
+//! predecessor/successor transitive closures, the sibling sets and the
+//! `Par(v)` parallel sets of the paper's Algorithm 1 are all `BitSet`s, which
+//! makes the set algebra in that algorithm (unions, differences) word-wide
+//! rather than element-wide.
+
+use std::fmt;
+
+/// Number of bits per storage word.
+const WORD_BITS: usize = 64;
+
+/// A growable set of small unsigned integers, stored one bit per element.
+///
+/// Operations that combine two sets ([`union_with`](BitSet::union_with),
+/// [`difference_with`](BitSet::difference_with), …) grow the receiver as
+/// needed, so sets of different capacities compose freely.
+///
+/// # Example
+///
+/// ```
+/// use rta_combinatorics::BitSet;
+///
+/// let mut parallel = BitSet::new();
+/// parallel.insert(2);
+/// parallel.insert(5);
+/// assert!(parallel.contains(2));
+/// assert_eq!(parallel.len(), 2);
+/// assert_eq!(parallel.iter().collect::<Vec<_>>(), vec![2, 5]);
+/// ```
+#[derive(Clone, Default, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct BitSet {
+    words: Vec<u64>,
+}
+
+impl BitSet {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        Self { words: Vec::new() }
+    }
+
+    /// Creates an empty set with capacity for elements `0..n` without
+    /// reallocation.
+    pub fn with_capacity(n: usize) -> Self {
+        Self {
+            words: vec![0; n.div_ceil(WORD_BITS)],
+        }
+    }
+
+    /// Creates a set containing every element of `0..n`.
+    pub fn full(n: usize) -> Self {
+        let mut s = Self::with_capacity(n);
+        for i in 0..n {
+            s.insert(i);
+        }
+        s
+    }
+
+    #[inline]
+    fn word_of(index: usize) -> (usize, u64) {
+        (index / WORD_BITS, 1u64 << (index % WORD_BITS))
+    }
+
+    /// Inserts `index`, returning `true` if it was not already present.
+    pub fn insert(&mut self, index: usize) -> bool {
+        let (w, mask) = Self::word_of(index);
+        if w >= self.words.len() {
+            self.words.resize(w + 1, 0);
+        }
+        let had = self.words[w] & mask != 0;
+        self.words[w] |= mask;
+        !had
+    }
+
+    /// Removes `index`, returning `true` if it was present.
+    pub fn remove(&mut self, index: usize) -> bool {
+        let (w, mask) = Self::word_of(index);
+        if w >= self.words.len() {
+            return false;
+        }
+        let had = self.words[w] & mask != 0;
+        self.words[w] &= !mask;
+        had
+    }
+
+    /// Returns `true` if `index` is in the set.
+    #[inline]
+    pub fn contains(&self, index: usize) -> bool {
+        let (w, mask) = Self::word_of(index);
+        self.words.get(w).is_some_and(|word| word & mask != 0)
+    }
+
+    /// Number of elements in the set.
+    pub fn len(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Returns `true` if the set has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Removes all elements, keeping the allocation.
+    pub fn clear(&mut self) {
+        self.words.iter_mut().for_each(|w| *w = 0);
+    }
+
+    /// Adds every element of `other` to `self` (`self ∪= other`).
+    pub fn union_with(&mut self, other: &BitSet) {
+        if other.words.len() > self.words.len() {
+            self.words.resize(other.words.len(), 0);
+        }
+        for (dst, src) in self.words.iter_mut().zip(&other.words) {
+            *dst |= src;
+        }
+    }
+
+    /// Removes every element of `other` from `self` (`self \= other`).
+    pub fn difference_with(&mut self, other: &BitSet) {
+        for (dst, src) in self.words.iter_mut().zip(&other.words) {
+            *dst &= !src;
+        }
+    }
+
+    /// Keeps only elements also in `other` (`self ∩= other`).
+    pub fn intersect_with(&mut self, other: &BitSet) {
+        for (i, dst) in self.words.iter_mut().enumerate() {
+            *dst &= other.words.get(i).copied().unwrap_or(0);
+        }
+    }
+
+    /// Returns `self ∪ other` as a new set.
+    #[must_use]
+    pub fn union(&self, other: &BitSet) -> BitSet {
+        let mut out = self.clone();
+        out.union_with(other);
+        out
+    }
+
+    /// Returns `self \ other` as a new set.
+    #[must_use]
+    pub fn difference(&self, other: &BitSet) -> BitSet {
+        let mut out = self.clone();
+        out.difference_with(other);
+        out
+    }
+
+    /// Returns `self ∩ other` as a new set.
+    #[must_use]
+    pub fn intersection(&self, other: &BitSet) -> BitSet {
+        let mut out = self.clone();
+        out.intersect_with(other);
+        out
+    }
+
+    /// Returns `true` if every element of `self` is in `other`.
+    pub fn is_subset(&self, other: &BitSet) -> bool {
+        self.words
+            .iter()
+            .enumerate()
+            .all(|(i, &w)| w & !other.words.get(i).copied().unwrap_or(0) == 0)
+    }
+
+    /// Returns `true` if the two sets share no element.
+    pub fn is_disjoint(&self, other: &BitSet) -> bool {
+        self.words
+            .iter()
+            .zip(&other.words)
+            .all(|(&a, &b)| a & b == 0)
+    }
+
+    /// Iterates over the elements in increasing order.
+    pub fn iter(&self) -> Iter<'_> {
+        Iter {
+            set: self,
+            word: 0,
+            bits: self.words.first().copied().unwrap_or(0),
+        }
+    }
+
+    /// Smallest element, if any.
+    pub fn first(&self) -> Option<usize> {
+        self.iter().next()
+    }
+}
+
+impl fmt::Debug for BitSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set().entries(self.iter()).finish()
+    }
+}
+
+impl FromIterator<usize> for BitSet {
+    fn from_iter<I: IntoIterator<Item = usize>>(iter: I) -> Self {
+        let mut s = BitSet::new();
+        for i in iter {
+            s.insert(i);
+        }
+        s
+    }
+}
+
+impl Extend<usize> for BitSet {
+    fn extend<I: IntoIterator<Item = usize>>(&mut self, iter: I) {
+        for i in iter {
+            self.insert(i);
+        }
+    }
+}
+
+impl<'a> IntoIterator for &'a BitSet {
+    type Item = usize;
+    type IntoIter = Iter<'a>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
+/// Iterator over the elements of a [`BitSet`] in increasing order.
+#[derive(Clone, Debug)]
+pub struct Iter<'a> {
+    set: &'a BitSet,
+    word: usize,
+    bits: u64,
+}
+
+impl Iterator for Iter<'_> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        loop {
+            if self.bits != 0 {
+                let tz = self.bits.trailing_zeros() as usize;
+                self.bits &= self.bits - 1;
+                return Some(self.word * WORD_BITS + tz);
+            }
+            self.word += 1;
+            if self.word >= self.set.words.len() {
+                return None;
+            }
+            self.bits = self.set.words[self.word];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_contains_remove() {
+        let mut s = BitSet::new();
+        assert!(s.insert(3));
+        assert!(!s.insert(3));
+        assert!(s.contains(3));
+        assert!(!s.contains(4));
+        assert!(s.remove(3));
+        assert!(!s.remove(3));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn grows_across_word_boundaries() {
+        let mut s = BitSet::new();
+        s.insert(0);
+        s.insert(63);
+        s.insert(64);
+        s.insert(129);
+        assert_eq!(s.len(), 4);
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![0, 63, 64, 129]);
+    }
+
+    #[test]
+    fn set_algebra() {
+        let a: BitSet = [1, 2, 3, 70].into_iter().collect();
+        let b: BitSet = [2, 3, 4].into_iter().collect();
+        assert_eq!(a.union(&b).iter().collect::<Vec<_>>(), vec![1, 2, 3, 4, 70]);
+        assert_eq!(a.intersection(&b).iter().collect::<Vec<_>>(), vec![2, 3]);
+        assert_eq!(a.difference(&b).iter().collect::<Vec<_>>(), vec![1, 70]);
+        assert_eq!(b.difference(&a).iter().collect::<Vec<_>>(), vec![4]);
+    }
+
+    #[test]
+    fn subset_and_disjoint() {
+        let a: BitSet = [1, 2].into_iter().collect();
+        let b: BitSet = [1, 2, 3].into_iter().collect();
+        let c: BitSet = [65].into_iter().collect();
+        assert!(a.is_subset(&b));
+        assert!(!b.is_subset(&a));
+        assert!(a.is_disjoint(&c));
+        assert!(!a.is_disjoint(&b));
+        // Differently sized backing storage must still compare correctly.
+        assert!(c.is_subset(&c.clone()));
+        assert!(!c.is_subset(&a));
+    }
+
+    #[test]
+    fn full_and_clear() {
+        let mut s = BitSet::full(10);
+        assert_eq!(s.len(), 10);
+        assert!(s.contains(9));
+        assert!(!s.contains(10));
+        s.clear();
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn first_element() {
+        let s: BitSet = [64, 5].into_iter().collect();
+        assert_eq!(s.first(), Some(5));
+        assert_eq!(BitSet::new().first(), None);
+    }
+
+    #[test]
+    fn debug_is_never_empty() {
+        assert_eq!(format!("{:?}", BitSet::new()), "{}");
+        let s: BitSet = [1].into_iter().collect();
+        assert_eq!(format!("{s:?}"), "{1}");
+    }
+
+    #[test]
+    fn extend_and_from_iter_agree() {
+        let mut a = BitSet::new();
+        a.extend([9, 1, 9, 3]);
+        let b: BitSet = [1, 3, 9].into_iter().collect();
+        assert_eq!(a, b);
+    }
+}

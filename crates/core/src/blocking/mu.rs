@@ -1,0 +1,127 @@
+//! Per-task worst-case workloads `µ_i[c]` (paper Section V-A).
+//!
+//! `µ_i[c]` is the largest total WCET of `c` NPRs of task `τ_i` that can all
+//! execute in parallel (Definition 1) — a maximum-weight clique of
+//! cardinality `c` in the task's parallelism graph, equivalently a
+//! maximum-weight antichain of size `c` of its precedence order. When the
+//! task cannot occupy `c` cores at once, `µ_i[c] = 0` (cf. `µ_2[3] =
+//! µ_2[4] = 0` in Table I).
+//!
+//! `µ_i` is a property of the task alone (computable "at compile time" in
+//! the paper's wording); the analysis computes it once per task and reuses
+//! it for every scenario.
+
+use crate::config::MuSolver;
+use rta_model::{parallel_adjacency, Dag, Time};
+
+/// Computes the array `µ_i[1..=cores]` for one task.
+///
+/// Index `c − 1` holds `µ_i[c]`. Once no antichain of size `c` exists, all
+/// larger entries are 0 (antichains are downward closed in size, so the
+/// search stops at the first infeasible cardinality).
+///
+/// # Example
+///
+/// Table I of the paper, task `τ_3`:
+///
+/// ```
+/// use rta_analysis::blocking::mu::mu_array;
+/// use rta_analysis::MuSolver;
+/// use rta_model::examples::figure1_tau3;
+///
+/// let mu = mu_array(&figure1_tau3(), 4, MuSolver::Clique);
+/// assert_eq!(mu, vec![6, 7, 9, 11]);
+/// ```
+pub fn mu_array(dag: &Dag, cores: usize, solver: MuSolver) -> Vec<Time> {
+    match solver {
+        MuSolver::Clique => mu_array_clique(dag, cores),
+        MuSolver::PaperIlp => super::paper_ilp::mu_array_ilp(dag, cores),
+    }
+}
+
+fn mu_array_clique(dag: &Dag, cores: usize) -> Vec<Time> {
+    let adjacency = parallel_adjacency(dag);
+    let weights = dag.wcets();
+    let mut mu = Vec::with_capacity(cores);
+    for c in 1..=cores {
+        match rta_combinatorics::max_weight_clique_of_size(&adjacency, weights, c) {
+            Some(sol) => mu.push(sol.weight),
+            None => break,
+        }
+    }
+    mu.resize(cores, 0);
+    mu
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rta_model::examples::{figure1_dags, TABLE_I};
+    use rta_model::DagBuilder;
+
+    #[test]
+    fn table_i_clique_solver() {
+        for (i, dag) in figure1_dags().iter().enumerate() {
+            let mu = mu_array(dag, 4, MuSolver::Clique);
+            assert_eq!(mu.as_slice(), &TABLE_I[i], "µ_{} mismatch", i + 1);
+        }
+    }
+
+    #[test]
+    fn table_i_paper_ilp_solver() {
+        for (i, dag) in figure1_dags().iter().enumerate() {
+            let mu = mu_array(dag, 4, MuSolver::PaperIlp);
+            assert_eq!(mu.as_slice(), &TABLE_I[i], "µ_{} (ILP) mismatch", i + 1);
+        }
+    }
+
+    #[test]
+    fn sequential_task_has_only_mu1() {
+        let mut b = DagBuilder::new();
+        let v = b.add_nodes([4, 9, 2]);
+        b.add_chain(&v).unwrap();
+        let mu = mu_array(&b.build().unwrap(), 4, MuSolver::Clique);
+        assert_eq!(mu, vec![9, 0, 0, 0]);
+    }
+
+    #[test]
+    fn fully_parallel_task_accumulates() {
+        // A source forking into three leaves of weight 5, 3, 2.
+        let mut b = DagBuilder::new();
+        let v = b.add_nodes([1, 5, 3, 2]);
+        for &leaf in &v[1..] {
+            b.add_edge(v[0], leaf).unwrap();
+        }
+        let mu = mu_array(&b.build().unwrap(), 4, MuSolver::Clique);
+        assert_eq!(mu, vec![5, 8, 10, 0]);
+    }
+
+    #[test]
+    fn mu1_is_largest_npr() {
+        for dag in figure1_dags() {
+            let mu = mu_array(&dag, 1, MuSolver::Clique);
+            assert_eq!(mu, vec![dag.max_wcet()]);
+        }
+    }
+
+    #[test]
+    fn cores_beyond_node_count_are_zero() {
+        let mut b = DagBuilder::new();
+        b.add_node(7);
+        let mu = mu_array(&b.build().unwrap(), 3, MuSolver::Clique);
+        assert_eq!(mu, vec![7, 0, 0]);
+    }
+
+    #[test]
+    fn solvers_agree_on_figure1() {
+        for dag in figure1_dags() {
+            for cores in 1..=5 {
+                assert_eq!(
+                    mu_array(&dag, cores, MuSolver::Clique),
+                    mu_array(&dag, cores, MuSolver::PaperIlp),
+                    "solver mismatch at m = {cores}"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,194 @@
+//! Analysis configuration.
+
+/// Which response-time analysis to run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Method {
+    /// Fully-preemptive ideal baseline (paper Eq. (1)): no lower-priority
+    /// blocking, preemption overheads ignored. This is the `FP-ideal` curve
+    /// of the paper's Figure 2.
+    FpIdeal,
+    /// Limited preemption with the pessimistic blocking bound of Eq. (5):
+    /// the `m` / `m−1` largest NPRs among all lower-priority tasks.
+    LpMax,
+    /// Limited preemption with the precedence-aware blocking bound of
+    /// Eqs. (6)–(8): per-task parallel workloads combined over execution
+    /// scenarios.
+    LpIlp,
+}
+
+impl Method {
+    /// All methods, in the order the paper's figures plot them.
+    pub const ALL: [Method; 3] = [Method::FpIdeal, Method::LpIlp, Method::LpMax];
+
+    /// The label used in the paper's figures.
+    pub fn label(self) -> &'static str {
+        match self {
+            Method::FpIdeal => "FP-ideal",
+            Method::LpMax => "LP-max",
+            Method::LpIlp => "LP-ILP",
+        }
+    }
+}
+
+impl std::fmt::Display for Method {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// How to compute the per-task worst-case workloads `µ_i[c]`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum MuSolver {
+    /// Exact branch-and-bound over max-weight parallel cliques (default;
+    /// orders of magnitude faster than the ILP on DAG-sized problems).
+    #[default]
+    Clique,
+    /// The paper's ILP formulation (Section V-A2), solved by [`rta_ilp`],
+    /// with the `c(c−1)/2` erratum applied (see DESIGN.md §5.5).
+    PaperIlp,
+}
+
+/// How to compute the per-scenario overall workloads `ρ_k[s_l]`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum RhoSolver {
+    /// Hungarian maximum-weight assignment (default).
+    #[default]
+    Hungarian,
+    /// The paper's ILP formulation (Section V-B), solved by [`rta_ilp`].
+    PaperIlp,
+}
+
+/// Which execution scenarios to maximize over when computing `Δ^m` and
+/// `Δ^{m−1}`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum ScenarioSpace {
+    /// Partitions of every `m' ≤ m` with at most `|lp(k)|` parts (default).
+    ///
+    /// This dominates the paper's space whenever the latter is feasible and
+    /// remains sound when fewer lower-priority tasks than cores exist (the
+    /// paper's formulation would silently report zero blocking there; see
+    /// DESIGN.md §6).
+    #[default]
+    Extended,
+    /// Exactly the paper's `e_m`: partitions of exactly `m`; scenarios
+    /// naming more tasks than `lp(k)` contains are infeasible and skipped.
+    PaperExact,
+}
+
+/// Full configuration of one analysis run.
+///
+/// # Example
+///
+/// ```
+/// use rta_analysis::{AnalysisConfig, Method, ScenarioSpace};
+///
+/// let config = AnalysisConfig::new(8, Method::LpIlp)
+///     .with_scenario_space(ScenarioSpace::PaperExact);
+/// assert_eq!(config.cores, 8);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AnalysisConfig {
+    /// Number of identical cores `m ≥ 1`.
+    pub cores: usize,
+    /// Analysis method.
+    pub method: Method,
+    /// Solver for `µ_i[c]` (LP-ILP only).
+    pub mu_solver: MuSolver,
+    /// Solver for `ρ_k[s_l]` (LP-ILP only).
+    pub rho_solver: RhoSolver,
+    /// Scenario space for `Δ^m` / `Δ^{m−1}` (LP-ILP only).
+    pub scenario_space: ScenarioSpace,
+    /// Extension (paper future work (ii)): once the final NPR of the task
+    /// under analysis has started it cannot be preempted, so preemptions —
+    /// and hence `Δ^{m−1}` blocking events — are only counted in the window
+    /// `R_k − min_{sink} C_sink`. Off by default; evaluated in the ablation
+    /// benches and validated against the simulator.
+    pub final_npr_refinement: bool,
+}
+
+impl AnalysisConfig {
+    /// Creates a configuration with default solver choices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cores == 0`.
+    pub fn new(cores: usize, method: Method) -> Self {
+        assert!(cores >= 1, "at least one core required");
+        Self {
+            cores,
+            method,
+            mu_solver: MuSolver::default(),
+            rho_solver: RhoSolver::default(),
+            scenario_space: ScenarioSpace::default(),
+            final_npr_refinement: false,
+        }
+    }
+
+    /// Selects the `µ_i[c]` solver.
+    #[must_use]
+    pub fn with_mu_solver(mut self, solver: MuSolver) -> Self {
+        self.mu_solver = solver;
+        self
+    }
+
+    /// Selects the `ρ_k[s_l]` solver.
+    #[must_use]
+    pub fn with_rho_solver(mut self, solver: RhoSolver) -> Self {
+        self.rho_solver = solver;
+        self
+    }
+
+    /// Selects the scenario space.
+    #[must_use]
+    pub fn with_scenario_space(mut self, space: ScenarioSpace) -> Self {
+        self.scenario_space = space;
+        self
+    }
+
+    /// Enables the final-NPR preemption-window refinement.
+    #[must_use]
+    pub fn with_final_npr_refinement(mut self, enabled: bool) -> Self {
+        self.final_npr_refinement = enabled;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_match_paper_figures() {
+        assert_eq!(Method::FpIdeal.label(), "FP-ideal");
+        assert_eq!(Method::LpMax.to_string(), "LP-max");
+        assert_eq!(Method::LpIlp.to_string(), "LP-ILP");
+    }
+
+    #[test]
+    fn builder_chain() {
+        let c = AnalysisConfig::new(4, Method::LpIlp)
+            .with_mu_solver(MuSolver::PaperIlp)
+            .with_rho_solver(RhoSolver::PaperIlp)
+            .with_scenario_space(ScenarioSpace::PaperExact)
+            .with_final_npr_refinement(true);
+        assert_eq!(c.mu_solver, MuSolver::PaperIlp);
+        assert_eq!(c.rho_solver, RhoSolver::PaperIlp);
+        assert_eq!(c.scenario_space, ScenarioSpace::PaperExact);
+        assert!(c.final_npr_refinement);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one core")]
+    fn zero_cores_panics() {
+        let _ = AnalysisConfig::new(0, Method::FpIdeal);
+    }
+
+    #[test]
+    fn defaults_are_fast_solvers() {
+        let c = AnalysisConfig::new(2, Method::LpIlp);
+        assert_eq!(c.mu_solver, MuSolver::Clique);
+        assert_eq!(c.rho_solver, RhoSolver::Hungarian);
+        assert_eq!(c.scenario_space, ScenarioSpace::Extended);
+        assert!(!c.final_npr_refinement);
+    }
+}

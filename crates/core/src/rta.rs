@@ -1,0 +1,374 @@
+//! The response-time fixed-point iteration (paper Eqs. (1) and (4)).
+//!
+//! For each task, from highest to lowest priority:
+//!
+//! ```text
+//! R_k ← L_k + (1/m)(vol(G_k) − L_k) + ⌊(1/m)(I_lp_k + I_hp_k)⌋
+//! ```
+//!
+//! starting at `R⁰_k = L_k + (vol − L)/m` and iterating until the value is
+//! stable or provably exceeds the deadline. All quantities are kept scaled
+//! by `m` (units of `1/m` time), so the rational self-interference term and
+//! the `⌈R/T⌉` ceilings are computed exactly in integer arithmetic. The
+//! update is monotone non-decreasing, so the iteration converges to the
+//! least fixed point or crosses `m·D_k` in finitely many steps (each step
+//! increases the scaled value by at least 1).
+
+use crate::blocking::lpmax::lp_max_blocking;
+use crate::blocking::scenarios::lp_ilp_blocking;
+use crate::blocking::BlockingBounds;
+use crate::config::{AnalysisConfig, Method};
+use crate::report::{AnalysisReport, ResponseBound, TaskReport};
+use crate::workload::interfering_workload;
+use rta_model::{TaskId, TaskSet};
+
+/// Analyzes a task set, producing per-task response-time bounds and the
+/// overall schedulability verdict.
+///
+/// Tasks are processed in priority order; analysis stops after the first
+/// unschedulable task. See the crate docs for an end-to-end example.
+///
+/// # Panics
+///
+/// Panics if `config.cores == 0` (prevented by
+/// [`AnalysisConfig::new`]).
+pub fn analyze(task_set: &TaskSet, config: &AnalysisConfig) -> AnalysisReport {
+    assert!(config.cores >= 1, "at least one core required");
+    let mut tasks = Vec::with_capacity(task_set.len());
+    let mut schedulable = true;
+    // Scaled response bounds of already-analyzed (higher-priority) tasks.
+    let mut hp_bounds: Vec<u128> = Vec::with_capacity(task_set.len());
+
+    for k in 0..task_set.len() {
+        let blocking = blocking_for(task_set, k, config);
+        let outcome = fixed_point(task_set, k, &hp_bounds, blocking.as_ref(), config);
+        let report = TaskReport {
+            task: TaskId::new(k),
+            response_bound: ResponseBound::from_scaled(outcome.scaled, config.cores as u32),
+            schedulable: outcome.schedulable,
+            blocking,
+            preemption_bound: outcome.preemptions,
+            iterations: outcome.iterations,
+        };
+        let ok = report.schedulable;
+        tasks.push(report);
+        if !ok {
+            schedulable = false;
+            break;
+        }
+        hp_bounds.push(outcome.scaled);
+    }
+
+    AnalysisReport {
+        schedulable,
+        cores: config.cores,
+        method: config.method,
+        tasks,
+    }
+}
+
+fn blocking_for(task_set: &TaskSet, k: usize, config: &AnalysisConfig) -> Option<BlockingBounds> {
+    let lp = task_set.lower_priority(k);
+    match config.method {
+        Method::FpIdeal => None,
+        Method::LpMax => Some(lp_max_blocking(lp, config.cores)),
+        Method::LpIlp => Some(lp_ilp_blocking(
+            lp,
+            config.cores,
+            config.mu_solver,
+            config.rho_solver,
+            config.scenario_space,
+        )),
+    }
+}
+
+struct FixedPointOutcome {
+    /// Scaled (`m·R`) response bound; when `schedulable` is false, the first
+    /// iterate that crossed the deadline.
+    scaled: u128,
+    schedulable: bool,
+    preemptions: u64,
+    iterations: u32,
+}
+
+fn fixed_point(
+    task_set: &TaskSet,
+    k: usize,
+    hp_bounds: &[u128],
+    blocking: Option<&BlockingBounds>,
+    config: &AnalysisConfig,
+) -> FixedPointOutcome {
+    let m = config.cores as u128;
+    let task = task_set.task(k);
+    let longest = task.dag().longest_path() as u128;
+    let volume = task.dag().volume() as u128;
+    let deadline_scaled = m * task.deadline() as u128;
+    let q = task.dag().preemption_points() as u128;
+    // R⁰ = L + (vol − L)/m, scaled: m·L + (vol − L).
+    let base = m * longest + (volume - longest);
+
+    // Final-NPR refinement (extension, DESIGN.md §6): in a single-sink DAG
+    // the sink is the last node to start, and once started it cannot be
+    // preempted, so preemptions only occur in the first R − C_sink units.
+    let preemption_window_shrink: u128 = if config.final_npr_refinement {
+        match task.dag().sinks().as_slice() {
+            [only] => m * task.dag().wcet(*only) as u128,
+            _ => 0,
+        }
+    } else {
+        0
+    };
+
+    let hp = task_set.higher_priority(k);
+    let mut r = base;
+    let mut iterations = 0u32;
+    loop {
+        iterations += 1;
+        // h_k = Σ_{i ∈ hp(k)} ⌈t/T_i⌉ with t the current response window;
+        // ⌈(r/m)/T⌉ = ⌈r/(m·T)⌉ exactly.
+        let window = r.saturating_sub(preemption_window_shrink);
+        let h: u128 = hp
+            .iter()
+            .map(|t| window.div_ceil(m * t.period() as u128))
+            .sum();
+        let p = q.min(h);
+        let i_lp: u128 = blocking.map_or(0, |b| b.interference(p));
+        let i_hp: u128 = hp
+            .iter()
+            .zip(hp_bounds)
+            .map(|(t, &r_i)| {
+                interfering_workload(r, r_i, t.dag().volume(), t.period(), config.cores)
+            })
+            .sum();
+        let r_new = base + m * ((i_lp + i_hp) / m);
+        debug_assert!(r_new >= r, "fixed-point iteration must be monotone");
+        let preemptions = u64::try_from(p).expect("preemption bound fits u64");
+        if r_new == r {
+            return FixedPointOutcome {
+                scaled: r,
+                schedulable: r <= deadline_scaled,
+                preemptions,
+                iterations,
+            };
+        }
+        if r_new > deadline_scaled {
+            return FixedPointOutcome {
+                scaled: r_new,
+                schedulable: false,
+                preemptions,
+                iterations,
+            };
+        }
+        r = r_new;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{Method, MuSolver, RhoSolver, ScenarioSpace};
+    use rta_model::examples::figure1_task_set;
+    use rta_model::{DagBuilder, DagTask, NodeId};
+
+    fn single_node_task(wcet: u64, period: u64) -> DagTask {
+        let mut b = DagBuilder::new();
+        b.add_node(wcet);
+        DagTask::with_implicit_deadline(b.build().unwrap(), period).unwrap()
+    }
+
+    fn fork_join(wcets: [u64; 4], period: u64) -> DagTask {
+        let mut b = DagBuilder::new();
+        let v: Vec<NodeId> = b.add_nodes(wcets);
+        b.add_edge(v[0], v[1]).unwrap();
+        b.add_edge(v[0], v[2]).unwrap();
+        b.add_edge(v[1], v[3]).unwrap();
+        b.add_edge(v[2], v[3]).unwrap();
+        DagTask::with_implicit_deadline(b.build().unwrap(), period).unwrap()
+    }
+
+    #[test]
+    fn lone_task_bound_is_graham() {
+        // Single task, no interference: R = L + (vol − L)/m.
+        let ts = TaskSet::new(vec![fork_join([1, 3, 2, 1], 100)]);
+        // L = 1+3+1 = 5, vol = 7.
+        let report = analyze(&ts, &AnalysisConfig::new(2, Method::FpIdeal));
+        assert!(report.schedulable);
+        let r = report.tasks[0].response_bound;
+        assert_eq!(r.scaled(), 2 * 5 + (7 - 5)); // 12 → R = 6
+        assert_eq!(r.ceil(), 6);
+        assert_eq!(report.tasks[0].iterations, 1);
+    }
+
+    #[test]
+    fn highest_priority_lp_task_blocked_once() {
+        // Two single-node tasks; the lower-priority one has WCET 9, so the
+        // top task is blocked by Δ¹ = 9 on m = 1 with p = 0.
+        let ts = TaskSet::new(vec![single_node_task(2, 20), single_node_task(9, 50)]);
+        let report = analyze(&ts, &AnalysisConfig::new(1, Method::LpMax));
+        let top = &report.tasks[0];
+        assert_eq!(top.blocking.unwrap().delta_m, 9);
+        assert_eq!(top.preemption_bound, 0);
+        // R = 2 + ⌊9/1⌋ = 11.
+        assert_eq!(top.response_bound.ceil(), 11);
+        assert!(top.schedulable);
+    }
+
+    #[test]
+    fn two_tasks_with_interference_hand_computed() {
+        // m = 1, FP-ideal, classic RTA: τ1 (C=2, T=10), τ2 (C=3, T=20).
+        // R1 = 2. R2: 3 + W1(R2). Iteration: R=3 → W = ⌊(3+2−2)/10⌋·2 +
+        // min(2, (3)%10) = 0·2 + min(2,3) = 2 → R=5 → W = min(2,5)=2 → 5 ✓.
+        let ts = TaskSet::new(vec![single_node_task(2, 10), single_node_task(3, 20)]);
+        let report = analyze(&ts, &AnalysisConfig::new(1, Method::FpIdeal));
+        assert!(report.schedulable);
+        assert_eq!(report.tasks[0].response_bound.ceil(), 2);
+        assert_eq!(report.tasks[1].response_bound.ceil(), 5);
+    }
+
+    #[test]
+    fn figure1_example_analyzes_schedulably() {
+        let ts = figure1_task_set();
+        for method in [Method::FpIdeal, Method::LpIlp, Method::LpMax] {
+            let report = analyze(&ts, &AnalysisConfig::new(4, method));
+            assert!(report.schedulable, "{method} should schedule the example");
+            assert_eq!(report.tasks.len(), 5);
+        }
+    }
+
+    #[test]
+    fn figure1_blocking_matches_tables() {
+        let ts = figure1_task_set();
+        let report = analyze(&ts, &AnalysisConfig::new(4, Method::LpIlp));
+        let b = report.tasks[0].blocking.unwrap();
+        assert_eq!(b.delta_m, 19); // Table III maximum
+        assert_eq!(b.delta_m_minus_one, 15);
+        let report = analyze(&ts, &AnalysisConfig::new(4, Method::LpMax));
+        let b = report.tasks[0].blocking.unwrap();
+        assert_eq!(b.delta_m, 20); // Eq. (5) on the same example
+        assert_eq!(b.delta_m_minus_one, 16);
+    }
+
+    #[test]
+    fn method_dominance_on_example() {
+        // Per-task bounds: FP-ideal ≤ LP-ILP ≤ LP-max.
+        let ts = figure1_task_set();
+        let fp = analyze(&ts, &AnalysisConfig::new(4, Method::FpIdeal));
+        let ilp = analyze(&ts, &AnalysisConfig::new(4, Method::LpIlp));
+        let max = analyze(&ts, &AnalysisConfig::new(4, Method::LpMax));
+        for k in 0..ts.len() {
+            let (f, i, m) = (
+                fp.tasks[k].response_bound.scaled(),
+                ilp.tasks[k].response_bound.scaled(),
+                max.tasks[k].response_bound.scaled(),
+            );
+            assert!(f <= i, "task {k}: FP {f} > ILP {i}");
+            assert!(i <= m, "task {k}: ILP {i} > MAX {m}");
+        }
+    }
+
+    #[test]
+    fn unschedulable_set_stops_early() {
+        // Huge lower-priority NPR blocks a tight top task on one core.
+        let ts = TaskSet::new(vec![single_node_task(2, 5), single_node_task(100, 1000)]);
+        let report = analyze(&ts, &AnalysisConfig::new(1, Method::LpMax));
+        assert!(!report.schedulable);
+        assert_eq!(report.tasks.len(), 1); // stops at the first failure
+        assert!(!report.tasks[0].schedulable);
+        // FP-ideal has no blocking and schedules both.
+        let fp = analyze(&ts, &AnalysisConfig::new(1, Method::FpIdeal));
+        assert!(fp.schedulable);
+        assert_eq!(fp.tasks.len(), 2);
+    }
+
+    #[test]
+    fn deadline_equal_bound_is_schedulable() {
+        // R = D exactly must count as schedulable (R ≤ D).
+        let ts = TaskSet::new(vec![single_node_task(7, 7)]);
+        let report = analyze(&ts, &AnalysisConfig::new(1, Method::FpIdeal));
+        assert!(report.schedulable);
+        assert_eq!(report.tasks[0].response_bound.ceil(), 7);
+    }
+
+    #[test]
+    fn preemption_bound_counts_hp_releases() {
+        // τ2 (8 nodes, q = 7) under a fast τ1: p = min(q, ⌈R/T1⌉).
+        let mut b = DagBuilder::new();
+        let v: Vec<NodeId> = b.add_nodes([1, 1, 1, 1, 1, 1, 1, 1]);
+        b.add_chain(&v).unwrap();
+        let slow = DagTask::with_implicit_deadline(b.build().unwrap(), 100).unwrap();
+        let fast = single_node_task(1, 4);
+        let ts = TaskSet::new(vec![fast, slow]);
+        let report = analyze(&ts, &AnalysisConfig::new(2, Method::LpMax));
+        assert!(report.schedulable);
+        let t2 = &report.tasks[1];
+        // No lower-priority tasks for τ2 → blocking zero, but p still
+        // reported from the window.
+        assert_eq!(t2.blocking.unwrap(), BlockingBounds::default());
+        assert!(t2.preemption_bound >= 1);
+        assert!(t2.preemption_bound <= 7);
+    }
+
+    #[test]
+    fn final_npr_refinement_never_hurts() {
+        let ts = figure1_task_set();
+        let base_cfg = AnalysisConfig::new(4, Method::LpIlp);
+        let refined_cfg = AnalysisConfig::new(4, Method::LpIlp).with_final_npr_refinement(true);
+        let base = analyze(&ts, &base_cfg);
+        let refined = analyze(&ts, &refined_cfg);
+        for (b, r) in base.tasks.iter().zip(&refined.tasks) {
+            assert!(r.response_bound.scaled() <= b.response_bound.scaled());
+        }
+    }
+
+    #[test]
+    fn solver_choices_agree_end_to_end() {
+        // Like-for-like: same scenario space, combinatorial vs ILP solvers.
+        let ts = figure1_task_set();
+        let fast = analyze(
+            &ts,
+            &AnalysisConfig::new(4, Method::LpIlp)
+                .with_scenario_space(ScenarioSpace::PaperExact),
+        );
+        let paper = analyze(
+            &ts,
+            &AnalysisConfig::new(4, Method::LpIlp)
+                .with_mu_solver(MuSolver::PaperIlp)
+                .with_rho_solver(RhoSolver::PaperIlp)
+                .with_scenario_space(ScenarioSpace::PaperExact),
+        );
+        for (a, b) in fast.tasks.iter().zip(&paper.tasks) {
+            assert_eq!(a.response_bound, b.response_bound);
+        }
+    }
+
+    #[test]
+    fn extended_space_is_at_least_as_conservative() {
+        // The default Extended scenario space accounts for blocking that the
+        // paper's exact space misses when |lp(k)| < |s_l| for every feasible
+        // scenario; its bounds dominate PaperExact's.
+        let ts = figure1_task_set();
+        let extended = analyze(&ts, &AnalysisConfig::new(4, Method::LpIlp));
+        let exact = analyze(
+            &ts,
+            &AnalysisConfig::new(4, Method::LpIlp)
+                .with_scenario_space(ScenarioSpace::PaperExact),
+        );
+        for (e, p) in extended.tasks.iter().zip(&exact.tasks) {
+            assert!(e.response_bound.scaled() >= p.response_bound.scaled());
+        }
+    }
+
+    #[test]
+    fn single_core_lp_is_classic_blocking() {
+        // m = 1: LP blocking reduces to the largest lower-priority NPR.
+        let ts = TaskSet::new(vec![
+            single_node_task(1, 10),
+            single_node_task(4, 40),
+            single_node_task(6, 60),
+        ]);
+        let r = analyze(&ts, &AnalysisConfig::new(1, Method::LpIlp));
+        assert_eq!(r.tasks[0].blocking.unwrap().delta_m, 6);
+        assert_eq!(r.tasks[1].blocking.unwrap().delta_m, 6);
+        assert_eq!(r.tasks[2].blocking.unwrap().delta_m, 0);
+    }
+}

@@ -1,0 +1,185 @@
+//! Higher-priority interference: the DAG workload bound of Melani et al.
+//!
+//! The inter-task interference term of Eq. (2), `I_hp_k = Σ_{i∈hp(k)}
+//! W_i(R_k)`, uses the upper bound on the workload an interfering DAG task
+//! `τ_i` can execute inside **any** window of length `L` (Melani et al.,
+//! ECRTS 2015):
+//!
+//! ```text
+//! W_i(L) = ⌊(L + R_i − vol_i/m) / T_i⌋ · vol_i
+//!        + min( vol_i , m · ((L + R_i − vol_i/m) mod T_i) )
+//! ```
+//!
+//! The worst case aligns the carry-in job so that it finishes exactly `R_i`
+//! after its release with its last `vol_i/m` units executing at full
+//! parallelism `m`, and packs subsequent jobs as early as possible.
+//!
+//! # Scaled arithmetic
+//!
+//! `vol_i/m` is rational; to stay exact, windows and response times flow
+//! through this module **scaled by `m`** (a value `x` represents `x/m` time
+//! units). With `λ = m·L` and `r_i = m·R_i`:
+//!
+//! ```text
+//! x    = λ + r_i − vol_i          (scaled argument, ≥ 0 whenever r_i ≥ vol_i)
+//! W    = ⌊x / (m·T_i)⌋ · vol_i + min(vol_i, x mod (m·T_i))
+//! ```
+//!
+//! where the second term is already in plain time units because the `m·(…
+//! mod T_i)` factor of the original formula exactly cancels the `1/m`
+//! scaling of the remainder. The returned workload is therefore a plain
+//! integer number of execution units.
+
+use rta_model::Time;
+
+/// Workload upper bound `W_i(L)` of one interfering task in a window.
+///
+/// * `window_scaled` — the window length `L`, scaled by the core count
+///   (`m·L`).
+/// * `response_scaled` — the interfering task's own response-time bound
+///   `R_i`, scaled by the core count (`m·R_i`).
+/// * `volume` — `vol(G_i)` in plain time units.
+/// * `period` — `T_i` in plain time units.
+/// * `cores` — `m`.
+///
+/// Returns the workload in **plain time units**.
+///
+/// # Panics
+///
+/// Panics if `period == 0` or `cores == 0`.
+pub fn interfering_workload(
+    window_scaled: u128,
+    response_scaled: u128,
+    volume: Time,
+    period: Time,
+    cores: usize,
+) -> u128 {
+    assert!(period > 0, "period must be positive");
+    assert!(cores > 0, "cores must be positive");
+    let x = (window_scaled + response_scaled).saturating_sub(volume as u128);
+    let scaled_period = cores as u128 * period as u128;
+    let full_jobs = x / scaled_period;
+    let remainder = x % scaled_period;
+    full_jobs * volume as u128 + remainder.min(volume as u128)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Reference implementation in f64, straight from the paper's formula.
+    fn reference(window: f64, response: f64, volume: f64, period: f64, m: f64) -> f64 {
+        let x = window + response - volume / m;
+        if x < 0.0 {
+            return 0.0;
+        }
+        let full = (x / period).floor();
+        full * volume + (m * (x - full * period)).min(volume)
+    }
+
+    #[test]
+    fn zero_window_gives_carry_in_only() {
+        // L = 0: x = R_i − vol/m. With R_i = vol/m the workload is 0.
+        let w = interfering_workload(0, 40, 40, 100, 1);
+        assert_eq!(w, 0);
+    }
+
+    #[test]
+    fn single_core_sequential_task() {
+        // m = 1, vol = 4, T = 10, R = 4 (task alone). Window 10 → x = 10 +
+        // 4 − 4 = 10 → 1 full job (4) + min(4, 0) = 4.
+        let w = interfering_workload(10, 4, 4, 10, 1);
+        assert_eq!(w, 4);
+        // Window 16 → x = 16: 1 full job + min(4, 6) = 8.
+        let w = interfering_workload(16, 4, 4, 10, 1);
+        assert_eq!(w, 8);
+    }
+
+    #[test]
+    fn carry_in_truncates_at_volume() {
+        // Large response time: the carry term saturates at vol.
+        let w = interfering_workload(0, 1000, 7, 1000, 2);
+        // x = 1000 − 7 = 993, m·T = 2000, full = 0, min(7, 993) = 7.
+        assert_eq!(w, 7);
+    }
+
+    #[test]
+    fn matches_float_reference_on_grid() {
+        let m = 4usize;
+        for vol in [1u64, 5, 17, 40] {
+            for period in [5u64, 13, 50] {
+                // Response bound at least vol/m, scaled by m: r ≥ vol.
+                for r_scaled in [vol as u128, (vol + 3) as u128 * 2, 97] {
+                    if r_scaled < vol as u128 {
+                        continue;
+                    }
+                    for window_scaled in [0u128, 1, 7, 40, 173, 1000] {
+                        let exact = interfering_workload(
+                            window_scaled,
+                            r_scaled,
+                            vol,
+                            period,
+                            m,
+                        );
+                        let approx = reference(
+                            window_scaled as f64 / m as f64,
+                            r_scaled as f64 / m as f64,
+                            vol as f64,
+                            period as f64,
+                            m as f64,
+                        );
+                        assert!(
+                            (exact as f64 - approx).abs() < 1e-6,
+                            "vol={vol} T={period} r={r_scaled} λ={window_scaled}: {exact} vs {approx}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn monotone_in_window() {
+        let mut last = 0;
+        for window in 0..500u128 {
+            let w = interfering_workload(window, 30, 12, 7, 3);
+            assert!(w >= last, "W must be non-decreasing in the window");
+            last = w;
+        }
+    }
+
+    #[test]
+    fn monotone_in_response_time() {
+        let mut last = 0;
+        for r in 12..300u128 {
+            let w = interfering_workload(100, r, 12, 7, 3);
+            assert!(w >= last, "W must be non-decreasing in R_i");
+            last = w;
+        }
+    }
+
+    #[test]
+    fn negative_argument_clamps_to_zero() {
+        // r < vol (cannot normally happen, but the guard must hold).
+        let w = interfering_workload(0, 3, 10, 5, 2);
+        assert_eq!(w, 0);
+    }
+
+    #[test]
+    fn long_window_approaches_utilization() {
+        // Over many periods the bound is ≈ window·vol/T.
+        let vol = 10u64;
+        let period = 40u64;
+        let m = 2usize;
+        let window_scaled = 2 * 40 * 1000; // window = 40 000 time units
+        let w = interfering_workload(window_scaled, vol as u128, vol, period, m);
+        let expected = 1000 * vol as u128; // 1000 jobs
+        assert!(w >= expected && w <= expected + vol as u128);
+    }
+
+    #[test]
+    #[should_panic(expected = "period must be positive")]
+    fn zero_period_panics() {
+        let _ = interfering_workload(0, 0, 1, 0, 1);
+    }
+}

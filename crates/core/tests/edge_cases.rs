@@ -1,0 +1,166 @@
+//! Edge cases of the analysis: degenerate platforms, extreme parameters,
+//! and overflow resistance.
+
+use rta_analysis::{analyze, AnalysisConfig, Method, ScenarioSpace};
+use rta_model::{DagBuilder, DagTask, NodeId, TaskSet};
+
+fn single(wcet: u64, period: u64) -> DagTask {
+    let mut b = DagBuilder::new();
+    b.add_node(wcet);
+    DagTask::with_implicit_deadline(b.build().unwrap(), period).unwrap()
+}
+
+#[test]
+fn empty_task_set_is_schedulable() {
+    let ts = TaskSet::default();
+    for method in Method::ALL {
+        let report = analyze(&ts, &AnalysisConfig::new(4, method));
+        assert!(report.schedulable);
+        assert!(report.tasks.is_empty());
+    }
+}
+
+#[test]
+fn single_core_single_task() {
+    let ts = TaskSet::new(vec![single(10, 10)]);
+    for method in Method::ALL {
+        let report = analyze(&ts, &AnalysisConfig::new(1, method));
+        assert!(report.schedulable, "{method}");
+        assert_eq!(report.tasks[0].response_bound.ceil(), 10);
+    }
+}
+
+#[test]
+fn more_cores_than_total_parallelism() {
+    // A single sequential task on 64 cores: R = vol exactly.
+    let mut b = DagBuilder::new();
+    let v = b.add_nodes([3, 4, 5]);
+    b.add_chain(&v).unwrap();
+    let ts = TaskSet::new(vec![
+        DagTask::with_implicit_deadline(b.build().unwrap(), 100).unwrap()
+    ]);
+    let report = analyze(&ts, &AnalysisConfig::new(64, Method::LpIlp));
+    assert!(report.schedulable);
+    assert_eq!(report.tasks[0].response_bound.ceil(), 12);
+}
+
+#[test]
+fn huge_time_values_do_not_overflow() {
+    // Periods near u64::MAX/4: internal scaled arithmetic must hold up.
+    let big = u64::MAX / 8;
+    let ts = TaskSet::new(vec![single(big / 1000, big), single(big / 1000, big)]);
+    for method in Method::ALL {
+        let report = analyze(&ts, &AnalysisConfig::new(4, method));
+        assert!(report.schedulable, "{method}");
+    }
+}
+
+#[test]
+fn wide_platform_with_many_tasks() {
+    // 32 cores, 20 small tasks: exercises partitions(32) (8349 scenarios)
+    // through the extended space without blowing up.
+    let tasks: Vec<DagTask> = (0..20).map(|i| single(5 + i % 7, 1_000)).collect();
+    let ts = TaskSet::new(tasks);
+    let report = analyze(
+        &ts,
+        &AnalysisConfig::new(32, Method::LpIlp).with_scenario_space(ScenarioSpace::Extended),
+    );
+    assert!(report.schedulable);
+    assert_eq!(report.tasks.len(), 20);
+}
+
+#[test]
+fn zero_wcet_nodes_are_tolerated() {
+    // Structural zero-cost nodes (pure fork/join markers).
+    let mut b = DagBuilder::new();
+    let fork = b.add_node(0);
+    let a = b.add_node(5);
+    let c = b.add_node(7);
+    let join = b.add_node(0);
+    b.add_edge(fork, a).unwrap();
+    b.add_edge(fork, c).unwrap();
+    b.add_edge(a, join).unwrap();
+    b.add_edge(c, join).unwrap();
+    let ts = TaskSet::new(vec![
+        DagTask::with_implicit_deadline(b.build().unwrap(), 50).unwrap()
+    ]);
+    for method in Method::ALL {
+        let report = analyze(&ts, &AnalysisConfig::new(2, method));
+        assert!(report.schedulable, "{method}");
+        // L = 7, vol = 12 → R = 7 + (12−7)/2 = 9.5.
+        assert_eq!(report.tasks[0].response_bound.ceil(), 10);
+    }
+}
+
+#[test]
+fn blocking_saturates_with_many_identical_lp_tasks() {
+    // 50 identical lower-priority tasks: Δ^m must stay the m largest NPRs,
+    // not keep growing with the task count.
+    let mut tasks = vec![single(1, 10)];
+    for _ in 0..50 {
+        tasks.push(single(9, 100_000));
+    }
+    let ts = TaskSet::new(tasks);
+    let report = analyze(&ts, &AnalysisConfig::new(4, Method::LpMax));
+    let b = report.tasks[0].blocking.unwrap();
+    assert_eq!(b.delta_m, 4 * 9);
+    assert_eq!(b.delta_m_minus_one, 3 * 9);
+}
+
+#[test]
+fn analysis_stops_at_first_unschedulable_task() {
+    let ts = TaskSet::new(vec![
+        single(5, 100),
+        single(90, 91),  // will fail (blocked + interfered)
+        single(1, 1_000),
+    ]);
+    let report = analyze(&ts, &AnalysisConfig::new(1, Method::LpMax));
+    assert!(!report.schedulable);
+    assert!(report.tasks.len() <= 2, "analysis continues past a failure");
+    assert!(report.tasks.last().is_some_and(|t| !t.schedulable));
+}
+
+#[test]
+fn wide_dag_beats_its_volume_on_enough_cores() {
+    // 8 parallel nodes of 10 under one source: on 8 cores R ≈ L + vol/8-ish,
+    // far below vol.
+    let mut b = DagBuilder::new();
+    let src = b.add_node(1);
+    let leaves: Vec<NodeId> = (0..8).map(|_| b.add_node(10)).collect();
+    for &leaf in &leaves {
+        b.add_edge(src, leaf).unwrap();
+    }
+    let ts = TaskSet::new(vec![
+        DagTask::with_implicit_deadline(b.build().unwrap(), 30).unwrap()
+    ]);
+    let report = analyze(&ts, &AnalysisConfig::new(8, Method::FpIdeal));
+    assert!(report.schedulable);
+    // L = 11, vol = 81 → R = 11 + ⌊70/8⌋ = 11 + 8.75 → ceil ≤ 20 < 81.
+    assert!(report.tasks[0].response_bound.ceil() <= 20);
+}
+
+#[test]
+fn constrained_deadlines_are_honored() {
+    // Same task, two deadlines: passes with D = 12, fails with D = 9.
+    let mut mk = |d: u64| {
+        let mut b = DagBuilder::new();
+        let v = b.add_nodes([4, 6]);
+        b.add_chain(&v).unwrap();
+        DagTask::new(b.build().unwrap(), 20, d).unwrap()
+    };
+    let pass = TaskSet::new(vec![mk(12)]);
+    let fail = TaskSet::new(vec![mk(9)]);
+    let config = AnalysisConfig::new(2, Method::LpIlp);
+    assert!(analyze(&pass, &config).schedulable);
+    assert!(!analyze(&fail, &config).schedulable);
+}
+
+#[test]
+fn report_accessors() {
+    let ts = TaskSet::new(vec![single(1, 4), single(2, 8)]);
+    let report = analyze(&ts, &AnalysisConfig::new(2, Method::LpIlp));
+    assert_eq!(report.cores, 2);
+    assert_eq!(report.method, Method::LpIlp);
+    assert!(report.response_bound(0).is_some());
+    assert!(report.response_bound(5).is_none());
+}

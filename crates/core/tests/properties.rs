@@ -1,0 +1,157 @@
+//! Property tests on the response-time analysis itself.
+
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use rta_analysis::{analyze, AnalysisConfig, Method};
+use rta_model::{DagBuilder, DagTask, TaskSet};
+use rta_taskgen::{generate_task_set, group1};
+
+fn scaled_task_set(ts: &TaskSet, factor: u64) -> TaskSet {
+    let tasks = ts
+        .tasks()
+        .iter()
+        .map(|t| {
+            let mut b = DagBuilder::new();
+            let ids: Vec<_> = t
+                .dag()
+                .wcets()
+                .iter()
+                .map(|&w| b.add_node(w * factor))
+                .collect();
+            for (from, to) in t.dag().edges() {
+                b.add_edge(ids[from.index()], ids[to.index()]).expect("edge");
+            }
+            DagTask::new(
+                b.build().expect("valid DAG"),
+                t.period() * factor,
+                t.deadline() * factor,
+            )
+            .expect("valid task")
+        })
+        .collect();
+    TaskSet::new(tasks)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Every reported bound is at least the Graham term
+    /// `L + (vol − L)/m` (scaled: `m·L + vol − L`).
+    #[test]
+    fn bound_at_least_graham(seed in any::<u64>(), cores in 2usize..9) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let ts = generate_task_set(&mut rng, &group1(1.5));
+        for method in Method::ALL {
+            let report = analyze(&ts, &AnalysisConfig::new(cores, method));
+            for t in &report.tasks {
+                let task = ts.task(t.task.index());
+                let base = cores as u128 * task.dag().longest_path() as u128
+                    + (task.dag().volume() - task.dag().longest_path()) as u128;
+                prop_assert!(t.response_bound.scaled() >= base);
+            }
+        }
+    }
+
+    /// Appending a task at the lowest priority never tightens an existing
+    /// task's bound: interference is unchanged and blocking pools only grow.
+    #[test]
+    fn adding_lowest_priority_task_never_helps(seed in any::<u64>()) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let ts = generate_task_set(&mut rng, &group1(1.0));
+        let extra = {
+            let mut b = DagBuilder::new();
+            b.add_node(90);
+            DagTask::with_implicit_deadline(b.build().expect("valid"), 10_000).expect("valid")
+        };
+        let mut bigger = ts.clone();
+        bigger.push(extra);
+        for method in Method::ALL {
+            let before = analyze(&ts, &AnalysisConfig::new(4, method));
+            let after = analyze(&bigger, &AnalysisConfig::new(4, method));
+            let n = before.tasks.len().min(after.tasks.len());
+            for k in 0..n {
+                prop_assert!(
+                    after.tasks[k].response_bound.scaled()
+                        >= before.tasks[k].response_bound.scaled(),
+                    "{method}: task {k} improved after adding blocking"
+                );
+            }
+        }
+    }
+
+    /// Near-homogeneity under time scaling. Every term of the analysis is
+    /// exactly homogeneous (`W`, `Δ`, `h`, `p` — all integer operations
+    /// commute with a common factor k) EXCEPT the `⌊I/m⌋` floor of Eq. (4):
+    /// `⌊kI/m⌋ ≥ k·⌊I/m⌋`, so the scaled system's bound can only be equal
+    /// or slightly larger, by less than `k·(m−1)` scaled units per
+    /// fixed-point iteration. (This asymmetry was discovered by this very
+    /// test asserting exact homogeneity.)
+    #[test]
+    fn analysis_is_nearly_homogeneous(seed in any::<u64>(), factor in 2u64..9) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let ts = generate_task_set(&mut rng, &group1(1.5));
+        let scaled = scaled_task_set(&ts, factor);
+        for method in Method::ALL {
+            let base = analyze(&ts, &AnalysisConfig::new(4, method));
+            let big = analyze(&scaled, &AnalysisConfig::new(4, method));
+            prop_assert!(
+                !(big.schedulable && !base.schedulable),
+                "{method}: scaling can only lose the floor's rounding slack"
+            );
+            for (a, b) in base.tasks.iter().zip(&big.tasks) {
+                if !a.schedulable || !b.schedulable {
+                    break; // diverged iterates are not comparable
+                }
+                let k = factor as u128;
+                let lower = a.response_bound.scaled() * k;
+                let slop = k * 4 * (u128::from(b.iterations) + 1); // k·(m−1)·iters, rounded up
+                prop_assert!(
+                    b.response_bound.scaled() >= lower,
+                    "{method}: scaled bound below k× original"
+                );
+                prop_assert!(
+                    b.response_bound.scaled() <= lower + slop,
+                    "{method}: scaled bound exceeds k× original + floor slack"
+                );
+            }
+        }
+    }
+
+    /// Deterministic: analyzing the same set twice gives identical reports.
+    #[test]
+    fn analysis_is_deterministic(seed in any::<u64>()) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let ts = generate_task_set(&mut rng, &group1(2.0));
+        for method in Method::ALL {
+            let a = analyze(&ts, &AnalysisConfig::new(4, method));
+            let b = analyze(&ts, &AnalysisConfig::new(4, method));
+            prop_assert_eq!(a, b);
+        }
+    }
+
+    /// Shrinking a deadline never turns an unschedulable verdict
+    /// schedulable (the bound itself is deadline-independent except for
+    /// the early exit, which can only stop earlier).
+    #[test]
+    fn tighter_deadline_never_helps(seed in any::<u64>()) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let ts = generate_task_set(&mut rng, &group1(2.0));
+        let tightened: TaskSet = ts
+            .tasks()
+            .iter()
+            .map(|t| {
+                let d = (t.deadline() * 3 / 4).max(t.dag().longest_path()).max(1);
+                DagTask::new(t.dag().clone(), t.period(), d.min(t.period())).expect("valid")
+            })
+            .collect();
+        for method in Method::ALL {
+            let loose = analyze(&ts, &AnalysisConfig::new(4, method));
+            let tight = analyze(&tightened, &AnalysisConfig::new(4, method));
+            prop_assert!(
+                !(tight.schedulable && !loose.schedulable),
+                "{method}: tightening deadlines cannot make a set schedulable"
+            );
+        }
+    }
+}

@@ -1,0 +1,290 @@
+//! The Figure 2 schedulability sweeps (and the group-2 variant).
+//!
+//! For each utilization point, `sets_per_point` random task sets are
+//! generated and tested with the three analyses (FP-ideal, LP-ILP, LP-max);
+//! the reported value is the percentage of schedulable sets — exactly the
+//! paper's Figure 2 (300 sets per point there). Work is spread over threads
+//! with per-set deterministic seeds, so results are reproducible bit-for-bit
+//! regardless of parallelism.
+
+use crate::{ascii, set_seed};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use rta_analysis::{analyze, AnalysisConfig, Method};
+use rta_model::TaskSet;
+use rta_taskgen::{generate_task_set, generate_task_set_with_count, TaskSetConfig};
+
+/// Configuration of one sweep.
+#[derive(Clone, Debug)]
+pub struct SweepConfig {
+    /// Core count `m`.
+    pub cores: usize,
+    /// Utilization points (x-axis).
+    pub utilizations: Vec<f64>,
+    /// Random task sets per point (300 in the paper).
+    pub sets_per_point: usize,
+    /// Base RNG seed.
+    pub seed: u64,
+    /// Task-set generator (the paper's group 1 or group 2).
+    pub generator: fn(f64) -> TaskSetConfig,
+}
+
+impl SweepConfig {
+    /// The paper's Figure 2 panel for `m` cores: utilization 1 → m in steps
+    /// of m/12 (13 points, mirroring the plot density), 300 sets per point,
+    /// group-1 task sets.
+    pub fn paper_panel(cores: usize) -> Self {
+        let m = cores as f64;
+        let points = 13usize;
+        let utilizations = (0..points)
+            .map(|i| 1.0 + (m - 1.0) * i as f64 / (points - 1) as f64)
+            .collect();
+        Self {
+            cores,
+            utilizations,
+            sets_per_point: 300,
+            seed: 0xDA7E_2016,
+            generator: rta_taskgen::group1,
+        }
+    }
+
+    /// Scales the number of sets per point (for quick runs and benches).
+    #[must_use]
+    pub fn with_sets_per_point(mut self, sets: usize) -> Self {
+        self.sets_per_point = sets;
+        self
+    }
+
+    /// Switches the generator (e.g. to [`rta_taskgen::group2`]).
+    #[must_use]
+    pub fn with_generator(mut self, generator: fn(f64) -> TaskSetConfig) -> Self {
+        self.generator = generator;
+        self
+    }
+}
+
+/// One point of the sweep: the percentage of schedulable task sets per
+/// method, in [`Method::ALL`] order (FP-ideal, LP-ILP, LP-max).
+#[derive(Clone, Debug, PartialEq)]
+pub struct SweepPoint {
+    /// X coordinate (nominal target utilization, or task count for the
+    /// task-count variant).
+    pub x: f64,
+    /// Mean utilization actually achieved by the generated sets (can fall
+    /// below the nominal target when the per-task utilization cap
+    /// saturates; see `rta_taskgen::PeriodModel::SlackFactor`).
+    pub achieved_utilization: f64,
+    /// Schedulable percentage per method.
+    pub schedulable_pct: [f64; 3],
+}
+
+/// Result of a full sweep.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SweepResult {
+    /// Core count the sweep ran on.
+    pub cores: usize,
+    /// The curve points.
+    pub points: Vec<SweepPoint>,
+}
+
+/// Runs the sweep, parallelized over task sets.
+pub fn run(config: &SweepConfig) -> SweepResult {
+    run_with(config, |seed, target| {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        generate_task_set(&mut rng, &(config.generator)(target))
+    })
+}
+
+/// The task-count variant (DESIGN.md §5.4): x-axis = number of tasks, total
+/// utilization fixed at `cores / 2`.
+pub fn run_task_count(config: &SweepConfig, task_counts: &[usize]) -> SweepResult {
+    let fixed_u = config.cores as f64 / 2.0;
+    let mut cfg = config.clone();
+    cfg.utilizations = task_counts.iter().map(|&n| n as f64).collect();
+    run_with(&cfg, |seed, x| {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        generate_task_set_with_count(&mut rng, &(config.generator)(fixed_u), x as usize)
+    })
+}
+
+fn run_with<F>(config: &SweepConfig, make_set: F) -> SweepResult
+where
+    F: Fn(u64, f64) -> TaskSet + Sync,
+{
+    let points = config.utilizations.len();
+    let sets = config.sets_per_point;
+    // Flatten (point, set) pairs and chunk across threads.
+    let jobs: Vec<(usize, usize)> = (0..points)
+        .flat_map(|p| (0..sets).map(move |s| (p, s)))
+        .collect();
+    let threads = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+        .min(jobs.len().max(1));
+    let chunk = jobs.len().div_ceil(threads);
+
+    let mut counts = vec![[0usize; 3]; points];
+    let mut achieved = vec![0.0f64; points];
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for worker in 0..threads {
+            let jobs = &jobs;
+            let make_set = &make_set;
+            let config = &config;
+            handles.push(scope.spawn(move || {
+                let mut local = vec![[0usize; 3]; points];
+                let mut local_u = vec![0.0f64; points];
+                let lo = worker * chunk;
+                let hi = (lo + chunk).min(jobs.len());
+                for &(p, s) in &jobs[lo..hi] {
+                    let target = config.utilizations[p];
+                    let ts = make_set(set_seed(config.seed, p, s), target);
+                    local_u[p] += ts.total_utilization();
+                    for (mi, method) in Method::ALL.iter().enumerate() {
+                        let cfg = AnalysisConfig::new(config.cores, *method)
+                            .with_scenario_space(rta_analysis::ScenarioSpace::PaperExact);
+                        if analyze(&ts, &cfg).schedulable {
+                            local[p][mi] += 1;
+                        }
+                    }
+                }
+                (local, local_u)
+            }));
+        }
+        for handle in handles {
+            let (local, local_u) = handle.join().expect("worker panicked");
+            for (p, row) in local.iter().enumerate() {
+                for (mi, v) in row.iter().enumerate() {
+                    counts[p][mi] += v;
+                }
+                achieved[p] += local_u[p];
+            }
+        }
+    });
+
+    let points = config
+        .utilizations
+        .iter()
+        .zip(counts.iter().zip(&achieved))
+        .map(|(&x, (c, &u))| SweepPoint {
+            x,
+            achieved_utilization: u / sets as f64,
+            schedulable_pct: [
+                100.0 * c[0] as f64 / sets as f64,
+                100.0 * c[1] as f64 / sets as f64,
+                100.0 * c[2] as f64 / sets as f64,
+            ],
+        })
+        .collect();
+    SweepResult {
+        cores: config.cores,
+        points,
+    }
+}
+
+impl SweepResult {
+    /// ASCII rendering: a table plus per-method sparklines.
+    pub fn render(&self, x_label: &str) -> String {
+        let header = [x_label, "achieved U", "FP-ideal %", "LP-ILP %", "LP-max %"];
+        let rows: Vec<Vec<String>> = self
+            .points
+            .iter()
+            .map(|p| {
+                vec![
+                    format!("{:.2}", p.x),
+                    format!("{:.2}", p.achieved_utilization),
+                    format!("{:.1}", p.schedulable_pct[0]),
+                    format!("{:.1}", p.schedulable_pct[1]),
+                    format!("{:.1}", p.schedulable_pct[2]),
+                ]
+            })
+            .collect();
+        let mut out = ascii::table(&header, &rows);
+        for (mi, method) in Method::ALL.iter().enumerate() {
+            let curve: Vec<f64> = self.points.iter().map(|p| p.schedulable_pct[mi]).collect();
+            out.push_str(&format!("{:>9} {}\n", method.label(), ascii::sparkline(&curve)));
+        }
+        out
+    }
+
+    /// CSV rendering.
+    pub fn to_csv(&self, x_label: &str) -> String {
+        let header = [
+            x_label,
+            "achieved_utilization",
+            "fp_ideal_pct",
+            "lp_ilp_pct",
+            "lp_max_pct",
+        ];
+        let rows: Vec<Vec<String>> = self
+            .points
+            .iter()
+            .map(|p| {
+                vec![
+                    format!("{:.4}", p.x),
+                    format!("{:.4}", p.achieved_utilization),
+                    format!("{:.2}", p.schedulable_pct[0]),
+                    format!("{:.2}", p.schedulable_pct[1]),
+                    format!("{:.2}", p.schedulable_pct[2]),
+                ]
+            })
+            .collect();
+        ascii::csv(&header, &rows)
+    }
+
+    /// Checks the paper's qualitative shape: at every point,
+    /// `LP-max ≤ LP-ILP ≤ FP-ideal` (percentage of schedulable sets).
+    pub fn dominance_holds(&self) -> bool {
+        self.points.iter().all(|p| {
+            p.schedulable_pct[2] <= p.schedulable_pct[1] + 1e-9
+                && p.schedulable_pct[1] <= p.schedulable_pct[0] + 1e-9
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick(cores: usize, sets: usize) -> SweepConfig {
+        SweepConfig::paper_panel(cores).with_sets_per_point(sets)
+    }
+
+    #[test]
+    fn tiny_sweep_runs_and_dominates() {
+        let result = run(&quick(4, 8));
+        assert_eq!(result.points.len(), 13);
+        assert!(result.dominance_holds());
+        // Low utilization is almost always schedulable for FP-ideal.
+        assert!(result.points[0].schedulable_pct[0] >= 80.0);
+        // Utilization m is rarely schedulable for LP-max.
+        assert!(result.points.last().unwrap().schedulable_pct[2] <= 20.0);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let a = run(&quick(4, 6));
+        let b = run(&quick(4, 6));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn task_count_variant_runs() {
+        let cfg = quick(4, 5);
+        let result = run_task_count(&cfg, &[2, 4, 6]);
+        assert_eq!(result.points.len(), 3);
+        assert_eq!(result.points[0].x, 2.0);
+        assert!(result.dominance_holds());
+    }
+
+    #[test]
+    fn renders_csv_and_table() {
+        let result = run(&quick(4, 4));
+        let csv = result.to_csv("utilization");
+        assert!(csv.starts_with("utilization,achieved_utilization,fp_ideal_pct"));
+        assert_eq!(csv.lines().count(), 14);
+        let txt = result.render("U");
+        assert!(txt.contains("LP-ILP"));
+        assert!(txt.contains("FP-ideal"));
+    }
+}

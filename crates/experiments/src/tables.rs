@@ -1,0 +1,191 @@
+//! Tables I, II and III of the paper, regenerated from the Figure 1 DAGs.
+
+use crate::ascii;
+use rta_analysis::blocking::lpmax::lp_max_blocking;
+use rta_analysis::blocking::mu::mu_array;
+use rta_analysis::blocking::scenarios::{blocking_from_mu, rho};
+use rta_analysis::{MuSolver, RhoSolver, ScenarioSpace};
+use rta_combinatorics::{partition_count, partitions, Partition};
+use rta_model::examples::figure1_dags;
+use rta_model::{DagTask, Time};
+
+/// Table I: the worst-case workloads `µ_i[c]` of the Figure 1 tasks.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Table1 {
+    /// `mu[i][c − 1]` = `µ_{i+1}[c]` for the four Figure 1 tasks.
+    pub mu: Vec<Vec<Time>>,
+}
+
+/// Computes Table I with the given solver.
+pub fn table1(solver: MuSolver) -> Table1 {
+    Table1 {
+        mu: figure1_dags()
+            .iter()
+            .map(|dag| mu_array(dag, 4, solver))
+            .collect(),
+    }
+}
+
+impl Table1 {
+    /// ASCII rendering in the paper's layout (rows = core counts).
+    pub fn render(&self) -> String {
+        let header = ["c", "µ1[c]", "µ2[c]", "µ3[c]", "µ4[c]"];
+        let rows: Vec<Vec<String>> = (1..=4usize)
+            .map(|c| {
+                let mut row = vec![c.to_string()];
+                row.extend(self.mu.iter().map(|m| m[c - 1].to_string()));
+                row
+            })
+            .collect();
+        ascii::table(&header, &rows)
+    }
+}
+
+/// Table II: the execution scenarios `e_4` (integer partitions of 4).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Table2 {
+    /// The scenarios, in enumeration order.
+    pub scenarios: Vec<Partition>,
+    /// `p(4)` from the pentagonal-number recurrence (must equal
+    /// `scenarios.len()`).
+    pub pentagonal_count: u64,
+}
+
+/// Computes Table II.
+pub fn table2() -> Table2 {
+    Table2 {
+        scenarios: partitions(4).collect(),
+        pentagonal_count: partition_count(4),
+    }
+}
+
+impl Table2 {
+    /// ASCII rendering: scenario, cardinality, description.
+    pub fn render(&self) -> String {
+        let header = ["scenario", "|s|", "total cores"];
+        let rows: Vec<Vec<String>> = self
+            .scenarios
+            .iter()
+            .map(|s| {
+                vec![
+                    s.to_string(),
+                    s.cardinality().to_string(),
+                    s.total().to_string(),
+                ]
+            })
+            .collect();
+        ascii::table(&header, &rows)
+    }
+}
+
+/// Table III plus the resulting blocking bounds: `ρ_k[s_l]` per scenario,
+/// `Δ⁴` / `Δ³` for LP-ILP, and the LP-max values they improve on.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Table3 {
+    /// `(scenario, ρ)` pairs in enumeration order.
+    pub rho: Vec<(Partition, Time)>,
+    /// `Δ⁴` via LP-ILP (paper: 19).
+    pub delta_4_ilp: Time,
+    /// `Δ³` via LP-ILP (paper: 15).
+    pub delta_3_ilp: Time,
+    /// `Δ⁴` via LP-max (paper: 20).
+    pub delta_4_max: Time,
+    /// `Δ³` via LP-max (paper: 16).
+    pub delta_3_max: Time,
+}
+
+/// Computes Table III with the given `ρ` solver.
+pub fn table3(solver: RhoSolver) -> Table3 {
+    let mu: Vec<Vec<Time>> = figure1_dags()
+        .iter()
+        .map(|dag| mu_array(dag, 4, MuSolver::Clique))
+        .collect();
+    let rho_values: Vec<(Partition, Time)> = partitions(4)
+        .map(|s| {
+            let v = rho(&mu, &s, solver).expect("four tasks fill every scenario");
+            (s, v)
+        })
+        .collect();
+    let ilp = blocking_from_mu(&mu, 4, solver, ScenarioSpace::PaperExact);
+    let lp_tasks: Vec<DagTask> = figure1_dags()
+        .into_iter()
+        .map(|d| DagTask::with_implicit_deadline(d, 1_000).expect("valid"))
+        .collect();
+    let max = lp_max_blocking(&lp_tasks, 4);
+    Table3 {
+        rho: rho_values,
+        delta_4_ilp: ilp.delta_m,
+        delta_3_ilp: ilp.delta_m_minus_one,
+        delta_4_max: max.delta_m,
+        delta_3_max: max.delta_m_minus_one,
+    }
+}
+
+impl Table3 {
+    /// ASCII rendering with the Δ summary row.
+    pub fn render(&self) -> String {
+        let header = ["scenario", "rho"];
+        let rows: Vec<Vec<String>> = self
+            .rho
+            .iter()
+            .map(|(s, v)| vec![s.to_string(), v.to_string()])
+            .collect();
+        let mut out = ascii::table(&header, &rows);
+        out.push_str(&format!(
+            "Δ⁴: LP-ILP = {} (LP-max = {}); Δ³: LP-ILP = {} (LP-max = {})\n",
+            self.delta_4_ilp, self.delta_4_max, self.delta_3_ilp, self.delta_3_max
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rta_model::examples::TABLE_I;
+
+    #[test]
+    fn table1_matches_paper_both_solvers() {
+        for solver in [MuSolver::Clique, MuSolver::PaperIlp] {
+            let t = table1(solver);
+            for (i, row) in t.mu.iter().enumerate() {
+                assert_eq!(row.as_slice(), &TABLE_I[i], "{solver:?} µ_{}", i + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn table2_has_five_scenarios() {
+        let t = table2();
+        assert_eq!(t.scenarios.len(), 5);
+        assert_eq!(t.pentagonal_count, 5);
+        assert!(t.render().contains("{2,1,1}"));
+    }
+
+    #[test]
+    fn table3_matches_paper_both_solvers() {
+        for solver in [RhoSolver::Hungarian, RhoSolver::PaperIlp] {
+            let t = table3(solver);
+            let by_scenario: std::collections::BTreeMap<String, Time> = t
+                .rho
+                .iter()
+                .map(|(s, v)| (s.to_string(), *v))
+                .collect();
+            assert_eq!(by_scenario["{1,1,1,1}"], 18);
+            assert_eq!(by_scenario["{2,2}"], 16);
+            assert_eq!(by_scenario["{2,1,1}"], 19);
+            assert_eq!(by_scenario["{3,1}"], 18);
+            assert_eq!(by_scenario["{4}"], 11);
+            assert_eq!(t.delta_4_ilp, 19);
+            assert_eq!(t.delta_3_ilp, 15);
+            assert_eq!(t.delta_4_max, 20);
+            assert_eq!(t.delta_3_max, 16);
+        }
+    }
+
+    #[test]
+    fn renders_are_nonempty() {
+        assert!(table1(MuSolver::Clique).render().contains("µ3[c]"));
+        assert!(table3(RhoSolver::Hungarian).render().contains("Δ⁴"));
+    }
+}

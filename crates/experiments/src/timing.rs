@@ -1,0 +1,113 @@
+//! The runtime experiment (paper Section VI-B, last paragraph).
+//!
+//! The paper reports the average wall-clock time of a positive LP-ILP
+//! schedulability test: 0.45 s (`m = 4`), 4.75 s (`m = 8`) and 43 min
+//! (`m = 16`) in MATLAB + CPLEX. We reproduce the *trend* (cost growing
+//! steeply with `m`, driven by the `p(m)` execution scenarios and the
+//! per-task `µ` searches); absolute numbers are not comparable across
+//! implementations — see EXPERIMENTS.md.
+
+use crate::set_seed;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use rta_analysis::{analyze, AnalysisConfig, Method};
+use rta_taskgen::{generate_task_set, group1};
+use std::time::Instant;
+
+/// Measured average runtime for one platform size.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TimingRow {
+    /// Core count.
+    pub cores: usize,
+    /// Average seconds per LP-ILP analysis over accepted (schedulable)
+    /// task sets.
+    pub lp_ilp_seconds: f64,
+    /// Average seconds per LP-max analysis (same sets).
+    pub lp_max_seconds: f64,
+    /// Average seconds per FP-ideal analysis (same sets).
+    pub fp_ideal_seconds: f64,
+    /// How many positively-answered sets the averages cover.
+    pub samples: usize,
+}
+
+/// Runs the timing experiment for each core count.
+///
+/// Mirrors the paper's setup: random group-1 task sets at a utilization
+/// where the LP-ILP test answers positively (we use `0.3·m`, inside the
+/// schedulable band of our calibrated generator); only positive answers are
+/// timed (the paper times "a positive scheduling answer").
+pub fn run(core_counts: &[usize], samples_per_m: usize, seed: u64) -> Vec<TimingRow> {
+    core_counts
+        .iter()
+        .map(|&cores| {
+            let target = cores as f64 * 0.3;
+            let mut totals = [0.0f64; 3];
+            let mut accepted = 0usize;
+            let mut attempt = 0usize;
+            while accepted < samples_per_m && attempt < samples_per_m * 20 {
+                let mut rng = SmallRng::seed_from_u64(set_seed(seed, cores, attempt));
+                attempt += 1;
+                let ts = generate_task_set(&mut rng, &group1(target));
+                // Time LP-ILP first; only keep positively-answered sets.
+                let start = Instant::now();
+                let ilp = analyze(&ts, &AnalysisConfig::new(cores, Method::LpIlp));
+                let ilp_time = start.elapsed().as_secs_f64();
+                if !ilp.schedulable {
+                    continue;
+                }
+                let start = Instant::now();
+                let _ = analyze(&ts, &AnalysisConfig::new(cores, Method::LpMax));
+                let max_time = start.elapsed().as_secs_f64();
+                let start = Instant::now();
+                let _ = analyze(&ts, &AnalysisConfig::new(cores, Method::FpIdeal));
+                let fp_time = start.elapsed().as_secs_f64();
+                totals[0] += ilp_time;
+                totals[1] += max_time;
+                totals[2] += fp_time;
+                accepted += 1;
+            }
+            let n = accepted.max(1) as f64;
+            TimingRow {
+                cores,
+                lp_ilp_seconds: totals[0] / n,
+                lp_max_seconds: totals[1] / n,
+                fp_ideal_seconds: totals[2] / n,
+                samples: accepted,
+            }
+        })
+        .collect()
+}
+
+/// ASCII rendering of the timing rows.
+pub fn render(rows: &[TimingRow]) -> String {
+    let header = ["m", "LP-ILP (s)", "LP-max (s)", "FP-ideal (s)", "samples"];
+    let body: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.cores.to_string(),
+                format!("{:.6}", r.lp_ilp_seconds),
+                format!("{:.6}", r.lp_max_seconds),
+                format!("{:.6}", r.fp_ideal_seconds),
+                r.samples.to_string(),
+            ]
+        })
+        .collect();
+    crate::ascii::table(&header, &body)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timing_produces_positive_rows() {
+        let rows = run(&[2, 4], 3, 1);
+        assert_eq!(rows.len(), 2);
+        for row in &rows {
+            assert!(row.samples > 0, "m = {}", row.cores);
+            assert!(row.lp_ilp_seconds > 0.0);
+        }
+        assert!(render(&rows).contains("LP-ILP"));
+    }
+}

@@ -1,0 +1,278 @@
+//! Branch and bound over the LP relaxation.
+//!
+//! Depth-first search on variable fixings: each node solves the LP
+//! relaxation of the remaining free binaries (with explicit `x ≤ 1` rows),
+//! prunes on infeasibility or a bound no better than the incumbent, and
+//! otherwise branches on the most fractional variable, exploring the
+//! `x = 1` side first (good incumbents early for maximization problems).
+
+use crate::error::IlpError;
+use crate::model::{IlpProblem, Sense};
+use crate::simplex::{solve_lp, LpOutcome, LpProblem};
+
+/// Optimal solution of a 0/1 program.
+#[derive(Clone, Debug, PartialEq)]
+pub struct IlpSolution {
+    /// Optimal objective value.
+    pub objective: f64,
+    /// Value of each binary variable, indexed by [`VarId::index`].
+    ///
+    /// [`VarId::index`]: crate::model::VarId::index
+    pub values: Vec<bool>,
+    /// Number of branch-and-bound nodes explored (diagnostics).
+    pub nodes_explored: u64,
+}
+
+const INT_EPS: f64 = 1e-6;
+const BOUND_EPS: f64 = 1e-6;
+const NODE_LIMIT: u64 = 500_000;
+const SIMPLEX_ITERATIONS: usize = 200_000;
+
+pub(crate) fn solve(problem: &IlpProblem) -> Result<IlpSolution, IlpError> {
+    let n = problem.var_count();
+    let mut best: Option<(f64, Vec<bool>)> = None;
+    let mut nodes: u64 = 0;
+    // Stack of partial fixings; `None` = free.
+    let mut stack: Vec<Vec<Option<bool>>> = vec![vec![None; n]];
+
+    while let Some(fixing) = stack.pop() {
+        nodes += 1;
+        if nodes > NODE_LIMIT {
+            return Err(IlpError::NodeLimit);
+        }
+        match evaluate_node(problem, &fixing, best.as_ref().map(|(o, _)| *o))? {
+            NodeOutcome::Pruned => {}
+            NodeOutcome::Incumbent(obj, values) => {
+                if best.as_ref().is_none_or(|(b, _)| obj > *b) {
+                    best = Some((obj, values));
+                }
+            }
+            NodeOutcome::Branch(var) => {
+                let mut zero = fixing.clone();
+                zero[var] = Some(false);
+                stack.push(zero);
+                let mut one = fixing;
+                one[var] = Some(true);
+                stack.push(one);
+            }
+        }
+    }
+
+    match best {
+        Some((objective, values)) => Ok(IlpSolution {
+            objective,
+            values,
+            nodes_explored: nodes,
+        }),
+        None => Err(IlpError::Infeasible),
+    }
+}
+
+enum NodeOutcome {
+    Pruned,
+    Incumbent(f64, Vec<bool>),
+    Branch(usize),
+}
+
+fn evaluate_node(
+    problem: &IlpProblem,
+    fixing: &[Option<bool>],
+    incumbent: Option<f64>,
+) -> Result<NodeOutcome, IlpError> {
+    // Map free variables to LP columns.
+    let free: Vec<usize> = (0..fixing.len()).filter(|&v| fixing[v].is_none()).collect();
+    let col_of: Vec<Option<usize>> = {
+        let mut map = vec![None; fixing.len()];
+        for (c, &v) in free.iter().enumerate() {
+            map[v] = Some(c);
+        }
+        map
+    };
+
+    // Constant objective contribution of the fixed variables.
+    let fixed_obj: f64 = fixing
+        .iter()
+        .enumerate()
+        .filter(|(_, f)| **f == Some(true))
+        .map(|(v, _)| problem.objective[v])
+        .sum();
+
+    // Rewrite constraints over the free variables.
+    let mut rows: Vec<(Vec<f64>, Sense, f64)> = Vec::with_capacity(problem.constraints.len());
+    for c in &problem.constraints {
+        let mut dense = vec![0.0; free.len()];
+        let mut rhs = c.rhs;
+        for &(v, coeff) in &c.terms {
+            match fixing[v] {
+                Some(true) => rhs -= coeff,
+                Some(false) => {}
+                None => dense[col_of[v].expect("free var mapped")] += coeff,
+            }
+        }
+        if dense.iter().all(|&x| x == 0.0) {
+            // Fully fixed row: check it directly.
+            let ok = match c.sense {
+                Sense::Le => 0.0 <= rhs + INT_EPS,
+                Sense::Ge => 0.0 >= rhs - INT_EPS,
+                Sense::Eq => rhs.abs() <= INT_EPS,
+            };
+            if !ok {
+                return Ok(NodeOutcome::Pruned);
+            }
+        } else {
+            rows.push((dense, c.sense, rhs));
+        }
+    }
+
+    if free.is_empty() {
+        let values: Vec<bool> = fixing.iter().map(|f| f.unwrap_or(false)).collect();
+        if incumbent.is_some_and(|b| fixed_obj <= b + BOUND_EPS) {
+            return Ok(NodeOutcome::Pruned);
+        }
+        return Ok(NodeOutcome::Incumbent(fixed_obj, values));
+    }
+
+    // Explicit upper bounds for the free binaries.
+    for c in 0..free.len() {
+        let mut row = vec![0.0; free.len()];
+        row[c] = 1.0;
+        rows.push((row, Sense::Le, 1.0));
+    }
+
+    let lp = LpProblem {
+        objective: free.iter().map(|&v| problem.objective[v]).collect(),
+        rows,
+    };
+    match solve_lp(&lp, SIMPLEX_ITERATIONS)? {
+        LpOutcome::Infeasible => Ok(NodeOutcome::Pruned),
+        LpOutcome::Unbounded => unreachable!("all variables have explicit upper bounds"),
+        LpOutcome::Optimal { objective, values } => {
+            let bound = objective + fixed_obj;
+            if incumbent.is_some_and(|b| bound <= b + BOUND_EPS) {
+                return Ok(NodeOutcome::Pruned);
+            }
+            // Most fractional free variable, if any.
+            let mut branch: Option<(usize, f64)> = None;
+            for (c, &x) in values.iter().enumerate() {
+                let frac = (x - x.round()).abs();
+                if frac > INT_EPS && branch.as_ref().is_none_or(|&(_, f)| frac > f) {
+                    branch = Some((c, frac));
+                }
+            }
+            match branch {
+                Some((c, _)) => Ok(NodeOutcome::Branch(free[c])),
+                None => {
+                    let mut full: Vec<bool> = fixing.iter().map(|f| f.unwrap_or(false)).collect();
+                    for (c, &x) in values.iter().enumerate() {
+                        full[free[c]] = x.round() >= 0.5;
+                    }
+                    Ok(NodeOutcome::Incumbent(bound, full))
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{IlpBuilder, IlpError, Sense};
+
+    #[test]
+    fn knapsack() {
+        // max 10x + 6y + 4z s.t. 5x + 4y + 3z ≤ 8 → {x, z} = 14.
+        let mut b = IlpBuilder::new();
+        let x = b.binary("x");
+        let y = b.binary("y");
+        let z = b.binary("z");
+        b.objective(x, 10.0);
+        b.objective(y, 6.0);
+        b.objective(z, 4.0);
+        b.constraint(&[(x, 5.0), (y, 4.0), (z, 3.0)], Sense::Le, 8.0);
+        let s = b.build().maximize().unwrap();
+        assert_eq!(s.objective.round() as i64, 14);
+        assert_eq!(s.values, vec![true, false, true]);
+    }
+
+    #[test]
+    fn equality_cardinality() {
+        // Exactly 2 of 4, maximize weights 7, 1, 5, 3 → 12.
+        let mut b = IlpBuilder::new();
+        let vars: Vec<_> = (0..4).map(|i| b.binary(format!("x{i}"))).collect();
+        for (v, w) in vars.iter().zip([7.0, 1.0, 5.0, 3.0]) {
+            b.objective(*v, w);
+        }
+        let all: Vec<_> = vars.iter().map(|&v| (v, 1.0)).collect();
+        b.constraint(&all, Sense::Eq, 2.0);
+        let s = b.build().maximize().unwrap();
+        assert_eq!(s.objective.round() as i64, 12);
+        assert_eq!(s.values, vec![true, false, true, false]);
+    }
+
+    #[test]
+    fn infeasible_cardinality() {
+        let mut b = IlpBuilder::new();
+        let x = b.binary("x");
+        b.constraint(&[(x, 1.0)], Sense::Ge, 2.0);
+        assert_eq!(b.build().maximize().unwrap_err(), IlpError::Infeasible);
+    }
+
+    #[test]
+    fn empty_problem() {
+        let b = IlpBuilder::new();
+        let s = b.build().maximize().unwrap();
+        assert_eq!(s.objective, 0.0);
+        assert!(s.values.is_empty());
+    }
+
+    #[test]
+    fn all_zero_objective_feasible() {
+        let mut b = IlpBuilder::new();
+        let x = b.binary("x");
+        let y = b.binary("y");
+        b.constraint(&[(x, 1.0), (y, 1.0)], Sense::Ge, 1.0);
+        let s = b.build().maximize().unwrap();
+        assert_eq!(s.objective, 0.0);
+        assert!(s.values.iter().any(|&v| v));
+    }
+
+    #[test]
+    fn conflict_pair_constraint() {
+        // max x + y with x + y ≤ 1: exactly one selected.
+        let mut b = IlpBuilder::new();
+        let x = b.binary("x");
+        let y = b.binary("y");
+        b.objective(x, 1.0);
+        b.objective(y, 1.0);
+        b.constraint(&[(x, 1.0), (y, 1.0)], Sense::Le, 1.0);
+        let s = b.build().maximize().unwrap();
+        assert_eq!(s.objective.round() as i64, 1);
+        assert_eq!(s.values.iter().filter(|&&v| v).count(), 1);
+    }
+
+    #[test]
+    fn and_linking_constraints() {
+        // The paper's b_{j,k} = b_j ∧ b_k encoding: z ≥ x + y − 1, z ≤ x,
+        // z ≤ y. Maximize z − forces x = y = 1.
+        let mut b = IlpBuilder::new();
+        let x = b.binary("x");
+        let y = b.binary("y");
+        let z = b.binary("z");
+        b.objective(z, 1.0);
+        b.constraint(&[(z, 1.0), (x, -1.0), (y, -1.0)], Sense::Ge, -1.0);
+        b.constraint(&[(z, 1.0), (x, -1.0)], Sense::Le, 0.0);
+        b.constraint(&[(z, 1.0), (y, -1.0)], Sense::Le, 0.0);
+        let s = b.build().maximize().unwrap();
+        assert_eq!(s.objective.round() as i64, 1);
+        assert!(s.values[x.index()] && s.values[y.index()] && s.values[z.index()]);
+    }
+
+    #[test]
+    fn negative_objective_prefers_zero() {
+        let mut b = IlpBuilder::new();
+        let x = b.binary("x");
+        b.objective(x, -5.0);
+        let s = b.build().maximize().unwrap();
+        assert_eq!(s.objective, 0.0);
+        assert!(!s.values[x.index()]);
+    }
+}

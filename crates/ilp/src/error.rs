@@ -1,0 +1,40 @@
+//! Error type for the ILP solver.
+
+use std::fmt;
+
+/// Failure modes of LP relaxation / branch-and-bound search.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum IlpError {
+    /// The constraint system admits no feasible point (already in the LP
+    /// relaxation, or after branching fixed all variables).
+    Infeasible,
+    /// The simplex iteration limit was exceeded (numerical cycling guard).
+    IterationLimit,
+    /// The branch-and-bound node budget was exceeded.
+    NodeLimit,
+}
+
+impl fmt::Display for IlpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IlpError::Infeasible => write!(f, "problem is infeasible"),
+            IlpError::IterationLimit => write!(f, "simplex iteration limit exceeded"),
+            IlpError::NodeLimit => write!(f, "branch-and-bound node limit exceeded"),
+        }
+    }
+}
+
+impl std::error::Error for IlpError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_messages() {
+        assert_eq!(IlpError::Infeasible.to_string(), "problem is infeasible");
+        fn is_error<E: std::error::Error + Send + Sync>(_: &E) {}
+        is_error(&IlpError::NodeLimit);
+    }
+}

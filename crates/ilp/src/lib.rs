@@ -1,0 +1,49 @@
+//! Exact 0/1 integer linear programming, from scratch.
+//!
+//! The LP-ILP analysis of Serrano et al. (DATE 2016) formulates two
+//! optimization problems — the per-task worst-case workload `µ_i[c]`
+//! (Section V-A2) and the per-scenario overall workload `ρ_k[s_l]`
+//! (Section V-B) — and solves them with IBM CPLEX. This crate is the
+//! from-scratch substitute: a dense two-phase **simplex** solver for the LP
+//! relaxation ([`simplex`]) driven by **branch and bound** on fractional
+//! binaries ([`branch`]), behind a small model-building API ([`IlpBuilder`]).
+//!
+//! The analysis crate feeds the paper's formulations verbatim to this
+//! solver and cross-checks the results against independent combinatorial
+//! solvers (max-weight clique, Hungarian assignment), so any bug in either
+//! path would surface as a mismatch in the test suite.
+//!
+//! # Example
+//!
+//! A tiny knapsack: pick at most two of three items maximizing value.
+//!
+//! ```
+//! use rta_ilp::{IlpBuilder, Sense};
+//!
+//! # fn main() -> Result<(), rta_ilp::IlpError> {
+//! let mut b = IlpBuilder::new();
+//! let x = b.binary("x");
+//! let y = b.binary("y");
+//! let z = b.binary("z");
+//! b.objective(x, 5.0);
+//! b.objective(y, 4.0);
+//! b.objective(z, 3.0);
+//! b.constraint(&[(x, 1.0), (y, 1.0), (z, 1.0)], Sense::Le, 2.0);
+//! let solution = b.build().maximize()?;
+//! assert_eq!(solution.objective.round() as i64, 9); // x + y
+//! assert!(solution.values[x.index()] && solution.values[y.index()]);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod branch;
+pub mod error;
+pub mod model;
+pub mod simplex;
+
+pub use branch::IlpSolution;
+pub use error::IlpError;
+pub use model::{IlpBuilder, IlpProblem, Sense, VarId};

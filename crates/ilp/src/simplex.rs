@@ -1,0 +1,470 @@
+//! Dense two-phase primal simplex.
+//!
+//! Solves `maximize cᵀx subject to Ax {≤,=,≥} b, x ≥ 0` on a full tableau.
+//! Upper bounds (`x ≤ 1` for the binaries of [`crate::IlpProblem`]) are
+//! supplied by the caller as explicit rows — problem sizes here are small
+//! (tens of structural variables, hundreds of rows), so the simple tableau
+//! beats a bounded-variable implementation on clarity without hurting the
+//! experiments, which use the combinatorial solvers on the hot path.
+//!
+//! Phase 1 drives artificial variables out of the basis (or proves
+//! infeasibility); phase 2 optimizes the real objective with artificial
+//! columns banned. Pivoting uses Dantzig's rule with a Bland fallback after
+//! a fixed number of iterations to rule out cycling.
+
+use crate::error::IlpError;
+use crate::model::Sense;
+
+/// Dense LP in caller-friendly form: maximize `objective · x`.
+#[derive(Clone, Debug)]
+pub struct LpProblem {
+    /// Objective coefficients (maximization), one per structural variable.
+    pub objective: Vec<f64>,
+    /// Rows as `(dense coefficients, sense, rhs)`.
+    pub rows: Vec<(Vec<f64>, Sense, f64)>,
+}
+
+/// Result of an LP solve.
+#[derive(Clone, Debug, PartialEq)]
+pub enum LpOutcome {
+    /// An optimal vertex.
+    Optimal {
+        /// Optimal objective value.
+        objective: f64,
+        /// Structural variable values at the optimum.
+        values: Vec<f64>,
+    },
+    /// The constraints admit no feasible point.
+    Infeasible,
+    /// The objective is unbounded above (cannot happen once all variables
+    /// carry explicit upper bounds).
+    Unbounded,
+}
+
+const EPS: f64 = 1e-9;
+const FEAS_EPS: f64 = 1e-7;
+/// Iterations after which pivoting falls back to Bland's anti-cycling rule.
+const BLAND_AFTER: usize = 2_000;
+
+/// Solves the LP. `max_iterations` bounds the total pivot count across both
+/// phases.
+///
+/// # Errors
+///
+/// [`IlpError::IterationLimit`] if the pivot budget is exhausted.
+pub fn solve_lp(problem: &LpProblem, max_iterations: usize) -> Result<LpOutcome, IlpError> {
+    let n = problem.objective.len();
+    let m = problem.rows.len();
+    if m == 0 {
+        // Unconstrained: every variable at +∞ unless its coefficient ≤ 0.
+        // Callers always provide upper-bound rows, so treat any positive
+        // coefficient as unbounded and otherwise x = 0.
+        if problem.objective.iter().any(|&c| c > EPS) {
+            return Ok(LpOutcome::Unbounded);
+        }
+        return Ok(LpOutcome::Optimal {
+            objective: 0.0,
+            values: vec![0.0; n],
+        });
+    }
+
+    // --- Build the tableau -------------------------------------------------
+    // Columns: [structural | slack/surplus | artificial], then rhs.
+    let mut n_slack = 0;
+    let mut n_art = 0;
+    for (_, sense, _) in &problem.rows {
+        match sense {
+            Sense::Le | Sense::Ge => n_slack += 1,
+            Sense::Eq => {}
+        }
+        match sense {
+            Sense::Ge | Sense::Eq => n_art += 1,
+            Sense::Le => {}
+        }
+    }
+    // A `Le` row with negative rhs flips to `Ge`, which needs an artificial;
+    // conservatively allocate artificials for those too.
+    for (_, sense, rhs) in &problem.rows {
+        if *sense == Sense::Le && *rhs < 0.0 {
+            n_art += 1;
+        }
+        if *sense == Sense::Ge && *rhs < 0.0 {
+            n_art -= 1; // flips to Le: slack suffices
+        }
+    }
+    let total = n + n_slack + n_art;
+    let mut a = vec![vec![0.0f64; total]; m];
+    let mut rhs = vec![0.0f64; m];
+    let mut basis = vec![usize::MAX; m];
+    let art_start = n + n_slack;
+    let mut next_slack = n;
+    let mut next_art = art_start;
+
+    for (i, (coeffs, sense, b)) in problem.rows.iter().enumerate() {
+        let flip = *b < 0.0;
+        let sign = if flip { -1.0 } else { 1.0 };
+        for (j, &c) in coeffs.iter().enumerate() {
+            a[i][j] = sign * c;
+        }
+        rhs[i] = sign * b;
+        let effective = match (sense, flip) {
+            (Sense::Le, false) | (Sense::Ge, true) => Sense::Le,
+            (Sense::Ge, false) | (Sense::Le, true) => Sense::Ge,
+            (Sense::Eq, _) => Sense::Eq,
+        };
+        match effective {
+            Sense::Le => {
+                a[i][next_slack] = 1.0;
+                basis[i] = next_slack;
+                next_slack += 1;
+            }
+            Sense::Ge => {
+                a[i][next_slack] = -1.0;
+                next_slack += 1;
+                a[i][next_art] = 1.0;
+                basis[i] = next_art;
+                next_art += 1;
+            }
+            Sense::Eq => {
+                a[i][next_art] = 1.0;
+                basis[i] = next_art;
+                next_art += 1;
+            }
+        }
+    }
+    let n_art_used = next_art - art_start;
+    debug_assert!(next_slack <= art_start);
+    debug_assert!(n_art_used <= n_art);
+
+    let mut iterations_left = max_iterations;
+
+    // --- Phase 1: maximize −Σ artificials ----------------------------------
+    if n_art_used > 0 {
+        let mut cost = vec![0.0f64; total];
+        for c in cost.iter_mut().skip(art_start).take(n_art_used) {
+            *c = -1.0;
+        }
+        let mut obj_row = reduced_costs(&a, &basis, &cost);
+        let mut obj_val = objective_value(&basis, &rhs, &cost);
+        pivot_to_optimality(
+            &mut a,
+            &mut rhs,
+            &mut basis,
+            &mut obj_row,
+            &mut obj_val,
+            total,
+            &mut iterations_left,
+            None,
+        )?;
+        if obj_val < -FEAS_EPS {
+            return Ok(LpOutcome::Infeasible);
+        }
+        // Drive any basic artificials (at value 0) out of the basis.
+        for i in 0..m {
+            if basis[i] >= art_start {
+                if let Some(j) = (0..art_start).find(|&j| a[i][j].abs() > EPS) {
+                    pivot(&mut a, &mut rhs, &mut basis, &mut obj_row, &mut obj_val, i, j);
+                }
+                // If no pivot column exists the row is redundant (all zeros
+                // over real variables); the artificial stays basic at 0 and
+                // is harmless because its column is banned below.
+            }
+        }
+    }
+
+    // --- Phase 2: maximize the real objective ------------------------------
+    let mut cost = vec![0.0f64; total];
+    cost[..n].copy_from_slice(&problem.objective);
+    let mut obj_row = reduced_costs(&a, &basis, &cost);
+    let mut obj_val = objective_value(&basis, &rhs, &cost);
+    let banned_from = art_start + if n_art_used > 0 { 0 } else { total };
+    let unbounded = pivot_to_optimality(
+        &mut a,
+        &mut rhs,
+        &mut basis,
+        &mut obj_row,
+        &mut obj_val,
+        total,
+        &mut iterations_left,
+        Some(banned_from),
+    )?;
+    if unbounded {
+        return Ok(LpOutcome::Unbounded);
+    }
+
+    let mut values = vec![0.0f64; n];
+    for i in 0..m {
+        if basis[i] < n {
+            values[basis[i]] = rhs[i];
+        }
+    }
+    Ok(LpOutcome::Optimal {
+        objective: obj_val,
+        values,
+    })
+}
+
+/// Reduced-cost row `c_j − c_B·B⁻¹A_j` for the current (tableau-form) basis.
+fn reduced_costs(a: &[Vec<f64>], basis: &[usize], cost: &[f64]) -> Vec<f64> {
+    let total = cost.len();
+    let mut row = cost.to_vec();
+    for (i, &b) in basis.iter().enumerate() {
+        let cb = cost[b];
+        if cb != 0.0 {
+            for j in 0..total {
+                row[j] -= cb * a[i][j];
+            }
+        }
+    }
+    row
+}
+
+fn objective_value(basis: &[usize], rhs: &[f64], cost: &[f64]) -> f64 {
+    basis.iter().zip(rhs).map(|(&b, &r)| cost[b] * r).sum()
+}
+
+/// Pivots until no reduced cost is positive. Returns `Ok(true)` on an
+/// unbounded ray.
+#[allow(clippy::too_many_arguments)]
+fn pivot_to_optimality(
+    a: &mut [Vec<f64>],
+    rhs: &mut [f64],
+    basis: &mut [usize],
+    obj_row: &mut [f64],
+    obj_val: &mut f64,
+    total: usize,
+    iterations_left: &mut usize,
+    banned_from: Option<usize>,
+) -> Result<bool, IlpError> {
+    let banned = banned_from.unwrap_or(total);
+    let mut iter = 0usize;
+    loop {
+        if *iterations_left == 0 {
+            return Err(IlpError::IterationLimit);
+        }
+        *iterations_left -= 1;
+        iter += 1;
+
+        // Entering column: Dantzig first, Bland once degenerate cycling is
+        // plausible.
+        let entering = if iter < BLAND_AFTER {
+            let mut best: Option<(usize, f64)> = None;
+            for (j, &rc) in obj_row.iter().enumerate().take(banned.min(total)) {
+                if rc > EPS && best.as_ref().is_none_or(|&(_, v)| rc > v) {
+                    best = Some((j, rc));
+                }
+            }
+            best.map(|(j, _)| j)
+        } else {
+            (0..total).find(|&j| j < banned && obj_row[j] > EPS)
+        };
+        let Some(col) = entering else {
+            return Ok(false); // optimal
+        };
+
+        // Leaving row: minimum ratio test; Bland tie-break on basis index.
+        let mut leave: Option<(usize, f64)> = None;
+        for i in 0..a.len() {
+            if a[i][col] > EPS {
+                let ratio = rhs[i] / a[i][col];
+                match leave {
+                    None => leave = Some((i, ratio)),
+                    Some((li, lr)) => {
+                        if ratio < lr - EPS || (ratio < lr + EPS && basis[i] < basis[li]) {
+                            leave = Some((i, ratio));
+                        }
+                    }
+                }
+            }
+        }
+        let Some((row, _)) = leave else {
+            return Ok(true); // unbounded direction
+        };
+        pivot(a, rhs, basis, obj_row, obj_val, row, col);
+    }
+}
+
+/// Performs one pivot on `(row, col)`, updating the tableau, rhs, basis and
+/// objective row in place.
+fn pivot(
+    a: &mut [Vec<f64>],
+    rhs: &mut [f64],
+    basis: &mut [usize],
+    obj_row: &mut [f64],
+    obj_val: &mut f64,
+    row: usize,
+    col: usize,
+) {
+    let piv = a[row][col];
+    debug_assert!(piv.abs() > EPS, "pivot element too small");
+    let inv = 1.0 / piv;
+    for v in a[row].iter_mut() {
+        *v *= inv;
+    }
+    rhs[row] *= inv;
+    a[row][col] = 1.0; // fight rounding
+    for i in 0..a.len() {
+        if i != row {
+            let factor = a[i][col];
+            if factor != 0.0 {
+                for j in 0..a[i].len() {
+                    a[i][j] -= factor * a[row][j];
+                }
+                a[i][col] = 0.0;
+                rhs[i] -= factor * rhs[row];
+                if rhs[i] < 0.0 && rhs[i] > -EPS {
+                    rhs[i] = 0.0;
+                }
+            }
+        }
+    }
+    let factor = obj_row[col];
+    if factor != 0.0 {
+        for j in 0..obj_row.len() {
+            obj_row[j] -= factor * a[row][j];
+        }
+        obj_row[col] = 0.0;
+        *obj_val += factor * rhs[row];
+    }
+    basis[row] = col;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn optimal(outcome: LpOutcome) -> (f64, Vec<f64>) {
+        match outcome {
+            LpOutcome::Optimal { objective, values } => (objective, values),
+            other => panic!("expected optimal, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn textbook_maximization() {
+        // max 3x + 5y s.t. x ≤ 4, 2y ≤ 12, 3x + 2y ≤ 18 → (2, 6), obj 36.
+        let p = LpProblem {
+            objective: vec![3.0, 5.0],
+            rows: vec![
+                (vec![1.0, 0.0], Sense::Le, 4.0),
+                (vec![0.0, 2.0], Sense::Le, 12.0),
+                (vec![3.0, 2.0], Sense::Le, 18.0),
+            ],
+        };
+        let (obj, x) = optimal(solve_lp(&p, 10_000).unwrap());
+        assert!((obj - 36.0).abs() < 1e-6);
+        assert!((x[0] - 2.0).abs() < 1e-6);
+        assert!((x[1] - 6.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn equality_constraints_via_phase1() {
+        // max x + y s.t. x + y = 1, x − y = 0 → (0.5, 0.5), obj 1.
+        let p = LpProblem {
+            objective: vec![1.0, 1.0],
+            rows: vec![
+                (vec![1.0, 1.0], Sense::Eq, 1.0),
+                (vec![1.0, -1.0], Sense::Eq, 0.0),
+            ],
+        };
+        let (obj, x) = optimal(solve_lp(&p, 10_000).unwrap());
+        assert!((obj - 1.0).abs() < 1e-6);
+        assert!((x[0] - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn ge_constraints() {
+        // min x (as max −x) s.t. x ≥ 2 → x = 2.
+        let p = LpProblem {
+            objective: vec![-1.0],
+            rows: vec![(vec![1.0], Sense::Ge, 2.0)],
+        };
+        let (obj, x) = optimal(solve_lp(&p, 10_000).unwrap());
+        assert!((obj + 2.0).abs() < 1e-6);
+        assert!((x[0] - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn infeasible_detected() {
+        let p = LpProblem {
+            objective: vec![1.0],
+            rows: vec![
+                (vec![1.0], Sense::Ge, 3.0),
+                (vec![1.0], Sense::Le, 1.0),
+            ],
+        };
+        assert_eq!(solve_lp(&p, 10_000).unwrap(), LpOutcome::Infeasible);
+    }
+
+    #[test]
+    fn unbounded_detected() {
+        let p = LpProblem {
+            objective: vec![1.0],
+            rows: vec![(vec![-1.0], Sense::Le, 1.0)],
+        };
+        assert_eq!(solve_lp(&p, 10_000).unwrap(), LpOutcome::Unbounded);
+    }
+
+    #[test]
+    fn negative_rhs_is_normalized() {
+        // x ≤ −1 is infeasible for x ≥ 0.
+        let p = LpProblem {
+            objective: vec![1.0],
+            rows: vec![(vec![1.0], Sense::Le, -1.0)],
+        };
+        assert_eq!(solve_lp(&p, 10_000).unwrap(), LpOutcome::Infeasible);
+        // −x ≤ −1 means x ≥ 1: feasible, with x ≤ 2 bound optimum 2.
+        let p2 = LpProblem {
+            objective: vec![1.0],
+            rows: vec![
+                (vec![-1.0], Sense::Le, -1.0),
+                (vec![1.0], Sense::Le, 2.0),
+            ],
+        };
+        let (obj, _) = optimal(solve_lp(&p2, 10_000).unwrap());
+        assert!((obj - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn no_rows_zero_objective() {
+        let p = LpProblem {
+            objective: vec![-1.0, 0.0],
+            rows: vec![],
+        };
+        let (obj, x) = optimal(solve_lp(&p, 10_000).unwrap());
+        assert_eq!(obj, 0.0);
+        assert_eq!(x, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn degenerate_problem_terminates() {
+        // Multiple redundant constraints through the same vertex.
+        let p = LpProblem {
+            objective: vec![1.0, 1.0],
+            rows: vec![
+                (vec![1.0, 0.0], Sense::Le, 1.0),
+                (vec![1.0, 0.0], Sense::Le, 1.0),
+                (vec![2.0, 0.0], Sense::Le, 2.0),
+                (vec![0.0, 1.0], Sense::Le, 1.0),
+                (vec![1.0, 1.0], Sense::Le, 2.0),
+            ],
+        };
+        let (obj, _) = optimal(solve_lp(&p, 10_000).unwrap());
+        assert!((obj - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn redundant_equalities() {
+        // x + y = 1 stated twice: phase 1 leaves a redundant artificial row.
+        let p = LpProblem {
+            objective: vec![2.0, 1.0],
+            rows: vec![
+                (vec![1.0, 1.0], Sense::Eq, 1.0),
+                (vec![1.0, 1.0], Sense::Eq, 1.0),
+            ],
+        };
+        let (obj, x) = optimal(solve_lp(&p, 10_000).unwrap());
+        assert!((obj - 2.0).abs() < 1e-6);
+        assert!((x[0] - 1.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,114 @@
+//! Cross-validation of the ILP solver against exhaustive enumeration.
+
+use proptest::prelude::*;
+use rta_ilp::{IlpBuilder, IlpError, Sense};
+
+/// Exhaustively evaluates all 2^n assignments of a small problem.
+fn brute_force(
+    n: usize,
+    objective: &[i32],
+    constraints: &[(Vec<i32>, Sense, i32)],
+) -> Option<(i64, Vec<bool>)> {
+    let mut best: Option<(i64, Vec<bool>)> = None;
+    for mask in 0u32..1 << n {
+        let assign: Vec<bool> = (0..n).map(|i| mask >> i & 1 == 1).collect();
+        let feasible = constraints.iter().all(|(coeffs, sense, rhs)| {
+            let lhs: i64 = coeffs
+                .iter()
+                .zip(&assign)
+                .map(|(&c, &a)| if a { c as i64 } else { 0 })
+                .sum();
+            match sense {
+                Sense::Le => lhs <= *rhs as i64,
+                Sense::Ge => lhs >= *rhs as i64,
+                Sense::Eq => lhs == *rhs as i64,
+            }
+        });
+        if feasible {
+            let obj: i64 = objective
+                .iter()
+                .zip(&assign)
+                .map(|(&c, &a)| if a { c as i64 } else { 0 })
+                .sum();
+            if best.as_ref().is_none_or(|(b, _)| obj > *b) {
+                best = Some((obj, assign));
+            }
+        }
+    }
+    best
+}
+
+fn solve_with_ilp(
+    n: usize,
+    objective: &[i32],
+    constraints: &[(Vec<i32>, Sense, i32)],
+) -> Result<(i64, Vec<bool>), IlpError> {
+    let mut b = IlpBuilder::new();
+    let vars: Vec<_> = (0..n).map(|i| b.binary(format!("x{i}"))).collect();
+    for (v, &c) in vars.iter().zip(objective) {
+        b.objective(*v, c as f64);
+    }
+    for (coeffs, sense, rhs) in constraints {
+        let terms: Vec<_> = vars
+            .iter()
+            .zip(coeffs)
+            .map(|(&v, &c)| (v, c as f64))
+            .collect();
+        b.constraint(&terms, *sense, *rhs as f64);
+    }
+    let s = b.build().maximize()?;
+    Ok((s.objective.round() as i64, s.values))
+}
+
+fn sense_strategy() -> impl Strategy<Value = Sense> {
+    prop_oneof![Just(Sense::Le), Just(Sense::Ge), Just(Sense::Eq)]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+    #[test]
+    fn ilp_matches_bruteforce(
+        n in 1usize..7,
+        objective in proptest::collection::vec(-10i32..20, 7),
+        raw_constraints in proptest::collection::vec(
+            (proptest::collection::vec(-4i32..5, 7), sense_strategy(), -6i32..12),
+            0..5,
+        ),
+    ) {
+        let objective = &objective[..n];
+        let constraints: Vec<(Vec<i32>, Sense, i32)> = raw_constraints
+            .into_iter()
+            .map(|(c, s, r)| (c[..n].to_vec(), s, r))
+            .collect();
+        let expected = brute_force(n, objective, &constraints);
+        let actual = solve_with_ilp(n, objective, &constraints);
+        match expected {
+            None => prop_assert_eq!(actual.unwrap_err(), IlpError::Infeasible),
+            Some((obj, _)) => {
+                let (got_obj, got_assign) = actual.expect("feasible problem must solve");
+                prop_assert_eq!(got_obj, obj, "objective mismatch");
+                // The returned assignment must itself be feasible and achieve
+                // the reported objective.
+                let recomputed: i64 = objective
+                    .iter()
+                    .zip(&got_assign)
+                    .map(|(&c, &a)| if a { c as i64 } else { 0 })
+                    .sum();
+                prop_assert_eq!(recomputed, obj);
+                for (coeffs, sense, rhs) in &constraints {
+                    let lhs: i64 = coeffs
+                        .iter()
+                        .zip(&got_assign)
+                        .map(|(&c, &a)| if a { c as i64 } else { 0 })
+                        .sum();
+                    let ok = match sense {
+                        Sense::Le => lhs <= *rhs as i64,
+                        Sense::Ge => lhs >= *rhs as i64,
+                        Sense::Eq => lhs == *rhs as i64,
+                    };
+                    prop_assert!(ok, "returned assignment violates a constraint");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,525 @@
+//! The DAG of non-preemptive regions and its builder.
+
+use crate::error::ModelError;
+use crate::ids::NodeId;
+use crate::time::Time;
+use rta_combinatorics::BitSet;
+
+/// A directed acyclic graph of non-preemptive regions (paper Section III-A).
+///
+/// Nodes carry WCETs; edges are precedence constraints. A `Dag` is immutable
+/// once built (use [`DagBuilder`]) and pre-computes everything the analysis
+/// reads repeatedly: a topological order, per-node transitive closures
+/// (ancestors and descendants) and the graph's aggregate measures
+/// [`volume`](Dag::volume) (`vol(G)`) and [`longest_path`](Dag::longest_path)
+/// (`L`, the critical path).
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Dag {
+    wcets: Vec<Time>,
+    succ: Vec<BitSet>,
+    pred: Vec<BitSet>,
+    topo: Vec<NodeId>,
+    ancestors: Vec<BitSet>,
+    descendants: Vec<BitSet>,
+    volume: Time,
+    longest_path: Time,
+}
+
+impl Dag {
+    /// Number of nodes (`q_k + 1` in the paper's notation).
+    pub fn node_count(&self) -> usize {
+        self.wcets.len()
+    }
+
+    /// Number of potential preemption points `q_k = |V_k| − 1`.
+    pub fn preemption_points(&self) -> usize {
+        self.node_count() - 1
+    }
+
+    /// Iterator over all node ids in index order.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.node_count()).map(NodeId::new)
+    }
+
+    /// WCET `C_{k,j}` of a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of bounds.
+    pub fn wcet(&self, node: NodeId) -> Time {
+        self.wcets[node.index()]
+    }
+
+    /// All WCETs, indexed by node.
+    pub fn wcets(&self) -> &[Time] {
+        &self.wcets
+    }
+
+    /// Direct successors of `node`.
+    pub fn successors(&self, node: NodeId) -> &BitSet {
+        &self.succ[node.index()]
+    }
+
+    /// Direct predecessors of `node`.
+    pub fn predecessors(&self, node: NodeId) -> &BitSet {
+        &self.pred[node.index()]
+    }
+
+    /// All nodes reachable from `node` (the paper's `SUCC(v)`), excluding
+    /// `node` itself.
+    pub fn descendants(&self, node: NodeId) -> &BitSet {
+        &self.descendants[node.index()]
+    }
+
+    /// All nodes from which `node` is reachable (the paper's `PRED(v)`),
+    /// excluding `node` itself.
+    pub fn ancestors(&self, node: NodeId) -> &BitSet {
+        &self.ancestors[node.index()]
+    }
+
+    /// Nodes sharing a common direct predecessor with `node` (the paper's
+    /// `SIBLING(v)`), excluding `node` itself.
+    pub fn siblings(&self, node: NodeId) -> BitSet {
+        let mut sib = BitSet::with_capacity(self.node_count());
+        for p in self.pred[node.index()].iter() {
+            sib.union_with(&self.succ[p]);
+        }
+        sib.remove(node.index());
+        sib
+    }
+
+    /// `true` if `to` is reachable from `from` by a non-empty path.
+    pub fn reaches(&self, from: NodeId, to: NodeId) -> bool {
+        self.descendants[from.index()].contains(to.index())
+    }
+
+    /// A topological order of the nodes (parents before children).
+    pub fn topological_order(&self) -> &[NodeId] {
+        &self.topo
+    }
+
+    /// Nodes with no predecessors.
+    pub fn sources(&self) -> Vec<NodeId> {
+        self.nodes()
+            .filter(|v| self.pred[v.index()].is_empty())
+            .collect()
+    }
+
+    /// Nodes with no successors.
+    pub fn sinks(&self) -> Vec<NodeId> {
+        self.nodes()
+            .filter(|v| self.succ[v.index()].is_empty())
+            .collect()
+    }
+
+    /// `vol(G)`: total WCET of all nodes — the execution time of the task on
+    /// a dedicated single core.
+    pub fn volume(&self) -> Time {
+        self.volume
+    }
+
+    /// `L`: the length of the longest (critical) path — the minimum makespan
+    /// of the task on infinitely many cores.
+    pub fn longest_path(&self) -> Time {
+        self.longest_path
+    }
+
+    /// The largest WCET of any single node (`max_j C_{k,j}`): the longest
+    /// non-preemptive region of the task.
+    pub fn max_wcet(&self) -> Time {
+        self.wcets.iter().copied().max().unwrap_or(0)
+    }
+
+    /// The number of nodes on the longest path counted in nodes (not WCET).
+    /// The paper's generator bounds this at 7.
+    pub fn longest_path_node_count(&self) -> usize {
+        let n = self.node_count();
+        let mut depth = vec![1usize; n];
+        let mut best = 1;
+        for &v in &self.topo {
+            let d = self.pred[v.index()]
+                .iter()
+                .map(|p| depth[p] + 1)
+                .max()
+                .unwrap_or(1);
+            depth[v.index()] = d;
+            best = best.max(d);
+        }
+        best
+    }
+
+    /// The `n` largest node WCETs in non-increasing order (fewer if the DAG
+    /// has fewer nodes). Used by the LP-max blocking bound (paper Eq. (5)).
+    pub fn largest_wcets(&self, n: usize) -> Vec<Time> {
+        let mut sorted = self.wcets.clone();
+        sorted.sort_unstable_by(|a, b| b.cmp(a));
+        sorted.truncate(n);
+        sorted
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.succ.iter().map(BitSet::len).sum()
+    }
+
+    /// Iterator over all edges as `(from, to)` pairs.
+    pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        self.succ.iter().enumerate().flat_map(|(from, set)| {
+            set.iter()
+                .map(move |to| (NodeId::new(from), NodeId::new(to)))
+        })
+    }
+
+    /// The maximum number of nodes that can execute simultaneously: the size
+    /// of the largest antichain of the precedence order.
+    ///
+    /// Computed by growing the required clique size over the parallelism
+    /// graph; DAG tasks are small (the paper caps them at 30 nodes), so the
+    /// exact search is cheap.
+    pub fn max_parallelism(&self) -> usize {
+        let adjacency = crate::parallel::parallel_adjacency(self);
+        let weights = vec![1u64; self.node_count()];
+        let mut best = 1;
+        for size in 2..=self.node_count() {
+            if rta_combinatorics::max_weight_clique_of_size(&adjacency, &weights, size).is_some() {
+                best = size;
+            } else {
+                break;
+            }
+        }
+        best
+    }
+}
+
+/// Incremental builder for [`Dag`].
+///
+/// # Example
+///
+/// ```
+/// use rta_model::DagBuilder;
+///
+/// # fn main() -> Result<(), rta_model::ModelError> {
+/// let mut b = DagBuilder::new();
+/// let a = b.add_node(3);
+/// let c = b.add_node(4);
+/// b.add_edge(a, c)?;
+/// let dag = b.build()?;
+/// assert_eq!(dag.longest_path(), 7);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct DagBuilder {
+    wcets: Vec<Time>,
+    edges: Vec<(NodeId, NodeId)>,
+}
+
+impl DagBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a node with the given WCET and returns its id.
+    pub fn add_node(&mut self, wcet: Time) -> NodeId {
+        self.wcets.push(wcet);
+        NodeId::new(self.wcets.len() - 1)
+    }
+
+    /// Adds several nodes at once, returning their ids in order.
+    pub fn add_nodes<I: IntoIterator<Item = Time>>(&mut self, wcets: I) -> Vec<NodeId> {
+        wcets.into_iter().map(|w| self.add_node(w)).collect()
+    }
+
+    /// Adds a precedence edge `from → to`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::UnknownNode`] if either endpoint has not been
+    /// added, or [`ModelError::SelfLoop`] if `from == to`. Cycles are
+    /// detected at [`build`](DagBuilder::build) time.
+    pub fn add_edge(&mut self, from: NodeId, to: NodeId) -> Result<&mut Self, ModelError> {
+        let n = self.wcets.len();
+        for node in [from, to] {
+            if node.index() >= n {
+                return Err(ModelError::UnknownNode {
+                    node,
+                    node_count: n,
+                });
+            }
+        }
+        if from == to {
+            return Err(ModelError::SelfLoop { node: from });
+        }
+        self.edges.push((from, to));
+        Ok(self)
+    }
+
+    /// Adds a chain of edges `nodes[0] → nodes[1] → …`.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`add_edge`](DagBuilder::add_edge).
+    pub fn add_chain(&mut self, nodes: &[NodeId]) -> Result<&mut Self, ModelError> {
+        for pair in nodes.windows(2) {
+            self.add_edge(pair[0], pair[1])?;
+        }
+        Ok(self)
+    }
+
+    /// Current number of nodes added.
+    pub fn node_count(&self) -> usize {
+        self.wcets.len()
+    }
+
+    /// Validates the graph and produces an immutable [`Dag`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::EmptyDag`] for a graph without nodes, or
+    /// [`ModelError::CycleDetected`] if the edges are not acyclic.
+    pub fn build(self) -> Result<Dag, ModelError> {
+        let n = self.wcets.len();
+        if n == 0 {
+            return Err(ModelError::EmptyDag);
+        }
+        let mut succ = vec![BitSet::with_capacity(n); n];
+        let mut pred = vec![BitSet::with_capacity(n); n];
+        for (from, to) in &self.edges {
+            succ[from.index()].insert(to.index());
+            pred[to.index()].insert(from.index());
+        }
+
+        // Kahn's algorithm for the topological order + cycle detection.
+        let mut indegree: Vec<usize> = (0..n).map(|v| pred[v].len()).collect();
+        let mut queue: Vec<usize> = (0..n).filter(|&v| indegree[v] == 0).collect();
+        let mut topo = Vec::with_capacity(n);
+        let mut head = 0;
+        while head < queue.len() {
+            let v = queue[head];
+            head += 1;
+            topo.push(NodeId::new(v));
+            for s in succ[v].iter() {
+                indegree[s] -= 1;
+                if indegree[s] == 0 {
+                    queue.push(s);
+                }
+            }
+        }
+        if topo.len() != n {
+            return Err(ModelError::CycleDetected);
+        }
+
+        // Transitive closures along the topological order.
+        let mut descendants = vec![BitSet::with_capacity(n); n];
+        for &v in topo.iter().rev() {
+            let mut d = succ[v.index()].clone();
+            for s in succ[v.index()].iter() {
+                d.union_with(&descendants[s]);
+            }
+            descendants[v.index()] = d;
+        }
+        let mut ancestors = vec![BitSet::with_capacity(n); n];
+        for &v in &topo {
+            let mut a = pred[v.index()].clone();
+            for p in pred[v.index()].iter() {
+                a.union_with(&ancestors[p]);
+            }
+            ancestors[v.index()] = a;
+        }
+
+        // Longest path by dynamic programming over the topological order.
+        let mut finish: Vec<Time> = vec![0; n];
+        let mut longest = 0;
+        for &v in &topo {
+            let start = pred[v.index()].iter().map(|p| finish[p]).max().unwrap_or(0);
+            finish[v.index()] = start + self.wcets[v.index()];
+            longest = longest.max(finish[v.index()]);
+        }
+
+        Ok(Dag {
+            volume: self.wcets.iter().sum(),
+            longest_path: longest,
+            wcets: self.wcets,
+            succ,
+            pred,
+            topo,
+            ancestors,
+            descendants,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The running example: v1 -> {v2,v3,v4,v5}; v2,v3 -> v6; v4,v5 -> v7;
+    /// v6,v7 -> v8 (task τ1 of the paper's Figure 1, structure only).
+    fn diamond() -> Dag {
+        let mut b = DagBuilder::new();
+        let v: Vec<NodeId> = b.add_nodes([2, 1, 1, 1, 2, 3, 2, 3]);
+        for &mid in &v[1..5] {
+            b.add_edge(v[0], mid).unwrap();
+        }
+        b.add_edge(v[1], v[5]).unwrap();
+        b.add_edge(v[2], v[5]).unwrap();
+        b.add_edge(v[3], v[6]).unwrap();
+        b.add_edge(v[4], v[6]).unwrap();
+        b.add_edge(v[5], v[7]).unwrap();
+        b.add_edge(v[6], v[7]).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn empty_dag_is_rejected() {
+        assert_eq!(DagBuilder::new().build().unwrap_err(), ModelError::EmptyDag);
+    }
+
+    #[test]
+    fn single_node() {
+        let mut b = DagBuilder::new();
+        b.add_node(7);
+        let dag = b.build().unwrap();
+        assert_eq!(dag.node_count(), 1);
+        assert_eq!(dag.preemption_points(), 0);
+        assert_eq!(dag.volume(), 7);
+        assert_eq!(dag.longest_path(), 7);
+        assert_eq!(dag.max_parallelism(), 1);
+    }
+
+    #[test]
+    fn self_loop_rejected() {
+        let mut b = DagBuilder::new();
+        let v = b.add_node(1);
+        assert_eq!(
+            b.add_edge(v, v).unwrap_err(),
+            ModelError::SelfLoop { node: v }
+        );
+    }
+
+    #[test]
+    fn unknown_node_rejected() {
+        let mut b = DagBuilder::new();
+        let v = b.add_node(1);
+        let ghost = NodeId::new(5);
+        assert!(matches!(
+            b.add_edge(v, ghost),
+            Err(ModelError::UnknownNode { .. })
+        ));
+    }
+
+    #[test]
+    fn cycle_rejected() {
+        let mut b = DagBuilder::new();
+        let a = b.add_node(1);
+        let c = b.add_node(1);
+        b.add_edge(a, c).unwrap();
+        b.add_edge(c, a).unwrap();
+        assert_eq!(b.build().unwrap_err(), ModelError::CycleDetected);
+    }
+
+    #[test]
+    fn volume_and_longest_path() {
+        let dag = diamond();
+        assert_eq!(dag.volume(), 15);
+        // Critical path: v1(2) v5(2) v7(2) v8(3) = 9? No: v1(2) v2(1) v6(3)
+        // v8(3) = 9 as well; both are 9.
+        assert_eq!(dag.longest_path(), 9);
+    }
+
+    #[test]
+    fn closures_and_reachability() {
+        let dag = diamond();
+        let v1 = NodeId::new(0);
+        let v3 = NodeId::new(2);
+        let v6 = NodeId::new(5);
+        let v7 = NodeId::new(6);
+        let v8 = NodeId::new(7);
+        assert!(dag.reaches(v1, v8));
+        assert!(dag.reaches(v3, v6));
+        assert!(!dag.reaches(v3, v7));
+        assert!(!dag.reaches(v6, v3));
+        assert_eq!(dag.descendants(v3).iter().collect::<Vec<_>>(), vec![5, 7]);
+        assert_eq!(dag.ancestors(v6).iter().collect::<Vec<_>>(), vec![0, 1, 2]);
+        assert_eq!(dag.ancestors(v1).len(), 0);
+        assert_eq!(dag.descendants(v8).len(), 0);
+    }
+
+    #[test]
+    fn siblings_share_a_direct_parent() {
+        let dag = diamond();
+        let v3 = NodeId::new(2);
+        // Siblings of v3: the other children of v1.
+        assert_eq!(dag.siblings(v3).iter().collect::<Vec<_>>(), vec![1, 3, 4]);
+        // v8 has parents v6 and v7 whose only child is v8: no siblings.
+        assert!(dag.siblings(NodeId::new(7)).is_empty());
+    }
+
+    #[test]
+    fn topological_order_respects_edges() {
+        let dag = diamond();
+        let pos: Vec<usize> = {
+            let mut pos = vec![0; dag.node_count()];
+            for (i, v) in dag.topological_order().iter().enumerate() {
+                pos[v.index()] = i;
+            }
+            pos
+        };
+        for (from, to) in dag.edges() {
+            assert!(pos[from.index()] < pos[to.index()], "{from} before {to}");
+        }
+    }
+
+    #[test]
+    fn sources_and_sinks() {
+        let dag = diamond();
+        assert_eq!(dag.sources(), vec![NodeId::new(0)]);
+        assert_eq!(dag.sinks(), vec![NodeId::new(7)]);
+    }
+
+    #[test]
+    fn max_parallelism_of_diamond_is_four() {
+        assert_eq!(diamond().max_parallelism(), 4);
+    }
+
+    #[test]
+    fn largest_wcets_sorted() {
+        let dag = diamond();
+        assert_eq!(dag.largest_wcets(3), vec![3, 3, 2]);
+        assert_eq!(dag.largest_wcets(100).len(), 8);
+        assert_eq!(dag.max_wcet(), 3);
+    }
+
+    #[test]
+    fn longest_path_node_count_diamond() {
+        // v1 → middle → v6/v7 → v8: four nodes on the longest path.
+        assert_eq!(diamond().longest_path_node_count(), 4);
+        let mut b = DagBuilder::new();
+        b.add_node(5);
+        assert_eq!(b.build().unwrap().longest_path_node_count(), 1);
+    }
+
+    #[test]
+    fn chain_builder() {
+        let mut b = DagBuilder::new();
+        let v = b.add_nodes([1, 2, 3]);
+        b.add_chain(&v).unwrap();
+        let dag = b.build().unwrap();
+        assert_eq!(dag.longest_path(), 6);
+        assert_eq!(dag.max_parallelism(), 1);
+        assert_eq!(dag.edge_count(), 2);
+    }
+
+    #[test]
+    fn duplicate_edges_collapse() {
+        let mut b = DagBuilder::new();
+        let a = b.add_node(1);
+        let c = b.add_node(1);
+        b.add_edge(a, c).unwrap();
+        b.add_edge(a, c).unwrap();
+        let dag = b.build().unwrap();
+        assert_eq!(dag.edge_count(), 1);
+    }
+}

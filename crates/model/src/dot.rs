@@ -1,0 +1,104 @@
+//! Graphviz DOT export for DAGs and task sets.
+//!
+//! Handy for inspecting generated task sets and for documenting examples;
+//! render with `dot -Tpng task.dot -o task.png`.
+
+use crate::dag::Dag;
+use crate::task::DagTask;
+use std::fmt::Write as _;
+
+/// Renders a DAG as a Graphviz `digraph`, one node per NPR labelled
+/// `v<j> (C=<wcet>)`.
+///
+/// # Example
+///
+/// ```
+/// use rta_model::{DagBuilder, dot::dag_to_dot};
+///
+/// # fn main() -> Result<(), rta_model::ModelError> {
+/// let mut b = DagBuilder::new();
+/// let a = b.add_node(1);
+/// let c = b.add_node(2);
+/// b.add_edge(a, c)?;
+/// let dot = dag_to_dot(&b.build()?, "example");
+/// assert!(dot.contains("digraph example"));
+/// assert!(dot.contains("v1 -> v2"));
+/// # Ok(())
+/// # }
+/// ```
+pub fn dag_to_dot(dag: &Dag, name: &str) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph {name} {{");
+    let _ = writeln!(out, "  rankdir=TB;");
+    let _ = writeln!(out, "  node [shape=ellipse];");
+    for v in dag.nodes() {
+        let _ = writeln!(
+            out,
+            "  v{} [label=\"v{} ({})\"];",
+            v.index() + 1,
+            v.index() + 1,
+            dag.wcet(v)
+        );
+    }
+    for (from, to) in dag.edges() {
+        let _ = writeln!(out, "  v{} -> v{};", from.index() + 1, to.index() + 1);
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Renders a task (DAG plus timing parameters in the graph label).
+pub fn task_to_dot(task: &DagTask, name: &str) -> String {
+    let mut dot = dag_to_dot(task.dag(), name);
+    let label = format!(
+        "  label=\"{} T={} D={} vol={} L={}\";\n",
+        task.name().unwrap_or(name),
+        task.period(),
+        task.deadline(),
+        task.dag().volume(),
+        task.dag().longest_path()
+    );
+    // Insert the label just before the closing brace.
+    let insert_at = dot.rfind('}').expect("well-formed dot");
+    dot.insert_str(insert_at, &label);
+    dot
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dag::DagBuilder;
+    use crate::task::DagTask;
+
+    #[test]
+    fn dot_contains_nodes_edges_and_wcets() {
+        let mut b = DagBuilder::new();
+        let v = b.add_nodes([3, 7]);
+        b.add_edge(v[0], v[1]).unwrap();
+        let dot = dag_to_dot(&b.build().unwrap(), "g");
+        assert!(dot.starts_with("digraph g {"));
+        assert!(dot.contains("v1 [label=\"v1 (3)\"]"));
+        assert!(dot.contains("v2 [label=\"v2 (7)\"]"));
+        assert!(dot.contains("v1 -> v2;"));
+        assert!(dot.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn task_dot_contains_timing_label() {
+        let mut b = DagBuilder::new();
+        b.add_node(5);
+        let t = DagTask::new(b.build().unwrap(), 10, 9).unwrap().named("cam");
+        let dot = task_to_dot(&t, "t0");
+        assert!(dot.contains("cam T=10 D=9 vol=5 L=5"));
+    }
+
+    #[test]
+    fn figure1_dags_render() {
+        for (i, dag) in crate::examples::figure1_dags().iter().enumerate() {
+            let dot = dag_to_dot(dag, &format!("tau{}", i + 1));
+            // Every node and edge appears.
+            assert_eq!(dot.matches("label=").count(), dag.node_count());
+            assert_eq!(dot.matches("->").count(), dag.edge_count());
+        }
+    }
+}

@@ -1,0 +1,96 @@
+//! Typed identifiers for nodes and tasks.
+
+use std::fmt;
+
+/// Identifier of a node (NPR) within a single task's DAG.
+///
+/// Displayed as `v3` (1-based, matching the paper's `v_{i,j}` numbering);
+/// the underlying [`index`](NodeId::index) is 0-based.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[cfg_attr(feature = "serde", serde(transparent))]
+pub struct NodeId(pub(crate) usize);
+
+impl NodeId {
+    /// Creates a node id from a 0-based index.
+    pub fn new(index: usize) -> Self {
+        Self(index)
+    }
+
+    /// The 0-based index of the node within its DAG.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0 + 1)
+    }
+}
+
+impl From<NodeId> for usize {
+    fn from(id: NodeId) -> usize {
+        id.0
+    }
+}
+
+/// Index of a task within a [`TaskSet`](crate::TaskSet).
+///
+/// Task indices double as priorities: `τ_i` has higher priority than `τ_j`
+/// iff `i < j` (paper Section III-A). Displayed 1-based as `τ2`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[cfg_attr(feature = "serde", serde(transparent))]
+pub struct TaskId(pub(crate) usize);
+
+impl TaskId {
+    /// Creates a task id from a 0-based index.
+    pub fn new(index: usize) -> Self {
+        Self(index)
+    }
+
+    /// The 0-based index of the task within its task set.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for TaskId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "\u{3c4}{}", self.0 + 1)
+    }
+}
+
+impl From<TaskId> for usize {
+    fn from(id: TaskId) -> usize {
+        id.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_one_based() {
+        assert_eq!(NodeId::new(0).to_string(), "v1");
+        assert_eq!(NodeId::new(7).to_string(), "v8");
+        assert_eq!(TaskId::new(0).to_string(), "τ1");
+    }
+
+    #[test]
+    fn conversions_round_trip() {
+        let id = NodeId::new(5);
+        assert_eq!(usize::from(id), 5);
+        assert_eq!(id.index(), 5);
+        let t = TaskId::new(3);
+        assert_eq!(usize::from(t), 3);
+    }
+
+    #[test]
+    fn ordering_follows_indices() {
+        assert!(NodeId::new(1) < NodeId::new(2));
+        assert!(TaskId::new(0) < TaskId::new(9));
+    }
+}

@@ -1,0 +1,189 @@
+//! Priority-ordered task sets.
+
+use crate::ids::TaskId;
+use crate::task::DagTask;
+
+/// A set of sporadic DAG tasks under global fixed-priority scheduling.
+///
+/// Tasks are stored in **decreasing priority order**: `tasks()[0]` is the
+/// highest-priority task (the paper's `τ_1`). The index therefore encodes
+/// the unique priority, and the paper's `hp(k)` / `lp(k)` subsets are the
+/// slices before / after index `k` ([`higher_priority`]
+/// / [`lower_priority`]).
+///
+/// [`higher_priority`]: TaskSet::higher_priority
+/// [`lower_priority`]: TaskSet::lower_priority
+///
+/// # Example
+///
+/// ```
+/// use rta_model::{DagBuilder, DagTask, TaskSet};
+///
+/// # fn main() -> Result<(), rta_model::ModelError> {
+/// let mk = |wcet, period| -> Result<DagTask, rta_model::ModelError> {
+///     let mut b = DagBuilder::new();
+///     b.add_node(wcet);
+///     DagTask::with_implicit_deadline(b.build()?, period)
+/// };
+/// let ts = TaskSet::new(vec![mk(1, 4)?, mk(2, 8)?, mk(3, 12)?]);
+/// assert_eq!(ts.len(), 3);
+/// assert_eq!(ts.higher_priority(1).len(), 1);
+/// assert_eq!(ts.lower_priority(1).len(), 1);
+/// assert!((ts.total_utilization() - (0.25 + 0.25 + 0.25)).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug, Default, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct TaskSet {
+    tasks: Vec<DagTask>,
+}
+
+impl TaskSet {
+    /// Creates a task set from tasks already sorted by decreasing priority.
+    pub fn new(tasks: Vec<DagTask>) -> Self {
+        Self { tasks }
+    }
+
+    /// The tasks, highest priority first.
+    pub fn tasks(&self) -> &[DagTask] {
+        &self.tasks
+    }
+
+    /// The task with index (priority) `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is out of bounds.
+    pub fn task(&self, k: usize) -> &DagTask {
+        &self.tasks[k]
+    }
+
+    /// Number of tasks.
+    pub fn len(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// `true` if the set has no tasks.
+    pub fn is_empty(&self) -> bool {
+        self.tasks.is_empty()
+    }
+
+    /// The paper's `hp(k)`: tasks with higher priority than task `k`.
+    pub fn higher_priority(&self, k: usize) -> &[DagTask] {
+        &self.tasks[..k]
+    }
+
+    /// The paper's `lp(k)`: tasks with lower priority than task `k`.
+    pub fn lower_priority(&self, k: usize) -> &[DagTask] {
+        &self.tasks[k + 1..]
+    }
+
+    /// Iterator over `(TaskId, &DagTask)` pairs in priority order.
+    pub fn iter(&self) -> impl Iterator<Item = (TaskId, &DagTask)> {
+        self.tasks.iter().enumerate().map(|(i, t)| (TaskId::new(i), t))
+    }
+
+    /// Total utilization `Σ_k vol(G_k)/T_k`.
+    pub fn total_utilization(&self) -> f64 {
+        self.tasks.iter().map(DagTask::utilization).sum()
+    }
+
+    /// Sorts the tasks by non-decreasing relative deadline (deadline
+    /// monotonic — equivalently rate monotonic under implicit deadlines),
+    /// which is the standard priority assignment for this kind of analysis.
+    /// Ties are broken by volume (larger volume first) then original order.
+    #[must_use]
+    pub fn sorted_deadline_monotonic(mut self) -> Self {
+        self.tasks.sort_by(|a, b| {
+            a.deadline()
+                .cmp(&b.deadline())
+                .then(b.dag().volume().cmp(&a.dag().volume()))
+        });
+        self
+    }
+
+    /// Appends a task at the lowest priority.
+    pub fn push(&mut self, task: DagTask) {
+        self.tasks.push(task);
+    }
+}
+
+impl FromIterator<DagTask> for TaskSet {
+    fn from_iter<I: IntoIterator<Item = DagTask>>(iter: I) -> Self {
+        Self::new(iter.into_iter().collect())
+    }
+}
+
+impl IntoIterator for TaskSet {
+    type Item = DagTask;
+    type IntoIter = std::vec::IntoIter<DagTask>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.tasks.into_iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dag::DagBuilder;
+    use crate::task::DagTask;
+
+    fn mk(wcet: u64, period: u64) -> DagTask {
+        let mut b = DagBuilder::new();
+        b.add_node(wcet);
+        DagTask::with_implicit_deadline(b.build().unwrap(), period).unwrap()
+    }
+
+    #[test]
+    fn hp_lp_slices() {
+        let ts = TaskSet::new(vec![mk(1, 10), mk(2, 20), mk(3, 30)]);
+        assert!(ts.higher_priority(0).is_empty());
+        assert_eq!(ts.higher_priority(2).len(), 2);
+        assert_eq!(ts.lower_priority(0).len(), 2);
+        assert!(ts.lower_priority(2).is_empty());
+    }
+
+    #[test]
+    fn empty_set() {
+        let ts = TaskSet::default();
+        assert!(ts.is_empty());
+        assert_eq!(ts.total_utilization(), 0.0);
+    }
+
+    #[test]
+    fn utilization_sums() {
+        let ts = TaskSet::new(vec![mk(5, 10), mk(5, 20)]);
+        assert!((ts.total_utilization() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn deadline_monotonic_sorts_by_deadline() {
+        let ts = TaskSet::new(vec![mk(1, 30), mk(1, 10), mk(1, 20)]).sorted_deadline_monotonic();
+        let periods: Vec<u64> = ts.tasks().iter().map(|t| t.period()).collect();
+        assert_eq!(periods, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn deadline_monotonic_breaks_ties_by_volume() {
+        let ts = TaskSet::new(vec![mk(1, 10), mk(9, 10)]).sorted_deadline_monotonic();
+        assert_eq!(ts.task(0).dag().volume(), 9);
+    }
+
+    #[test]
+    fn from_iterator_and_push() {
+        let mut ts: TaskSet = vec![mk(1, 10)].into_iter().collect();
+        ts.push(mk(2, 20));
+        assert_eq!(ts.len(), 2);
+        let back: Vec<DagTask> = ts.into_iter().collect();
+        assert_eq!(back.len(), 2);
+    }
+
+    #[test]
+    fn iter_yields_ids_in_priority_order() {
+        let ts = TaskSet::new(vec![mk(1, 10), mk(2, 20)]);
+        let ids: Vec<usize> = ts.iter().map(|(id, _)| id.index()).collect();
+        assert_eq!(ids, vec![0, 1]);
+    }
+}

@@ -1,0 +1,10 @@
+//! Discrete time.
+//!
+//! All temporal quantities (WCETs, periods, deadlines, response-time bounds)
+//! are unsigned integers in an arbitrary common unit, as is standard in
+//! response-time analysis. The analysis crate performs its internal
+//! arithmetic in scaled units of `1/m` to keep the rational terms of the
+//! paper's Eq. (4) exact; at this layer everything is a plain [`Time`].
+
+/// A point in time or a duration, in discrete time units.
+pub type Time = u64;

@@ -1,0 +1,82 @@
+//! Simulation results and per-task statistics.
+
+use crate::trace::Trace;
+use rta_model::Time;
+
+/// Per-task statistics accumulated over a simulation run.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct TaskStats {
+    /// Jobs released within the horizon.
+    pub jobs_released: u64,
+    /// Jobs that ran to completion.
+    pub jobs_completed: u64,
+    /// Jobs that finished after their absolute deadline (or were still
+    /// incomplete when the simulation drained).
+    pub deadline_misses: u64,
+    /// Largest observed response time among completed jobs.
+    pub max_response: Time,
+    /// Sum of response times (for averaging) among completed jobs.
+    pub total_response: u128,
+}
+
+impl TaskStats {
+    /// Mean observed response time, if any job completed.
+    pub fn mean_response(&self) -> Option<f64> {
+        (self.jobs_completed > 0)
+            .then(|| self.total_response as f64 / self.jobs_completed as f64)
+    }
+}
+
+/// Result of one simulation run.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct SimResult {
+    /// Statistics per task, indexed by priority.
+    pub per_task: Vec<TaskStats>,
+    /// The instant the last event was processed.
+    pub makespan: Time,
+    /// Execution trace, when recording was enabled.
+    pub trace: Option<Trace>,
+}
+
+impl SimResult {
+    /// Total deadline misses across all tasks.
+    pub fn total_deadline_misses(&self) -> u64 {
+        self.per_task.iter().map(|t| t.deadline_misses).sum()
+    }
+
+    /// `true` when no job missed its deadline.
+    pub fn all_deadlines_met(&self) -> bool {
+        self.total_deadline_misses() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_response() {
+        let mut s = TaskStats::default();
+        assert_eq!(s.mean_response(), None);
+        s.jobs_completed = 4;
+        s.total_response = 10;
+        assert!((s.mean_response().unwrap() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn totals() {
+        let r = SimResult {
+            per_task: vec![
+                TaskStats {
+                    deadline_misses: 2,
+                    ..TaskStats::default()
+                },
+                TaskStats::default(),
+            ],
+            makespan: 10,
+            trace: None,
+        };
+        assert_eq!(r.total_deadline_misses(), 2);
+        assert!(!r.all_deadlines_met());
+    }
+}

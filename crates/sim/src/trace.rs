@@ -1,0 +1,174 @@
+//! Execution traces and ASCII Gantt rendering.
+
+use rta_model::Time;
+
+/// What happened in a [`TraceEvent`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TraceEventKind {
+    /// A job of the task was released.
+    Release,
+    /// A node started (or resumed) on a core.
+    Start,
+    /// A node finished.
+    Finish,
+    /// A node was preempted (fully-preemptive policy only).
+    Preempt,
+    /// A whole job completed.
+    JobComplete,
+}
+
+/// One scheduling event.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Simulation time.
+    pub time: Time,
+    /// Task index (priority).
+    pub task: usize,
+    /// Job sequence number within the task.
+    pub job: u64,
+    /// Node index within the DAG (meaningless for `Release`/`JobComplete`).
+    pub node: usize,
+    /// Core the event concerns (`usize::MAX` for releases/completions).
+    pub core: usize,
+    /// Event kind.
+    pub kind: TraceEventKind,
+}
+
+/// A bounded execution trace.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Trace {
+    events: Vec<TraceEvent>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl Trace {
+    /// Maximum number of events kept by default.
+    pub const DEFAULT_CAPACITY: usize = 100_000;
+
+    /// Creates an empty trace with the default capacity.
+    pub fn new() -> Self {
+        Self::with_capacity(Self::DEFAULT_CAPACITY)
+    }
+
+    /// Creates an empty trace bounded at `capacity` events.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            events: Vec::new(),
+            capacity,
+            dropped: 0,
+        }
+    }
+
+    /// Appends an event (dropped silently once the capacity is reached,
+    /// with the drop count reported by [`dropped`](Trace::dropped)).
+    pub fn push(&mut self, event: TraceEvent) {
+        if self.events.len() < self.capacity {
+            self.events.push(event);
+        } else {
+            self.dropped += 1;
+        }
+    }
+
+    /// The recorded events in time order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Number of events discarded after the capacity was reached.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Renders the first `width` time units as an ASCII Gantt chart, one
+    /// row per core: each column is one time unit showing the running
+    /// task's 1-based index (`.` = idle, `+` = indices above 9).
+    pub fn gantt(&self, cores: usize, width: usize) -> String {
+        let mut grid = vec![vec!['.'; width]; cores];
+        // Pair Start/Finish|Preempt events per core.
+        let mut running: Vec<Option<(Time, usize)>> = vec![None; cores];
+        let paint = |core: usize, from: Time, to: Time, task: usize, grid: &mut Vec<Vec<char>>| {
+            let glyph = match task {
+                t if t < 9 => char::from_digit(t as u32 + 1, 10).unwrap_or('+'),
+                _ => '+',
+            };
+            for t in from..to.min(width as Time) {
+                if (t as usize) < width {
+                    grid[core][t as usize] = glyph;
+                }
+            }
+        };
+        for e in &self.events {
+            match e.kind {
+                TraceEventKind::Start
+                    if e.core < cores => {
+                        running[e.core] = Some((e.time, e.task));
+                    }
+                TraceEventKind::Finish | TraceEventKind::Preempt
+                    if e.core < cores => {
+                        if let Some((from, task)) = running[e.core].take() {
+                            paint(e.core, from, e.time, task, &mut grid);
+                        }
+                    }
+                _ => {}
+            }
+        }
+        let mut out = String::new();
+        for (c, row) in grid.iter().enumerate() {
+            out.push_str(&format!("core {c}: "));
+            out.extend(row.iter());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(time: Time, core: usize, task: usize, kind: TraceEventKind) -> TraceEvent {
+        TraceEvent {
+            time,
+            task,
+            job: 0,
+            node: 0,
+            core,
+            kind,
+        }
+    }
+
+    #[test]
+    fn capacity_enforced() {
+        let mut t = Trace::with_capacity(2);
+        for i in 0..5 {
+            t.push(ev(i, 0, 0, TraceEventKind::Release));
+        }
+        assert_eq!(t.events().len(), 2);
+        assert_eq!(t.dropped(), 3);
+    }
+
+    #[test]
+    fn gantt_paints_intervals() {
+        let mut t = Trace::new();
+        t.push(ev(0, 0, 0, TraceEventKind::Start));
+        t.push(ev(3, 0, 0, TraceEventKind::Finish));
+        t.push(ev(4, 1, 1, TraceEventKind::Start));
+        t.push(ev(6, 1, 1, TraceEventKind::Finish));
+        let g = t.gantt(2, 8);
+        let lines: Vec<&str> = g.lines().collect();
+        assert_eq!(lines[0], "core 0: 111.....");
+        assert_eq!(lines[1], "core 1: ....22..");
+    }
+
+    #[test]
+    fn gantt_handles_preemption() {
+        let mut t = Trace::new();
+        t.push(ev(0, 0, 2, TraceEventKind::Start));
+        t.push(ev(2, 0, 2, TraceEventKind::Preempt));
+        t.push(ev(2, 0, 0, TraceEventKind::Start));
+        t.push(ev(5, 0, 0, TraceEventKind::Finish));
+        let g = t.gantt(1, 6);
+        assert!(g.contains("33111."));
+    }
+}

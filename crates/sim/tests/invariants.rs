@@ -1,0 +1,117 @@
+//! Simulator invariants on random workloads: work conservation, causality
+//! and policy sanity.
+
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use rta_model::Time;
+use rta_sim::{simulate, PreemptionPolicy, SimConfig, TraceEventKind};
+use rta_taskgen::{generate_task_set, group1};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Work conservation: the busy time painted on all cores equals the
+    /// total executed work (every released job completes and each node
+    /// runs for exactly its WCET under the default execution model).
+    #[test]
+    fn busy_time_equals_total_work(seed in any::<u64>()) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let ts = generate_task_set(&mut rng, &group1(1.5));
+        let horizon = ts.tasks().iter().map(|t| t.period()).max().unwrap_or(1) * 4;
+        let config = SimConfig::new(4, horizon).with_trace(true);
+        let result = simulate(&ts, &config);
+        let trace = result.trace.as_ref().expect("trace enabled");
+        prop_assume!(trace.dropped() == 0);
+
+        // Busy time from Start/Finish pairs per core.
+        let mut started: Vec<Option<Time>> = vec![None; 4];
+        let mut busy: u128 = 0;
+        for e in trace.events() {
+            match e.kind {
+                TraceEventKind::Start => started[e.core] = Some(e.time),
+                TraceEventKind::Finish => {
+                    let s = started[e.core].take().expect("finish without start");
+                    busy += (e.time - s) as u128;
+                }
+                _ => {}
+            }
+        }
+        // Total work: every released job executes its full volume.
+        let expected: u128 = result
+            .per_task
+            .iter()
+            .enumerate()
+            .map(|(k, stats)| stats.jobs_completed as u128 * ts.task(k).dag().volume() as u128)
+            .sum();
+        prop_assert_eq!(busy, expected);
+        // Everything released was completed (the run drains).
+        for stats in &result.per_task {
+            prop_assert_eq!(stats.jobs_released, stats.jobs_completed);
+        }
+    }
+
+    /// Precedence causality: within a job, a node never starts before all
+    /// of its predecessors have finished.
+    #[test]
+    fn nodes_respect_precedence(seed in any::<u64>()) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let ts = generate_task_set(&mut rng, &group1(1.0));
+        let horizon = ts.tasks().iter().map(|t| t.period()).max().unwrap_or(1) * 3;
+        let config = SimConfig::new(4, horizon).with_trace(true);
+        let result = simulate(&ts, &config);
+        let trace = result.trace.as_ref().expect("trace enabled");
+        prop_assume!(trace.dropped() == 0);
+
+        use std::collections::BTreeMap;
+        let mut finish: BTreeMap<(usize, u64, usize), Time> = BTreeMap::new();
+        for e in trace.events() {
+            if e.kind == TraceEventKind::Finish {
+                finish.insert((e.task, e.job, e.node), e.time);
+            }
+        }
+        for e in trace.events() {
+            if e.kind == TraceEventKind::Start {
+                let dag = ts.task(e.task).dag();
+                for p in dag.predecessors(rta_model::NodeId::new(e.node)).iter() {
+                    let pf = finish
+                        .get(&(e.task, e.job, p))
+                        .expect("predecessor finished (run drained)");
+                    prop_assert!(
+                        *pf <= e.time,
+                        "node {} of τ{} job {} started at {} before pred {} finished at {}",
+                        e.node, e.task, e.job, e.time, p, pf
+                    );
+                }
+            }
+        }
+    }
+
+    /// The fully preemptive policy never yields a *larger* max response for
+    /// the highest-priority task than limited preemption (it can only be
+    /// blocked less).
+    #[test]
+    fn fp_never_hurts_top_task(seed in any::<u64>()) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let ts = generate_task_set(&mut rng, &group1(1.5));
+        let horizon = ts.tasks().iter().map(|t| t.period()).max().unwrap_or(1) * 4;
+        let lp = simulate(&ts, &SimConfig::new(4, horizon));
+        let fp = simulate(
+            &ts,
+            &SimConfig::new(4, horizon).with_policy(PreemptionPolicy::FullyPreemptive),
+        );
+        prop_assert!(fp.per_task[0].max_response <= lp.per_task[0].max_response);
+    }
+
+    /// Determinism of the full simulation (config includes the seed).
+    #[test]
+    fn simulation_is_deterministic(seed in any::<u64>()) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let ts = generate_task_set(&mut rng, &group1(1.0));
+        let config = SimConfig::new(2, 5_000)
+            .with_release(rta_sim::ReleaseModel::Sporadic { jitter: 9 })
+            .with_execution(rta_sim::ExecutionModel::Randomized { fraction: 0.4 })
+            .with_seed(seed);
+        prop_assert_eq!(simulate(&ts, &config), simulate(&ts, &config));
+    }
+}

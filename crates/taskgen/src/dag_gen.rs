@@ -1,0 +1,358 @@
+//! Recursive fork-join DAG generation (the expansion of Melani et al.).
+
+use rand::Rng;
+use rta_model::{Dag, DagBuilder, NodeId, Time};
+
+/// Parameters of the fork-join expansion, defaulting to the paper's values
+/// (Section VI-A).
+#[derive(Clone, Debug, PartialEq)]
+pub struct DagGenConfig {
+    /// Probability of terminating a block in a single NPR (`p_term`).
+    /// The complement (`p_par`) keeps expanding the graph.
+    pub p_term: f64,
+    /// Maximum number of parallel sub-blocks a fork spawns (`n_par`).
+    pub max_branches: usize,
+    /// Maximum number of nodes on any path (the paper bounds the longest
+    /// path at 7).
+    pub max_path_nodes: usize,
+    /// Maximum total node count per DAG (30 in the paper).
+    pub max_nodes: usize,
+    /// Inclusive node WCET range (`[1, 100]` in the paper).
+    pub wcet_range: (Time, Time),
+    /// Force the root block to fork (no single-node "DAGs"): `p_term`
+    /// applies from the second expansion level on. The paper's generator
+    /// reference produces *parallel* DAG tasks, so this defaults to `true`;
+    /// set to `false` for the raw recursive process.
+    pub force_root_fork: bool,
+    /// Minimum length (in nodes) of sequential chains produced by
+    /// [`generate_sequential_dag`].
+    pub min_chain_nodes: usize,
+    /// Upper bound on the DAG's total parallelism (its widest antichain):
+    /// nested forks split this budget among their branches. The paper's
+    /// example DAGs are at most 4 NPRs wide and its `n_par = 6` caps fork
+    /// fan-out; bounding the global width at `n_par` keeps generated tasks
+    /// in that family (set to `usize::MAX` for unbounded nesting).
+    pub max_width: usize,
+    /// When `false` (default), forks do not nest: each branch of a fork is
+    /// a sequential chain sized by the remaining path budget — the
+    /// single-level fork-join family of the paper's own Figure 1 examples
+    /// (OpenMP parallel regions). When `true`, branches expand recursively
+    /// with probability `1 − p_term`.
+    pub nested_forks: bool,
+}
+
+impl Default for DagGenConfig {
+    fn default() -> Self {
+        Self {
+            p_term: 0.4,
+            max_branches: 6,
+            max_path_nodes: 7,
+            max_nodes: 30,
+            wcet_range: (1, 100),
+            force_root_fork: true,
+            min_chain_nodes: 4,
+            max_width: 6,
+            nested_forks: false,
+        }
+    }
+}
+
+impl DagGenConfig {
+    /// The paper's configuration for highly parallel (data-flow) DAGs.
+    pub fn highly_parallel() -> Self {
+        Self::default()
+    }
+
+    /// Control-flow tasks with "very-limited parallelism": same size and
+    /// path limits, but forks spawn at most two branches. Their DAGs have
+    /// volumes comparable to the data-flow tasks while exposing only small
+    /// antichains — exactly the tasks whose NPRs LP-max over-counts.
+    pub fn low_parallel() -> Self {
+        Self {
+            max_branches: 2,
+            max_width: 2,
+            ..Self::default()
+        }
+    }
+
+    /// Validates parameter sanity.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range probabilities or empty ranges; generation
+    /// would silently misbehave otherwise.
+    fn validate(&self) {
+        assert!(
+            (0.0..=1.0).contains(&self.p_term),
+            "p_term must be a probability"
+        );
+        assert!(self.max_branches >= 2, "a fork needs at least two branches");
+        assert!(self.max_path_nodes >= 1);
+        assert!(self.max_nodes >= 1);
+        assert!(self.wcet_range.0 >= 1 && self.wcet_range.0 <= self.wcet_range.1);
+        assert!(
+            self.min_chain_nodes >= 1 && self.min_chain_nodes <= self.max_path_nodes,
+            "min_chain_nodes must be within [1, max_path_nodes]"
+        );
+        assert!(self.max_width >= 2, "max_width below 2 forbids any fork");
+        if self.force_root_fork {
+            assert!(
+                self.max_path_nodes >= 3 && self.max_nodes >= 4,
+                "forcing a root fork needs room for fork + branches + join"
+            );
+        }
+    }
+}
+
+/// Generates a nested fork-join DAG (single source, single sink).
+///
+/// A *block* is a sub-graph with one entry and one exit node. With
+/// probability `p_term` — or when the path/node budgets do not allow a fork
+/// — the block is a single NPR; otherwise it is a fork node, 2 to
+/// `max_branches` recursively generated parallel blocks, and a join node.
+///
+/// The generated DAG always satisfies the configured invariants:
+/// `node_count() ≤ max_nodes`, `longest_path_node_count() ≤ max_path_nodes`,
+/// every WCET within `wcet_range`, exactly one source and one sink.
+pub fn generate_dag<R: Rng>(rng: &mut R, config: &DagGenConfig) -> Dag {
+    config.validate();
+    let mut builder = DagBuilder::new();
+    let mut budget = config.max_nodes;
+    let (entry, _exit) = block(
+        rng,
+        config,
+        &mut builder,
+        &mut budget,
+        config.max_path_nodes,
+        config.max_width,
+        config.force_root_fork,
+    );
+    let _ = entry;
+    builder.build().expect("generated graph is a valid DAG")
+}
+
+/// Generates a sequential chain of 1 to `max_len` NPRs — the paper's
+/// "control-flow" tasks with very limited (here: no) parallelism.
+pub fn generate_sequential_dag<R: Rng>(rng: &mut R, config: &DagGenConfig) -> Dag {
+    config.validate();
+    let hi = config.max_path_nodes.min(config.max_nodes);
+    let len = rng.gen_range(config.min_chain_nodes.min(hi)..=hi);
+    let mut builder = DagBuilder::new();
+    let nodes: Vec<NodeId> = (0..len).map(|_| builder.add_node(wcet(rng, config))).collect();
+    builder.add_chain(&nodes).expect("chain edges are valid");
+    builder.build().expect("chain is a valid DAG")
+}
+
+fn wcet<R: Rng>(rng: &mut R, config: &DagGenConfig) -> Time {
+    rng.gen_range(config.wcet_range.0..=config.wcet_range.1)
+}
+
+/// Emits one block; returns `(entry, exit)` node ids. Decrements `budget`
+/// for every node created. `path_budget` is the number of nodes a path
+/// through this block may still use.
+fn block<R: Rng>(
+    rng: &mut R,
+    config: &DagGenConfig,
+    builder: &mut DagBuilder,
+    budget: &mut usize,
+    path_budget: usize,
+    width_budget: usize,
+    must_fork: bool,
+) -> (NodeId, NodeId) {
+    debug_assert!(*budget >= 1, "caller must reserve at least one node");
+    debug_assert!(path_budget >= 1);
+    // A fork needs: fork + join (2 nodes, 2 path units), at least 2
+    // branches of at least 1 node each, and width for 2 parallel branches.
+    let can_fork = path_budget >= 3 && *budget >= 4 && width_budget >= 2;
+    let terminate = !can_fork || (!must_fork && rng.gen_bool(config.p_term));
+    if terminate {
+        *budget -= 1;
+        let node = builder.add_node(wcet(rng, config));
+        return (node, node);
+    }
+
+    let fork = builder.add_node(wcet(rng, config));
+    *budget -= 1;
+    // Reserve the join node now so branches cannot eat its budget.
+    let join = builder.add_node(wcet(rng, config));
+    *budget -= 1;
+
+    let max_branches = config.max_branches.min(width_budget).min(*budget);
+    let branches = rng.gen_range(2..=max_branches.max(2)).min(*budget).max(1);
+    // Split the width budget across the branches (first branches take the
+    // remainder), so the DAG's widest antichain never exceeds the budget.
+    let base_width = width_budget / branches;
+    let mut extra = width_budget % branches;
+    for _ in 0..branches {
+        if *budget == 0 {
+            break;
+        }
+        let child_width = base_width + if extra > 0 { 1 } else { 0 };
+        extra = extra.saturating_sub(1);
+        let (entry, exit) = if config.nested_forks {
+            block(
+                rng,
+                config,
+                builder,
+                budget,
+                path_budget - 2,
+                child_width.max(1),
+                false,
+            )
+        } else {
+            branch_chain(rng, config, builder, budget, path_budget - 2)
+        };
+        builder.add_edge(fork, entry).expect("edge endpoints exist");
+        builder.add_edge(exit, join).expect("edge endpoints exist");
+    }
+    (fork, join)
+}
+
+/// A branch of a non-nested fork: a chain of 1 to `path_budget` nodes
+/// (bounded by the node budget), geometrically sized by `p_term`.
+fn branch_chain<R: Rng>(
+    rng: &mut R,
+    config: &DagGenConfig,
+    builder: &mut DagBuilder,
+    budget: &mut usize,
+    path_budget: usize,
+) -> (NodeId, NodeId) {
+    debug_assert!(*budget >= 1);
+    let entry = builder.add_node(wcet(rng, config));
+    *budget -= 1;
+    let mut tail = entry;
+    let mut remaining_path = path_budget.saturating_sub(1);
+    while remaining_path > 0 && *budget > 0 && !rng.gen_bool(config.p_term) {
+        let next = builder.add_node(wcet(rng, config));
+        *budget -= 1;
+        builder.add_edge(tail, next).expect("edge endpoints exist");
+        tail = next;
+        remaining_path -= 1;
+    }
+    (entry, tail)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn invariants_hold_over_many_seeds() {
+        let config = DagGenConfig::default();
+        for seed in 0..300u64 {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let dag = generate_dag(&mut rng, &config);
+            assert!(dag.node_count() <= config.max_nodes, "seed {seed}");
+            assert!(
+                dag.longest_path_node_count() <= config.max_path_nodes,
+                "seed {seed}: path {} nodes",
+                dag.longest_path_node_count()
+            );
+            assert!(dag
+                .wcets()
+                .iter()
+                .all(|&w| (config.wcet_range.0..=config.wcet_range.1).contains(&w)));
+            assert_eq!(dag.sources().len(), 1, "seed {seed}: single source");
+            assert_eq!(dag.sinks().len(), 1, "seed {seed}: single sink");
+        }
+    }
+
+    #[test]
+    fn deterministic_for_equal_seeds() {
+        let config = DagGenConfig::default();
+        let a = generate_dag(&mut SmallRng::seed_from_u64(7), &config);
+        let b = generate_dag(&mut SmallRng::seed_from_u64(7), &config);
+        assert_eq!(a, b);
+        let c = generate_dag(&mut SmallRng::seed_from_u64(8), &config);
+        assert_ne!(a, c, "different seeds should differ (overwhelmingly)");
+    }
+
+    #[test]
+    fn produces_parallelism() {
+        // Across many seeds, forks must actually happen.
+        let config = DagGenConfig::default();
+        let mut saw_parallel = 0;
+        for seed in 0..100u64 {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            if generate_dag(&mut rng, &config).max_parallelism() > 1 {
+                saw_parallel += 1;
+            }
+        }
+        assert!(saw_parallel > 30, "only {saw_parallel}/100 parallel DAGs");
+    }
+
+    #[test]
+    fn sequential_dags_are_chains() {
+        let config = DagGenConfig::default();
+        for seed in 0..50u64 {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let dag = generate_sequential_dag(&mut rng, &config);
+            assert_eq!(dag.max_parallelism(), 1);
+            assert!(dag.node_count() <= config.max_path_nodes);
+            assert_eq!(dag.longest_path_node_count(), dag.node_count());
+        }
+    }
+
+    #[test]
+    fn p_term_one_yields_single_node_without_forced_fork() {
+        let config = DagGenConfig {
+            p_term: 1.0,
+            force_root_fork: false,
+            ..DagGenConfig::default()
+        };
+        let mut rng = SmallRng::seed_from_u64(1);
+        let dag = generate_dag(&mut rng, &config);
+        assert_eq!(dag.node_count(), 1);
+    }
+
+    #[test]
+    fn forced_root_fork_prevents_trivial_dags() {
+        let config = DagGenConfig::default();
+        for seed in 0..100u64 {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let dag = generate_dag(&mut rng, &config);
+            assert!(dag.node_count() >= 4, "seed {seed}");
+            assert!(dag.max_parallelism() >= 2, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn p_term_zero_always_forks() {
+        let config = DagGenConfig {
+            p_term: 0.0,
+            ..DagGenConfig::default()
+        };
+        for seed in 0..20u64 {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let dag = generate_dag(&mut rng, &config);
+            assert!(dag.max_parallelism() > 1, "seed {seed}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "p_term must be a probability")]
+    fn invalid_probability_panics() {
+        let config = DagGenConfig {
+            p_term: 1.5,
+            ..DagGenConfig::default()
+        };
+        let mut rng = SmallRng::seed_from_u64(0);
+        let _ = generate_dag(&mut rng, &config);
+    }
+
+    #[test]
+    fn tight_node_budget_respected() {
+        let config = DagGenConfig {
+            max_nodes: 5,
+            p_term: 0.0,
+            ..DagGenConfig::default()
+        };
+        for seed in 0..50u64 {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let dag = generate_dag(&mut rng, &config);
+            assert!(dag.node_count() <= 5, "seed {seed}: {}", dag.node_count());
+        }
+    }
+}

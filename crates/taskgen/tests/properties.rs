@@ -1,0 +1,62 @@
+//! Property tests over generated workloads, including the Algorithm 1
+//! cross-validation promised in DESIGN.md (A2).
+
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use rta_model::{parallel_sets_algorithm1, parallel_sets_exact};
+use rta_taskgen::{generate_dag, generate_sequential_dag, generate_task_set, group1, group2, DagGenConfig};
+
+proptest! {
+    /// On the nested fork-join class the paper's Algorithm 1 must agree
+    /// exactly with the reachability-based definition of parallel NPRs.
+    #[test]
+    fn algorithm1_equals_exact_on_fork_join_dags(seed in any::<u64>()) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let dag = generate_dag(&mut rng, &DagGenConfig::default());
+        prop_assert_eq!(parallel_sets_algorithm1(&dag), parallel_sets_exact(&dag));
+    }
+
+    #[test]
+    fn algorithm1_equals_exact_on_chains(seed in any::<u64>()) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let dag = generate_sequential_dag(&mut rng, &DagGenConfig::default());
+        prop_assert_eq!(parallel_sets_algorithm1(&dag), parallel_sets_exact(&dag));
+    }
+
+    /// Structural invariants of generated DAGs (the paper's generator
+    /// parameters).
+    #[test]
+    fn generated_dags_respect_paper_limits(seed in any::<u64>()) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let config = DagGenConfig::default();
+        let dag = generate_dag(&mut rng, &config);
+        prop_assert!(dag.node_count() <= 30);
+        prop_assert!(dag.longest_path_node_count() <= 7);
+        prop_assert!(dag.wcets().iter().all(|&w| (1..=100).contains(&w)));
+        prop_assert!(dag.volume() >= dag.longest_path());
+        prop_assert!(dag.longest_path() >= dag.max_wcet());
+    }
+
+    /// Task sets land on their utilization target — or on the documented
+    /// per-task-cap saturation value `n/min_slack` — and are well-formed.
+    #[test]
+    fn task_sets_hit_target(seed in any::<u64>(), target_times_4 in 2u32..40) {
+        let target = f64::from(target_times_4) / 4.0;
+        let mut rng = SmallRng::seed_from_u64(seed);
+        for config in [group1(target), group2(target)] {
+            let ts = generate_task_set(&mut rng, &config);
+            let u = ts.total_utilization();
+            let saturation = ts.len() as f64 / 2.0; // n · (1/min_slack), min_slack = 2
+            let expected = target.min(saturation);
+            prop_assert!(
+                (u - expected).abs() < 0.05 * expected + 0.05,
+                "target {} (expected {}) got {}", target, expected, u
+            );
+            for t in ts.tasks() {
+                prop_assert!(t.deadline() == t.period());
+                prop_assert!(t.period() >= t.dag().longest_path());
+            }
+        }
+    }
+}

@@ -1,0 +1,53 @@
+//! Visualize limited-preemptive vs fully-preemptive scheduling: run the
+//! same two-task workload under both policies and print the Gantt charts.
+//!
+//! The high-priority task releases every 10 time units; the low-priority
+//! task carries a long non-preemptive region. Under limited preemption the
+//! second high-priority job is *blocked* until the NPR completes; under
+//! full preemption it preempts immediately.
+//!
+//! Run with `cargo run --example simulation_trace`.
+
+use dag_lp_rta::prelude::*;
+use dag_lp_rta::sim::{ExecutionModel, ReleaseModel};
+
+fn main() -> Result<(), ModelError> {
+    let mut b = DagBuilder::new();
+    b.add_node(2);
+    let hp = DagTask::new(b.build()?, 10, 10)?.named("hp");
+
+    let mut b = DagBuilder::new();
+    b.add_node(9);
+    let lp = DagTask::new(b.build()?, 100, 100)?.named("lp(long NPR)");
+
+    let task_set = TaskSet::new(vec![hp, lp]);
+
+    for policy in [
+        PreemptionPolicy::LimitedPreemptive,
+        PreemptionPolicy::FullyPreemptive,
+    ] {
+        let config = SimConfig::new(1, 25)
+            .with_policy(policy)
+            .with_release(ReleaseModel::SynchronousPeriodic)
+            .with_execution(ExecutionModel::Wcet)
+            .with_trace(true);
+        let result = simulate(&task_set, &config);
+        let trace = result.trace.as_ref().expect("trace enabled");
+        println!("{policy:?}: (1 = hp task, 2 = lp task, . = idle)");
+        print!("{}", trace.gantt(1, 25));
+        for (k, stats) in result.per_task.iter().enumerate() {
+            println!(
+                "  task {}: max response {} ({} jobs)",
+                k + 1,
+                stats.max_response,
+                stats.jobs_completed
+            );
+        }
+        println!();
+    }
+
+    println!("Note how under LimitedPreemptive the hp job released at t = 10 waits");
+    println!("for the lp NPR (running 2..11) to finish — the blocking the paper's");
+    println!("Δ^m term bounds — while under FullyPreemptive it runs immediately.");
+    Ok(())
+}

@@ -1,0 +1,142 @@
+//! Empirical soundness: on randomly generated task sets, observed response
+//! times in the simulator must never exceed the analytical bounds, and
+//! sets the analysis accepts must never miss a deadline in simulation.
+//!
+//! This cannot *prove* the analysis sound (the simulator explores a single
+//! arrival/execution pattern per run), but any violation here would be a
+//! definite bug in one of the two — the strongest kind of cross-check two
+//! independent implementations can give each other.
+
+use dag_lp_rta::prelude::*;
+use dag_lp_rta::sim::{ExecutionModel, ReleaseModel};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn horizon_for(ts: &TaskSet) -> u64 {
+    // A few hyper-ish periods: enough jobs of every task to be meaningful.
+    ts.tasks().iter().map(|t| t.period()).max().unwrap_or(1) * 12
+}
+
+fn check_set(ts: &TaskSet, cores: usize, method: Method, sim_config: &SimConfig) -> bool {
+    let report = analyze(
+        ts,
+        &AnalysisConfig::new(cores, method).with_scenario_space(ScenarioSpace::Extended),
+    );
+    if !report.schedulable {
+        return false;
+    }
+    let result = simulate(ts, sim_config);
+    assert_eq!(
+        result.total_deadline_misses(),
+        0,
+        "{method}: analysis accepted a set that missed deadlines in simulation"
+    );
+    for (k, stats) in result.per_task.iter().enumerate() {
+        let bound = report.tasks[k].response_bound;
+        assert!(
+            (stats.max_response as u128) * bound.cores() as u128 <= bound.scaled(),
+            "{method}: task {k} observed response {} exceeds bound {}",
+            stats.max_response,
+            bound
+        );
+    }
+    true
+}
+
+#[test]
+fn lp_bounds_hold_under_synchronous_wcet_execution() {
+    let mut accepted = 0;
+    for seed in 0..40u64 {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let ts = generate_task_set(&mut rng, &group1(2.0));
+        let sim = SimConfig::new(4, horizon_for(&ts))
+            .with_policy(PreemptionPolicy::LimitedPreemptive);
+        if check_set(&ts, 4, Method::LpIlp, &sim) {
+            accepted += 1;
+        }
+    }
+    assert!(accepted >= 5, "too few accepted sets ({accepted}) to be meaningful");
+}
+
+#[test]
+fn lp_max_bounds_hold_too() {
+    let mut accepted = 0;
+    for seed in 100..130u64 {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let ts = generate_task_set(&mut rng, &group1(1.5));
+        let sim = SimConfig::new(4, horizon_for(&ts))
+            .with_policy(PreemptionPolicy::LimitedPreemptive);
+        if check_set(&ts, 4, Method::LpMax, &sim) {
+            accepted += 1;
+        }
+    }
+    assert!(accepted >= 5, "too few accepted sets ({accepted})");
+}
+
+#[test]
+fn fp_ideal_bounds_hold_under_full_preemption() {
+    let mut accepted = 0;
+    for seed in 200..230u64 {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let ts = generate_task_set(&mut rng, &group1(2.5));
+        let sim = SimConfig::new(4, horizon_for(&ts))
+            .with_policy(PreemptionPolicy::FullyPreemptive);
+        if check_set(&ts, 4, Method::FpIdeal, &sim) {
+            accepted += 1;
+        }
+    }
+    assert!(accepted >= 5, "too few accepted sets ({accepted})");
+}
+
+#[test]
+fn lp_bounds_hold_under_sporadic_jittered_releases() {
+    // The analysis covers sporadic arrivals; jittered releases must respect
+    // the bounds as well.
+    let mut accepted = 0;
+    for seed in 300..330u64 {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let ts = generate_task_set(&mut rng, &group1(2.0));
+        let sim = SimConfig::new(4, horizon_for(&ts))
+            .with_policy(PreemptionPolicy::LimitedPreemptive)
+            .with_release(ReleaseModel::Sporadic { jitter: 17 })
+            .with_seed(seed);
+        if check_set(&ts, 4, Method::LpIlp, &sim) {
+            accepted += 1;
+        }
+    }
+    assert!(accepted >= 5, "too few accepted sets ({accepted})");
+}
+
+#[test]
+fn lp_bounds_hold_under_randomized_execution_times() {
+    // Early completion probes execution-time anomalies of non-preemptive
+    // multicore scheduling; the worst-case bound must still dominate.
+    let mut accepted = 0;
+    for seed in 400..430u64 {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let ts = generate_task_set(&mut rng, &group1(2.0));
+        let sim = SimConfig::new(4, horizon_for(&ts))
+            .with_policy(PreemptionPolicy::LimitedPreemptive)
+            .with_execution(ExecutionModel::Randomized { fraction: 0.6 })
+            .with_seed(seed * 7 + 1);
+        if check_set(&ts, 4, Method::LpIlp, &sim) {
+            accepted += 1;
+        }
+    }
+    assert!(accepted >= 5, "too few accepted sets ({accepted})");
+}
+
+#[test]
+fn eight_core_platform() {
+    let mut accepted = 0;
+    for seed in 500..520u64 {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let ts = generate_task_set(&mut rng, &group1(3.0));
+        let sim = SimConfig::new(8, horizon_for(&ts))
+            .with_policy(PreemptionPolicy::LimitedPreemptive);
+        if check_set(&ts, 8, Method::LpIlp, &sim) {
+            accepted += 1;
+        }
+    }
+    assert!(accepted >= 3, "too few accepted sets ({accepted})");
+}
