@@ -61,16 +61,12 @@ fn bench_rho_solver_ablation(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::new("hungarian", format!("{space:?}")),
             &space,
-            |b, &space| {
-                b.iter(|| blocking_from_mu(black_box(&mu), 8, RhoSolver::Hungarian, space))
-            },
+            |b, &space| b.iter(|| blocking_from_mu(black_box(&mu), 8, RhoSolver::Hungarian, space)),
         );
         group.bench_with_input(
             BenchmarkId::new("paper_ilp", format!("{space:?}")),
             &space,
-            |b, &space| {
-                b.iter(|| blocking_from_mu(black_box(&mu), 8, RhoSolver::PaperIlp, space))
-            },
+            |b, &space| b.iter(|| blocking_from_mu(black_box(&mu), 8, RhoSolver::PaperIlp, space)),
         );
     }
     group.finish();

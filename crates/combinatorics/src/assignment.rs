@@ -232,9 +232,9 @@ mod tests {
         // 1 core) over tasks τ1..τ4 with µ from Table I.
         // Rows: c=2, c=1, c=1; columns: τ1, τ2, τ3, τ4.
         let w = vec![
-            vec![5, 7, 7, 9],  // µ_i[2]
-            vec![3, 4, 6, 5],  // µ_i[1]
-            vec![3, 4, 6, 5],  // µ_i[1]
+            vec![5, 7, 7, 9], // µ_i[2]
+            vec![3, 4, 6, 5], // µ_i[1]
+            vec![3, 4, 6, 5], // µ_i[1]
         ];
         let a = max_weight_assignment(&w).expect("feasible");
         // ρ[s3] = µ4[2] + µ3[1] + µ2[1] = 9 + 6 + 4 = 19 (paper Table III).

@@ -30,7 +30,6 @@ const WORD_BITS: usize = 64;
 /// assert_eq!(parallel.iter().collect::<Vec<_>>(), vec![2, 5]);
 /// ```
 #[derive(Clone, Default, PartialEq, Eq, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct BitSet {
     words: Vec<u64>,
 }

@@ -17,7 +17,6 @@
 /// [`cardinality`](Partition::cardinality) is the `|s_l|` of the paper (the
 /// number of tasks that participate in the scenario).
 #[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Partition {
     parts: Vec<u32>,
 }

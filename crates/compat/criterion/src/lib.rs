@@ -1,0 +1,280 @@
+//! Offline stand-in for the parts of [`criterion` 0.5](https://docs.rs/criterion)
+//! this workspace's benches use.
+//!
+//! The workspace builds with no access to crates.io, so the bench targets
+//! are written against this vendored subset: [`Criterion`],
+//! [`BenchmarkGroup`], [`BenchmarkId`], [`Bencher::iter`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Measurement is deliberately simple — per benchmark: one warm-up
+//! invocation, then `sample_size` timed samples, each a batch of iterations
+//! calibrated to take at least [`MIN_SAMPLE_NANOS`]. The harness reports
+//! the minimum, mean and maximum per-iteration time. There is no outlier
+//! analysis, no plotting and no baseline storage; for CI the benches are
+//! only compiled (`cargo bench --no-run`) or used as smoke tests.
+//!
+//! Filters passed by `cargo bench <filter>` (and the `--bench` flag noise
+//! cargo forwards) are honored by substring match on the benchmark id.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+/// A batch of timed iterations shorter than this is grown before being
+/// trusted as a sample.
+pub const MIN_SAMPLE_NANOS: u64 = 5_000_000;
+
+/// The identifier of one benchmark: a function name plus an optional
+/// parameter rendering, displayed as `name/parameter`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id with a parameter component, mirroring upstream
+    /// `BenchmarkId::new`.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        let mut id = function_name.into();
+        let _ = write!(id, "/{parameter}");
+        Self { id }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(id: &str) -> Self {
+        Self { id: id.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> Self {
+        Self { id }
+    }
+}
+
+/// The timing loop handed to each benchmark closure.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`, keeping its output alive until after the clock
+    /// stops so that result construction is included in the measurement.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Runs one benchmark to completion and returns per-iteration nanoseconds
+/// for each sample.
+fn measure<F: FnMut(&mut Bencher)>(sample_size: usize, mut routine: F) -> Vec<f64> {
+    // Warm-up and calibration: grow the batch until it runs long enough.
+    let mut iters = 1u64;
+    loop {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        routine(&mut b);
+        if b.elapsed.as_nanos() as u64 >= MIN_SAMPLE_NANOS || iters > (1 << 20) {
+            break;
+        }
+        iters = iters.saturating_mul(2);
+    }
+    (0..sample_size)
+        .map(|_| {
+            let mut b = Bencher {
+                iters,
+                elapsed: Duration::ZERO,
+            };
+            routine(&mut b);
+            b.elapsed.as_secs_f64() * 1e9 / iters as f64
+        })
+        .collect()
+}
+
+fn report(id: &str, samples: &[f64]) {
+    let min = samples.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = samples.iter().copied().fold(0.0f64, f64::max);
+    let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+    let scale = |ns: f64| -> String {
+        if ns >= 1e9 {
+            format!("{:.3} s", ns / 1e9)
+        } else if ns >= 1e6 {
+            format!("{:.3} ms", ns / 1e6)
+        } else if ns >= 1e3 {
+            format!("{:.3} µs", ns / 1e3)
+        } else {
+            format!("{ns:.1} ns")
+        }
+    };
+    println!(
+        "{id:<50} time: [{} {} {}]",
+        scale(min),
+        scale(mean),
+        scale(max)
+    );
+}
+
+/// The benchmark manager: constructed by [`criterion_main!`], handed to
+/// every group function.
+pub struct Criterion {
+    filter: Option<String>,
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // cargo bench forwards extra CLI words; anything that is not a flag
+        // is treated as a substring filter, as upstream does.
+        let filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with('-') && a != "--bench");
+        Self {
+            filter,
+            sample_size: 10,
+        }
+    }
+}
+
+impl Criterion {
+    fn matches(&self, id: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| id.contains(f))
+    }
+
+    /// Benchmarks a single function.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        if self.matches(&id.id) {
+            let samples = measure(self.sample_size, routine);
+            report(&id.id, &samples);
+        }
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: None,
+        }
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the number of timed samples per benchmark in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = Some(n);
+        self
+    }
+
+    fn run<F: FnMut(&mut Bencher)>(&mut self, id: BenchmarkId, routine: F) {
+        let full = format!("{}/{}", self.name, id.id);
+        if self.criterion.matches(&full) {
+            let samples = measure(
+                self.sample_size.unwrap_or(self.criterion.sample_size),
+                routine,
+            );
+            report(&full, &samples);
+        }
+    }
+
+    /// Benchmarks a function within the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run(id.into(), routine);
+        self
+    }
+
+    /// Benchmarks a function over one input within the group.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut routine: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run(id.into(), |b| routine(b, input));
+        self
+    }
+
+    /// Ends the group (kept for API parity; reporting is immediate).
+    pub fn finish(self) {}
+}
+
+/// Declares a group of benchmark functions, mirroring upstream
+/// `criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($function:path),+ $(,)?) => {
+        fn $group(criterion: &mut $crate::Criterion) {
+            $( $function(criterion); )+
+        }
+    };
+}
+
+/// Declares the bench `main` running the listed groups, mirroring upstream
+/// `criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut criterion = $crate::Criterion::default();
+            $( $group(&mut criterion); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measure_produces_requested_samples() {
+        let samples = measure(4, |b| b.iter(|| std::hint::black_box(3u64).pow(7)));
+        assert_eq!(samples.len(), 4);
+        assert!(samples.iter().all(|&ns| ns > 0.0));
+    }
+
+    #[test]
+    fn benchmark_id_renders_parameter() {
+        assert_eq!(BenchmarkId::new("solver", 16).id, "solver/16");
+    }
+
+    #[test]
+    fn group_api_compiles_and_runs() {
+        let mut criterion = Criterion {
+            filter: Some("nothing-matches-this".into()),
+            sample_size: 2,
+        };
+        let mut group = criterion.benchmark_group("g");
+        group.sample_size(2);
+        group.bench_function("f", |b| b.iter(|| 1 + 1));
+        group.bench_with_input(BenchmarkId::new("g", 1), &1, |b, &x| b.iter(|| x + 1));
+        group.finish();
+    }
+}

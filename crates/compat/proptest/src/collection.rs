@@ -1,0 +1,84 @@
+//! Collection strategies: `vec` and `btree_set`.
+
+use crate::strategy::Strategy;
+use rand::rngs::SmallRng;
+use rand::Rng;
+use std::collections::BTreeSet;
+use std::ops::{Range, RangeInclusive};
+
+/// Something usable as a collection size: a fixed `usize`, `a..b`, or
+/// `a..=b` (mirrors upstream's `Into<SizeRange>` argument).
+pub trait SizeRange {
+    /// Samples a concrete length.
+    fn sample_len(&self, rng: &mut SmallRng) -> usize;
+}
+
+impl SizeRange for usize {
+    fn sample_len(&self, _rng: &mut SmallRng) -> usize {
+        *self
+    }
+}
+
+impl SizeRange for Range<usize> {
+    fn sample_len(&self, rng: &mut SmallRng) -> usize {
+        rng.gen_range(self.clone())
+    }
+}
+
+impl SizeRange for RangeInclusive<usize> {
+    fn sample_len(&self, rng: &mut SmallRng) -> usize {
+        rng.gen_range(self.clone())
+    }
+}
+
+/// Strategy for `Vec<T>` with element strategy `S` and a size range.
+pub struct VecStrategy<S, L> {
+    element: S,
+    len: L,
+}
+
+/// Produces vectors whose length is drawn from `len` and whose elements are
+/// drawn from `element`.
+pub fn vec<S: Strategy, L: SizeRange>(element: S, len: L) -> VecStrategy<S, L> {
+    VecStrategy { element, len }
+}
+
+impl<S: Strategy, L: SizeRange> Strategy for VecStrategy<S, L> {
+    type Value = Vec<S::Value>;
+
+    fn sample(&self, rng: &mut SmallRng) -> Self::Value {
+        let n = self.len.sample_len(rng);
+        (0..n).map(|_| self.element.sample(rng)).collect()
+    }
+}
+
+/// Strategy for `BTreeSet<T>`.
+pub struct BTreeSetStrategy<S, L> {
+    element: S,
+    len: L,
+}
+
+/// Produces sets with up to the sampled number of elements (duplicates drawn
+/// from `element` collapse, exactly as in upstream proptest).
+pub fn btree_set<S, L>(element: S, len: L) -> BTreeSetStrategy<S, L>
+where
+    S: Strategy,
+    S::Value: Ord,
+    L: SizeRange,
+{
+    BTreeSetStrategy { element, len }
+}
+
+impl<S, L> Strategy for BTreeSetStrategy<S, L>
+where
+    S: Strategy,
+    S::Value: Ord,
+    L: SizeRange,
+{
+    type Value = BTreeSet<S::Value>;
+
+    fn sample(&self, rng: &mut SmallRng) -> Self::Value {
+        let n = self.len.sample_len(rng);
+        (0..n).map(|_| self.element.sample(rng)).collect()
+    }
+}

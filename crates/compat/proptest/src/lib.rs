@@ -1,0 +1,280 @@
+//! Offline stand-in for the parts of [`proptest` 1.x](https://docs.rs/proptest)
+//! this workspace's property tests use.
+//!
+//! The workspace builds with no access to crates.io, so the subset below is
+//! vendored under the upstream paths:
+//!
+//! * the [`proptest!`] macro (with optional
+//!   `#![proptest_config(ProptestConfig::with_cases(n))]`);
+//! * [`prelude`] with [`Strategy`](strategy::Strategy),
+//!   [`any`](strategy::any), [`Just`](strategy::Just), [`prop_oneof!`],
+//!   [`prop_assert!`] / [`prop_assert_eq!`] / [`prop_assert_ne!`] /
+//!   [`prop_assume!`], and [`ProptestConfig`](test_runner::ProptestConfig);
+//! * [`collection::vec`] and [`collection::btree_set`] with `usize`,
+//!   `Range<usize>` or `RangeInclusive<usize>` sizes;
+//! * strategies for integer/float ranges and tuples of strategies.
+//!
+//! Semantics differ from upstream in one deliberate way: **no shrinking**.
+//! On failure the offending inputs are printed verbatim (cases are
+//! deterministic per test name, so failures replay exactly under
+//! `cargo test`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// The common imports, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Defines property tests: each `#[test] fn name(arg in strategy, ...)`
+/// item becomes a regular `#[test]` that samples the strategies for a
+/// configurable number of deterministic cases and runs the body.
+///
+/// The `#[test]` attribute (and any doc comments) are matched as ordinary
+/// attributes and re-emitted on the generated zero-argument function.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $($rest:tt)+
+    ) => {
+        $crate::proptest!(@with_config ($config) $($rest)+);
+    };
+    (
+        $(#[$first_attr:meta])*
+        fn $($rest:tt)+
+    ) => {
+        $crate::proptest!(
+            @with_config ($crate::test_runner::ProptestConfig::default())
+            $(#[$first_attr])*
+            fn $($rest)+
+        );
+    };
+    (
+        @with_config ($config:expr)
+        $(
+            $(#[$attr:meta])*
+            fn $name:ident ( $( $arg:ident in $strategy:expr ),+ $(,)? ) $body:block
+        )+
+    ) => {
+        $(
+            $(#[$attr])*
+            fn $name() {
+                let config = $config;
+                for case in 0..config.cases {
+                    // Resample `prop_assume!`-rejected inputs (like
+                    // upstream) so filtered properties keep their
+                    // effective case count; give up on pathological
+                    // filters rather than looping forever.
+                    for attempt in 0..=$crate::test_runner::MAX_REJECTS_PER_CASE {
+                        let mut rng = $crate::test_runner::case_rng_attempt(
+                            stringify!($name),
+                            case,
+                            attempt,
+                        );
+                        $(
+                            let $arg =
+                                $crate::strategy::Strategy::sample(&($strategy), &mut rng);
+                        )+
+                        let inputs = format!(
+                            concat!($(stringify!($arg), " = {:?}\n"),+),
+                            $(&$arg),+
+                        );
+                        let outcome: ::std::result::Result<
+                            (),
+                            $crate::test_runner::TestCaseError,
+                        > = (move || {
+                            $body
+                            Ok(())
+                        })();
+                        match outcome {
+                            Ok(()) => break,
+                            Err($crate::test_runner::TestCaseError::Reject) => {}
+                            Err($crate::test_runner::TestCaseError::Fail(message)) => panic!(
+                                "proptest case {case} of {} failed: {message}\ninputs:\n{inputs}",
+                                stringify!($name),
+                            ),
+                        }
+                    }
+                }
+            }
+        )+
+    };
+}
+
+/// Fails the current test case with a formatted message unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::Fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Skips the current case (without failing) unless `cond` holds, mirroring
+/// `proptest::prop_assume!`.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+}
+
+/// Fails the current test case unless `left == right`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($left), stringify!($right), left, right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "{}\n  left: {:?}\n right: {:?}",
+            format!($($fmt)+), left, right
+        );
+    }};
+}
+
+/// Fails the current test case unless `left != right`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left != *right,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($left), stringify!($right), left
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left != *right,
+            "{}\n  both: {:?}",
+            format!($($fmt)+), left
+        );
+    }};
+}
+
+/// Picks uniformly among several strategies producing the same value type,
+/// mirroring `proptest::prop_oneof!`.
+#[macro_export]
+macro_rules! prop_oneof {
+    ( $( $strategy:expr ),+ $(,)? ) => {
+        $crate::strategy::Union::new(vec![
+            $( ::std::boxed::Box::new($strategy)
+                as ::std::boxed::Box<dyn $crate::strategy::Strategy<Value = _>> ),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_and_collections(
+            n in 1usize..10,
+            flag in any::<bool>(),
+            xs in crate::collection::vec(-5i32..5, 0..8),
+            set in crate::collection::btree_set(0usize..20, 1..6),
+        ) {
+            prop_assert!((1..10).contains(&n));
+            let negated = !flag;
+            prop_assert_ne!(flag, negated);
+            prop_assert!(xs.len() < 8);
+            prop_assert!(xs.iter().all(|x| (-5..5).contains(x)));
+            prop_assert!(!set.is_empty() && set.len() < 6);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(17))]
+        #[test]
+        fn config_is_honored(seed in any::<u64>()) {
+            // Reaching here at all proves the macro accepted the config;
+            // the case count is checked below by a plain unit test.
+            prop_assert_eq!(seed, seed);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(40))]
+        #[test]
+        fn assume_resamples_instead_of_skipping(n in 0usize..100) {
+            // A filter that rejects ~90% of draws: with resampling every
+            // one of the 40 cases still reaches the assertion (tracked
+            // via the counter below).
+            prop_assume!(n < 10);
+            ASSUME_HITS.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            prop_assert!(n < 10);
+        }
+    }
+
+    static ASSUME_HITS: std::sync::atomic::AtomicU32 = std::sync::atomic::AtomicU32::new(0);
+
+    #[test]
+    fn assume_resampling_keeps_effective_case_count() {
+        assume_resamples_instead_of_skipping();
+        // 40 configured cases; with rejection-resampling the number of
+        // bodies that got past the filter must be (at least) 40. Without
+        // it, the expected count would be ~4.
+        assert!(
+            ASSUME_HITS.load(std::sync::atomic::Ordering::Relaxed) >= 40,
+            "got {}",
+            ASSUME_HITS.load(std::sync::atomic::Ordering::Relaxed)
+        );
+    }
+
+    #[test]
+    fn oneof_and_just_cover_all_arms() {
+        let strategy = prop_oneof![Just(1u8), Just(2u8), Just(3u8)];
+        let mut rng = crate::test_runner::case_rng("oneof", 0);
+        let mut seen = std::collections::BTreeSet::new();
+        for _ in 0..200 {
+            seen.insert(crate::strategy::Strategy::sample(&strategy, &mut rng));
+        }
+        assert_eq!(seen.into_iter().collect::<Vec<_>>(), vec![1u8, 2, 3]);
+    }
+
+    #[test]
+    fn cases_are_deterministic_per_name() {
+        let a: Vec<u64> = (0..5)
+            .map(|c| {
+                let mut rng = crate::test_runner::case_rng("x", c);
+                crate::strategy::Strategy::sample(&(0u64..1000), &mut rng)
+            })
+            .collect();
+        let b: Vec<u64> = (0..5)
+            .map(|c| {
+                let mut rng = crate::test_runner::case_rng("x", c);
+                crate::strategy::Strategy::sample(&(0u64..1000), &mut rng)
+            })
+            .collect();
+        assert_eq!(a, b);
+    }
+}

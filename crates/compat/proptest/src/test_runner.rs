@@ -1,0 +1,65 @@
+//! The minimal test runner: per-case RNG derivation and configuration.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// Why one sampled case did not complete normally.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TestCaseError {
+    /// An assertion failed; the test fails with this message.
+    Fail(String),
+    /// A `prop_assume!` precondition did not hold; the case is skipped.
+    Reject,
+}
+
+/// Runner configuration, mirroring the single upstream knob the workspace
+/// uses: the number of cases per property.
+#[derive(Clone, Copy, Debug)]
+pub struct ProptestConfig {
+    /// How many cases to run per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Upstream defaults to 256; 128 keeps the heavier cross-validation
+        // suites fast while retaining useful coverage.
+        Self { cases: 128 }
+    }
+}
+
+/// How many times a case rejected by `prop_assume!` is resampled (with
+/// fresh inputs) before the case is abandoned as skipped. Upstream
+/// proptest resamples too (up to its rejection limits); never retrying
+/// would silently shrink the effective case count of heavily-filtered
+/// properties.
+pub const MAX_REJECTS_PER_CASE: u32 = 64;
+
+/// Derives the deterministic RNG for one case of one property.
+///
+/// Seeding depends only on the test name, case index and resample attempt,
+/// so failures replay identically on every run and machine.
+pub fn case_rng(test_name: &str, case: u32) -> SmallRng {
+    case_rng_attempt(test_name, case, 0)
+}
+
+/// [`case_rng`] for the `attempt`-th resample after `prop_assume!`
+/// rejections.
+pub fn case_rng_attempt(test_name: &str, case: u32, attempt: u32) -> SmallRng {
+    // FNV-1a over the name, mixed with the case and attempt indices.
+    let mut hash = 0xCBF2_9CE4_8422_2325u64;
+    for byte in test_name.bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x1000_0000_01B3);
+    }
+    hash ^= u64::from(case) << 32 | u64::from(case);
+    hash ^= u64::from(attempt).wrapping_mul(0xA24B_AED4_963E_E407);
+    SmallRng::seed_from_u64(hash)
+}

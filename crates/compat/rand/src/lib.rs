@@ -1,0 +1,277 @@
+//! Offline stand-in for the parts of [`rand` 0.8](https://docs.rs/rand/0.8)
+//! this workspace uses.
+//!
+//! The workspace builds in environments with no access to crates.io, so the
+//! small API surface the code depends on is vendored here under the same
+//! paths (`rand::Rng`, `rand::SeedableRng`, `rand::rngs::SmallRng`):
+//!
+//! * [`rngs::SmallRng`] — a small, fast, non-cryptographic PRNG
+//!   (xoshiro256++, seeded via SplitMix64, as in upstream `rand` on 64-bit
+//!   targets);
+//! * [`SeedableRng::seed_from_u64`] — deterministic seeding;
+//! * [`Rng::gen_range`] over half-open and inclusive integer and float
+//!   ranges, and [`Rng::gen_bool`].
+//!
+//! Determinism is the only contract callers rely on: a given seed produces
+//! the same stream on every platform and in every build. The streams do
+//! **not** match upstream `rand` bit-for-bit (upstream does not guarantee
+//! value stability across versions either).
+//!
+//! ```
+//! use rand::rngs::SmallRng;
+//! use rand::{Rng, SeedableRng};
+//!
+//! let mut a = SmallRng::seed_from_u64(7);
+//! let mut b = SmallRng::seed_from_u64(7);
+//! let xs: Vec<u64> = (0..4).map(|_| a.gen_range(0..100u64)).collect();
+//! let ys: Vec<u64> = (0..4).map(|_| b.gen_range(0..100u64)).collect();
+//! assert_eq!(xs, ys);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// A source of randomness: the raw word generator under [`Rng`].
+pub trait RngCore {
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next 32 random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// A PRNG that can be constructed from a `u64` seed.
+pub trait SeedableRng: Sized {
+    /// Builds the generator from a 64-bit seed, expanding it to the full
+    /// internal state deterministically.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// User-facing random-value methods, implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Samples a value uniformly from `range` (half-open `a..b` or
+    /// inclusive `a..=b`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: distributions::SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p = {p} not in [0, 1]");
+        unit_f64(self.next_u64()) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Maps 64 random bits to a float uniform in `[0, 1)`.
+fn unit_f64(bits: u64) -> f64 {
+    // 53 significant bits, the float's full precision.
+    (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Range-sampling support for [`Rng::gen_range`].
+pub mod distributions {
+    use super::RngCore;
+    use core::ops::{Range, RangeInclusive};
+
+    /// A range that can produce a uniformly distributed `T`.
+    pub trait SampleRange<T> {
+        /// Samples one value from the range.
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+    }
+
+    macro_rules! impl_int_ranges {
+        ($($t:ty),+) => {$(
+            impl SampleRange<$t> for Range<$t> {
+                fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                    assert!(self.start < self.end, "gen_range: empty range");
+                    let span = (self.end as u128).wrapping_sub(self.start as u128);
+                    self.start + (rng.next_u64() as u128 % span) as $t
+                }
+            }
+
+            impl SampleRange<$t> for RangeInclusive<$t> {
+                fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "gen_range: empty range");
+                    let span = (hi as u128) - (lo as u128) + 1;
+                    lo + (rng.next_u64() as u128 % span) as $t
+                }
+            }
+        )+};
+    }
+
+    impl_int_ranges!(u8, u16, u32, u64, usize);
+
+    macro_rules! impl_signed_ranges {
+        ($($t:ty as $u:ty),+) => {$(
+            impl SampleRange<$t> for Range<$t> {
+                fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                    assert!(self.start < self.end, "gen_range: empty range");
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    (self.start as i128 + (rng.next_u64() as u128 % span) as i128) as $t
+                }
+            }
+
+            impl SampleRange<$t> for RangeInclusive<$t> {
+                fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "gen_range: empty range");
+                    let span = (hi as i128 - lo as i128) as u128 + 1;
+                    (lo as i128 + (rng.next_u64() as u128 % span) as i128) as $t
+                }
+            }
+        )+};
+    }
+
+    impl_signed_ranges!(i8 as u8, i16 as u16, i32 as u32, i64 as u64, isize as usize);
+
+    impl SampleRange<f64> for Range<f64> {
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+            assert!(self.start < self.end, "gen_range: empty range");
+            // `start + (end-start)*u` can round up to `end` even though
+            // u < 1; resample so the upper bound stays excluded (the
+            // retry probability is ~2^-53 per draw).
+            loop {
+                let v = self.start + (self.end - self.start) * super::unit_f64(rng.next_u64());
+                if v < self.end {
+                    return v;
+                }
+            }
+        }
+    }
+
+    impl SampleRange<f64> for RangeInclusive<f64> {
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+            let (lo, hi) = (*self.start(), *self.end());
+            assert!(lo <= hi, "gen_range: empty range");
+            lo + (hi - lo) * super::unit_f64(rng.next_u64())
+        }
+    }
+
+    impl SampleRange<f32> for Range<f32> {
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f32 {
+            assert!(self.start < self.end, "gen_range: empty range");
+            // The f64→f32 narrowing of the unit sample rounds to 1.0
+            // with probability ~2^-25; resample as in the f64 impl.
+            loop {
+                let v =
+                    self.start + (self.end - self.start) * super::unit_f64(rng.next_u64()) as f32;
+                if v < self.end {
+                    return v;
+                }
+            }
+        }
+    }
+}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// A small, fast, deterministic PRNG: xoshiro256++.
+    ///
+    /// Mirrors the role of `rand::rngs::SmallRng` on 64-bit targets. Not
+    /// cryptographically secure; statistical quality is ample for the
+    /// workload generation and simulation jitter it backs.
+    #[derive(Clone, Debug)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // SplitMix64 state expansion, as recommended by the xoshiro
+            // authors (and used by upstream rand for seed_from_u64).
+            let mut sm = seed;
+            let mut next = || {
+                sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = sm;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            Self {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl RngCore for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0..1_000_000u64), b.gen_range(0..1_000_000u64));
+        }
+        let mut c = SmallRng::seed_from_u64(43);
+        let a_run: Vec<u64> = (0..10).map(|_| a.gen_range(0..u64::MAX)).collect();
+        let c_run: Vec<u64> = (0..10).map(|_| c.gen_range(0..u64::MAX)).collect();
+        assert_ne!(a_run, c_run);
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let v = rng.gen_range(3..17u32);
+            assert!((3..17).contains(&v));
+            let v = rng.gen_range(5..=9usize);
+            assert!((5..=9).contains(&v));
+            let v = rng.gen_range(-4i32..5);
+            assert!((-4..5).contains(&v));
+            let f = rng.gen_range(0.25..=4.0f64);
+            assert!((0.25..=4.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn singleton_inclusive_range() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        assert_eq!(rng.gen_range(7..=7u64), 7);
+    }
+
+    #[test]
+    fn gen_bool_extremes_and_rate() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        assert!(!rng.gen_bool(0.0));
+        assert!(rng.gen_bool(1.0));
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.3)).count();
+        assert!((2500..3500).contains(&hits), "got {hits}");
+    }
+}

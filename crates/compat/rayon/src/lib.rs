@@ -1,0 +1,317 @@
+//! Offline stand-in for the parts of [`rayon` 1.x](https://docs.rs/rayon)
+//! this workspace uses.
+//!
+//! The workspace builds with no access to crates.io, so the experiment
+//! layer's data parallelism is written against this vendored subset:
+//!
+//! * [`prelude`] with `slice.par_iter().map(f).collect::<Vec<_>>()`;
+//! * [`ThreadPoolBuilder`] / [`ThreadPool::install`] to bound the worker
+//!   count for a scoped region (the `--jobs` knob of the `repro` CLI);
+//! * [`current_num_threads`].
+//!
+//! Instead of upstream's work-stealing deques, workers share one atomic
+//! index into the item list — dynamic load balancing with the same
+//! determinism property callers rely on: `collect` returns results in
+//! **input order** regardless of which worker computed what. Tasks here are
+//! coarse (one full schedulability analysis each), so per-item queue
+//! overhead is irrelevant.
+//!
+//! ```
+//! use rayon::prelude::*;
+//!
+//! let squares: Vec<u64> = [1u64, 2, 3, 4].par_iter().map(|&x| x * x).collect();
+//! assert_eq!(squares, vec![1, 4, 9, 16]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// The common imports, mirroring `rayon::prelude::*`.
+pub mod prelude {
+    pub use crate::{FromParallelIterator, IntoParallelRefIterator, ParallelIterator};
+}
+
+thread_local! {
+    /// Worker-count override installed by [`ThreadPool::install`] for the
+    /// duration of a closure; 0 means "use all available cores".
+    static POOL_THREADS: Cell<usize> = const { Cell::new(0) };
+}
+
+/// The number of worker threads a parallel operation started here would
+/// use: the installed pool's size, or all available cores.
+pub fn current_num_threads() -> usize {
+    let configured = POOL_THREADS.with(Cell::get);
+    if configured > 0 {
+        configured
+    } else {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+    }
+}
+
+/// Builds [`ThreadPool`]s, mirroring upstream's `ThreadPoolBuilder`.
+#[derive(Clone, Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+/// The error type of [`ThreadPoolBuilder::build`] (infallible here; kept
+/// for upstream signature parity).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+impl ThreadPoolBuilder {
+    /// A builder with default settings (as many workers as cores).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Caps the number of worker threads; 0 restores the default.
+    #[must_use]
+    pub fn num_threads(mut self, num_threads: usize) -> Self {
+        self.num_threads = num_threads;
+        self
+    }
+
+    /// Builds the pool.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            num_threads: self.num_threads,
+        })
+    }
+}
+
+/// A scoped worker-count configuration. Unlike upstream there are no
+/// persistent worker threads: [`install`](ThreadPool::install) bounds how
+/// many scoped threads parallel operations inside the closure spawn.
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// Runs `op` with this pool's worker count in effect. The previous
+    /// count is restored even if `op` unwinds.
+    pub fn install<R, F: FnOnce() -> R>(&self, op: F) -> R {
+        struct Restore(usize);
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                POOL_THREADS.with(|cell| cell.set(self.0));
+            }
+        }
+        let _restore = Restore(POOL_THREADS.with(|cell| cell.replace(self.num_threads)));
+        op()
+    }
+
+    /// This pool's worker count (0 = all cores).
+    pub fn current_num_threads(&self) -> usize {
+        if self.num_threads > 0 {
+            self.num_threads
+        } else {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        }
+    }
+}
+
+/// An indexed parallel computation: `len` items, any of which can be
+/// produced independently on any thread.
+pub trait ParallelIterator: Sync + Sized {
+    /// The element type.
+    type Item: Send;
+
+    /// Number of items.
+    fn len(&self) -> usize;
+
+    /// Whether there are no items.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Produces the item at `index` (called from worker threads).
+    fn item_at(&self, index: usize) -> Self::Item;
+
+    /// Maps each item through `f` in parallel.
+    fn map<R, F>(self, f: F) -> Map<Self, F>
+    where
+        R: Send,
+        F: Fn(Self::Item) -> R + Sync,
+    {
+        Map { base: self, f }
+    }
+
+    /// Executes the computation and collects the results in input order.
+    fn collect<C: FromParallelIterator<Self::Item>>(self) -> C {
+        C::from_par_iter(self)
+    }
+}
+
+/// Conversion of a borrowed collection into a parallel iterator, mirroring
+/// upstream's trait of the same name.
+pub trait IntoParallelRefIterator<'data> {
+    /// The element type (a reference).
+    type Item: Send;
+    /// The parallel iterator type.
+    type Iter: ParallelIterator<Item = Self::Item>;
+
+    /// Borrows the collection as a parallel iterator.
+    fn par_iter(&'data self) -> Self::Iter;
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for [T] {
+    type Item = &'data T;
+    type Iter = SliceIter<'data, T>;
+
+    fn par_iter(&'data self) -> SliceIter<'data, T> {
+        SliceIter { slice: self }
+    }
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for Vec<T> {
+    type Item = &'data T;
+    type Iter = SliceIter<'data, T>;
+
+    fn par_iter(&'data self) -> SliceIter<'data, T> {
+        SliceIter { slice: self }
+    }
+}
+
+/// Parallel iterator over `&[T]`.
+#[derive(Clone, Copy, Debug)]
+pub struct SliceIter<'data, T> {
+    slice: &'data [T],
+}
+
+impl<'data, T: Sync> ParallelIterator for SliceIter<'data, T> {
+    type Item = &'data T;
+
+    fn len(&self) -> usize {
+        self.slice.len()
+    }
+
+    fn item_at(&self, index: usize) -> &'data T {
+        &self.slice[index]
+    }
+}
+
+/// A mapped parallel iterator (see [`ParallelIterator::map`]).
+pub struct Map<I, F> {
+    base: I,
+    f: F,
+}
+
+impl<I, R, F> ParallelIterator for Map<I, F>
+where
+    I: ParallelIterator,
+    R: Send,
+    F: Fn(I::Item) -> R + Sync,
+{
+    type Item = R;
+
+    fn len(&self) -> usize {
+        self.base.len()
+    }
+
+    fn item_at(&self, index: usize) -> R {
+        (self.f)(self.base.item_at(index))
+    }
+}
+
+/// Collection types constructible from a parallel iterator.
+pub trait FromParallelIterator<T: Send>: Sized {
+    /// Runs `iter` to completion and gathers the results.
+    fn from_par_iter<I: ParallelIterator<Item = T>>(iter: I) -> Self;
+}
+
+impl<T: Send> FromParallelIterator<T> for Vec<T> {
+    fn from_par_iter<I: ParallelIterator<Item = T>>(iter: I) -> Self {
+        let len = iter.len();
+        let workers = current_num_threads().min(len);
+        if workers <= 1 {
+            return (0..len).map(|i| iter.item_at(i)).collect();
+        }
+        let next = AtomicUsize::new(0);
+        let slots = Mutex::new(Vec::with_capacity(len));
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let index = next.fetch_add(1, Ordering::Relaxed);
+                    if index >= len {
+                        break;
+                    }
+                    let value = iter.item_at(index);
+                    slots
+                        .lock()
+                        .expect("rayon shim worker poisoned")
+                        .push((index, value));
+                });
+            }
+        });
+        let mut slots = slots.into_inner().expect("rayon shim result poisoned");
+        debug_assert_eq!(slots.len(), len);
+        slots.sort_unstable_by_key(|&(index, _)| index);
+        slots.into_iter().map(|(_, value)| value).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn collect_preserves_input_order() {
+        let input: Vec<u64> = (0..1000).collect();
+        let doubled: Vec<u64> = input.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn install_bounds_and_restores_worker_count() {
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        let outside = current_num_threads();
+        let inside = pool.install(current_num_threads);
+        assert_eq!(inside, 3);
+        assert_eq!(current_num_threads(), outside);
+    }
+
+    #[test]
+    fn single_thread_pool_matches_parallel_result() {
+        let input: Vec<u64> = (0..257).collect();
+        let serial_pool = ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+        let a: Vec<u64> = serial_pool.install(|| input.par_iter().map(|&x| x * x).collect());
+        let b: Vec<u64> = input.par_iter().map(|&x| x * x).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn install_restores_worker_count_across_unwind() {
+        let outside = current_num_threads();
+        let pool = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        let caught =
+            std::panic::catch_unwind(|| pool.install(|| -> () { panic!("worker code unwound") }));
+        assert!(caught.is_err());
+        assert_eq!(current_num_threads(), outside);
+    }
+
+    #[test]
+    fn empty_input_collects_empty() {
+        let empty: Vec<u64> = Vec::new();
+        let out: Vec<u64> = empty.par_iter().map(|&x| x).collect();
+        assert!(out.is_empty());
+    }
+}

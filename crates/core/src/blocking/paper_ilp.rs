@@ -49,11 +49,7 @@ pub fn mu_ilp(dag: &Dag, c: usize) -> Option<Time> {
     for j in 0..n {
         for k in j + 1..n {
             let bjk = m.binary(format!("b{j}_{k}"));
-            m.constraint(
-                &[(bjk, 1.0), (b[j], -1.0), (b[k], -1.0)],
-                Sense::Ge,
-                -1.0,
-            );
+            m.constraint(&[(bjk, 1.0), (b[j], -1.0), (b[k], -1.0)], Sense::Ge, -1.0);
             m.constraint(&[(bjk, 1.0), (b[j], -1.0)], Sense::Le, 0.0);
             m.constraint(&[(bjk, 1.0), (b[k], -1.0)], Sense::Le, 0.0);
             if is_par[j].contains(k) {
@@ -100,11 +96,7 @@ pub fn rho_ilp(mu_arrays: &[Vec<Time>], scenario: &Partition) -> Option<Time> {
     let mut m = IlpBuilder::new();
     // w[i][c-1]
     let w: Vec<Vec<_>> = (0..tasks)
-        .map(|i| {
-            (1..=max_c)
-                .map(|c| m.binary(format!("w{i}_{c}")))
-                .collect()
-        })
+        .map(|i| (1..=max_c).map(|c| m.binary(format!("w{i}_{c}"))).collect())
         .collect();
     for i in 0..tasks {
         for c in 1..=max_c {
@@ -134,11 +126,7 @@ pub fn rho_ilp(mu_arrays: &[Vec<Time>], scenario: &Partition) -> Option<Time> {
     // (4) total cores used = scenario total.
     let weighted: Vec<_> = w
         .iter()
-        .flat_map(|row| {
-            row.iter()
-                .enumerate()
-                .map(|(ci, &v)| (v, (ci + 1) as f64))
-        })
+        .flat_map(|row| row.iter().enumerate().map(|(ci, &v)| (v, (ci + 1) as f64)))
         .collect();
     m.constraint(&weighted, Sense::Eq, scenario.total() as f64);
 

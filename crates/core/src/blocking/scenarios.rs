@@ -88,10 +88,7 @@ pub fn delta(
     };
     match space {
         ScenarioSpace::PaperExact => max_rho(cores as u32).unwrap_or(0),
-        ScenarioSpace::Extended => (1..=cores as u32)
-            .filter_map(max_rho)
-            .max()
-            .unwrap_or(0),
+        ScenarioSpace::Extended => (1..=cores as u32).filter_map(max_rho).max().unwrap_or(0),
     }
 }
 
@@ -237,13 +234,20 @@ mod tests {
     #[test]
     fn extended_dominates_exact() {
         // On arbitrary µ arrays the extended space is ≥ the exact space.
-        let arrays = vec![
-            vec![4u64, 6, 0, 0],
-            vec![2, 0, 0, 0],
-        ];
+        let arrays = vec![vec![4u64, 6, 0, 0], vec![2, 0, 0, 0]];
         for cores in 1..=4 {
-            let e = delta(&arrays, cores, ScenarioSpace::Extended, RhoSolver::Hungarian);
-            let p = delta(&arrays, cores, ScenarioSpace::PaperExact, RhoSolver::Hungarian);
+            let e = delta(
+                &arrays,
+                cores,
+                ScenarioSpace::Extended,
+                RhoSolver::Hungarian,
+            );
+            let p = delta(
+                &arrays,
+                cores,
+                ScenarioSpace::PaperExact,
+                RhoSolver::Hungarian,
+            );
             assert!(e >= p, "m = {cores}");
         }
     }

@@ -326,8 +326,7 @@ mod tests {
         let ts = figure1_task_set();
         let fast = analyze(
             &ts,
-            &AnalysisConfig::new(4, Method::LpIlp)
-                .with_scenario_space(ScenarioSpace::PaperExact),
+            &AnalysisConfig::new(4, Method::LpIlp).with_scenario_space(ScenarioSpace::PaperExact),
         );
         let paper = analyze(
             &ts,
@@ -350,8 +349,7 @@ mod tests {
         let extended = analyze(&ts, &AnalysisConfig::new(4, Method::LpIlp));
         let exact = analyze(
             &ts,
-            &AnalysisConfig::new(4, Method::LpIlp)
-                .with_scenario_space(ScenarioSpace::PaperExact),
+            &AnalysisConfig::new(4, Method::LpIlp).with_scenario_space(ScenarioSpace::PaperExact),
         );
         for (e, p) in extended.tasks.iter().zip(&exact.tasks) {
             assert!(e.response_bound.scaled() >= p.response_bound.scaled());

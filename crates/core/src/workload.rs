@@ -114,13 +114,7 @@ mod tests {
                         continue;
                     }
                     for window_scaled in [0u128, 1, 7, 40, 173, 1000] {
-                        let exact = interfering_workload(
-                            window_scaled,
-                            r_scaled,
-                            vol,
-                            period,
-                            m,
-                        );
+                        let exact = interfering_workload(window_scaled, r_scaled, vol, period, m);
                         let approx = reference(
                             window_scaled as f64 / m as f64,
                             r_scaled as f64 / m as f64,

@@ -36,9 +36,11 @@ fn more_cores_than_total_parallelism() {
     let mut b = DagBuilder::new();
     let v = b.add_nodes([3, 4, 5]);
     b.add_chain(&v).unwrap();
-    let ts = TaskSet::new(vec![
-        DagTask::with_implicit_deadline(b.build().unwrap(), 100).unwrap()
-    ]);
+    let ts = TaskSet::new(vec![DagTask::with_implicit_deadline(
+        b.build().unwrap(),
+        100,
+    )
+    .unwrap()]);
     let report = analyze(&ts, &AnalysisConfig::new(64, Method::LpIlp));
     assert!(report.schedulable);
     assert_eq!(report.tasks[0].response_bound.ceil(), 12);
@@ -81,9 +83,11 @@ fn zero_wcet_nodes_are_tolerated() {
     b.add_edge(fork, c).unwrap();
     b.add_edge(a, join).unwrap();
     b.add_edge(c, join).unwrap();
-    let ts = TaskSet::new(vec![
-        DagTask::with_implicit_deadline(b.build().unwrap(), 50).unwrap()
-    ]);
+    let ts = TaskSet::new(vec![DagTask::with_implicit_deadline(
+        b.build().unwrap(),
+        50,
+    )
+    .unwrap()]);
     for method in Method::ALL {
         let report = analyze(&ts, &AnalysisConfig::new(2, method));
         assert!(report.schedulable, "{method}");
@@ -111,7 +115,7 @@ fn blocking_saturates_with_many_identical_lp_tasks() {
 fn analysis_stops_at_first_unschedulable_task() {
     let ts = TaskSet::new(vec![
         single(5, 100),
-        single(90, 91),  // will fail (blocked + interfered)
+        single(90, 91), // will fail (blocked + interfered)
         single(1, 1_000),
     ]);
     let report = analyze(&ts, &AnalysisConfig::new(1, Method::LpMax));
@@ -130,9 +134,11 @@ fn wide_dag_beats_its_volume_on_enough_cores() {
     for &leaf in &leaves {
         b.add_edge(src, leaf).unwrap();
     }
-    let ts = TaskSet::new(vec![
-        DagTask::with_implicit_deadline(b.build().unwrap(), 30).unwrap()
-    ]);
+    let ts = TaskSet::new(vec![DagTask::with_implicit_deadline(
+        b.build().unwrap(),
+        30,
+    )
+    .unwrap()]);
     let report = analyze(&ts, &AnalysisConfig::new(8, Method::FpIdeal));
     assert!(report.schedulable);
     // L = 11, vol = 81 → R = 11 + ⌊70/8⌋ = 11 + 8.75 → ceil ≤ 20 < 81.
@@ -142,7 +148,7 @@ fn wide_dag_beats_its_volume_on_enough_cores() {
 #[test]
 fn constrained_deadlines_are_honored() {
     // Same task, two deadlines: passes with D = 12, fails with D = 9.
-    let mut mk = |d: u64| {
+    let mk = |d: u64| {
         let mut b = DagBuilder::new();
         let v = b.add_nodes([4, 6]);
         b.add_chain(&v).unwrap();

@@ -77,10 +77,7 @@ mod tests {
     fn table_alignment() {
         let t = table(
             &["a", "bbb"],
-            &[
-                vec!["xx".into(), "1".into()],
-                vec!["y".into(), "22".into()],
-            ],
+            &[vec!["xx".into(), "1".into()], vec!["y".into(), "22".into()]],
         );
         let lines: Vec<&str> = t.lines().collect();
         assert_eq!(lines[0], "a  | bbb");

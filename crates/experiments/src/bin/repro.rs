@@ -1,7 +1,7 @@
 //! `repro` — regenerate every table and figure of the paper.
 //!
 //! ```text
-//! repro <command> [--sets N] [--out DIR] [--samples N]
+//! repro <command> [--sets N] [--out DIR] [--samples N] [--jobs N]
 //!
 //! commands:
 //!   table1       Table I   (µ_i[c] of the Figure 1 tasks)
@@ -21,10 +21,17 @@
 //!   --sets N     task sets per sweep point        (default 300)
 //!   --samples N  positive answers per timing row  (default 20)
 //!   --out DIR    also write CSV files to DIR      (default out/)
+//!   --jobs N     sweep worker threads; 0 = one per core (default 0)
+//!   --serial     shorthand for --jobs 1
 //! ```
+//!
+//! Sweep output is bit-identical for every `--jobs` value: task-set seeds
+//! derive only from sweep coordinates and results are folded in
+//! coordinate order.
 
 use rta_analysis::{MuSolver, RhoSolver};
-use rta_experiments::figure2::{run, run_task_count, SweepConfig};
+use rta_experiments::exec::Jobs;
+use rta_experiments::figure2::{run_task_count_with_jobs, run_with_jobs, SweepConfig};
 use rta_experiments::{tables, timing};
 use std::path::PathBuf;
 
@@ -34,6 +41,20 @@ struct Options {
     out: PathBuf,
     seed: u64,
     target: f64,
+    /// `None` until `--jobs`/`--serial` is given: sweeps then default to
+    /// one worker per core, while `timing` defaults to serial so its
+    /// wall-clock averages are not skewed by worker contention.
+    jobs: Option<Jobs>,
+}
+
+impl Options {
+    fn sweep_jobs(&self) -> Jobs {
+        self.jobs.unwrap_or(Jobs::Auto)
+    }
+
+    fn timing_jobs(&self) -> Jobs {
+        self.jobs.unwrap_or_else(Jobs::serial)
+    }
 }
 
 fn main() {
@@ -45,6 +66,7 @@ fn main() {
         out: PathBuf::from("out"),
         seed: 0,
         target: 2.0,
+        jobs: None,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -79,6 +101,16 @@ fn main() {
                     .and_then(|v| v.parse().ok())
                     .unwrap_or_else(|| usage("--target needs a number"));
             }
+            "--jobs" => {
+                let n: usize = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--jobs needs a number (0 = one per core)"));
+                options.jobs = Some(Jobs::from_flag(n));
+            }
+            "--serial" => {
+                options.jobs = Some(Jobs::serial());
+            }
             cmd if command.is_none() && !cmd.starts_with('-') => {
                 command = Some(cmd.to_string());
             }
@@ -88,6 +120,13 @@ fn main() {
     let Some(command) = command else {
         usage("missing command");
     };
+
+    if !Jobs::parallelism_available() && matches!(options.jobs, Some(Jobs::Count(n)) if n > 1) {
+        eprintln!(
+            "note: built without the `parallel` feature; sweeps run serially \
+             (output is identical either way)"
+        );
+    }
 
     std::fs::create_dir_all(&options.out).expect("create output directory");
     match command.as_str() {
@@ -121,7 +160,9 @@ fn main() {
 fn sensitivity(options: &Options) {
     println!("== sensitivity: Figure 2(a) under alternative period models (DESIGN.md §5.3) ==");
     let sets = options.sets.min(60); // three full panels; keep it bounded
-    for (variant, result) in rta_experiments::sensitivity::run_all(sets) {
+    for (variant, result) in
+        rta_experiments::sensitivity::run_all_with_jobs(sets, options.sweep_jobs())
+    {
         println!("-- {} --", variant.label);
         println!("{}", result.render("U"));
     }
@@ -132,8 +173,7 @@ fn dump_set(options: &Options) {
     use rand::SeedableRng;
     let mut rng = SmallRng::seed_from_u64(options.seed);
     let ts = rta_taskgen::generate_task_set(&mut rng, &rta_taskgen::group1(options.target));
-    let json = serde_json::to_string_pretty(&ts).expect("task sets serialize");
-    println!("{json}");
+    println!("{}", rta_model::json::task_set_to_json(&ts));
     eprintln!(
         "# {} tasks, U = {:.3} (seed {}, target {})",
         ts.len(),
@@ -147,7 +187,7 @@ fn usage(msg: &str) -> ! {
     eprintln!("error: {msg}\n");
     eprintln!(
         "usage: repro <table1|table2|table3|fig2a|fig2b|fig2c|fig2c-tasks|group2|timing|all> \
-         [--sets N] [--samples N] [--out DIR]"
+         [--sets N] [--samples N] [--out DIR] [--jobs N] [--serial]"
     );
     std::process::exit(2);
 }
@@ -180,11 +220,13 @@ fn table3() {
 fn sweep(name: &str, config: SweepConfig, options: &Options) {
     let config = config.with_sets_per_point(options.sets);
     println!(
-        "== {name}: m = {}, {} sets/point (group 1) ==",
-        config.cores, config.sets_per_point
+        "== {name}: m = {}, {} sets/point (group 1), {} worker(s) ==",
+        config.cores,
+        config.sets_per_point,
+        options.sweep_jobs().worker_count()
     );
     let start = std::time::Instant::now();
-    let result = run(&config);
+    let result = run_with_jobs(&config, options.sweep_jobs());
     println!("{}", result.render("U"));
     println!(
         "dominance (LP-max ≤ LP-ILP ≤ FP-ideal): {}; computed in {:.1}s\n",
@@ -201,7 +243,7 @@ fn task_count_sweep(options: &Options) {
         "== fig2c-tasks: m = 16, U = 8, task-count sweep, {} sets/point ==",
         config.sets_per_point
     );
-    let result = run_task_count(&config, &counts);
+    let result = run_task_count_with_jobs(&config, &counts, options.sweep_jobs());
     println!("{}", result.render("tasks"));
     write_csv(options, "fig2c_tasks", &result.to_csv("tasks"));
 }
@@ -212,7 +254,7 @@ fn group2(options: &Options) {
         let config = SweepConfig::paper_panel(cores)
             .with_sets_per_point(options.sets)
             .with_generator(rta_taskgen::group2);
-        let result = run(&config);
+        let result = run_with_jobs(&config, options.sweep_jobs());
         println!("m = {cores}:");
         println!("{}", result.render("U"));
         // Quantify the gap between LP-ILP and LP-max, which the paper says
@@ -233,7 +275,15 @@ fn group2(options: &Options) {
 
 fn run_timing(options: &Options) {
     println!("== timing: average runtime of a positive schedulability test ==");
-    let rows = timing::run(&[4, 8, 16], options.samples, 0xBEEF);
+    let jobs = options.timing_jobs();
+    if jobs.worker_count() > 1 {
+        println!(
+            "(note: {} workers — averages include contention; omit --jobs for \
+             uncontended serial measurements)",
+            jobs.worker_count()
+        );
+    }
+    let rows = timing::run_with_jobs(&[4, 8, 16], options.samples, 0xBEEF, jobs);
     println!("{}", timing::render(&rows));
     println!(
         "(paper, MATLAB + CPLEX: 0.45 s / 4.75 s / 43 min — trend, not absolute, is comparable)\n"

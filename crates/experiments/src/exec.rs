@@ -1,0 +1,120 @@
+//! The campaign execution substrate: how sweep work is spread over cores.
+//!
+//! Every experiment in this crate reduces to "evaluate a list of
+//! independent, deterministic jobs" — one schedulability test per generated
+//! task set, seeded purely from its sweep coordinates (see
+//! [`set_seed`](crate::set_seed)). [`par_map`] runs such a list either
+//! serially or on a rayon thread pool, and always returns results in
+//! **input order**, so any fold over them is bit-identical regardless of
+//! the worker count. That property is what lets `repro --jobs 1` and
+//! `repro --jobs 32` print the same bytes.
+//!
+//! Parallelism lives behind the crate's `parallel` feature (on by
+//! default): with the feature disabled this module compiles to the plain
+//! serial loop and the crate has no threading dependency at all, keeping
+//! `rta-analysis` and the rest of the analysis stack dependency-light.
+
+/// How many workers a campaign may use.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Jobs {
+    /// One worker per available core (the default).
+    #[default]
+    Auto,
+    /// Exactly this many workers; `0` and `1` both mean serial.
+    Count(usize),
+}
+
+impl Jobs {
+    /// Parses the `--jobs N` CLI value (`0` = auto).
+    pub fn from_flag(n: usize) -> Self {
+        if n == 0 {
+            Jobs::Auto
+        } else {
+            Jobs::Count(n)
+        }
+    }
+
+    /// The serial driver.
+    pub fn serial() -> Self {
+        Jobs::Count(1)
+    }
+
+    /// Whether this build can actually run workers in parallel (the
+    /// `parallel` feature is enabled).
+    pub fn parallelism_available() -> bool {
+        cfg!(feature = "parallel")
+    }
+
+    /// The worker count this setting resolves to on this machine. Without
+    /// the `parallel` feature everything resolves to 1.
+    pub fn worker_count(self) -> usize {
+        #[cfg(feature = "parallel")]
+        {
+            match self {
+                Jobs::Auto => rayon::current_num_threads(),
+                Jobs::Count(n) => n.max(1),
+            }
+        }
+        #[cfg(not(feature = "parallel"))]
+        {
+            let _ = self;
+            1
+        }
+    }
+}
+
+/// Maps `f` over `items`, spreading the calls over [`Jobs::worker_count`]
+/// workers, and returns the results in input order.
+///
+/// `f` must be pure modulo interior timing (it may measure wall-clock time,
+/// as the timing experiment does, but the returned *decisions* must depend
+/// only on the input) — that is what makes the serial and parallel drivers
+/// interchangeable.
+pub fn par_map<T, R, F>(items: &[T], jobs: Jobs, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let workers = jobs.worker_count().min(items.len());
+    #[cfg(feature = "parallel")]
+    if workers > 1 {
+        use rayon::prelude::*;
+        return rayon::ThreadPoolBuilder::new()
+            .num_threads(workers)
+            .build()
+            .expect("worker pool construction cannot fail")
+            .install(|| items.par_iter().map(&f).collect());
+    }
+    let _ = workers;
+    items.iter().map(f).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flag_parsing() {
+        assert_eq!(Jobs::from_flag(0), Jobs::Auto);
+        assert_eq!(Jobs::from_flag(1), Jobs::Count(1));
+        assert_eq!(Jobs::from_flag(8), Jobs::Count(8));
+        assert_eq!(Jobs::serial().worker_count(), 1);
+        assert!(Jobs::Auto.worker_count() >= 1);
+    }
+
+    #[test]
+    fn par_map_preserves_order_for_every_driver() {
+        let items: Vec<u64> = (0..500).collect();
+        let expected: Vec<u64> = items.iter().map(|&x| x * 3 + 1).collect();
+        for jobs in [Jobs::serial(), Jobs::Count(4), Jobs::Auto] {
+            assert_eq!(par_map(&items, jobs, |&x| x * 3 + 1), expected);
+        }
+    }
+
+    #[test]
+    fn empty_input() {
+        let out: Vec<u64> = par_map(&[], Jobs::Auto, |x: &u64| *x);
+        assert!(out.is_empty());
+    }
+}

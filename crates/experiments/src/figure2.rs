@@ -3,10 +3,13 @@
 //! For each utilization point, `sets_per_point` random task sets are
 //! generated and tested with the three analyses (FP-ideal, LP-ILP, LP-max);
 //! the reported value is the percentage of schedulable sets — exactly the
-//! paper's Figure 2 (300 sets per point there). Work is spread over threads
-//! with per-set deterministic seeds, so results are reproducible bit-for-bit
-//! regardless of parallelism.
+//! paper's Figure 2 (300 sets per point there). Work is fanned over a
+//! thread pool (see [`crate::exec`]) with per-set deterministic seeds, so
+//! results are reproducible bit-for-bit regardless of parallelism; the
+//! worker budget is a [`Jobs`] value ([`run_with_jobs`]), surfaced on the
+//! `repro` CLI as `--jobs`.
 
+use crate::exec::{self, Jobs};
 use crate::{ascii, set_seed};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -87,9 +90,26 @@ pub struct SweepResult {
     pub points: Vec<SweepPoint>,
 }
 
-/// Runs the sweep, parallelized over task sets.
+/// Runs the sweep with one worker per core (see [`run_with_jobs`]).
 pub fn run(config: &SweepConfig) -> SweepResult {
-    run_with(config, |seed, target| {
+    run_with_jobs(config, Jobs::Auto)
+}
+
+/// Runs the sweep strictly serially — the reference the parallel driver is
+/// checked against (same bytes, see `tests/determinism.rs`).
+pub fn run_serial(config: &SweepConfig) -> SweepResult {
+    run_with_jobs(config, Jobs::serial())
+}
+
+/// Runs the sweep with an explicit worker budget, fanning the
+/// `(point, set)` evaluations over a thread pool.
+///
+/// Results are **bit-identical across worker counts**: every task set's
+/// seed derives only from its sweep coordinates, every evaluation is pure,
+/// and the per-point aggregation folds the evaluations in coordinate order
+/// no matter which worker produced them.
+pub fn run_with_jobs(config: &SweepConfig, jobs: Jobs) -> SweepResult {
+    run_with(config, jobs, |seed, target| {
         let mut rng = SmallRng::seed_from_u64(seed);
         generate_task_set(&mut rng, &(config.generator)(target))
     })
@@ -98,69 +118,72 @@ pub fn run(config: &SweepConfig) -> SweepResult {
 /// The task-count variant (DESIGN.md §5.4): x-axis = number of tasks, total
 /// utilization fixed at `cores / 2`.
 pub fn run_task_count(config: &SweepConfig, task_counts: &[usize]) -> SweepResult {
+    run_task_count_with_jobs(config, task_counts, Jobs::Auto)
+}
+
+/// [`run_task_count`] with an explicit worker budget.
+pub fn run_task_count_with_jobs(
+    config: &SweepConfig,
+    task_counts: &[usize],
+    jobs: Jobs,
+) -> SweepResult {
     let fixed_u = config.cores as f64 / 2.0;
     let mut cfg = config.clone();
     cfg.utilizations = task_counts.iter().map(|&n| n as f64).collect();
-    run_with(&cfg, |seed, x| {
+    run_with(&cfg, jobs, |seed, x| {
         let mut rng = SmallRng::seed_from_u64(seed);
         generate_task_set_with_count(&mut rng, &(config.generator)(fixed_u), x as usize)
     })
 }
 
-fn run_with<F>(config: &SweepConfig, make_set: F) -> SweepResult
+/// The outcome of evaluating one generated task set.
+struct SetOutcome {
+    /// Sweep point the set belongs to.
+    point: usize,
+    /// The set's achieved total utilization.
+    utilization: f64,
+    /// Schedulability verdict per method, in [`Method::ALL`] order.
+    schedulable: [bool; 3],
+}
+
+fn run_with<F>(config: &SweepConfig, jobs: Jobs, make_set: F) -> SweepResult
 where
     F: Fn(u64, f64) -> TaskSet + Sync,
 {
     let points = config.utilizations.len();
     let sets = config.sets_per_point;
-    // Flatten (point, set) pairs and chunk across threads.
-    let jobs: Vec<(usize, usize)> = (0..points)
+    let coords: Vec<(usize, usize)> = (0..points)
         .flat_map(|p| (0..sets).map(move |s| (p, s)))
         .collect();
-    let threads = std::thread::available_parallelism()
-        .map(std::num::NonZeroUsize::get)
-        .unwrap_or(1)
-        .min(jobs.len().max(1));
-    let chunk = jobs.len().div_ceil(threads);
 
-    let mut counts = vec![[0usize; 3]; points];
-    let mut achieved = vec![0.0f64; points];
-    std::thread::scope(|scope| {
-        let mut handles = Vec::new();
-        for worker in 0..threads {
-            let jobs = &jobs;
-            let make_set = &make_set;
-            let config = &config;
-            handles.push(scope.spawn(move || {
-                let mut local = vec![[0usize; 3]; points];
-                let mut local_u = vec![0.0f64; points];
-                let lo = worker * chunk;
-                let hi = (lo + chunk).min(jobs.len());
-                for &(p, s) in &jobs[lo..hi] {
-                    let target = config.utilizations[p];
-                    let ts = make_set(set_seed(config.seed, p, s), target);
-                    local_u[p] += ts.total_utilization();
-                    for (mi, method) in Method::ALL.iter().enumerate() {
-                        let cfg = AnalysisConfig::new(config.cores, *method)
-                            .with_scenario_space(rta_analysis::ScenarioSpace::PaperExact);
-                        if analyze(&ts, &cfg).schedulable {
-                            local[p][mi] += 1;
-                        }
-                    }
-                }
-                (local, local_u)
-            }));
+    // Fan the evaluations out; `par_map` returns them in coordinate order.
+    let outcomes = exec::par_map(&coords, jobs, |&(p, s)| {
+        let target = config.utilizations[p];
+        let ts = make_set(set_seed(config.seed, p, s), target);
+        let mut schedulable = [false; 3];
+        for (mi, method) in Method::ALL.iter().enumerate() {
+            let cfg = AnalysisConfig::new(config.cores, *method)
+                .with_scenario_space(rta_analysis::ScenarioSpace::PaperExact);
+            schedulable[mi] = analyze(&ts, &cfg).schedulable;
         }
-        for handle in handles {
-            let (local, local_u) = handle.join().expect("worker panicked");
-            for (p, row) in local.iter().enumerate() {
-                for (mi, v) in row.iter().enumerate() {
-                    counts[p][mi] += v;
-                }
-                achieved[p] += local_u[p];
-            }
+        SetOutcome {
+            point: p,
+            utilization: ts.total_utilization(),
+            schedulable,
         }
     });
+
+    // Deterministic fold: coordinate order, independent of the driver.
+    let mut counts = vec![[0usize; 3]; points];
+    let mut achieved = vec![0.0f64; points];
+    for outcome in &outcomes {
+        achieved[outcome.point] += outcome.utilization;
+        for (mi, &ok) in outcome.schedulable.iter().enumerate() {
+            if ok {
+                counts[outcome.point][mi] += 1;
+            }
+        }
+    }
 
     let points = config
         .utilizations
@@ -202,7 +225,11 @@ impl SweepResult {
         let mut out = ascii::table(&header, &rows);
         for (mi, method) in Method::ALL.iter().enumerate() {
             let curve: Vec<f64> = self.points.iter().map(|p| p.schedulable_pct[mi]).collect();
-            out.push_str(&format!("{:>9} {}\n", method.label(), ascii::sparkline(&curve)));
+            out.push_str(&format!(
+                "{:>9} {}\n",
+                method.label(),
+                ascii::sparkline(&curve)
+            ));
         }
         out
     }

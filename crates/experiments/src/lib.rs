@@ -18,12 +18,15 @@
 //!
 //! Sweeps are deterministic: every task set's seed derives from
 //! `(base seed, point index, set index)` only, so results do not depend on
-//! thread scheduling.
+//! thread scheduling. The campaign driver ([`exec`]) fans evaluations over
+//! a thread pool — or runs them serially with `--jobs 1`, with bit-identical
+//! output — behind the crate's `parallel` feature (enabled by default).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod ascii;
+pub mod exec;
 pub mod figure2;
 pub mod sensitivity;
 pub mod tables;

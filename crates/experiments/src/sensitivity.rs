@@ -12,7 +12,8 @@
 //! * `PerTaskUtilization` — independent heavy utilizations: demonstrates
 //!   the fragile-small-task failure mode that destroys the LP plateau.
 
-use crate::figure2::{run, SweepConfig, SweepResult};
+use crate::exec::Jobs;
+use crate::figure2::{run_with_jobs, SweepConfig, SweepResult};
 use rta_taskgen::{group1, PeriodModel, TaskSetConfig};
 
 /// One sensitivity variant: a label and a generator.
@@ -58,15 +59,21 @@ pub fn variants() -> Vec<Variant> {
     ]
 }
 
-/// Runs the reduced m = 4 panel for every variant.
+/// Runs the reduced m = 4 panel for every variant with one worker per
+/// core.
 pub fn run_all(sets_per_point: usize) -> Vec<(Variant, SweepResult)> {
+    run_all_with_jobs(sets_per_point, Jobs::Auto)
+}
+
+/// [`run_all`] with an explicit worker budget.
+pub fn run_all_with_jobs(sets_per_point: usize, jobs: Jobs) -> Vec<(Variant, SweepResult)> {
     variants()
         .into_iter()
         .map(|v| {
             let config = SweepConfig::paper_panel(4)
                 .with_sets_per_point(sets_per_point)
                 .with_generator(v.generator);
-            let result = run(&config);
+            let result = run_with_jobs(&config, jobs);
             (v, result)
         })
         .collect()

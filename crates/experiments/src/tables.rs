@@ -166,11 +166,8 @@ mod tests {
     fn table3_matches_paper_both_solvers() {
         for solver in [RhoSolver::Hungarian, RhoSolver::PaperIlp] {
             let t = table3(solver);
-            let by_scenario: std::collections::BTreeMap<String, Time> = t
-                .rho
-                .iter()
-                .map(|(s, v)| (s.to_string(), *v))
-                .collect();
+            let by_scenario: std::collections::BTreeMap<String, Time> =
+                t.rho.iter().map(|(s, v)| (s.to_string(), *v)).collect();
             assert_eq!(by_scenario["{1,1,1,1}"], 18);
             assert_eq!(by_scenario["{2,2}"], 16);
             assert_eq!(by_scenario["{2,1,1}"], 19);

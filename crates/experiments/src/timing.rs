@@ -7,6 +7,7 @@
 //! per-task `µ` searches); absolute numbers are not comparable across
 //! implementations — see EXPERIMENTS.md.
 
+use crate::exec::{self, Jobs};
 use crate::set_seed;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -30,41 +31,61 @@ pub struct TimingRow {
     pub samples: usize,
 }
 
-/// Runs the timing experiment for each core count.
+/// Runs the timing experiment for each core count with one worker per core
+/// (see [`run_with_jobs`]).
+pub fn run(core_counts: &[usize], samples_per_m: usize, seed: u64) -> Vec<TimingRow> {
+    run_with_jobs(core_counts, samples_per_m, seed, Jobs::Auto)
+}
+
+/// Runs the timing experiment with an explicit worker budget.
 ///
 /// Mirrors the paper's setup: random group-1 task sets at a utilization
 /// where the LP-ILP test answers positively (we use `0.3·m`, inside the
 /// schedulable band of our calibrated generator); only positive answers are
 /// timed (the paper times "a positive scheduling answer").
-pub fn run(core_counts: &[usize], samples_per_m: usize, seed: u64) -> Vec<TimingRow> {
+///
+/// Candidate generation fans out in chunks of attempts, but a row always
+/// averages exactly the **first** `samples_per_m` positively-answered
+/// attempts in attempt order — the same sample set the serial driver
+/// picks, so `samples` and acceptance decisions are reproducible. (The
+/// measured wall-clock averages are inherently noisier with concurrent
+/// workers on a busy machine; use `--jobs 1` for publication-grade
+/// numbers.)
+pub fn run_with_jobs(
+    core_counts: &[usize],
+    samples_per_m: usize,
+    seed: u64,
+    jobs: Jobs,
+) -> Vec<TimingRow> {
     core_counts
         .iter()
         .map(|&cores| {
             let target = cores as f64 * 0.3;
+            let budget = samples_per_m * 20;
+            // Speculate one chunk of attempts at a time: large enough to
+            // keep every worker busy, small enough to waste little work
+            // once the acceptance target is reached.
+            let chunk = jobs.worker_count().max(1) * 2;
             let mut totals = [0.0f64; 3];
             let mut accepted = 0usize;
             let mut attempt = 0usize;
-            while accepted < samples_per_m && attempt < samples_per_m * 20 {
-                let mut rng = SmallRng::seed_from_u64(set_seed(seed, cores, attempt));
-                attempt += 1;
-                let ts = generate_task_set(&mut rng, &group1(target));
-                // Time LP-ILP first; only keep positively-answered sets.
-                let start = Instant::now();
-                let ilp = analyze(&ts, &AnalysisConfig::new(cores, Method::LpIlp));
-                let ilp_time = start.elapsed().as_secs_f64();
-                if !ilp.schedulable {
-                    continue;
+            while accepted < samples_per_m && attempt < budget {
+                let hi = (attempt + chunk).min(budget);
+                let attempts: Vec<usize> = (attempt..hi).collect();
+                let outcomes = exec::par_map(&attempts, jobs, |&a| {
+                    measure_attempt(cores, target, seed, a)
+                });
+                // Consume in attempt order; acceptance is deterministic.
+                for times in outcomes.into_iter().flatten() {
+                    if accepted == samples_per_m {
+                        break;
+                    }
+                    for (total, t) in totals.iter_mut().zip(times) {
+                        *total += t;
+                    }
+                    accepted += 1;
                 }
-                let start = Instant::now();
-                let _ = analyze(&ts, &AnalysisConfig::new(cores, Method::LpMax));
-                let max_time = start.elapsed().as_secs_f64();
-                let start = Instant::now();
-                let _ = analyze(&ts, &AnalysisConfig::new(cores, Method::FpIdeal));
-                let fp_time = start.elapsed().as_secs_f64();
-                totals[0] += ilp_time;
-                totals[1] += max_time;
-                totals[2] += fp_time;
-                accepted += 1;
+                attempt = hi;
             }
             let n = accepted.max(1) as f64;
             TimingRow {
@@ -76,6 +97,27 @@ pub fn run(core_counts: &[usize], samples_per_m: usize, seed: u64) -> Vec<Timing
             }
         })
         .collect()
+}
+
+/// Generates and analyzes one candidate task set; `Some([ilp, max, fp])`
+/// seconds when the LP-ILP test answers positively, `None` otherwise.
+fn measure_attempt(cores: usize, target: f64, seed: u64, attempt: usize) -> Option<[f64; 3]> {
+    let mut rng = SmallRng::seed_from_u64(set_seed(seed, cores, attempt));
+    let ts = generate_task_set(&mut rng, &group1(target));
+    // Time LP-ILP first; only keep positively-answered sets.
+    let start = Instant::now();
+    let ilp = analyze(&ts, &AnalysisConfig::new(cores, Method::LpIlp));
+    let ilp_time = start.elapsed().as_secs_f64();
+    if !ilp.schedulable {
+        return None;
+    }
+    let start = Instant::now();
+    let _ = analyze(&ts, &AnalysisConfig::new(cores, Method::LpMax));
+    let max_time = start.elapsed().as_secs_f64();
+    let start = Instant::now();
+    let _ = analyze(&ts, &AnalysisConfig::new(cores, Method::FpIdeal));
+    let fp_time = start.elapsed().as_secs_f64();
+    Some([ilp_time, max_time, fp_time])
 }
 
 /// ASCII rendering of the timing rows.

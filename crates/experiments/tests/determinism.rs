@@ -1,0 +1,66 @@
+//! The contract of the parallel campaign driver: for any worker count,
+//! every sweep produces **byte-identical** output to the serial path.
+//!
+//! Task-set seeds derive only from `(base seed, point, set)` and the
+//! per-point aggregation folds evaluations in coordinate order, so the
+//! acceptance ratios — and the rendered CSV bytes — cannot depend on
+//! thread scheduling. These tests pin that property on a reduced
+//! Figure 2(a) grid.
+
+use rta_experiments::exec::Jobs;
+use rta_experiments::figure2::{run_serial, run_task_count_with_jobs, run_with_jobs, SweepConfig};
+use rta_experiments::timing;
+
+/// A reduced Figure 2(a) grid: m = 4, 4 utilization points, 6 sets each.
+fn reduced_fig2a() -> SweepConfig {
+    let mut config = SweepConfig::paper_panel(4).with_sets_per_point(6);
+    config.utilizations = vec![1.0, 2.0, 3.0, 4.0];
+    config
+}
+
+#[test]
+fn parallel_sweep_is_byte_identical_to_serial() {
+    let config = reduced_fig2a();
+    let serial = run_serial(&config);
+    for jobs in [Jobs::Count(2), Jobs::Count(7), Jobs::Auto] {
+        let parallel = run_with_jobs(&config, jobs);
+        assert_eq!(parallel, serial, "jobs = {jobs:?}");
+        assert_eq!(
+            parallel.to_csv("utilization").into_bytes(),
+            serial.to_csv("utilization").into_bytes(),
+            "CSV bytes must match for jobs = {jobs:?}"
+        );
+        assert_eq!(
+            parallel.render("U"),
+            serial.render("U"),
+            "rendered table must match for jobs = {jobs:?}"
+        );
+    }
+}
+
+#[test]
+fn task_count_variant_is_byte_identical_to_serial() {
+    let config = reduced_fig2a();
+    let counts = [2usize, 4, 6];
+    let serial = run_task_count_with_jobs(&config, &counts, Jobs::serial());
+    let parallel = run_task_count_with_jobs(&config, &counts, Jobs::Count(5));
+    assert_eq!(parallel, serial);
+    assert_eq!(
+        parallel.to_csv("tasks").into_bytes(),
+        serial.to_csv("tasks").into_bytes()
+    );
+}
+
+#[test]
+fn timing_accepts_the_same_samples_under_any_driver() {
+    // Wall-clock averages are machine noise, but the *acceptance
+    // decisions* (which attempts count, and therefore `samples`) are
+    // deterministic and must not depend on the worker count.
+    let serial = timing::run_with_jobs(&[2, 4], 3, 1, Jobs::serial());
+    let parallel = timing::run_with_jobs(&[2, 4], 3, 1, Jobs::Count(4));
+    assert_eq!(serial.len(), parallel.len());
+    for (s, p) in serial.iter().zip(&parallel) {
+        assert_eq!(s.cores, p.cores);
+        assert_eq!(s.samples, p.samples, "m = {}", s.cores);
+    }
+}

@@ -163,7 +163,15 @@ pub fn solve_lp(problem: &LpProblem, max_iterations: usize) -> Result<LpOutcome,
         for i in 0..m {
             if basis[i] >= art_start {
                 if let Some(j) = (0..art_start).find(|&j| a[i][j].abs() > EPS) {
-                    pivot(&mut a, &mut rhs, &mut basis, &mut obj_row, &mut obj_val, i, j);
+                    pivot(
+                        &mut a,
+                        &mut rhs,
+                        &mut basis,
+                        &mut obj_row,
+                        &mut obj_val,
+                        i,
+                        j,
+                    );
                 }
                 // If no pivot column exists the row is redundant (all zeros
                 // over real variables); the artificial stays basic at 0 and
@@ -388,10 +396,7 @@ mod tests {
     fn infeasible_detected() {
         let p = LpProblem {
             objective: vec![1.0],
-            rows: vec![
-                (vec![1.0], Sense::Ge, 3.0),
-                (vec![1.0], Sense::Le, 1.0),
-            ],
+            rows: vec![(vec![1.0], Sense::Ge, 3.0), (vec![1.0], Sense::Le, 1.0)],
         };
         assert_eq!(solve_lp(&p, 10_000).unwrap(), LpOutcome::Infeasible);
     }
@@ -416,10 +421,7 @@ mod tests {
         // −x ≤ −1 means x ≥ 1: feasible, with x ≤ 2 bound optimum 2.
         let p2 = LpProblem {
             objective: vec![1.0],
-            rows: vec![
-                (vec![-1.0], Sense::Le, -1.0),
-                (vec![1.0], Sense::Le, 2.0),
-            ],
+            rows: vec![(vec![-1.0], Sense::Le, -1.0), (vec![1.0], Sense::Le, 2.0)],
         };
         let (obj, _) = optimal(solve_lp(&p2, 10_000).unwrap());
         assert!((obj - 2.0).abs() < 1e-6);

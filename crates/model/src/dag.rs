@@ -14,7 +14,6 @@ use rta_combinatorics::BitSet;
 /// [`volume`](Dag::volume) (`vol(G)`) and [`longest_path`](Dag::longest_path)
 /// (`L`, the critical path).
 #[derive(Clone, Debug, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Dag {
     wcets: Vec<Time>,
     succ: Vec<BitSet>,

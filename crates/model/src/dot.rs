@@ -87,7 +87,9 @@ mod tests {
     fn task_dot_contains_timing_label() {
         let mut b = DagBuilder::new();
         b.add_node(5);
-        let t = DagTask::new(b.build().unwrap(), 10, 9).unwrap().named("cam");
+        let t = DagTask::new(b.build().unwrap(), 10, 9)
+            .unwrap()
+            .named("cam");
         let dot = task_to_dot(&t, "t0");
         assert!(dot.contains("cam T=10 D=9 vol=5 L=5"));
     }

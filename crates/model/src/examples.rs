@@ -192,13 +192,7 @@ mod tests {
     fn table_i_is_reproduced_exactly() {
         for (i, dag) in figure1_dags().iter().enumerate() {
             for c in 1..=4usize {
-                assert_eq!(
-                    mu(dag, c),
-                    TABLE_I[i][c - 1],
-                    "µ_{}[{}] mismatch",
-                    i + 1,
-                    c
-                );
+                assert_eq!(mu(dag, c), TABLE_I[i][c - 1], "µ_{}[{}] mismatch", i + 1, c);
             }
         }
     }
@@ -209,11 +203,15 @@ mod tests {
         assert_eq!(dag.node_count(), 8);
         // SUCC(v_{1,2}) = {v6, v8}, SUCC(v_{1,4}) = {v7, v8} (Section V-A1).
         assert_eq!(
-            dag.descendants(crate::NodeId::new(1)).iter().collect::<Vec<_>>(),
+            dag.descendants(crate::NodeId::new(1))
+                .iter()
+                .collect::<Vec<_>>(),
             vec![5, 7]
         );
         assert_eq!(
-            dag.descendants(crate::NodeId::new(3)).iter().collect::<Vec<_>>(),
+            dag.descendants(crate::NodeId::new(3))
+                .iter()
+                .collect::<Vec<_>>(),
             vec![6, 7]
         );
     }

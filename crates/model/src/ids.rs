@@ -7,8 +7,6 @@ use std::fmt;
 /// Displayed as `v3` (1-based, matching the paper's `v_{i,j}` numbering);
 /// the underlying [`index`](NodeId::index) is 0-based.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
-#[cfg_attr(feature = "serde", serde(transparent))]
 pub struct NodeId(pub(crate) usize);
 
 impl NodeId {
@@ -40,8 +38,6 @@ impl From<NodeId> for usize {
 /// Task indices double as priorities: `τ_i` has higher priority than `τ_j`
 /// iff `i < j` (paper Section III-A). Displayed 1-based as `τ2`.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
-#[cfg_attr(feature = "serde", serde(transparent))]
 pub struct TaskId(pub(crate) usize);
 
 impl TaskId {

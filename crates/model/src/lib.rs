@@ -17,8 +17,8 @@
 //! The crate also provides the graph analyses the RTA needs: volume,
 //! longest path, transitive closures, and the *parallel-NPR sets* `Par(v)`
 //! of the paper's **Algorithm 1** ([`parallel`]), plus DOT export
-//! ([`dot`]) and the reconstructed DAGs of the paper's Figure 1
-//! ([`examples`]).
+//! ([`dot`]), dependency-free JSON persistence ([`json`]) and the
+//! reconstructed DAGs of the paper's Figure 1 ([`examples`]).
 //!
 //! # Example
 //!
@@ -54,6 +54,7 @@ pub mod dot;
 pub mod error;
 pub mod examples;
 pub mod ids;
+pub mod json;
 pub mod parallel;
 pub mod task;
 pub mod taskset;

@@ -79,8 +79,7 @@ pub fn parallel_sets_algorithm1(dag: &Dag) -> Vec<BitSet> {
         let j = vj.index();
         for l in dag.siblings(vj).iter() {
             let vl = NodeId::new(l);
-            let direct_edge =
-                dag.successors(vj).contains(l) || dag.successors(vl).contains(j);
+            let direct_edge = dag.successors(vj).contains(l) || dag.successors(vl).contains(j);
             if !direct_edge {
                 // Succ ← SUCC(v_l) \ SUCC(v_j)
                 let mut succ = dag.descendants(vl).clone();

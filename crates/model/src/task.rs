@@ -26,7 +26,6 @@ use crate::time::Time;
 /// # }
 /// ```
 #[derive(Clone, Debug, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct DagTask {
     dag: Dag,
     period: Time,

@@ -34,7 +34,6 @@ use crate::task::DagTask;
 /// # }
 /// ```
 #[derive(Clone, Debug, Default, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct TaskSet {
     tasks: Vec<DagTask>,
 }
@@ -81,7 +80,10 @@ impl TaskSet {
 
     /// Iterator over `(TaskId, &DagTask)` pairs in priority order.
     pub fn iter(&self) -> impl Iterator<Item = (TaskId, &DagTask)> {
-        self.tasks.iter().enumerate().map(|(i, t)| (TaskId::new(i), t))
+        self.tasks
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (TaskId::new(i), t))
     }
 
     /// Total utilization `Σ_k vol(G_k)/T_k`.

@@ -128,14 +128,14 @@ proptest! {
     }
 
     #[test]
-    fn serde_round_trip(
+    fn json_round_trip(
         nodes in 1usize..10,
         edges in proptest::collection::vec(any::<bool>(), 1..60),
     ) {
         let dag = arbitrary_dag(nodes, &edges);
         let task = rta_model::DagTask::with_implicit_deadline(dag, 10_000).expect("valid");
-        let json = serde_json::to_string(&task).expect("serialize");
-        let back: rta_model::DagTask = serde_json::from_str(&json).expect("deserialize");
+        let json = rta_model::json::task_to_json(&task);
+        let back = rta_model::json::task_from_json(&json).expect("deserialize");
         prop_assert_eq!(task, back);
     }
 }

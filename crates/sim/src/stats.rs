@@ -22,8 +22,7 @@ pub struct TaskStats {
 impl TaskStats {
     /// Mean observed response time, if any job completed.
     pub fn mean_response(&self) -> Option<f64> {
-        (self.jobs_completed > 0)
-            .then(|| self.total_response as f64 / self.jobs_completed as f64)
+        (self.jobs_completed > 0).then(|| self.total_response as f64 / self.jobs_completed as f64)
     }
 }
 

@@ -100,16 +100,14 @@ impl Trace {
         };
         for e in &self.events {
             match e.kind {
-                TraceEventKind::Start
-                    if e.core < cores => {
-                        running[e.core] = Some((e.time, e.task));
+                TraceEventKind::Start if e.core < cores => {
+                    running[e.core] = Some((e.time, e.task));
+                }
+                TraceEventKind::Finish | TraceEventKind::Preempt if e.core < cores => {
+                    if let Some((from, task)) = running[e.core].take() {
+                        paint(e.core, from, e.time, task, &mut grid);
                     }
-                TraceEventKind::Finish | TraceEventKind::Preempt
-                    if e.core < cores => {
-                        if let Some((from, task)) = running[e.core].take() {
-                            paint(e.core, from, e.time, task, &mut grid);
-                        }
-                    }
+                }
                 _ => {}
             }
         }

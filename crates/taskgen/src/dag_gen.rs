@@ -138,7 +138,9 @@ pub fn generate_sequential_dag<R: Rng>(rng: &mut R, config: &DagGenConfig) -> Da
     let hi = config.max_path_nodes.min(config.max_nodes);
     let len = rng.gen_range(config.min_chain_nodes.min(hi)..=hi);
     let mut builder = DagBuilder::new();
-    let nodes: Vec<NodeId> = (0..len).map(|_| builder.add_node(wcet(rng, config))).collect();
+    let nodes: Vec<NodeId> = (0..len)
+        .map(|_| builder.add_node(wcet(rng, config)))
+        .collect();
     builder.add_chain(&nodes).expect("chain edges are valid");
     builder.build().expect("chain is a valid DAG")
 }

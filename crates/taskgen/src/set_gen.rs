@@ -391,7 +391,11 @@ fn assemble_common_scale<R: Rng>(
 ) -> TaskSet {
     assert!(spread >= 1.0, "spread must be at least 1");
     let dags: Vec<rta_model::Dag> = (0..n).map(|_| generate_kind(rng, &config.kind)).collect();
-    let scale = dags.iter().map(rta_model::Dag::volume).max().expect("n ≥ 1") as f64;
+    let scale = dags
+        .iter()
+        .map(rta_model::Dag::volume)
+        .max()
+        .expect("n ≥ 1") as f64;
     let mut periods: Vec<f64> = (0..n)
         .map(|_| rng.gen_range(scale..=(spread * scale).max(scale + 1.0)))
         .collect();

@@ -5,7 +5,9 @@ use proptest::prelude::*;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use rta_model::{parallel_sets_algorithm1, parallel_sets_exact};
-use rta_taskgen::{generate_dag, generate_sequential_dag, generate_task_set, group1, group2, DagGenConfig};
+use rta_taskgen::{
+    generate_dag, generate_sequential_dag, generate_task_set, group1, group2, DagGenConfig,
+};
 
 proptest! {
     /// On the nested fork-join class the paper's Algorithm 1 must agree

@@ -52,7 +52,10 @@ fn main() -> Result<(), ModelError> {
         &task_set,
         &SimConfig::new(2, 100_000).with_policy(PreemptionPolicy::LimitedPreemptive),
     );
-    println!("\nsimulation: {} deadline misses", sim.total_deadline_misses());
+    println!(
+        "\nsimulation: {} deadline misses",
+        sim.total_deadline_misses()
+    );
     for (k, stats) in sim.per_task.iter().enumerate() {
         println!(
             "  {}: max observed response = {} over {} jobs",

@@ -15,7 +15,10 @@ fn main() {
     let cores = 4;
     let sets_per_point = 40;
     println!("mini Figure 2(a): m = {cores}, {sets_per_point} sets/point\n");
-    println!("{:>6} {:>10} {:>10} {:>10}", "U", "FP-ideal", "LP-ILP", "LP-max");
+    println!(
+        "{:>6} {:>10} {:>10} {:>10}",
+        "U", "FP-ideal", "LP-ILP", "LP-max"
+    );
 
     for step in 0..=8 {
         let target = 1.0 + 0.375 * step as f64;

@@ -49,13 +49,16 @@ fn lp_bounds_hold_under_synchronous_wcet_execution() {
     for seed in 0..40u64 {
         let mut rng = SmallRng::seed_from_u64(seed);
         let ts = generate_task_set(&mut rng, &group1(2.0));
-        let sim = SimConfig::new(4, horizon_for(&ts))
-            .with_policy(PreemptionPolicy::LimitedPreemptive);
+        let sim =
+            SimConfig::new(4, horizon_for(&ts)).with_policy(PreemptionPolicy::LimitedPreemptive);
         if check_set(&ts, 4, Method::LpIlp, &sim) {
             accepted += 1;
         }
     }
-    assert!(accepted >= 5, "too few accepted sets ({accepted}) to be meaningful");
+    assert!(
+        accepted >= 5,
+        "too few accepted sets ({accepted}) to be meaningful"
+    );
 }
 
 #[test]
@@ -64,8 +67,8 @@ fn lp_max_bounds_hold_too() {
     for seed in 100..130u64 {
         let mut rng = SmallRng::seed_from_u64(seed);
         let ts = generate_task_set(&mut rng, &group1(1.5));
-        let sim = SimConfig::new(4, horizon_for(&ts))
-            .with_policy(PreemptionPolicy::LimitedPreemptive);
+        let sim =
+            SimConfig::new(4, horizon_for(&ts)).with_policy(PreemptionPolicy::LimitedPreemptive);
         if check_set(&ts, 4, Method::LpMax, &sim) {
             accepted += 1;
         }
@@ -79,8 +82,8 @@ fn fp_ideal_bounds_hold_under_full_preemption() {
     for seed in 200..230u64 {
         let mut rng = SmallRng::seed_from_u64(seed);
         let ts = generate_task_set(&mut rng, &group1(2.5));
-        let sim = SimConfig::new(4, horizon_for(&ts))
-            .with_policy(PreemptionPolicy::FullyPreemptive);
+        let sim =
+            SimConfig::new(4, horizon_for(&ts)).with_policy(PreemptionPolicy::FullyPreemptive);
         if check_set(&ts, 4, Method::FpIdeal, &sim) {
             accepted += 1;
         }
@@ -132,8 +135,8 @@ fn eight_core_platform() {
     for seed in 500..520u64 {
         let mut rng = SmallRng::seed_from_u64(seed);
         let ts = generate_task_set(&mut rng, &group1(3.0));
-        let sim = SimConfig::new(8, horizon_for(&ts))
-            .with_policy(PreemptionPolicy::LimitedPreemptive);
+        let sim =
+            SimConfig::new(8, horizon_for(&ts)).with_policy(PreemptionPolicy::LimitedPreemptive);
         if check_set(&ts, 8, Method::LpIlp, &sim) {
             accepted += 1;
         }

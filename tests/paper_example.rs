@@ -87,7 +87,11 @@ fn algorithm1_worked_example() {
         "Par(v_1,3)"
     );
     // The second loop adds v2, v3, v6 to Par(v_{1,7}).
-    assert_eq!(par[6].iter().collect::<Vec<_>>(), vec![1, 2, 5], "Par(v_1,7)");
+    assert_eq!(
+        par[6].iter().collect::<Vec<_>>(),
+        vec![1, 2, 5],
+        "Par(v_1,7)"
+    );
     // Par(v_{1,1}) = ∅ (the source precedes everything).
     assert!(par[0].is_empty());
     // SUCC sets quoted by the example.
