@@ -1,0 +1,262 @@
+//! Cached vs uncached analysis, and batched vs per-method sweep points.
+//!
+//! The perf-tracking bench behind the `TaskSetCache` layer. It measures two
+//! 4-core LP-ILP sweep points of the Figure 2 family —
+//!
+//! * the **utilization point**: `U = 3.5` of the Figure 2(a) panel
+//!   (group-1 sets, ~5 tasks each), and
+//! * the **task-count point**: `TASK_COUNT`-task sets at `U = m/2` (the
+//!   task-count variant of DESIGN.md §5.4), where the `O(n²)` per-task µ
+//!   recomputation the cache eliminates dominates —
+//!
+//! each in four shapes: a single LP-ILP analysis uncached
+//! (`analyze_uncached`, the pre-cache code path) vs cached (`analyze`), and
+//! the full 3-method sweep point per-method-uncached vs batched
+//! (`analyze_all`). A fifth pair runs the utilization point through the
+//! campaign driver serially and in parallel, so the JSON tracks both axes
+//! of the "as fast as the hardware allows" goal.
+//!
+//! Besides the human-readable report, the bench writes **`BENCH_2.json`**
+//! (override the path with the `BENCH_JSON` environment variable) with the
+//! median nanoseconds per sweep point of every shape, so CI can archive the
+//! perf trajectory run over run.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use rta_analysis::{analyze, analyze_all, analyze_uncached, AnalysisConfig, Method, ScenarioSpace};
+use rta_experiments::exec::Jobs;
+use rta_experiments::figure2::{run_with_jobs, SweepConfig};
+use rta_experiments::set_seed;
+use rta_model::TaskSet;
+use rta_taskgen::{generate_task_set, generate_task_set_with_count, group1};
+use std::fmt::Write as _;
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Task sets per sweep point (reduced from the paper's 300 to keep the
+/// bench seconds-scale; the per-set work is what the cache accelerates).
+const SETS_PER_POINT: usize = 8;
+/// Timed samples per measurement; the median is reported.
+const SAMPLES: usize = 7;
+/// Core count of the measured panel (the Figure 2(a) platform).
+const CORES: usize = 4;
+/// Tasks per set at the task-count sweep point.
+const TASK_COUNT: usize = 16;
+
+fn median_ns(mut samples: Vec<f64>) -> f64 {
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+/// Times `SAMPLES` runs of `routine` and returns the median nanoseconds.
+fn measure<O>(mut routine: impl FnMut() -> O) -> f64 {
+    // One untimed warm-up pass.
+    black_box(routine());
+    let samples: Vec<f64> = (0..SAMPLES)
+        .map(|_| {
+            let start = Instant::now();
+            black_box(routine());
+            start.elapsed().as_secs_f64() * 1e9
+        })
+        .collect();
+    median_ns(samples)
+}
+
+fn scale(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else {
+        format!("{:.3} µs", ns / 1e3)
+    }
+}
+
+/// The utilization sweep point: `U = 3.5` is point 10 of the 13-point
+/// Figure 2(a) panel, generated with the production seed derivation.
+fn utilization_point_sets() -> Vec<TaskSet> {
+    (0..SETS_PER_POINT)
+        .map(|s| {
+            let mut rng = SmallRng::seed_from_u64(set_seed(0xDA7E_2016, 10, s));
+            generate_task_set(&mut rng, &group1(3.5))
+        })
+        .collect()
+}
+
+/// The task-count sweep point: `TASK_COUNT` tasks at `U = m/2`
+/// (the x-axis of the task-count variant, here on the 4-core platform).
+fn task_count_point_sets() -> Vec<TaskSet> {
+    (0..SETS_PER_POINT)
+        .map(|s| {
+            let mut rng = SmallRng::seed_from_u64(set_seed(0xDA7E_2016, 10, s));
+            generate_task_set_with_count(&mut rng, &group1(CORES as f64 / 2.0), TASK_COUNT)
+        })
+        .collect()
+}
+
+fn sweep_configs() -> Vec<AnalysisConfig> {
+    Method::ALL
+        .iter()
+        .map(|&m| AnalysisConfig::new(CORES, m).with_scenario_space(ScenarioSpace::PaperExact))
+        .collect()
+}
+
+/// The per-point measurements, in nanoseconds per sweep point.
+struct PointResult {
+    uncached_lp_ilp_ns: f64,
+    cached_lp_ilp_ns: f64,
+    per_method_ns: f64,
+    batched_ns: f64,
+    /// FP-ideal has no blocking work at all, so this is the fixed-point
+    /// iteration (with its hoisted per-task invariants) nearly alone — the
+    /// floor the blocking-side caching is chasing, and the micro-bench
+    /// guarding the `fixed_point` hoists against regressions.
+    fp_ideal_ns: f64,
+}
+
+impl PointResult {
+    fn lp_ilp_speedup(&self) -> f64 {
+        self.uncached_lp_ilp_ns / self.cached_lp_ilp_ns
+    }
+
+    fn batched_speedup(&self) -> f64 {
+        self.per_method_ns / self.batched_ns
+    }
+}
+
+fn measure_point(label: &str, sets: &[TaskSet], configs: &[AnalysisConfig]) -> PointResult {
+    let lp_ilp = &configs[1];
+    assert_eq!(lp_ilp.method, Method::LpIlp);
+
+    // Sanity: the cached paths must reproduce the uncached reports exactly
+    // before we bother timing them.
+    for ts in sets {
+        let batched = analyze_all(ts, configs);
+        for (config, report) in configs.iter().zip(&batched) {
+            assert_eq!(report, &analyze_uncached(ts, config), "cache must be exact");
+        }
+    }
+
+    let result = PointResult {
+        uncached_lp_ilp_ns: measure(|| {
+            sets.iter()
+                .for_each(|ts| drop(black_box(analyze_uncached(ts, lp_ilp))))
+        }),
+        cached_lp_ilp_ns: measure(|| {
+            sets.iter()
+                .for_each(|ts| drop(black_box(analyze(ts, lp_ilp))))
+        }),
+        per_method_ns: measure(|| {
+            sets.iter().for_each(|ts| {
+                configs
+                    .iter()
+                    .for_each(|c| drop(black_box(analyze_uncached(ts, c))))
+            })
+        }),
+        batched_ns: measure(|| {
+            sets.iter()
+                .for_each(|ts| drop(black_box(analyze_all(ts, configs))))
+        }),
+        fp_ideal_ns: measure(|| {
+            sets.iter()
+                .for_each(|ts| drop(black_box(analyze(ts, &configs[0]))))
+        }),
+    };
+
+    println!("-- {label} --");
+    println!(
+        "{:<46} {:>12}",
+        "LP-ILP analyze, uncached (per point)",
+        scale(result.uncached_lp_ilp_ns)
+    );
+    println!(
+        "{:<46} {:>12}   ({:.2}x)",
+        "LP-ILP analyze, cached (per point)",
+        scale(result.cached_lp_ilp_ns),
+        result.lp_ilp_speedup()
+    );
+    println!(
+        "{:<46} {:>12}",
+        "3-method point, per-method uncached",
+        scale(result.per_method_ns)
+    );
+    println!(
+        "{:<46} {:>12}   ({:.2}x)",
+        "3-method point, batched analyze_all",
+        scale(result.batched_ns),
+        result.batched_speedup()
+    );
+    println!(
+        "{:<46} {:>12}",
+        "FP-ideal (fixed-point-only floor)",
+        scale(result.fp_ideal_ns)
+    );
+    result
+}
+
+fn json_point(out: &mut String, key: &str, point: &PointResult) {
+    let _ = write!(
+        out,
+        "  \"{key}\": {{\n    \"uncached_lp_ilp_ns\": {:.0},\n    \"cached_lp_ilp_ns\": {:.0},\n    \"lp_ilp_speedup\": {:.3},\n    \"per_method_sweep_point_ns\": {:.0},\n    \"batched_sweep_point_ns\": {:.0},\n    \"batched_speedup\": {:.3},\n    \"fp_ideal_sweep_point_ns\": {:.0}\n  }}",
+        point.uncached_lp_ilp_ns,
+        point.cached_lp_ilp_ns,
+        point.lp_ilp_speedup(),
+        point.per_method_ns,
+        point.batched_ns,
+        point.batched_speedup(),
+        point.fp_ideal_ns
+    );
+}
+
+fn main() {
+    let configs = sweep_configs();
+    println!("cache bench: m = {CORES}, {SETS_PER_POINT} sets/point, median of {SAMPLES} samples");
+    let utilization = measure_point(
+        "utilization point (U = 3.5, group 1)",
+        &utilization_point_sets(),
+        &configs,
+    );
+    let task_count = measure_point(
+        &format!("task-count point (n = {TASK_COUNT}, U = m/2)"),
+        &task_count_point_sets(),
+        &configs,
+    );
+
+    // The same utilization point through the campaign driver, serial vs
+    // parallel (generation included; bit-identical outputs by construction).
+    let mut panel = SweepConfig::paper_panel(CORES).with_sets_per_point(SETS_PER_POINT);
+    panel.utilizations = vec![3.5];
+    let serial_point_ns = measure(|| run_with_jobs(&panel, Jobs::serial()));
+    let parallel_point_ns = measure(|| run_with_jobs(&panel, Jobs::Auto));
+    let parallel_speedup = serial_point_ns / parallel_point_ns;
+    println!("-- campaign driver, same utilization point --");
+    println!(
+        "{:<46} {:>12}",
+        "driver sweep point, serial",
+        scale(serial_point_ns)
+    );
+    println!(
+        "{:<46} {:>12}   ({parallel_speedup:.2}x)",
+        "driver sweep point, parallel",
+        scale(parallel_point_ns)
+    );
+
+    let mut json = String::new();
+    let _ = write!(
+        json,
+        "{{\n  \"bench\": \"cache\",\n  \"cores\": {CORES},\n  \"sets_per_point\": {SETS_PER_POINT},\n  \"samples\": {SAMPLES},\n  \"task_count\": {TASK_COUNT},\n"
+    );
+    json_point(&mut json, "utilization_point", &utilization);
+    json.push_str(",\n");
+    json_point(&mut json, "task_count_point", &task_count);
+    let _ = write!(
+        json,
+        ",\n  \"serial_sweep_point_ns\": {serial_point_ns:.0},\n  \"parallel_sweep_point_ns\": {parallel_point_ns:.0},\n  \"parallel_speedup\": {parallel_speedup:.3}\n}}\n"
+    );
+    // Default to the workspace root (cargo runs benches from the package
+    // directory), overridable for CI artifact staging.
+    let path = std::env::var("BENCH_JSON")
+        .unwrap_or_else(|_| concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_2.json").to_string());
+    std::fs::write(&path, &json).expect("write BENCH_2.json");
+    println!("wrote {path}");
+}

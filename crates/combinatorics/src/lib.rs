@@ -39,7 +39,11 @@ pub mod bitset;
 pub mod clique;
 pub mod partitions;
 
-pub use assignment::{max_weight_assignment, Assignment};
+pub use assignment::{
+    max_weight_assignment, max_weight_assignment_total, Assignment, AssignmentScratch,
+};
 pub use bitset::BitSet;
-pub use clique::{max_weight_clique_of_size, CliqueSolution};
+pub use clique::{
+    max_weight_clique_of_size, max_weight_clique_weight, CliqueScratch, CliqueSolution,
+};
 pub use partitions::{partition_count, partitions, Partition, Partitions};

@@ -8,11 +8,38 @@
 //! µ_2[4] = 0` in Table I).
 //!
 //! `µ_i` is a property of the task alone (computable "at compile time" in
-//! the paper's wording); the analysis computes it once per task and reuses
-//! it for every scenario.
+//! the paper's wording). The analysis exploits that through
+//! [`crate::cache::TaskSetCache`]: each task's µ-array is computed **once
+//! per task set**, at the largest core count any configuration asks for, and
+//! the prefix `µ_i[1..=c]` is reused for every smaller platform slice `c`,
+//! every scenario, every task under analysis and every analysis method.
+//! (Each entry `µ_i[c]` is an independent fixed-cardinality search, so the
+//! array computed at `m` cores restricts to the array for any `c ≤ m`.)
 
 use crate::config::MuSolver;
+use rta_combinatorics::{max_weight_clique_weight, BitSet, CliqueScratch};
 use rta_model::{parallel_adjacency, Dag, Time};
+use std::cell::Cell;
+
+thread_local! {
+    static MU_ARRAY_COMPUTATIONS: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Number of µ-array computations performed **by the current thread** since
+/// it started.
+///
+/// Test instrumentation for the caching contract: the analysis cache must
+/// compute each task's µ-array at most once per task set, which tests assert
+/// by snapshotting this counter around [`crate::rta::analyze_all`]. Every
+/// call to [`mu_array`] / [`mu_array_with`] increments it by one, whatever
+/// the solver.
+pub fn mu_array_computations() -> u64 {
+    MU_ARRAY_COMPUTATIONS.with(Cell::get)
+}
+
+fn record_computation() {
+    MU_ARRAY_COMPUTATIONS.with(|c| c.set(c.get() + 1));
+}
 
 /// Computes the array `µ_i[1..=cores]` for one task.
 ///
@@ -34,18 +61,46 @@ use rta_model::{parallel_adjacency, Dag, Time};
 /// ```
 pub fn mu_array(dag: &Dag, cores: usize, solver: MuSolver) -> Vec<Time> {
     match solver {
-        MuSolver::Clique => mu_array_clique(dag, cores),
+        MuSolver::Clique => {
+            let adjacency = parallel_adjacency(dag);
+            mu_array_with(dag, &adjacency, cores, solver, &mut CliqueScratch::new())
+        }
+        MuSolver::PaperIlp => {
+            record_computation();
+            super::paper_ilp::mu_array_ilp(dag, cores)
+        }
+    }
+}
+
+/// As [`mu_array`], but from a pre-computed parallel adjacency and with
+/// reusable clique-search scratch — the entry point
+/// [`crate::cache::TaskSetCache`] uses so that neither the adjacency nor the
+/// search buffers are rebuilt per task under analysis. (The
+/// [`MuSolver::PaperIlp`] arm ignores both and solves from the DAG alone.)
+pub fn mu_array_with(
+    dag: &Dag,
+    adjacency: &[BitSet],
+    cores: usize,
+    solver: MuSolver,
+    scratch: &mut CliqueScratch,
+) -> Vec<Time> {
+    record_computation();
+    match solver {
+        MuSolver::Clique => mu_array_clique(adjacency, dag.wcets(), cores, scratch),
         MuSolver::PaperIlp => super::paper_ilp::mu_array_ilp(dag, cores),
     }
 }
 
-fn mu_array_clique(dag: &Dag, cores: usize) -> Vec<Time> {
-    let adjacency = parallel_adjacency(dag);
-    let weights = dag.wcets();
+fn mu_array_clique(
+    adjacency: &[BitSet],
+    weights: &[Time],
+    cores: usize,
+    scratch: &mut CliqueScratch,
+) -> Vec<Time> {
     let mut mu = Vec::with_capacity(cores);
     for c in 1..=cores {
-        match rta_combinatorics::max_weight_clique_of_size(&adjacency, weights, c) {
-            Some(sol) => mu.push(sol.weight),
+        match max_weight_clique_weight(adjacency, weights, c, scratch) {
+            Some(weight) => mu.push(weight),
             None => break,
         }
     }
@@ -110,6 +165,34 @@ mod tests {
         b.add_node(7);
         let mu = mu_array(&b.build().unwrap(), 3, MuSolver::Clique);
         assert_eq!(mu, vec![7, 0, 0]);
+    }
+
+    #[test]
+    fn full_array_restricts_to_smaller_core_counts() {
+        // The slicing contract the cache relies on: µ computed at m cores,
+        // truncated to c entries, equals µ computed at c cores.
+        for dag in figure1_dags() {
+            let full = mu_array(&dag, 8, MuSolver::Clique);
+            for c in 1..=8 {
+                assert_eq!(full[..c], mu_array(&dag, c, MuSolver::Clique), "c = {c}");
+            }
+        }
+    }
+
+    #[test]
+    fn computations_are_counted() {
+        let dag = figure1_dags().remove(0);
+        let before = mu_array_computations();
+        let _ = mu_array(&dag, 4, MuSolver::Clique);
+        let adjacency = parallel_adjacency(&dag);
+        let _ = mu_array_with(
+            &dag,
+            &adjacency,
+            4,
+            MuSolver::Clique,
+            &mut CliqueScratch::new(),
+        );
+        assert_eq!(mu_array_computations(), before + 2);
     }
 
     #[test]

@@ -1,0 +1,586 @@
+//! Per-task-set precomputation: the analysis cache.
+//!
+//! The paper stresses that the per-task worst-case workloads `µ_i[c]` are a
+//! property of the task alone, computable "at compile time" (Section V-A) —
+//! independent of which task is under analysis, of the platform slice and
+//! of the analysis method. The same holds for every other quantity the
+//! fixed-point iteration touches repeatedly: longest paths, volumes,
+//! preemption-point counts, the "can run in parallel" adjacency, the LP-max
+//! WCET pools of Eq. (5) and the per-cardinality scenario maxima behind
+//! `Δ^m` / `Δ^{m−1}` (Eq. (8)).
+//!
+//! [`TaskSetCache`] materializes all of them **once per task set**:
+//!
+//! * cheap per-task facts (longest path, volume, preemption points, periods,
+//!   deadlines, the single-sink WCET used by the final-NPR refinement) are
+//!   captured eagerly at construction;
+//! * everything combinatorial — parallel adjacency, µ-arrays, LP-max prefix
+//!   sums, and the per-cardinality `max ρ` rows — sits behind
+//!   [`OnceCell`]s and is computed on first use, then shared by every
+//!   subsequent query. An unschedulable set that dies at the
+//!   highest-priority task therefore pays no more than the uncached
+//!   analysis did, while a batched [`crate::analyze_all`] over all three
+//!   methods pays the combinatorial cost exactly once.
+//!
+//! µ-arrays are computed at the cache's `max_cores` and *sliced* for
+//! smaller platform slices (each entry is an independent fixed-cardinality
+//! clique search, so the array at `m` restricts to the array at any
+//! `c ≤ m`). The Δ work is shared the same way: one `max ρ` value per
+//! cardinality `c ∈ 1..=m` serves `Δ^m`, `Δ^{m−1}`, the
+//! [`ScenarioSpace::PaperExact`] and [`ScenarioSpace::Extended`] spaces, and
+//! every method reading them. The combinatorial solvers draw their working
+//! memory from shared scratch buffers, so the per-scenario inner loops
+//! allocate nothing once warm.
+//!
+//! The cache is deliberately **single-threaded** (interior mutability via
+//! [`OnceCell`] / [`RefCell`]): sweep campaigns parallelize over task sets,
+//! with each worker building its own cache, so nothing here needs
+//! synchronization.
+//!
+//! # Example
+//!
+//! ```
+//! use rta_analysis::cache::TaskSetCache;
+//! use rta_analysis::{analyze_with, AnalysisConfig, Method, MuSolver};
+//! use rta_model::examples::figure1_task_set;
+//!
+//! let task_set = figure1_task_set();
+//! let cache = TaskSetCache::new(&task_set, 4);
+//! // µ of τ3 (Table I), computed once and shared by every query below.
+//! assert_eq!(cache.mu(3, MuSolver::default()), &[6, 7, 9, 11]);
+//! for method in Method::ALL {
+//!     let report = analyze_with(&cache, &AnalysisConfig::new(4, method));
+//!     assert!(report.schedulable);
+//! }
+//! ```
+
+use crate::blocking::scenarios::{max_rho_over, rho_suffix_dp, RhoScratch};
+use crate::blocking::{mu, BlockingBounds};
+use crate::config::{AnalysisConfig, Method, MuSolver, RhoSolver, ScenarioSpace};
+use rta_combinatorics::{partitions, BitSet, CliqueScratch, Partition};
+use rta_model::{parallel_adjacency, TaskSet, Time};
+use std::cell::{OnceCell, RefCell};
+
+/// Quantities of one task that every analysis reads, captured eagerly.
+#[derive(Clone, Debug)]
+struct TaskFacts {
+    longest_path: Time,
+    volume: Time,
+    preemption_points: usize,
+    period: Time,
+    deadline: Time,
+    /// WCET of the sole sink when the DAG has exactly one (the final-NPR
+    /// preemption-window refinement applies only then).
+    single_sink_wcet: Option<Time>,
+}
+
+/// Lazily-computed µ-arrays for one `µ` solver choice. The cell vector
+/// itself is allocated on first touch, so untouched solver combinations
+/// (and FP-ideal-only analyses) cost nothing at construction.
+struct MuSlot {
+    solver: MuSolver,
+    /// `per_task[i]`: `µ_i[1..=max_cores]` of task `i`.
+    per_task: OnceCell<Vec<OnceCell<Vec<Time>>>>,
+}
+
+/// Lazily-computed per-cardinality scenario maxima for one solver pair;
+/// cell storage allocated on first touch like [`MuSlot`]'s.
+struct RhoSlot {
+    mu_solver: MuSolver,
+    rho_solver: RhoSolver,
+    /// `per_task[k][c − 1]`: `max_{s_l ∈ e_c} ρ_k[s_l]` over the partitions
+    /// of exactly `c`, with `lp(k)` as the candidate tasks.
+    per_task: OnceCell<Vec<Vec<OnceCell<Time>>>>,
+}
+
+/// Everything about a [`TaskSet`] that the response-time analysis can
+/// precompute and share across tasks under analysis, platform slices and
+/// methods. See the [module docs](self) for what is cached and when.
+pub struct TaskSetCache<'ts> {
+    task_set: &'ts TaskSet,
+    max_cores: usize,
+    facts: Vec<TaskFacts>,
+    adjacency: Vec<OnceCell<Vec<BitSet>>>,
+    mu: Vec<MuSlot>,
+    rho: Vec<RhoSlot>,
+    /// `lp_max[k]`: prefix sums of the pooled, descending lower-priority
+    /// NPR WCETs — `prefix[c]` is Eq. (5)'s `Δ^c` for `c` up to the pool
+    /// size (clamped at `max_cores`).
+    lp_max: Vec<OnceCell<Vec<Time>>>,
+    /// `scenarios[c − 1]`: the execution scenarios `e_c` (partitions of
+    /// `c`), enumerated once and shared by every task under analysis.
+    scenarios: Vec<OnceCell<Vec<Partition>>>,
+    clique_scratch: RefCell<CliqueScratch>,
+    rho_scratch: RefCell<RhoScratch>,
+}
+
+impl<'ts> TaskSetCache<'ts> {
+    /// Builds the cache for platform slices of up to `max_cores` cores.
+    ///
+    /// Captures the cheap per-task facts immediately; the combinatorial
+    /// tables (for **every** solver combination — they cost nothing until
+    /// queried) fill in lazily.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_cores == 0`.
+    pub fn new(task_set: &'ts TaskSet, max_cores: usize) -> Self {
+        assert!(max_cores >= 1, "at least one core required");
+        let n = task_set.len();
+        let facts = task_set
+            .tasks()
+            .iter()
+            .map(|t| {
+                let dag = t.dag();
+                // The sole sink and its WCET, without materializing the
+                // sink list (this runs for every generated set, also under
+                // methods that never read it).
+                let mut sinks = dag.nodes().filter(|&v| dag.successors(v).is_empty());
+                let single_sink_wcet = match (sinks.next(), sinks.next()) {
+                    (Some(only), None) => Some(dag.wcet(only)),
+                    _ => None,
+                };
+                TaskFacts {
+                    longest_path: dag.longest_path(),
+                    volume: dag.volume(),
+                    preemption_points: dag.preemption_points(),
+                    period: t.period(),
+                    deadline: t.deadline(),
+                    single_sink_wcet,
+                }
+            })
+            .collect();
+        let mu_slots = [MuSolver::Clique, MuSolver::PaperIlp]
+            .into_iter()
+            .map(|solver| MuSlot {
+                solver,
+                per_task: OnceCell::new(),
+            })
+            .collect();
+        let mut rho_slots = Vec::with_capacity(4);
+        for mu_solver in [MuSolver::Clique, MuSolver::PaperIlp] {
+            for rho_solver in [RhoSolver::Hungarian, RhoSolver::PaperIlp] {
+                rho_slots.push(RhoSlot {
+                    mu_solver,
+                    rho_solver,
+                    per_task: OnceCell::new(),
+                });
+            }
+        }
+        Self {
+            task_set,
+            max_cores,
+            facts,
+            adjacency: (0..n).map(|_| OnceCell::new()).collect(),
+            mu: mu_slots,
+            rho: rho_slots,
+            lp_max: (0..n).map(|_| OnceCell::new()).collect(),
+            scenarios: (0..max_cores).map(|_| OnceCell::new()).collect(),
+            clique_scratch: RefCell::new(CliqueScratch::new()),
+            rho_scratch: RefCell::new(RhoScratch::new()),
+        }
+    }
+
+    /// Builds a cache sized for every configuration in `configs` (the
+    /// largest core count wins; defaults to 1 when `configs` is empty).
+    pub fn for_configs(task_set: &'ts TaskSet, configs: &[AnalysisConfig]) -> Self {
+        let max_cores = configs.iter().map(|c| c.cores).max().unwrap_or(1);
+        Self::new(task_set, max_cores)
+    }
+
+    /// The task set this cache was built over.
+    pub fn task_set(&self) -> &'ts TaskSet {
+        self.task_set
+    }
+
+    /// The largest platform slice the cache serves; every query must stay
+    /// at or below it.
+    pub fn max_cores(&self) -> usize {
+        self.max_cores
+    }
+
+    /// Longest (critical) path `L_k` of task `k`.
+    pub fn longest_path(&self, k: usize) -> Time {
+        self.facts[k].longest_path
+    }
+
+    /// Volume `vol(G_k)` of task `k`.
+    pub fn volume(&self, k: usize) -> Time {
+        self.facts[k].volume
+    }
+
+    /// Preemption-point count `q_k = |V_k| − 1` of task `k`.
+    pub fn preemption_points(&self, k: usize) -> usize {
+        self.facts[k].preemption_points
+    }
+
+    /// Period `T_k` of task `k`.
+    pub fn period(&self, k: usize) -> Time {
+        self.facts[k].period
+    }
+
+    /// Relative deadline `D_k` of task `k`.
+    pub fn deadline(&self, k: usize) -> Time {
+        self.facts[k].deadline
+    }
+
+    /// WCET of the sole sink of task `k`'s DAG, when it has exactly one —
+    /// the quantity the final-NPR preemption-window refinement subtracts.
+    pub fn single_sink_wcet(&self, k: usize) -> Option<Time> {
+        self.facts[k].single_sink_wcet
+    }
+
+    /// The symmetric "can execute in parallel" adjacency of task `k`'s DAG,
+    /// computed on first use.
+    pub fn parallel_adjacency(&self, k: usize) -> &[BitSet] {
+        self.adjacency[k].get_or_init(|| parallel_adjacency(self.task_set.task(k).dag()))
+    }
+
+    /// The µ-array `µ_k[1..=max_cores]` of task `k`, computed on first use
+    /// with `solver` and shared by every later query. For a platform slice
+    /// of `c < max_cores` cores, use the first `c` entries.
+    pub fn mu(&self, k: usize, solver: MuSolver) -> &[Time] {
+        let slot = self
+            .mu
+            .iter()
+            .find(|s| s.solver == solver)
+            .expect("every µ solver has a slot");
+        let per_task = slot
+            .per_task
+            .get_or_init(|| (0..self.task_set.len()).map(|_| OnceCell::new()).collect());
+        per_task[k].get_or_init(|| match solver {
+            MuSolver::Clique => {
+                let adjacency = self.parallel_adjacency(k);
+                let mut scratch = self.clique_scratch.borrow_mut();
+                mu::mu_array_with(
+                    self.task_set.task(k).dag(),
+                    adjacency,
+                    self.max_cores,
+                    solver,
+                    &mut scratch,
+                )
+            }
+            // The ILP solver reads the DAG directly; don't touch the
+            // adjacency cell (or the clique scratch) on its behalf.
+            MuSolver::PaperIlp => mu::mu_array(self.task_set.task(k).dag(), self.max_cores, solver),
+        })
+    }
+
+    /// `max_{s_l ∈ e_cores} ρ_k[s_l]`: the best scenario over the partitions
+    /// of exactly `cores`, with `lp(k)` as the candidate tasks. Memoized per
+    /// `(k, cores)` and solver pair; 0 when no scenario is feasible.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cores > max_cores`.
+    pub fn max_rho(
+        &self,
+        k: usize,
+        cores: usize,
+        mu_solver: MuSolver,
+        rho_solver: RhoSolver,
+    ) -> Time {
+        assert!(
+            cores <= self.max_cores,
+            "cores = {cores} exceeds the cache's max_cores = {}",
+            self.max_cores
+        );
+        if cores == 0 {
+            return 0;
+        }
+        let slot = self
+            .rho
+            .iter()
+            .find(|s| s.mu_solver == mu_solver && s.rho_solver == rho_solver)
+            .expect("every solver pair has a slot");
+        let n = self.task_set.len();
+        let per_task = slot.per_task.get_or_init(|| {
+            (0..n)
+                .map(|_| (0..self.max_cores).map(|_| OnceCell::new()).collect())
+                .collect()
+        });
+        *per_task[k][cores - 1].get_or_init(|| {
+            let scenarios =
+                self.scenarios[cores - 1].get_or_init(|| partitions(cores as u32).collect());
+
+            // Column mode: when every scenario of `e_cores` has a small
+            // enough cardinality, one suffix DP per scenario yields the
+            // `max ρ` of *every* task under analysis at once — `lp(k)`
+            // shrinks one task per priority, so the n per-task problems are
+            // suffixes of each other. Sibling cells are published
+            // immediately; later queries at other `k` hit them.
+            //
+            // The analysis walks k in priority order and most generated
+            // sets at high utilization fail at k = 0 without ever asking
+            // for k ≥ 1, so the first query of a column is answered
+            // individually; the DP kicks in at the second distinct k, when
+            // the remaining n − 1 rows are known to be worth amortizing.
+            let dp_eligible =
+                |cardinality: usize| (1u64 << cardinality) <= 4 * (cardinality * n) as u64;
+            let column_untouched = || {
+                (0..n)
+                    .filter(|&i| i != k)
+                    .all(|i| per_task[i][cores - 1].get().is_none())
+            };
+            if rho_solver == RhoSolver::Hungarian
+                && scenarios.iter().all(|s| dp_eligible(s.cardinality()))
+                && !column_untouched()
+            {
+                let mu_tail: Vec<&[Time]> = (1..n).map(|i| self.mu(i, mu_solver)).collect();
+                let mut best = vec![0; n];
+                for scenario in scenarios {
+                    for (b, v) in best.iter_mut().zip(rho_suffix_dp(scenario, &mu_tail)) {
+                        if let Some(v) = v {
+                            *b = (*b).max(v);
+                        }
+                    }
+                }
+                for (k_other, &value) in best.iter().enumerate() {
+                    if k_other != k {
+                        // Already-initialized siblings hold the same value.
+                        let _ = per_task[k_other][cores - 1].set(value);
+                    }
+                }
+                return best[k];
+            }
+
+            let mu_refs: Vec<&[Time]> = (k + 1..n).map(|i| self.mu(i, mu_solver)).collect();
+            let mut scratch = self.rho_scratch.borrow_mut();
+            max_rho_over(scenarios, &mu_refs, rho_solver, &mut scratch)
+        })
+    }
+
+    /// `Δ^cores_k` (Eq. (8)) over the chosen scenario space, derived from
+    /// the memoized per-cardinality [`max_rho`](Self::max_rho) rows.
+    pub fn delta(
+        &self,
+        k: usize,
+        cores: usize,
+        space: ScenarioSpace,
+        mu_solver: MuSolver,
+        rho_solver: RhoSolver,
+    ) -> Time {
+        match space {
+            ScenarioSpace::PaperExact => self.max_rho(k, cores, mu_solver, rho_solver),
+            ScenarioSpace::Extended => (1..=cores)
+                .map(|c| self.max_rho(k, c, mu_solver, rho_solver))
+                .max()
+                .unwrap_or(0),
+        }
+    }
+
+    /// The precedence-aware blocking bounds of task `k` (Eqs. (6)–(8)),
+    /// from the cached µ and `max ρ` tables.
+    pub fn lp_ilp_blocking(
+        &self,
+        k: usize,
+        cores: usize,
+        mu_solver: MuSolver,
+        rho_solver: RhoSolver,
+        space: ScenarioSpace,
+    ) -> BlockingBounds {
+        BlockingBounds {
+            delta_m: self.delta(k, cores, space, mu_solver, rho_solver),
+            delta_m_minus_one: if cores >= 2 {
+                self.delta(k, cores - 1, space, mu_solver, rho_solver)
+            } else {
+                0
+            },
+        }
+    }
+
+    /// Prefix sums of the pooled descending lower-priority NPR WCETs of
+    /// task `k` — `prefix[c]` is Eq. (5)'s sum of the `c` largest.
+    fn lp_max_prefix(&self, k: usize) -> &[Time] {
+        self.lp_max[k].get_or_init(|| {
+            let mut pool: Vec<Time> = self
+                .task_set
+                .lower_priority(k)
+                .iter()
+                .flat_map(|t| t.dag().largest_wcets(self.max_cores))
+                .collect();
+            pool.sort_unstable_by(|a, b| b.cmp(a));
+            pool.truncate(self.max_cores);
+            let mut prefix = Vec::with_capacity(pool.len() + 1);
+            prefix.push(0);
+            for w in pool {
+                prefix.push(prefix.last().copied().unwrap_or(0) + w);
+            }
+            prefix
+        })
+    }
+
+    /// The LP-max blocking bounds of task `k` (Eq. (5)), from the cached
+    /// prefix sums.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cores > max_cores` or `cores == 0`.
+    pub fn lp_max_blocking(&self, k: usize, cores: usize) -> BlockingBounds {
+        assert!(
+            (1..=self.max_cores).contains(&cores),
+            "cores = {cores} outside the cache's 1..={}",
+            self.max_cores
+        );
+        let prefix = self.lp_max_prefix(k);
+        let sum_of_largest = |count: usize| prefix[count.min(prefix.len() - 1)];
+        BlockingBounds {
+            delta_m: sum_of_largest(cores),
+            delta_m_minus_one: sum_of_largest(cores - 1),
+        }
+    }
+
+    /// The blocking bounds of task `k` under `config` — the cached
+    /// equivalent of the per-method dispatch in [`crate::analyze`].
+    pub fn blocking_for(&self, k: usize, config: &AnalysisConfig) -> Option<BlockingBounds> {
+        match config.method {
+            Method::FpIdeal => None,
+            Method::LpMax => Some(self.lp_max_blocking(k, config.cores)),
+            Method::LpIlp => Some(self.lp_ilp_blocking(
+                k,
+                config.cores,
+                config.mu_solver,
+                config.rho_solver,
+                config.scenario_space,
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::blocking::lpmax::lp_max_blocking;
+    use crate::blocking::mu::mu_array;
+    use crate::blocking::scenarios::blocking_from_mu;
+    use rta_model::examples::{figure1_task_set, TABLE_I};
+
+    #[test]
+    fn mu_matches_direct_computation_and_slices() {
+        let ts = figure1_task_set();
+        let cache = TaskSetCache::new(&ts, 8);
+        for solver in [MuSolver::Clique, MuSolver::PaperIlp] {
+            for k in 0..ts.len() {
+                let full = cache.mu(k, solver);
+                for c in 1..=8 {
+                    assert_eq!(
+                        full[..c],
+                        mu_array(ts.task(k).dag(), c, solver),
+                        "task {k}, c = {c}, {solver:?}"
+                    );
+                }
+            }
+        }
+        // Tasks 1..=4 are the Figure 1 DAGs; their 4-core prefixes are Table I.
+        for (i, row) in TABLE_I.iter().enumerate() {
+            assert_eq!(&cache.mu(i + 1, MuSolver::Clique)[..4], row);
+        }
+    }
+
+    #[test]
+    fn deltas_match_uncached_blocking() {
+        let ts = figure1_task_set();
+        let cache = TaskSetCache::new(&ts, 8);
+        for cores in 1..=8usize {
+            for space in [ScenarioSpace::PaperExact, ScenarioSpace::Extended] {
+                for k in 0..ts.len() {
+                    let mu_arrays: Vec<Vec<Time>> = ts
+                        .lower_priority(k)
+                        .iter()
+                        .map(|t| mu_array(t.dag(), cores, MuSolver::Clique))
+                        .collect();
+                    let uncached = blocking_from_mu(&mu_arrays, cores, RhoSolver::Hungarian, space);
+                    let cached = cache.lp_ilp_blocking(
+                        k,
+                        cores,
+                        MuSolver::Clique,
+                        RhoSolver::Hungarian,
+                        space,
+                    );
+                    assert_eq!(cached, uncached, "task {k}, m = {cores}, {space:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lp_max_matches_uncached_blocking() {
+        let ts = figure1_task_set();
+        let cache = TaskSetCache::new(&ts, 8);
+        for cores in 1..=8usize {
+            for k in 0..ts.len() {
+                assert_eq!(
+                    cache.lp_max_blocking(k, cores),
+                    lp_max_blocking(ts.lower_priority(k), cores),
+                    "task {k}, m = {cores}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn facts_match_the_model() {
+        let ts = figure1_task_set();
+        let cache = TaskSetCache::new(&ts, 4);
+        for (k, t) in ts.tasks().iter().enumerate() {
+            assert_eq!(cache.longest_path(k), t.dag().longest_path());
+            assert_eq!(cache.volume(k), t.dag().volume());
+            assert_eq!(cache.preemption_points(k), t.dag().preemption_points());
+            assert_eq!(cache.period(k), t.period());
+            assert_eq!(cache.deadline(k), t.deadline());
+            let sinks = t.dag().sinks();
+            match cache.single_sink_wcet(k) {
+                Some(w) => {
+                    assert_eq!(sinks.len(), 1);
+                    assert_eq!(w, t.dag().wcet(sinks[0]));
+                }
+                None => assert_ne!(sinks.len(), 1),
+            }
+        }
+    }
+
+    #[test]
+    fn mu_is_computed_once_per_task() {
+        let ts = figure1_task_set();
+        let cache = TaskSetCache::new(&ts, 4);
+        let before = mu::mu_array_computations();
+        // Query blocking for every task, core slice, and space, repeatedly.
+        for _ in 0..3 {
+            for k in 0..ts.len() {
+                for cores in 1..=4 {
+                    for space in [ScenarioSpace::PaperExact, ScenarioSpace::Extended] {
+                        let _ = cache.lp_ilp_blocking(
+                            k,
+                            cores,
+                            MuSolver::Clique,
+                            RhoSolver::Hungarian,
+                            space,
+                        );
+                    }
+                }
+            }
+        }
+        // Only the lower-priority tasks' arrays are ever needed (the
+        // highest-priority task blocks no one), each exactly once.
+        assert_eq!(
+            mu::mu_array_computations() - before,
+            ts.len() as u64 - 1,
+            "µ must be computed once per (lower-priority) task"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the cache's max_cores")]
+    fn querying_beyond_max_cores_panics() {
+        let ts = figure1_task_set();
+        let cache = TaskSetCache::new(&ts, 2);
+        let _ = cache.max_rho(0, 3, MuSolver::Clique, RhoSolver::Hungarian);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one core")]
+    fn zero_core_cache_panics() {
+        let ts = figure1_task_set();
+        let _ = TaskSetCache::new(&ts, 0);
+    }
+}

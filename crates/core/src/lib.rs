@@ -29,6 +29,15 @@
 //! scaled units of `1/m` (see [`report::ResponseBound`]); there is no
 //! floating point anywhere in the fixed-point iteration.
 //!
+//! Everything task-intrinsic — µ-arrays, parallel adjacency, LP-max WCET
+//! pools, per-cardinality Δ rows, longest paths and volumes — is computed
+//! once per task set in a [`cache::TaskSetCache`] and shared across tasks
+//! under analysis, platform slices and methods. [`analyze`] builds the
+//! cache internally; [`analyze_all`] shares one cache across a batch of
+//! configurations (the Figure 2 hot path evaluates all three methods from
+//! the same tables); [`analyze_uncached`] keeps the original
+//! recompute-per-task path as a pinned reference.
+//!
 //! # Example
 //!
 //! ```
@@ -48,14 +57,16 @@
 #![warn(missing_docs)]
 
 pub mod blocking;
+pub mod cache;
 pub mod config;
 pub mod report;
 pub mod rta;
 pub mod workload;
 
+pub use cache::TaskSetCache;
 pub use config::{AnalysisConfig, Method, MuSolver, RhoSolver, ScenarioSpace};
 pub use report::{AnalysisReport, ResponseBound, TaskReport};
-pub use rta::analyze;
+pub use rta::{analyze, analyze_all, analyze_uncached, analyze_with};
 
 // Re-exported for callers that want to work with model types directly.
 pub use rta_model::{DagTask, TaskSet, Time};

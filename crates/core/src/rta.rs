@@ -17,10 +17,11 @@
 use crate::blocking::lpmax::lp_max_blocking;
 use crate::blocking::scenarios::lp_ilp_blocking;
 use crate::blocking::BlockingBounds;
+use crate::cache::TaskSetCache;
 use crate::config::{AnalysisConfig, Method};
 use crate::report::{AnalysisReport, ResponseBound, TaskReport};
 use crate::workload::interfering_workload;
-use rta_model::{TaskId, TaskSet};
+use rta_model::{TaskId, TaskSet, Time};
 
 /// Analyzes a task set, producing per-task response-time bounds and the
 /// overall schedulability verdict.
@@ -28,20 +29,66 @@ use rta_model::{TaskId, TaskSet};
 /// Tasks are processed in priority order; analysis stops after the first
 /// unschedulable task. See the crate docs for an end-to-end example.
 ///
+/// Builds a [`TaskSetCache`] internally, so the per-task µ-arrays and the
+/// per-cardinality Δ rows are computed once and shared across all tasks
+/// under analysis. To additionally share them across configurations (e.g.
+/// all three methods of a Figure 2 sweep point), use [`analyze_all`]; to
+/// share them across calls, build the cache yourself and use
+/// [`analyze_with`]. All three produce bit-identical reports (also
+/// bit-identical to the uncached reference path [`analyze_uncached`]).
+///
 /// # Panics
 ///
 /// Panics if `config.cores == 0` (prevented by
 /// [`AnalysisConfig::new`]).
 pub fn analyze(task_set: &TaskSet, config: &AnalysisConfig) -> AnalysisReport {
+    let cache = TaskSetCache::for_configs(task_set, std::slice::from_ref(config));
+    analyze_with(&cache, config)
+}
+
+/// Analyzes a task set under several configurations, sharing one
+/// [`TaskSetCache`] across all of them.
+///
+/// The µ-arrays, `max ρ` rows and LP-max pools are computed at the largest
+/// requested core count, once, then sliced for every configuration —
+/// methods, scenario spaces and platform slices all read the same tables.
+/// Reports are returned in `configs` order, each bit-identical to an
+/// independent [`analyze`] call with the same configuration.
+pub fn analyze_all(task_set: &TaskSet, configs: &[AnalysisConfig]) -> Vec<AnalysisReport> {
+    let cache = TaskSetCache::for_configs(task_set, configs);
+    configs.iter().map(|c| analyze_with(&cache, c)).collect()
+}
+
+/// Analyzes a task set through a caller-owned [`TaskSetCache`] (the
+/// workhorse behind [`analyze`] and [`analyze_all`]).
+///
+/// # Panics
+///
+/// Panics if `config.cores == 0` or `config.cores > cache.max_cores()`.
+pub fn analyze_with(cache: &TaskSetCache<'_>, config: &AnalysisConfig) -> AnalysisReport {
     assert!(config.cores >= 1, "at least one core required");
+    assert!(
+        config.cores <= cache.max_cores(),
+        "config wants {} cores but the cache was built for {}",
+        config.cores,
+        cache.max_cores()
+    );
+    let task_set = cache.task_set();
     let mut tasks = Vec::with_capacity(task_set.len());
     let mut schedulable = true;
     // Scaled response bounds of already-analyzed (higher-priority) tasks.
     let mut hp_bounds: Vec<u128> = Vec::with_capacity(task_set.len());
 
     for k in 0..task_set.len() {
-        let blocking = blocking_for(task_set, k, config);
-        let outcome = fixed_point(task_set, k, &hp_bounds, blocking.as_ref(), config);
+        let blocking = cache.blocking_for(k, config);
+        let task = FixedPointTask {
+            longest_path: cache.longest_path(k),
+            volume: cache.volume(k),
+            deadline: cache.deadline(k),
+            preemption_points: cache.preemption_points(k),
+            single_sink_wcet: cache.single_sink_wcet(k),
+        };
+        let outcome = fixed_point(&task, task_set, k, &hp_bounds, blocking.as_ref(), config);
         let report = TaskReport {
             task: TaskId::new(k),
             response_bound: ResponseBound::from_scaled(outcome.scaled, config.cores as u32),
@@ -67,7 +114,66 @@ pub fn analyze(task_set: &TaskSet, config: &AnalysisConfig) -> AnalysisReport {
     }
 }
 
-fn blocking_for(task_set: &TaskSet, k: usize, config: &AnalysisConfig) -> Option<BlockingBounds> {
+/// The original per-call analysis: recomputes every lower-priority task's
+/// µ-array and both Δ bounds from scratch for each task under analysis.
+///
+/// Kept as the reference the cached path is pinned against (tests assert
+/// bit-identical [`AnalysisReport`]s) and as the baseline of
+/// `benches/cache.rs`. Use [`analyze`] everywhere else.
+///
+/// # Panics
+///
+/// Panics if `config.cores == 0`.
+pub fn analyze_uncached(task_set: &TaskSet, config: &AnalysisConfig) -> AnalysisReport {
+    assert!(config.cores >= 1, "at least one core required");
+    let mut tasks = Vec::with_capacity(task_set.len());
+    let mut schedulable = true;
+    let mut hp_bounds: Vec<u128> = Vec::with_capacity(task_set.len());
+
+    for k in 0..task_set.len() {
+        let blocking = blocking_for_uncached(task_set, k, config);
+        let dag = task_set.task(k).dag();
+        let task = FixedPointTask {
+            longest_path: dag.longest_path(),
+            volume: dag.volume(),
+            deadline: task_set.task(k).deadline(),
+            preemption_points: dag.preemption_points(),
+            single_sink_wcet: match dag.sinks().as_slice() {
+                [only] => Some(dag.wcet(*only)),
+                _ => None,
+            },
+        };
+        let outcome = fixed_point(&task, task_set, k, &hp_bounds, blocking.as_ref(), config);
+        let report = TaskReport {
+            task: TaskId::new(k),
+            response_bound: ResponseBound::from_scaled(outcome.scaled, config.cores as u32),
+            schedulable: outcome.schedulable,
+            blocking,
+            preemption_bound: outcome.preemptions,
+            iterations: outcome.iterations,
+        };
+        let ok = report.schedulable;
+        tasks.push(report);
+        if !ok {
+            schedulable = false;
+            break;
+        }
+        hp_bounds.push(outcome.scaled);
+    }
+
+    AnalysisReport {
+        schedulable,
+        cores: config.cores,
+        method: config.method,
+        tasks,
+    }
+}
+
+fn blocking_for_uncached(
+    task_set: &TaskSet,
+    k: usize,
+    config: &AnalysisConfig,
+) -> Option<BlockingBounds> {
     let lp = task_set.lower_priority(k);
     match config.method {
         Method::FpIdeal => None,
@@ -82,6 +188,16 @@ fn blocking_for(task_set: &TaskSet, k: usize, config: &AnalysisConfig) -> Option
     }
 }
 
+/// The per-task quantities the fixed point reads, pre-fetched by the caller
+/// (from the [`TaskSetCache`] or straight from the model).
+struct FixedPointTask {
+    longest_path: Time,
+    volume: Time,
+    deadline: Time,
+    preemption_points: usize,
+    single_sink_wcet: Option<Time>,
+}
+
 struct FixedPointOutcome {
     /// Scaled (`m·R`) response bound; when `schedulable` is false, the first
     /// iterate that crossed the deadline.
@@ -92,6 +208,7 @@ struct FixedPointOutcome {
 }
 
 fn fixed_point(
+    task: &FixedPointTask,
     task_set: &TaskSet,
     k: usize,
     hp_bounds: &[u128],
@@ -99,11 +216,10 @@ fn fixed_point(
     config: &AnalysisConfig,
 ) -> FixedPointOutcome {
     let m = config.cores as u128;
-    let task = task_set.task(k);
-    let longest = task.dag().longest_path() as u128;
-    let volume = task.dag().volume() as u128;
-    let deadline_scaled = m * task.deadline() as u128;
-    let q = task.dag().preemption_points() as u128;
+    let longest = task.longest_path as u128;
+    let volume = task.volume as u128;
+    let deadline_scaled = m * task.deadline as u128;
+    let q = task.preemption_points as u128;
     // R⁰ = L + (vol − L)/m, scaled: m·L + (vol − L).
     let base = m * longest + (volume - longest);
 
@@ -111,15 +227,20 @@ fn fixed_point(
     // the sink is the last node to start, and once started it cannot be
     // preempted, so preemptions only occur in the first R − C_sink units.
     let preemption_window_shrink: u128 = if config.final_npr_refinement {
-        match task.dag().sinks().as_slice() {
-            [only] => m * task.dag().wcet(*only) as u128,
-            _ => 0,
-        }
+        task.single_sink_wcet.map_or(0, |w| m * w as u128)
     } else {
         0
     };
 
-    let hp = task_set.higher_priority(k);
+    // Loop-invariant higher-priority quantities, hoisted out of the
+    // iteration: the scaled period `m·T_i` behind every ⌈·⌉, plus the
+    // volume and period the workload bound reads.
+    let hp_invariants: Vec<(u128, Time, Time)> = task_set
+        .higher_priority(k)
+        .iter()
+        .map(|t| (m * t.period() as u128, t.dag().volume(), t.period()))
+        .collect();
+
     let mut r = base;
     let mut iterations = 0u32;
     loop {
@@ -127,17 +248,17 @@ fn fixed_point(
         // h_k = Σ_{i ∈ hp(k)} ⌈t/T_i⌉ with t the current response window;
         // ⌈(r/m)/T⌉ = ⌈r/(m·T)⌉ exactly.
         let window = r.saturating_sub(preemption_window_shrink);
-        let h: u128 = hp
+        let h: u128 = hp_invariants
             .iter()
-            .map(|t| window.div_ceil(m * t.period() as u128))
+            .map(|&(scaled_period, _, _)| window.div_ceil(scaled_period))
             .sum();
         let p = q.min(h);
         let i_lp: u128 = blocking.map_or(0, |b| b.interference(p));
-        let i_hp: u128 = hp
+        let i_hp: u128 = hp_invariants
             .iter()
             .zip(hp_bounds)
-            .map(|(t, &r_i)| {
-                interfering_workload(r, r_i, t.dag().volume(), t.period(), config.cores)
+            .map(|(&(_, vol, period), &r_i)| {
+                interfering_workload(r, r_i, vol, period, config.cores)
             })
             .sum();
         let r_new = base + m * ((i_lp + i_hp) / m);
@@ -354,6 +475,69 @@ mod tests {
         for (e, p) in extended.tasks.iter().zip(&exact.tasks) {
             assert!(e.response_bound.scaled() >= p.response_bound.scaled());
         }
+    }
+
+    #[test]
+    fn cached_paths_are_bit_identical_to_uncached() {
+        // `analyze`, `analyze_all` and `analyze_uncached` must agree to the
+        // bit on every method, core count and solver/space combination.
+        let ts = figure1_task_set();
+        for cores in 1..=6 {
+            let mut configs = Vec::new();
+            for method in Method::ALL {
+                configs.push(AnalysisConfig::new(cores, method));
+            }
+            configs.push(
+                AnalysisConfig::new(cores, Method::LpIlp)
+                    .with_scenario_space(ScenarioSpace::PaperExact),
+            );
+            configs.push(AnalysisConfig::new(cores, Method::LpIlp).with_final_npr_refinement(true));
+            let batched = analyze_all(&ts, &configs);
+            for (config, from_batch) in configs.iter().zip(&batched) {
+                let single = analyze(&ts, config);
+                let reference = analyze_uncached(&ts, config);
+                assert_eq!(single, reference, "analyze vs uncached, {config:?}");
+                assert_eq!(
+                    *from_batch, reference,
+                    "analyze_all vs uncached, {config:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn analyze_all_mixes_core_counts() {
+        // One cache built at the largest m must serve smaller slices
+        // identically to dedicated analyses.
+        let ts = figure1_task_set();
+        let configs: Vec<AnalysisConfig> = [1usize, 3, 4, 8]
+            .into_iter()
+            .map(|m| AnalysisConfig::new(m, Method::LpIlp))
+            .collect();
+        for (config, report) in configs.iter().zip(analyze_all(&ts, &configs)) {
+            assert_eq!(report, analyze_uncached(&ts, config), "{config:?}");
+        }
+    }
+
+    #[test]
+    fn analyze_with_shares_a_cache_across_calls() {
+        let ts = figure1_task_set();
+        let cache = crate::cache::TaskSetCache::new(&ts, 4);
+        for method in Method::ALL {
+            let config = AnalysisConfig::new(4, method);
+            let a = analyze_with(&cache, &config);
+            let b = analyze_with(&cache, &config);
+            assert_eq!(a, b);
+            assert_eq!(a, analyze_uncached(&ts, &config));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cache was built for")]
+    fn analyze_with_rejects_oversized_configs() {
+        let ts = figure1_task_set();
+        let cache = crate::cache::TaskSetCache::new(&ts, 2);
+        let _ = analyze_with(&cache, &AnalysisConfig::new(4, Method::FpIdeal));
     }
 
     #[test]

@@ -1,10 +1,12 @@
 //! The Figure 2 schedulability sweeps (and the group-2 variant).
 //!
 //! For each utilization point, `sets_per_point` random task sets are
-//! generated and tested with the three analyses (FP-ideal, LP-ILP, LP-max);
-//! the reported value is the percentage of schedulable sets — exactly the
-//! paper's Figure 2 (300 sets per point there). Work is fanned over a
-//! thread pool (see [`crate::exec`]) with per-set deterministic seeds, so
+//! generated and tested with the three analyses (FP-ideal, LP-ILP, LP-max)
+//! in one batched [`analyze_all`] call, so each set's µ-arrays and Δ tables
+//! are computed once and shared across the methods; the reported value is
+//! the percentage of schedulable sets — exactly the paper's Figure 2 (300
+//! sets per point there). Work is fanned over a thread pool (see
+//! [`crate::exec`]) with per-set deterministic seeds, so
 //! results are reproducible bit-for-bit regardless of parallelism; the
 //! worker budget is a [`Jobs`] value ([`run_with_jobs`]), surfaced on the
 //! `repro` CLI as `--jobs`.
@@ -13,7 +15,7 @@ use crate::exec::{self, Jobs};
 use crate::{ascii, set_seed};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
-use rta_analysis::{analyze, AnalysisConfig, Method};
+use rta_analysis::{analyze_all, AnalysisConfig, Method};
 use rta_model::TaskSet;
 use rta_taskgen::{generate_task_set, generate_task_set_with_count, TaskSetConfig};
 
@@ -156,15 +158,25 @@ where
         .flat_map(|p| (0..sets).map(move |s| (p, s)))
         .collect();
 
+    // All three methods are evaluated from one shared `TaskSetCache` per
+    // set (`analyze_all`): the µ-arrays and Δ rows the LP methods need are
+    // computed once instead of once per method per task under analysis.
+    let configs: Vec<AnalysisConfig> = Method::ALL
+        .iter()
+        .map(|&method| {
+            AnalysisConfig::new(config.cores, method)
+                .with_scenario_space(rta_analysis::ScenarioSpace::PaperExact)
+        })
+        .collect();
+
     // Fan the evaluations out; `par_map` returns them in coordinate order.
     let outcomes = exec::par_map(&coords, jobs, |&(p, s)| {
         let target = config.utilizations[p];
         let ts = make_set(set_seed(config.seed, p, s), target);
+        let reports = analyze_all(&ts, &configs);
         let mut schedulable = [false; 3];
-        for (mi, method) in Method::ALL.iter().enumerate() {
-            let cfg = AnalysisConfig::new(config.cores, *method)
-                .with_scenario_space(rta_analysis::ScenarioSpace::PaperExact);
-            schedulable[mi] = analyze(&ts, &cfg).schedulable;
+        for (flag, report) in schedulable.iter_mut().zip(&reports) {
+            *flag = report.schedulable;
         }
         SetOutcome {
             point: p,

@@ -1,6 +1,8 @@
 //! Sensitivity of the Figure 2 curves to the generator's unpublished
 //! knobs — the executable version of the calibration story in
-//! DESIGN.md §5.3.
+//! DESIGN.md §5.3. Runs through the same batched [`crate::figure2`] driver
+//! as the main sweeps, so every variant shares one analysis cache per
+//! generated set across the three methods.
 //!
 //! Three period models over the same DAG population, one reduced m = 4
 //! panel each:

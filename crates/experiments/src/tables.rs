@@ -1,13 +1,16 @@
 //! Tables I, II and III of the paper, regenerated from the Figure 1 DAGs.
+//!
+//! Both µ-dependent tables are read off one [`TaskSetCache`] over the
+//! Figure 1 example set — the same precomputation layer the full analysis
+//! runs on — so the tables exercise exactly the code path of `analyze`.
 
 use crate::ascii;
-use rta_analysis::blocking::lpmax::lp_max_blocking;
-use rta_analysis::blocking::mu::mu_array;
-use rta_analysis::blocking::scenarios::{blocking_from_mu, rho};
+use rta_analysis::blocking::scenarios::rho;
+use rta_analysis::cache::TaskSetCache;
 use rta_analysis::{MuSolver, RhoSolver, ScenarioSpace};
 use rta_combinatorics::{partition_count, partitions, Partition};
-use rta_model::examples::figure1_dags;
-use rta_model::{DagTask, Time};
+use rta_model::examples::figure1_task_set;
+use rta_model::Time;
 
 /// Table I: the worst-case workloads `µ_i[c]` of the Figure 1 tasks.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -18,10 +21,13 @@ pub struct Table1 {
 
 /// Computes Table I with the given solver.
 pub fn table1(solver: MuSolver) -> Table1 {
+    let ts = figure1_task_set();
+    let cache = TaskSetCache::new(&ts, 4);
     Table1 {
-        mu: figure1_dags()
-            .iter()
-            .map(|dag| mu_array(dag, 4, solver))
+        // Tasks 1..=4 of the example set are the Figure 1 DAGs (task 0 is
+        // the task under analysis, which Table I does not cover).
+        mu: (1..ts.len())
+            .map(|i| cache.mu(i, solver).to_vec())
             .collect(),
     }
 }
@@ -96,9 +102,12 @@ pub struct Table3 {
 
 /// Computes Table III with the given `ρ` solver.
 pub fn table3(solver: RhoSolver) -> Table3 {
-    let mu: Vec<Vec<Time>> = figure1_dags()
-        .iter()
-        .map(|dag| mu_array(dag, 4, MuSolver::Clique))
+    let ts = figure1_task_set();
+    let cache = TaskSetCache::new(&ts, 4);
+    // The four Figure 1 tasks are exactly `lp(0)` of the example set, so
+    // task 0's cached blocking bounds are the paper's Δ⁴ / Δ³.
+    let mu: Vec<Vec<Time>> = (1..ts.len())
+        .map(|i| cache.mu(i, MuSolver::Clique).to_vec())
         .collect();
     let rho_values: Vec<(Partition, Time)> = partitions(4)
         .map(|s| {
@@ -106,12 +115,8 @@ pub fn table3(solver: RhoSolver) -> Table3 {
             (s, v)
         })
         .collect();
-    let ilp = blocking_from_mu(&mu, 4, solver, ScenarioSpace::PaperExact);
-    let lp_tasks: Vec<DagTask> = figure1_dags()
-        .into_iter()
-        .map(|d| DagTask::with_implicit_deadline(d, 1_000).expect("valid"))
-        .collect();
-    let max = lp_max_blocking(&lp_tasks, 4);
+    let ilp = cache.lp_ilp_blocking(0, 4, MuSolver::Clique, solver, ScenarioSpace::PaperExact);
+    let max = cache.lp_max_blocking(0, 4);
     Table3 {
         rho: rho_values,
         delta_4_ilp: ilp.delta_m,

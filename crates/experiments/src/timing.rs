@@ -11,7 +11,7 @@ use crate::exec::{self, Jobs};
 use crate::set_seed;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
-use rta_analysis::{analyze, AnalysisConfig, Method};
+use rta_analysis::{analyze, analyze_all, AnalysisConfig, Method};
 use rta_taskgen::{generate_task_set, group1};
 use std::time::Instant;
 
@@ -27,6 +27,10 @@ pub struct TimingRow {
     pub lp_max_seconds: f64,
     /// Average seconds per FP-ideal analysis (same sets).
     pub fp_ideal_seconds: f64,
+    /// Average seconds for all three methods batched through one shared
+    /// analysis cache ([`analyze_all`], the Figure 2 hot path) — compare
+    /// with the sum of the three per-method columns for the cache win.
+    pub batched_seconds: f64,
     /// How many positively-answered sets the averages cover.
     pub samples: usize,
 }
@@ -66,7 +70,7 @@ pub fn run_with_jobs(
             // keep every worker busy, small enough to waste little work
             // once the acceptance target is reached.
             let chunk = jobs.worker_count().max(1) * 2;
-            let mut totals = [0.0f64; 3];
+            let mut totals = [0.0f64; 4];
             let mut accepted = 0usize;
             let mut attempt = 0usize;
             while accepted < samples_per_m && attempt < budget {
@@ -93,15 +97,19 @@ pub fn run_with_jobs(
                 lp_ilp_seconds: totals[0] / n,
                 lp_max_seconds: totals[1] / n,
                 fp_ideal_seconds: totals[2] / n,
+                batched_seconds: totals[3] / n,
                 samples: accepted,
             }
         })
         .collect()
 }
 
-/// Generates and analyzes one candidate task set; `Some([ilp, max, fp])`
-/// seconds when the LP-ILP test answers positively, `None` otherwise.
-fn measure_attempt(cores: usize, target: f64, seed: u64, attempt: usize) -> Option<[f64; 3]> {
+/// Generates and analyzes one candidate task set;
+/// `Some([ilp, max, fp, batched])` seconds when the LP-ILP test answers
+/// positively, `None` otherwise. The first three time stand-alone
+/// [`analyze`] calls (the paper's per-method quantity); the fourth times
+/// one [`analyze_all`] over all three methods sharing a single cache.
+fn measure_attempt(cores: usize, target: f64, seed: u64, attempt: usize) -> Option<[f64; 4]> {
     let mut rng = SmallRng::seed_from_u64(set_seed(seed, cores, attempt));
     let ts = generate_task_set(&mut rng, &group1(target));
     // Time LP-ILP first; only keep positively-answered sets.
@@ -117,12 +125,26 @@ fn measure_attempt(cores: usize, target: f64, seed: u64, attempt: usize) -> Opti
     let start = Instant::now();
     let _ = analyze(&ts, &AnalysisConfig::new(cores, Method::FpIdeal));
     let fp_time = start.elapsed().as_secs_f64();
-    Some([ilp_time, max_time, fp_time])
+    let configs: Vec<AnalysisConfig> = Method::ALL
+        .iter()
+        .map(|&m| AnalysisConfig::new(cores, m))
+        .collect();
+    let start = Instant::now();
+    let _ = analyze_all(&ts, &configs);
+    let batched_time = start.elapsed().as_secs_f64();
+    Some([ilp_time, max_time, fp_time, batched_time])
 }
 
 /// ASCII rendering of the timing rows.
 pub fn render(rows: &[TimingRow]) -> String {
-    let header = ["m", "LP-ILP (s)", "LP-max (s)", "FP-ideal (s)", "samples"];
+    let header = [
+        "m",
+        "LP-ILP (s)",
+        "LP-max (s)",
+        "FP-ideal (s)",
+        "batched (s)",
+        "samples",
+    ];
     let body: Vec<Vec<String>> = rows
         .iter()
         .map(|r| {
@@ -131,6 +153,7 @@ pub fn render(rows: &[TimingRow]) -> String {
                 format!("{:.6}", r.lp_ilp_seconds),
                 format!("{:.6}", r.lp_max_seconds),
                 format!("{:.6}", r.fp_ideal_seconds),
+                format!("{:.6}", r.batched_seconds),
                 r.samples.to_string(),
             ]
         })
@@ -149,7 +172,9 @@ mod tests {
         for row in &rows {
             assert!(row.samples > 0, "m = {}", row.cores);
             assert!(row.lp_ilp_seconds > 0.0);
+            assert!(row.batched_seconds > 0.0);
         }
         assert!(render(&rows).contains("LP-ILP"));
+        assert!(render(&rows).contains("batched"));
     }
 }
