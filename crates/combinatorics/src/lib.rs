@@ -10,6 +10,9 @@
 //!   paper (Section IV-B), which are exactly the integer partitions of the
 //!   core count `m`, together with the pentagonal-number-theorem counter
 //!   [`partitions::partition_count`];
+//! * [`PartitionTable`] — a process-global memo of the scenario lists: each
+//!   cardinality is enumerated once per process and shared as a `&'static`
+//!   slice by every task-set analysis and worker thread;
 //! * [`assignment`] — maximum-weight assignment (Hungarian algorithm), the
 //!   combinatorial equivalent of the paper's ILP formulation for the overall
 //!   worst-case workload `ρ_k[s_l]` (Section V-B);
@@ -37,6 +40,7 @@
 pub mod assignment;
 pub mod bitset;
 pub mod clique;
+pub mod partition_table;
 pub mod partitions;
 
 pub use assignment::{
@@ -46,4 +50,5 @@ pub use bitset::BitSet;
 pub use clique::{
     max_weight_clique_of_size, max_weight_clique_weight, CliqueScratch, CliqueSolution,
 };
+pub use partition_table::PartitionTable;
 pub use partitions::{partition_count, partitions, Partition, Partitions};

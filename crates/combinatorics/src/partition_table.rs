@@ -1,0 +1,124 @@
+//! A process-global memo of execution-scenario lists.
+//!
+//! Every analysis of a task set on `m` cores walks the execution scenarios
+//! `e_c` — the integer partitions of each platform slice `c ≤ m`. The lists
+//! depend on nothing but `c`, yet a sweep campaign over thousands of task
+//! sets used to re-enumerate them once per task set (each `TaskSetCache`
+//! held its own copy). [`PartitionTable`] enumerates each cardinality
+//! **once per process** and hands out `&'static` slices that every worker
+//! thread shares for free.
+//!
+//! The table leaks one `Vec<Partition>` per distinct `m` queried over the
+//! process lifetime — bounded by the largest platform ever analyzed (231
+//! partitions at `m = 16`, ~1.7 M at `m = 64`), which is the point: the
+//! memory *is* the memoization.
+//!
+//! [`PartitionTable::enumerations`] counts actual enumerations (mirroring
+//! `mu::mu_array_computations` in the analysis crate), so tests can prove
+//! the once-per-`m`-per-process property.
+
+use crate::partitions::{partitions, Partition};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{OnceLock, RwLock};
+
+/// Scenario lists by core count, filled on first use.
+static TABLE: OnceLock<RwLock<BTreeMap<u32, &'static [Partition]>>> = OnceLock::new();
+
+/// Number of `partitions(m)` enumerations the table has performed.
+static ENUMERATIONS: AtomicU64 = AtomicU64::new(0);
+
+fn table() -> &'static RwLock<BTreeMap<u32, &'static [Partition]>> {
+    TABLE.get_or_init(|| RwLock::new(BTreeMap::new()))
+}
+
+/// The process-global partition table. See the [module docs](self).
+///
+/// # Example
+///
+/// ```
+/// use rta_combinatorics::PartitionTable;
+///
+/// let e4 = PartitionTable::scenarios(4);
+/// assert_eq!(e4.len(), 5); // Table II of the paper
+/// // Repeated queries return the very same memoized slice.
+/// assert!(std::ptr::eq(e4, PartitionTable::scenarios(4)));
+/// ```
+pub struct PartitionTable;
+
+impl PartitionTable {
+    /// The execution scenarios `e_m` — all partitions of `m`, in the
+    /// enumeration order of [`partitions`] — enumerated at most once per
+    /// process and shared by every caller thereafter. `m = 0` yields the
+    /// empty slice.
+    pub fn scenarios(m: u32) -> &'static [Partition] {
+        if let Some(&slice) = table().read().expect("partition table poisoned").get(&m) {
+            return slice;
+        }
+        let mut map = table().write().expect("partition table poisoned");
+        // Double-checked: another thread may have filled the entry between
+        // the read and write locks. Enumerating inside the write lock keeps
+        // the count at exactly one per `m`.
+        map.entry(m).or_insert_with(|| {
+            ENUMERATIONS.fetch_add(1, Ordering::Relaxed);
+            Box::leak(partitions(m).collect::<Vec<_>>().into_boxed_slice())
+        })
+    }
+
+    /// How many `partitions(m)` enumerations the table has performed in
+    /// this process — at most one per distinct `m`, ever.
+    pub fn enumerations() -> u64 {
+        ENUMERATIONS.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scenarios_match_direct_enumeration() {
+        for m in 0..=12u32 {
+            let direct: Vec<Partition> = partitions(m).collect();
+            assert_eq!(PartitionTable::scenarios(m), direct.as_slice(), "m = {m}");
+        }
+    }
+
+    #[test]
+    fn repeated_queries_share_one_allocation() {
+        // Use an `m` no other test in this binary touches, so the pointer
+        // identity below cannot be perturbed by concurrent fills.
+        let first = PartitionTable::scenarios(27);
+        let before = PartitionTable::enumerations();
+        for _ in 0..100 {
+            assert!(std::ptr::eq(first, PartitionTable::scenarios(27)));
+        }
+        // Re-querying an already-filled entry never re-enumerates. Other
+        // tests may fill *new* entries concurrently, so compare against the
+        // dedicated entry's pointer, and check the counter only moved for
+        // entries other than ours (monotone, not exact).
+        assert!(PartitionTable::enumerations() >= before);
+        assert!(std::ptr::eq(first, PartitionTable::scenarios(27)));
+    }
+
+    #[test]
+    fn zero_cores_is_empty() {
+        assert!(PartitionTable::scenarios(0).is_empty());
+    }
+
+    #[test]
+    fn concurrent_first_touch_enumerates_once() {
+        // Hammer a fresh `m` from many threads; the table must hand every
+        // thread the same slice (one enumeration, one leak).
+        let slices: Vec<&'static [Partition]> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..8)
+                .map(|_| scope.spawn(|| PartitionTable::scenarios(26)))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for pair in slices.windows(2) {
+            assert!(std::ptr::eq(pair[0], pair[1]));
+        }
+        assert_eq!(slices[0].len(), crate::partition_count(26) as usize);
+    }
+}

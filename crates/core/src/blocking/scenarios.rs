@@ -25,6 +25,7 @@ use super::BlockingBounds;
 use crate::config::{MuSolver, RhoSolver, ScenarioSpace};
 use rta_combinatorics::{
     max_weight_assignment, max_weight_assignment_total, partitions, AssignmentScratch, Partition,
+    PartitionTable,
 };
 use rta_model::{DagTask, Time};
 
@@ -129,13 +130,12 @@ pub fn max_rho(
     if cores == 0 {
         return 0;
     }
-    let scenarios: Vec<Partition> = partitions(cores).collect();
-    max_rho_over(&scenarios, mu_arrays, solver, scratch)
+    max_rho_over(PartitionTable::scenarios(cores), mu_arrays, solver, scratch)
 }
 
-/// As [`max_rho`], over an explicit scenario list (the cache enumerates the
-/// partitions of each cardinality once per task set and reuses the list for
-/// every task under analysis).
+/// As [`max_rho`], over an explicit scenario list (the cache reads each
+/// cardinality's list from the process-global [`PartitionTable`] and reuses
+/// it for every task under analysis).
 ///
 /// µ rows are borrowed slices so the cache can hand out its per-task arrays
 /// without copying; the Hungarian path stages each scenario's weight matrix

@@ -30,7 +30,10 @@
 //! [`ScenarioSpace::PaperExact`] and [`ScenarioSpace::Extended`] spaces, and
 //! every method reading them. The combinatorial solvers draw their working
 //! memory from shared scratch buffers, so the per-scenario inner loops
-//! allocate nothing once warm.
+//! allocate nothing once warm. Scenario lists are not cached here at all:
+//! they depend only on the core count, so they come from the
+//! **process-global** [`PartitionTable`] — enumerated once per process,
+//! shared by every task set and worker thread of a whole sweep campaign.
 //!
 //! The cache is deliberately **single-threaded** (interior mutability via
 //! [`OnceCell`] / [`RefCell`]): sweep campaigns parallelize over task sets,
@@ -57,7 +60,7 @@
 use crate::blocking::scenarios::{max_rho_over, rho_suffix_dp, RhoScratch};
 use crate::blocking::{mu, BlockingBounds};
 use crate::config::{AnalysisConfig, Method, MuSolver, RhoSolver, ScenarioSpace};
-use rta_combinatorics::{partitions, BitSet, CliqueScratch, Partition};
+use rta_combinatorics::{BitSet, CliqueScratch, PartitionTable};
 use rta_model::{parallel_adjacency, TaskSet, Time};
 use std::cell::{OnceCell, RefCell};
 
@@ -107,9 +110,6 @@ pub struct TaskSetCache<'ts> {
     /// NPR WCETs — `prefix[c]` is Eq. (5)'s `Δ^c` for `c` up to the pool
     /// size (clamped at `max_cores`).
     lp_max: Vec<OnceCell<Vec<Time>>>,
-    /// `scenarios[c − 1]`: the execution scenarios `e_c` (partitions of
-    /// `c`), enumerated once and shared by every task under analysis.
-    scenarios: Vec<OnceCell<Vec<Partition>>>,
     clique_scratch: RefCell<CliqueScratch>,
     rho_scratch: RefCell<RhoScratch>,
 }
@@ -175,7 +175,6 @@ impl<'ts> TaskSetCache<'ts> {
             mu: mu_slots,
             rho: rho_slots,
             lp_max: (0..n).map(|_| OnceCell::new()).collect(),
-            scenarios: (0..max_cores).map(|_| OnceCell::new()).collect(),
             clique_scratch: RefCell::new(CliqueScratch::new()),
             rho_scratch: RefCell::new(RhoScratch::new()),
         }
@@ -300,8 +299,10 @@ impl<'ts> TaskSetCache<'ts> {
                 .collect()
         });
         *per_task[k][cores - 1].get_or_init(|| {
-            let scenarios =
-                self.scenarios[cores - 1].get_or_init(|| partitions(cores as u32).collect());
+            // Scenario lists come from the process-global partition table:
+            // enumerated once per process, not once per task set (let alone
+            // once per query) — see `rta_combinatorics::PartitionTable`.
+            let scenarios = PartitionTable::scenarios(cores as u32);
 
             // Column mode: when every scenario of `e_cores` has a small
             // enough cardinality, one suffix DP per scenario yields the

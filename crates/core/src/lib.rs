@@ -66,7 +66,9 @@ pub mod workload;
 pub use cache::TaskSetCache;
 pub use config::{AnalysisConfig, Method, MuSolver, RhoSolver, ScenarioSpace};
 pub use report::{AnalysisReport, ResponseBound, TaskReport};
-pub use rta::{analyze, analyze_all, analyze_uncached, analyze_with};
+pub use rta::{
+    analyze, analyze_all, analyze_uncached, analyze_verdicts, analyze_with, verdict_with,
+};
 
 // Re-exported for callers that want to work with model types directly.
 pub use rta_model::{DagTask, TaskSet, Time};

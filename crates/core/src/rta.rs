@@ -59,6 +59,126 @@ pub fn analyze_all(task_set: &TaskSet, configs: &[AnalysisConfig]) -> Vec<Analys
     configs.iter().map(|c| analyze_with(&cache, c)).collect()
 }
 
+/// Schedulability verdicts only — one `bool` per configuration, equal to
+/// the `schedulable` flag of the corresponding [`analyze_all`] report but
+/// computed without materializing per-task reports and, crucially,
+/// **short-circuited through the method-dominance chain**.
+///
+/// All three methods iterate the identical monotone fixed point; they
+/// differ only in the blocking pair `(Δ^m, Δ^{m−1})` it consumes, and those
+/// pairs are ordered per task: FP-ideal contributes `(0, 0)`; LP-ILP's `ρ`
+/// sums over distinct lower-priority tasks `µ_i[c]` values, each bounded by
+/// the sum of the `c` largest NPRs of `τ_i`, so `Δ_ILP` never exceeds
+/// LP-max's sum of the pooled largest NPRs (Eq. (5)); the fixed point is
+/// monotone non-decreasing in the blocking pair and in the higher-priority
+/// response bounds ([`interfering_workload`] is monotone in `R_i`).
+/// Induction over the priority order then gives, for configurations
+/// differing only in method:
+///
+/// ```text
+/// LP-max schedulable ⇒ LP-ILP schedulable ⇒ FP-ideal schedulable
+/// ```
+///
+/// So within each group of configurations that agree on everything but the
+/// method, this evaluates FP-ideal first (no blocking machinery at all —
+/// unschedulable sets of a high-utilization sweep point never touch µ,
+/// scenario or closure computation), answers LP-ILP from LP-max's cheap
+/// positive verdict when possible, and only runs the combinatorial LP-ILP
+/// blocking when FP-ideal passes and LP-max fails. Equality with
+/// [`analyze_all`] is pinned by `tests/verdicts.rs` over random generated
+/// task sets.
+pub fn analyze_verdicts(task_set: &TaskSet, configs: &[AnalysisConfig]) -> Vec<bool> {
+    let cache = TaskSetCache::for_configs(task_set, configs);
+    let same_family = |a: &AnalysisConfig, b: &AnalysisConfig| {
+        a.cores == b.cores
+            && a.mu_solver == b.mu_solver
+            && a.rho_solver == b.rho_solver
+            && a.scenario_space == b.scenario_space
+            && a.final_npr_refinement == b.final_npr_refinement
+    };
+    let mut verdicts: Vec<Option<bool>> = vec![None; configs.len()];
+    for i in 0..configs.len() {
+        if verdicts[i].is_some() {
+            continue;
+        }
+        let family: Vec<usize> = (i..configs.len())
+            .filter(|&j| verdicts[j].is_none() && same_family(&configs[i], &configs[j]))
+            .collect();
+        let with_method = |method: Method| AnalysisConfig {
+            method,
+            ..configs[i].clone()
+        };
+        let wants = |method: Method| family.iter().any(|&j| configs[j].method == method);
+        // FP-ideal is the cheapest method and a negative FP-ideal verdict
+        // settles the whole family, so it is always evaluated first.
+        let fp = verdict_with(&cache, &with_method(Method::FpIdeal));
+        let (ilp, max) = if !fp {
+            (false, false)
+        } else {
+            let max = if wants(Method::LpMax) || wants(Method::LpIlp) {
+                verdict_with(&cache, &with_method(Method::LpMax))
+            } else {
+                false
+            };
+            let ilp = if !wants(Method::LpIlp) {
+                false
+            } else if max {
+                true // dominated: LP-max schedulable ⇒ LP-ILP schedulable
+            } else {
+                verdict_with(&cache, &with_method(Method::LpIlp))
+            };
+            (ilp, max)
+        };
+        for &j in &family {
+            verdicts[j] = Some(match configs[j].method {
+                Method::FpIdeal => fp,
+                Method::LpIlp => ilp,
+                Method::LpMax => max,
+            });
+        }
+    }
+    verdicts
+        .into_iter()
+        .map(|v| v.expect("every configuration received a verdict"))
+        .collect()
+}
+
+/// The schedulability verdict of one configuration through a caller-owned
+/// cache: the `schedulable` flag of [`analyze_with`] without building the
+/// per-task reports. No dominance shortcuts — callers wanting those use
+/// [`analyze_verdicts`].
+///
+/// # Panics
+///
+/// Panics if `config.cores == 0` or `config.cores > cache.max_cores()`.
+pub fn verdict_with(cache: &TaskSetCache<'_>, config: &AnalysisConfig) -> bool {
+    assert!(config.cores >= 1, "at least one core required");
+    assert!(
+        config.cores <= cache.max_cores(),
+        "config wants {} cores but the cache was built for {}",
+        config.cores,
+        cache.max_cores()
+    );
+    let task_set = cache.task_set();
+    let mut hp_bounds: Vec<u128> = Vec::with_capacity(task_set.len());
+    for k in 0..task_set.len() {
+        let blocking = cache.blocking_for(k, config);
+        let task = FixedPointTask {
+            longest_path: cache.longest_path(k),
+            volume: cache.volume(k),
+            deadline: cache.deadline(k),
+            preemption_points: cache.preemption_points(k),
+            single_sink_wcet: cache.single_sink_wcet(k),
+        };
+        let outcome = fixed_point(&task, task_set, k, &hp_bounds, blocking.as_ref(), config);
+        if !outcome.schedulable {
+            return false;
+        }
+        hp_bounds.push(outcome.scaled);
+    }
+    true
+}
+
 /// Analyzes a task set through a caller-owned [`TaskSetCache`] (the
 /// workhorse behind [`analyze`] and [`analyze_all`]).
 ///

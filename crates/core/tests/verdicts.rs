@@ -1,0 +1,127 @@
+//! The verdict fast path's contract: [`analyze_verdicts`] must agree with
+//! the `schedulable` flags of full [`analyze_all`] reports on every input —
+//! the dominance shortcut (FP-ideal ≼ LP-ILP ≼ LP-max) is an optimization,
+//! never an approximation. Also pins the process-global partition table's
+//! once-per-`m` property from the analysis layer's point of view.
+
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use rta_analysis::{
+    analyze_all, analyze_verdicts, AnalysisConfig, Method, MuSolver, RhoSolver, ScenarioSpace,
+};
+use rta_combinatorics::PartitionTable;
+use rta_model::examples::figure1_task_set;
+use rta_taskgen::{generate_task_set, group1, group2};
+
+/// The exact configuration triple the Figure 2 sweeps evaluate.
+fn sweep_configs(cores: usize, space: ScenarioSpace) -> Vec<AnalysisConfig> {
+    Method::ALL
+        .iter()
+        .map(|&m| AnalysisConfig::new(cores, m).with_scenario_space(space))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Verdicts equal full-report schedulability on random group-1 sets,
+    /// across core counts, utilizations and both scenario spaces.
+    #[test]
+    fn verdicts_match_full_reports_on_random_sets(
+        seed in 0u64..1_000_000,
+        cores in 1usize..=6,
+        load_percent in 10u32..=110,
+    ) {
+        let target = cores as f64 * load_percent as f64 / 100.0;
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let ts = generate_task_set(&mut rng, &group1(target));
+        for space in [ScenarioSpace::PaperExact, ScenarioSpace::Extended] {
+            let configs = sweep_configs(cores, space);
+            let expected: Vec<bool> = analyze_all(&ts, &configs)
+                .iter()
+                .map(|r| r.schedulable)
+                .collect();
+            prop_assert_eq!(
+                analyze_verdicts(&ts, &configs),
+                expected,
+                "seed {} cores {} {:?}",
+                seed,
+                cores,
+                space
+            );
+        }
+    }
+
+    /// Same agreement on group-2 sets (uniformly parallel DAGs), whose
+    /// heavier µ structure stresses the LP-ILP-only leg of the shortcut.
+    #[test]
+    fn verdicts_match_on_group2_sets(
+        seed in 0u64..1_000_000,
+        cores in 2usize..=4,
+        load_percent in 30u32..=100,
+    ) {
+        let target = cores as f64 * load_percent as f64 / 100.0;
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let ts = generate_task_set(&mut rng, &group2(target));
+        let configs = sweep_configs(cores, ScenarioSpace::PaperExact);
+        let expected: Vec<bool> = analyze_all(&ts, &configs)
+            .iter()
+            .map(|r| r.schedulable)
+            .collect();
+        prop_assert_eq!(analyze_verdicts(&ts, &configs), expected);
+    }
+}
+
+#[test]
+fn verdicts_handle_mixed_families_and_solver_variants() {
+    // Configurations from *different* families (core counts, spaces, solver
+    // pairs) interleaved in one call: grouping must not mix them up.
+    let ts = figure1_task_set();
+    let mut configs = Vec::new();
+    for cores in [2usize, 4] {
+        for method in Method::ALL {
+            configs.push(AnalysisConfig::new(cores, method));
+        }
+    }
+    configs.push(
+        AnalysisConfig::new(4, Method::LpIlp)
+            .with_mu_solver(MuSolver::PaperIlp)
+            .with_rho_solver(RhoSolver::PaperIlp),
+    );
+    configs.push(AnalysisConfig::new(4, Method::LpIlp).with_final_npr_refinement(true));
+    let expected: Vec<bool> = analyze_all(&ts, &configs)
+        .iter()
+        .map(|r| r.schedulable)
+        .collect();
+    assert_eq!(analyze_verdicts(&ts, &configs), expected);
+}
+
+#[test]
+fn partition_enumeration_happens_once_per_m_per_process() {
+    // Warm every cardinality any test in this binary can touch, so the
+    // counter below cannot be bumped by concurrent first-touches.
+    for m in 0..=31u32 {
+        let _ = PartitionTable::scenarios(m);
+    }
+    let before = PartitionTable::enumerations();
+    // Dozens of task sets, each with its own cache, analyzed at several
+    // platform sizes: under the old per-cache scenario cells this would
+    // have re-enumerated partitions per task set; the global table must
+    // perform zero further enumerations.
+    for seed in 0..24u64 {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let ts = generate_task_set(&mut rng, &group1(3.0));
+        for cores in [2usize, 4, 6] {
+            let configs = sweep_configs(cores, ScenarioSpace::PaperExact);
+            let _ = analyze_verdicts(&ts, &configs);
+            let _ = analyze_all(&ts, &configs);
+        }
+    }
+    assert_eq!(
+        PartitionTable::enumerations(),
+        before,
+        "scenario lists must come from the process-global table, \
+         enumerated at most once per m per process"
+    );
+}

@@ -1,4 +1,5 @@
-//! `repro` — regenerate every table and figure of the paper.
+//! `repro` — regenerate every table and figure of the paper, plus the
+//! campaign panels beyond it.
 //!
 //! ```text
 //! repro <command> [--sets N] [--out DIR] [--samples N] [--jobs N]
@@ -14,6 +15,11 @@
 //!   group2       group-2 sweep (uniformly parallel task sets)
 //!   timing       average analysis runtime for m = 4, 8, 16
 //!   sensitivity  generator sensitivity study (DESIGN.md §5.3)
+//!   campaign     scenario panels beyond the paper; optional selector:
+//!                  deadline  constrained deadlines (D = f·T, f swept)
+//!                  chains    chain-heavy task mixtures
+//!                  cores     m ∈ {2, 8} utilization sweeps
+//!                  all       every panel (default)
 //!   dump-set     print one generated task set as JSON (--seed N --target U)
 //!   all          everything above (except dump-set)
 //!
@@ -26,13 +32,12 @@
 //! ```
 //!
 //! Sweep output is bit-identical for every `--jobs` value: task-set seeds
-//! derive only from sweep coordinates and results are folded in
-//! coordinate order.
+//! derive only from sweep coordinates, generation scratch never influences
+//! a random draw, and results are folded in coordinate order.
 
-use rta_analysis::{MuSolver, RhoSolver};
 use rta_experiments::exec::Jobs;
 use rta_experiments::figure2::{run_task_count_with_jobs, run_with_jobs, SweepConfig};
-use rta_experiments::{tables, timing};
+use rta_experiments::{campaign, tables, timing};
 use std::path::PathBuf;
 
 struct Options {
@@ -60,6 +65,7 @@ impl Options {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut command = None;
+    let mut selector: Option<String> = None;
     let mut options = Options {
         sets: 300,
         samples: 20,
@@ -114,12 +120,18 @@ fn main() {
             cmd if command.is_none() && !cmd.starts_with('-') => {
                 command = Some(cmd.to_string());
             }
+            sel if selector.is_none() && !sel.starts_with('-') => {
+                selector = Some(sel.to_string());
+            }
             other => usage(&format!("unknown argument: {other}")),
         }
     }
     let Some(command) = command else {
         usage("missing command");
     };
+    if selector.is_some() && command != "campaign" {
+        usage("only the campaign command takes a panel selector");
+    }
 
     if !Jobs::parallelism_available() && matches!(options.jobs, Some(Jobs::Count(n)) if n > 1) {
         eprintln!(
@@ -130,9 +142,9 @@ fn main() {
 
     std::fs::create_dir_all(&options.out).expect("create output directory");
     match command.as_str() {
-        "table1" => table1(),
-        "table2" => table2(),
-        "table3" => table3(),
+        "table1" => table1(&options, &regenerate_tables(&options)),
+        "table2" => table2(&regenerate_tables(&options)),
+        "table3" => table3(&regenerate_tables(&options)),
         "fig2a" => sweep("fig2a", SweepConfig::paper_panel(4), &options),
         "fig2b" => sweep("fig2b", SweepConfig::paper_panel(8), &options),
         "fig2c" => sweep("fig2c", SweepConfig::paper_panel(16), &options),
@@ -140,11 +152,13 @@ fn main() {
         "group2" => group2(&options),
         "timing" => run_timing(&options),
         "sensitivity" => sensitivity(&options),
+        "campaign" => run_campaign(&options, selector.as_deref().unwrap_or("all")),
         "dump-set" => dump_set(&options),
         "all" => {
-            table1();
-            table2();
-            table3();
+            let t = regenerate_tables(&options);
+            table1(&options, &t);
+            table2(&t);
+            table3(&t);
             sweep("fig2a", SweepConfig::paper_panel(4), &options);
             sweep("fig2b", SweepConfig::paper_panel(8), &options);
             sweep("fig2c", SweepConfig::paper_panel(16), &options);
@@ -152,8 +166,37 @@ fn main() {
             group2(&options);
             run_timing(&options);
             sensitivity(&options);
+            run_campaign(&options, "all");
         }
         other => usage(&format!("unknown command: {other}")),
+    }
+}
+
+/// Runs the requested campaign panels and writes one CSV per panel.
+fn run_campaign(options: &Options, selector: &str) {
+    let jobs = options.sweep_jobs();
+    let sets = options.sets;
+    let panels = match selector {
+        "deadline" => vec![campaign::deadline_panel(sets, jobs)],
+        "chains" => vec![campaign::chain_panel(sets, jobs)],
+        "cores" => campaign::core_count_panels(sets, jobs),
+        "all" => campaign::run_all(sets, jobs),
+        other => usage(&format!("unknown campaign panel: {other}")),
+    };
+    for panel in panels {
+        println!(
+            "== campaign/{}: {} — {} sets/point, {} worker(s) ==",
+            panel.name,
+            panel.title,
+            sets,
+            jobs.worker_count()
+        );
+        println!("{}", panel.result.render(panel.x_label));
+        println!(
+            "dominance (LP-max ≤ LP-ILP ≤ FP-ideal): {}\n",
+            panel.result.dominance_holds()
+        );
+        write_csv(options, panel.name, &panel.result.to_csv(panel.x_label));
     }
 }
 
@@ -186,34 +229,44 @@ fn dump_set(options: &Options) {
 fn usage(msg: &str) -> ! {
     eprintln!("error: {msg}\n");
     eprintln!(
-        "usage: repro <table1|table2|table3|fig2a|fig2b|fig2c|fig2c-tasks|group2|timing|all> \
+        "usage: repro <table1|table2|table3|fig2a|fig2b|fig2c|fig2c-tasks|group2|timing|\
+         campaign [deadline|chains|cores|all]|all> \
          [--sets N] [--samples N] [--out DIR] [--jobs N] [--serial]"
     );
     std::process::exit(2);
 }
 
-fn table1() {
+/// All tables through the campaign engine (each `(table, solver)` pair is
+/// one cell on the worker pool). Called once per invocation — `repro all`
+/// shares one regeneration across the three table subcommands.
+fn regenerate_tables(options: &Options) -> tables::Tables {
+    tables::run_all(options.sweep_jobs())
+}
+
+fn table1(options: &Options, t: &tables::Tables) {
     println!("== Table I: worst-case workloads µ_i[c] of the Figure 1 tasks ==");
-    let t = tables::table1(MuSolver::Clique);
-    println!("{}", t.render());
-    let ilp = tables::table1(MuSolver::PaperIlp);
-    assert_eq!(t, ilp, "clique and ILP solvers must agree");
+    println!("{}", t.table1.render());
+    assert_eq!(t.table1, t.table1_ilp, "clique and ILP solvers must agree");
     println!("(cross-checked against the paper's ILP formulation: identical)\n");
+    write_csv(options, "table1", &t.table1.to_csv());
 }
 
-fn table2() {
+fn table2(t: &tables::Tables) {
     println!("== Table II: execution scenarios e_4 (p(4) = 5) ==");
-    let t = tables::table2();
-    println!("{}", t.render());
-    println!("pentagonal-number count p(4) = {}\n", t.pentagonal_count);
+    println!("{}", t.table2.render());
+    println!(
+        "pentagonal-number count p(4) = {}\n",
+        t.table2.pentagonal_count
+    );
 }
 
-fn table3() {
+fn table3(t: &tables::Tables) {
     println!("== Table III: overall worst-case workloads ρ_k[s_l] ==");
-    let t = tables::table3(RhoSolver::Hungarian);
-    println!("{}", t.render());
-    let ilp = tables::table3(RhoSolver::PaperIlp);
-    assert_eq!(t, ilp, "Hungarian and ILP solvers must agree");
+    println!("{}", t.table3.render());
+    assert_eq!(
+        t.table3, t.table3_ilp,
+        "Hungarian and ILP solvers must agree"
+    );
     println!("(cross-checked against the paper's ILP formulation: identical)\n");
 }
 

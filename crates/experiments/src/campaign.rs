@@ -1,0 +1,335 @@
+//! The streaming campaign engine: every experiment driver's substrate.
+//!
+//! A *campaign* is a list of independent, deterministic cells — one
+//! generated-and-analyzed task set per sweep coordinate, or one table
+//! regeneration — fanned over the [`exec`] worker pool. The engine owns the
+//! two properties every driver (figure2, tables, timing, sensitivity, and
+//! the `repro campaign` panels) relies on:
+//!
+//! * **Streaming evaluation.** Generation is not a separate phase: each
+//!   cell generates its task set *on the worker that claims it*, using a
+//!   per-worker [`TaskSetGenerator`] scratch (DAG builder and assembly
+//!   buffers reused across thousands of sets), then analyzes it through the
+//!   verdict fast path ([`analyze_verdicts`]) — unschedulable sets of a
+//!   high-utilization point never touch the combinatorial blocking
+//!   machinery, and schedulable sets answer LP-ILP from LP-max's verdict
+//!   via the dominance chain.
+//! * **Bit-identical output for any worker count.** Cell seeds derive only
+//!   from campaign coordinates ([`crate::set_seed`]), generation scratch
+//!   never influences a random draw (pinned in `rta-taskgen`'s tests), and
+//!   the per-point fold consumes outcomes in coordinate order.
+//!
+//! On top of the substrate, this module defines the three scenario panels
+//! that the streaming engine makes cheap, surfaced as `repro campaign`
+//! subcommands: a constrained-deadline panel (`D_i = f·T_i`, `f` swept), a
+//! chain-heavy/control-flow mixture panel, and an `m ∈ {2, 8}` core-count
+//! panel.
+
+use crate::exec::{self, Jobs};
+use crate::figure2::{SweepPoint, SweepResult};
+use crate::set_seed;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use rta_analysis::{analyze_verdicts, AnalysisConfig, Method, ScenarioSpace};
+use rta_model::TaskSet;
+use rta_taskgen::{chain_mix, group1, TaskSetConfig, TaskSetGenerator};
+use std::cell::RefCell;
+
+thread_local! {
+    /// The calling worker's reusable generation scratch. Worker threads are
+    /// scoped per [`exec::par_map`] call, so the scratch lives exactly as
+    /// long as its worker; under the serial driver the main thread keeps
+    /// one scratch across the whole campaign.
+    static GENERATOR: RefCell<TaskSetGenerator> = RefCell::new(TaskSetGenerator::new());
+}
+
+/// Generates one task set on the calling worker's reusable scratch —
+/// bit-identical to `generate_task_set(&mut SmallRng::seed_from_u64(seed),
+/// config)` with a fresh generator.
+pub fn generate_on_worker(seed: u64, config: &TaskSetConfig) -> TaskSet {
+    GENERATOR.with(|g| {
+        g.borrow_mut()
+            .generate(&mut SmallRng::seed_from_u64(seed), config)
+    })
+}
+
+/// As [`generate_on_worker`], with an exact task count (the task-count
+/// sweep variant).
+pub fn generate_on_worker_with_count(seed: u64, config: &TaskSetConfig, count: usize) -> TaskSet {
+    GENERATOR.with(|g| {
+        g.borrow_mut()
+            .generate_with_count(&mut SmallRng::seed_from_u64(seed), config, count)
+    })
+}
+
+/// Runs a list of independent campaign cells over the worker pool,
+/// returning results in input order — the substrate every experiment
+/// driver fans its work through (one schedulability evaluation, one table
+/// regeneration, one timing attempt per cell).
+pub fn run_cells<T, R, F>(cells: &[T], jobs: Jobs, eval: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    exec::par_map(cells, jobs, eval)
+}
+
+/// One sweep described to the streaming engine: analysis platform,
+/// x-coordinates, sets per point, base seed, and how to generate a set
+/// from `(per-set seed, x)`.
+pub struct SweepSpec<'a, F> {
+    /// Core count the three methods analyze on.
+    pub cores: usize,
+    /// The x-axis values (utilization targets, deadline factors, …).
+    pub xs: &'a [f64],
+    /// Generated task sets per x value.
+    pub sets_per_point: usize,
+    /// Base RNG seed; per-set seeds derive via [`set_seed`].
+    pub seed: u64,
+    /// Scenario space of the LP-ILP leg.
+    pub space: ScenarioSpace,
+    /// `make_set(per_set_seed, x)` — must be pure (the engine may evaluate
+    /// it on any worker); use [`generate_on_worker`] inside for scratch
+    /// reuse.
+    pub make_set: F,
+}
+
+/// Streams a sweep: every `(point, set)` cell generates and analyzes its
+/// task set on the worker that claims it, and the per-point fold runs in
+/// coordinate order — bit-identical across worker counts.
+pub fn sweep<F>(spec: &SweepSpec<'_, F>, jobs: Jobs) -> SweepResult
+where
+    F: Fn(u64, f64) -> TaskSet + Sync,
+{
+    let points = spec.xs.len();
+    let sets = spec.sets_per_point;
+    let coords: Vec<(usize, usize)> = (0..points)
+        .flat_map(|p| (0..sets).map(move |s| (p, s)))
+        .collect();
+
+    let configs: Vec<AnalysisConfig> = Method::ALL
+        .iter()
+        .map(|&method| AnalysisConfig::new(spec.cores, method).with_scenario_space(spec.space))
+        .collect();
+
+    struct CellOutcome {
+        point: usize,
+        utilization: f64,
+        schedulable: Vec<bool>,
+    }
+
+    let outcomes = run_cells(&coords, jobs, |&(p, s)| {
+        let ts = (spec.make_set)(set_seed(spec.seed, p, s), spec.xs[p]);
+        let schedulable = analyze_verdicts(&ts, &configs);
+        CellOutcome {
+            point: p,
+            utilization: ts.total_utilization(),
+            schedulable,
+        }
+    });
+
+    // Deterministic fold: coordinate order, independent of the driver.
+    let mut counts = vec![[0usize; 3]; points];
+    let mut achieved = vec![0.0f64; points];
+    for outcome in &outcomes {
+        achieved[outcome.point] += outcome.utilization;
+        for (mi, &ok) in outcome.schedulable.iter().enumerate() {
+            if ok {
+                counts[outcome.point][mi] += 1;
+            }
+        }
+    }
+    let points = spec
+        .xs
+        .iter()
+        .zip(counts.iter().zip(&achieved))
+        .map(|(&x, (c, &u))| SweepPoint {
+            x,
+            achieved_utilization: u / sets as f64,
+            schedulable_pct: [
+                100.0 * c[0] as f64 / sets as f64,
+                100.0 * c[1] as f64 / sets as f64,
+                100.0 * c[2] as f64 / sets as f64,
+            ],
+        })
+        .collect();
+    SweepResult {
+        cores: spec.cores,
+        points,
+    }
+}
+
+/// One named campaign panel: a sweep plus its presentation metadata.
+pub struct Panel {
+    /// CSV file stem and display name.
+    pub name: &'static str,
+    /// Human-readable description printed above the table.
+    pub title: &'static str,
+    /// X-axis label of the rendered table / CSV header.
+    pub x_label: &'static str,
+    /// The sweep result.
+    pub result: SweepResult,
+}
+
+/// Base seed of the campaign panels (distinct from the Figure 2 seed so
+/// the panels are a fresh population, not a re-analysis).
+const CAMPAIGN_SEED: u64 = 0xCA4A_161C;
+
+/// The constrained-deadline panel: `m = 4`, `U = m/2`, deadlines
+/// `D_i = f·T_i` with the factor `f` swept — charts how quickly each
+/// analysis sheds schedulability as slack between response bound and
+/// deadline is removed.
+pub fn deadline_panel(sets_per_point: usize, jobs: Jobs) -> Panel {
+    let factors: Vec<f64> = (0..=10).map(|i| 0.5 + 0.05 * f64::from(i)).collect();
+    let result = sweep(
+        &SweepSpec {
+            cores: 4,
+            xs: &factors,
+            sets_per_point,
+            seed: CAMPAIGN_SEED,
+            space: ScenarioSpace::PaperExact,
+            make_set: |seed, f| {
+                let config = group1(2.0).with_deadline_factor(f);
+                generate_on_worker(seed, &config)
+            },
+        },
+        jobs,
+    );
+    Panel {
+        name: "campaign_deadline",
+        title: "constrained deadlines: m = 4, U = 2, D = f*T, f swept",
+        x_label: "deadline_factor",
+        result,
+    }
+}
+
+/// The chain-heavy mixture panel: `m = 4`, `U = m/2`, the sequential-chain
+/// share of the task mixture swept from 0 to 1 — the regime where DAGs
+/// degenerate into control-flow chains and LP-max's pooled-NPR bound
+/// over-counts hardest relative to LP-ILP.
+pub fn chain_panel(sets_per_point: usize, jobs: Jobs) -> Panel {
+    let shares: Vec<f64> = (0..=8).map(|i| 0.125 * f64::from(i)).collect();
+    let result = sweep(
+        &SweepSpec {
+            cores: 4,
+            xs: &shares,
+            sets_per_point,
+            seed: CAMPAIGN_SEED ^ 1,
+            space: ScenarioSpace::PaperExact,
+            make_set: |seed, share| generate_on_worker(seed, &chain_mix(2.0, share)),
+        },
+        jobs,
+    );
+    Panel {
+        name: "campaign_chains",
+        title: "chain-heavy mixtures: m = 4, U = 2, chain share swept",
+        x_label: "chain_share",
+        result,
+    }
+}
+
+/// The core-count panel: the paper's utilization sweep on the platforms
+/// Figure 2 skips — `m = 2` (where `p(m)` collapses to 2 scenarios and all
+/// three analyses nearly coincide) and `m = 8` re-generated from the
+/// campaign seed population.
+pub fn core_count_panels(sets_per_point: usize, jobs: Jobs) -> Vec<Panel> {
+    [(2usize, "campaign_cores_m2"), (8, "campaign_cores_m8")]
+        .into_iter()
+        .map(|(cores, name)| {
+            let m = cores as f64;
+            let xs: Vec<f64> = (0..13)
+                .map(|i| 1.0 + (m - 1.0) * f64::from(i) / 12.0)
+                .collect();
+            let result = sweep(
+                &SweepSpec {
+                    cores,
+                    xs: &xs,
+                    sets_per_point,
+                    seed: CAMPAIGN_SEED ^ (cores as u64),
+                    space: ScenarioSpace::PaperExact,
+                    make_set: |seed, target| generate_on_worker(seed, &group1(target)),
+                },
+                jobs,
+            );
+            Panel {
+                name,
+                title: if cores == 2 {
+                    "core count: m = 2 utilization sweep (group 1)"
+                } else {
+                    "core count: m = 8 utilization sweep (group 1)"
+                },
+                x_label: "utilization",
+                result,
+            }
+        })
+        .collect()
+}
+
+/// All campaign panels, in CLI order.
+pub fn run_all(sets_per_point: usize, jobs: Jobs) -> Vec<Panel> {
+    let mut panels = vec![
+        deadline_panel(sets_per_point, jobs),
+        chain_panel(sets_per_point, jobs),
+    ];
+    panels.extend(core_count_panels(sets_per_point, jobs));
+    panels
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deadline_panel_tightening_costs_schedulability() {
+        // Tighter deadlines hurt overall. (Strict per-point monotonicity in
+        // f does not hold: shrinking deadlines also reshuffles the
+        // deadline-monotonic priority order, which can locally help a small
+        // sample — only the trend is a theorem-like expectation.)
+        let panel = deadline_panel(12, Jobs::serial());
+        assert_eq!(panel.result.points.len(), 11);
+        assert!(panel.result.dominance_holds());
+        let fp: Vec<f64> = panel
+            .result
+            .points
+            .iter()
+            .map(|p| p.schedulable_pct[0])
+            .collect();
+        let (first, last) = (fp[0], *fp.last().unwrap());
+        assert!(
+            first < last,
+            "f = 0.5 ({first}%) must schedule fewer sets than f = 1 ({last}%)"
+        );
+        // f = 1 is the implicit-deadline population: identical generation.
+        assert!((panel.result.points.last().unwrap().x - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn chain_panel_runs_and_dominates() {
+        let panel = chain_panel(8, Jobs::serial());
+        assert_eq!(panel.result.points.len(), 9);
+        assert!(panel.result.dominance_holds());
+    }
+
+    #[test]
+    fn core_count_panels_cover_m2_and_m8() {
+        let panels = core_count_panels(6, Jobs::serial());
+        assert_eq!(panels.len(), 2);
+        assert_eq!(panels[0].result.cores, 2);
+        assert_eq!(panels[1].result.cores, 8);
+        for panel in &panels {
+            assert!(panel.result.dominance_holds(), "{}", panel.name);
+            assert_eq!(panel.result.points.len(), 13);
+        }
+    }
+
+    #[test]
+    fn worker_scratch_generation_matches_fresh() {
+        let config = group1(2.5);
+        let direct = rta_taskgen::generate_task_set(&mut SmallRng::seed_from_u64(42), &config);
+        assert_eq!(generate_on_worker(42, &config), direct);
+        let counted =
+            rta_taskgen::generate_task_set_with_count(&mut SmallRng::seed_from_u64(42), &config, 5);
+        assert_eq!(generate_on_worker_with_count(42, &config, 5), counted);
+    }
+}

@@ -1,23 +1,22 @@
 //! The Figure 2 schedulability sweeps (and the group-2 variant).
 //!
 //! For each utilization point, `sets_per_point` random task sets are
-//! generated and tested with the three analyses (FP-ideal, LP-ILP, LP-max)
-//! in one batched [`analyze_all`] call, so each set's µ-arrays and Δ tables
-//! are computed once and shared across the methods; the reported value is
-//! the percentage of schedulable sets — exactly the paper's Figure 2 (300
-//! sets per point there). Work is fanned over a thread pool (see
-//! [`crate::exec`]) with per-set deterministic seeds, so
-//! results are reproducible bit-for-bit regardless of parallelism; the
-//! worker budget is a [`Jobs`] value ([`run_with_jobs`]), surfaced on the
-//! `repro` CLI as `--jobs`.
+//! generated **and analyzed in the same streaming cell** of the campaign
+//! engine ([`crate::campaign`]): the worker that claims a coordinate
+//! generates its task set on a reusable per-worker scratch and evaluates
+//! the three analyses (FP-ideal, LP-ILP, LP-max) through the
+//! dominance-short-circuited verdict path, sharing one analysis cache per
+//! set; the reported value is the percentage of schedulable sets — exactly
+//! the paper's Figure 2 (300 sets per point there). Results are
+//! reproducible bit-for-bit regardless of parallelism; the worker budget
+//! is a [`Jobs`] value ([`run_with_jobs`]), surfaced on the `repro` CLI as
+//! `--jobs`.
 
-use crate::exec::{self, Jobs};
-use crate::{ascii, set_seed};
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
-use rta_analysis::{analyze_all, AnalysisConfig, Method};
-use rta_model::TaskSet;
-use rta_taskgen::{generate_task_set, generate_task_set_with_count, TaskSetConfig};
+use crate::ascii;
+use crate::campaign::{self, SweepSpec};
+use crate::exec::Jobs;
+use rta_analysis::{Method, ScenarioSpace};
+use rta_taskgen::TaskSetConfig;
 
 /// Configuration of one sweep.
 #[derive(Clone, Debug)]
@@ -103,18 +102,27 @@ pub fn run_serial(config: &SweepConfig) -> SweepResult {
     run_with_jobs(config, Jobs::serial())
 }
 
-/// Runs the sweep with an explicit worker budget, fanning the
-/// `(point, set)` evaluations over a thread pool.
+/// Runs the sweep with an explicit worker budget, streaming the
+/// `(point, set)` cells over the campaign engine's thread pool.
 ///
 /// Results are **bit-identical across worker counts**: every task set's
 /// seed derives only from its sweep coordinates, every evaluation is pure,
 /// and the per-point aggregation folds the evaluations in coordinate order
 /// no matter which worker produced them.
 pub fn run_with_jobs(config: &SweepConfig, jobs: Jobs) -> SweepResult {
-    run_with(config, jobs, |seed, target| {
-        let mut rng = SmallRng::seed_from_u64(seed);
-        generate_task_set(&mut rng, &(config.generator)(target))
-    })
+    campaign::sweep(
+        &SweepSpec {
+            cores: config.cores,
+            xs: &config.utilizations,
+            sets_per_point: config.sets_per_point,
+            seed: config.seed,
+            space: ScenarioSpace::PaperExact,
+            make_set: |seed, target| {
+                campaign::generate_on_worker(seed, &(config.generator)(target))
+            },
+        },
+        jobs,
+    )
 }
 
 /// The task-count variant (DESIGN.md §5.4): x-axis = number of tasks, total
@@ -130,91 +138,24 @@ pub fn run_task_count_with_jobs(
     jobs: Jobs,
 ) -> SweepResult {
     let fixed_u = config.cores as f64 / 2.0;
-    let mut cfg = config.clone();
-    cfg.utilizations = task_counts.iter().map(|&n| n as f64).collect();
-    run_with(&cfg, jobs, |seed, x| {
-        let mut rng = SmallRng::seed_from_u64(seed);
-        generate_task_set_with_count(&mut rng, &(config.generator)(fixed_u), x as usize)
-    })
-}
-
-/// The outcome of evaluating one generated task set.
-struct SetOutcome {
-    /// Sweep point the set belongs to.
-    point: usize,
-    /// The set's achieved total utilization.
-    utilization: f64,
-    /// Schedulability verdict per method, in [`Method::ALL`] order.
-    schedulable: [bool; 3],
-}
-
-fn run_with<F>(config: &SweepConfig, jobs: Jobs, make_set: F) -> SweepResult
-where
-    F: Fn(u64, f64) -> TaskSet + Sync,
-{
-    let points = config.utilizations.len();
-    let sets = config.sets_per_point;
-    let coords: Vec<(usize, usize)> = (0..points)
-        .flat_map(|p| (0..sets).map(move |s| (p, s)))
-        .collect();
-
-    // All three methods are evaluated from one shared `TaskSetCache` per
-    // set (`analyze_all`): the µ-arrays and Δ rows the LP methods need are
-    // computed once instead of once per method per task under analysis.
-    let configs: Vec<AnalysisConfig> = Method::ALL
-        .iter()
-        .map(|&method| {
-            AnalysisConfig::new(config.cores, method)
-                .with_scenario_space(rta_analysis::ScenarioSpace::PaperExact)
-        })
-        .collect();
-
-    // Fan the evaluations out; `par_map` returns them in coordinate order.
-    let outcomes = exec::par_map(&coords, jobs, |&(p, s)| {
-        let target = config.utilizations[p];
-        let ts = make_set(set_seed(config.seed, p, s), target);
-        let reports = analyze_all(&ts, &configs);
-        let mut schedulable = [false; 3];
-        for (flag, report) in schedulable.iter_mut().zip(&reports) {
-            *flag = report.schedulable;
-        }
-        SetOutcome {
-            point: p,
-            utilization: ts.total_utilization(),
-            schedulable,
-        }
-    });
-
-    // Deterministic fold: coordinate order, independent of the driver.
-    let mut counts = vec![[0usize; 3]; points];
-    let mut achieved = vec![0.0f64; points];
-    for outcome in &outcomes {
-        achieved[outcome.point] += outcome.utilization;
-        for (mi, &ok) in outcome.schedulable.iter().enumerate() {
-            if ok {
-                counts[outcome.point][mi] += 1;
-            }
-        }
-    }
-
-    let points = config
-        .utilizations
-        .iter()
-        .zip(counts.iter().zip(&achieved))
-        .map(|(&x, (c, &u))| SweepPoint {
-            x,
-            achieved_utilization: u / sets as f64,
-            schedulable_pct: [
-                100.0 * c[0] as f64 / sets as f64,
-                100.0 * c[1] as f64 / sets as f64,
-                100.0 * c[2] as f64 / sets as f64,
-            ],
-        })
-        .collect();
-    SweepResult {
-        cores: config.cores,
-        points,
-    }
+    let xs: Vec<f64> = task_counts.iter().map(|&n| n as f64).collect();
+    campaign::sweep(
+        &SweepSpec {
+            cores: config.cores,
+            xs: &xs,
+            sets_per_point: config.sets_per_point,
+            seed: config.seed,
+            space: ScenarioSpace::PaperExact,
+            make_set: |seed, x| {
+                campaign::generate_on_worker_with_count(
+                    seed,
+                    &(config.generator)(fixed_u),
+                    x as usize,
+                )
+            },
+        },
+        jobs,
+    )
 }
 
 impl SweepResult {

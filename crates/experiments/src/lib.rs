@@ -16,16 +16,26 @@
 //! | Group-2 comparison (prose)            | [`figure2::run`] with [`rta_taskgen::group2`] | `repro group2` |
 //! | Runtime paragraph (`0.45 s / 4.75 s / 43 min`) | [`timing::run`] | `repro timing` |
 //!
-//! Sweeps are deterministic: every task set's seed derives from
-//! `(base seed, point index, set index)` only, so results do not depend on
-//! thread scheduling. The campaign driver ([`exec`]) fans evaluations over
-//! a thread pool — or runs them serially with `--jobs 1`, with bit-identical
-//! output — behind the crate's `parallel` feature (enabled by default).
+//! Beyond the paper, the [`campaign`] engine opens sweep panels the
+//! original evaluation did not chart — constrained deadlines (`D = f·T`),
+//! chain-heavy task mixtures, and the `m ∈ {2, 8}` platforms — via
+//! `repro campaign`.
+//!
+//! Every driver runs on the **streaming campaign engine** ([`campaign`]):
+//! each sweep cell generates its task set on the worker that claims it
+//! (per-worker scratch, no separate generation phase) and analyzes it
+//! through the dominance-short-circuited verdict path. Sweeps are
+//! deterministic: every task set's seed derives from `(base seed, point
+//! index, set index)` only, so results do not depend on thread scheduling.
+//! The execution substrate ([`exec`]) fans cells over a thread pool — or
+//! runs them serially with `--jobs 1`, with bit-identical output — behind
+//! the crate's `parallel` feature (enabled by default).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod ascii;
+pub mod campaign;
 pub mod exec;
 pub mod figure2;
 pub mod sensitivity;

@@ -3,8 +3,12 @@
 //! Both µ-dependent tables are read off one [`TaskSetCache`] over the
 //! Figure 1 example set — the same precomputation layer the full analysis
 //! runs on — so the tables exercise exactly the code path of `analyze`.
+//! [`run_all`] regenerates every table (under both combinatorial and
+//! paper-ILP solvers) as one campaign of cells on the shared engine.
 
 use crate::ascii;
+use crate::campaign;
+use crate::exec::Jobs;
 use rta_analysis::blocking::scenarios::rho;
 use rta_analysis::cache::TaskSetCache;
 use rta_analysis::{MuSolver, RhoSolver, ScenarioSpace};
@@ -36,14 +40,23 @@ impl Table1 {
     /// ASCII rendering in the paper's layout (rows = core counts).
     pub fn render(&self) -> String {
         let header = ["c", "µ1[c]", "µ2[c]", "µ3[c]", "µ4[c]"];
-        let rows: Vec<Vec<String>> = (1..=4usize)
+        ascii::table(&header, &self.rows())
+    }
+
+    /// CSV rendering (the golden-output CI gate diffs these bytes).
+    pub fn to_csv(&self) -> String {
+        let header = ["c", "mu1", "mu2", "mu3", "mu4"];
+        ascii::csv(&header, &self.rows())
+    }
+
+    fn rows(&self) -> Vec<Vec<String>> {
+        (1..=4usize)
             .map(|c| {
                 let mut row = vec![c.to_string()];
                 row.extend(self.mu.iter().map(|m| m[c - 1].to_string()));
                 row
             })
-            .collect();
-        ascii::table(&header, &rows)
+            .collect()
     }
 }
 
@@ -144,6 +157,67 @@ impl Table3 {
     }
 }
 
+/// Every table of the paper under every solver, regenerated in one pass.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Tables {
+    /// Table I via the clique solver.
+    pub table1: Table1,
+    /// Table I via the paper's ILP formulation (must equal `table1`).
+    pub table1_ilp: Table1,
+    /// Table II.
+    pub table2: Table2,
+    /// Table III via the Hungarian solver.
+    pub table3: Table3,
+    /// Table III via the paper's ILP formulation (must equal `table3`).
+    pub table3_ilp: Table3,
+}
+
+/// Regenerates all tables as one campaign: each `(table, solver)` pair is
+/// an independent cell on the shared engine, so the five cache builds and
+/// solver runs spread over the worker pool (and collapse to the plain
+/// serial loop under `--jobs 1`, bit-identically).
+pub fn run_all(jobs: Jobs) -> Tables {
+    /// The output of one table cell.
+    enum Cell {
+        One(Table1),
+        Two(Table2),
+        Three(Table3),
+    }
+    let cells = [0usize, 1, 2, 3, 4];
+    let mut outputs = campaign::run_cells(&cells, jobs, |&i| match i {
+        0 => Cell::One(table1(MuSolver::Clique)),
+        1 => Cell::One(table1(MuSolver::PaperIlp)),
+        2 => Cell::Two(table2()),
+        3 => Cell::Three(table3(RhoSolver::Hungarian)),
+        _ => Cell::Three(table3(RhoSolver::PaperIlp)),
+    })
+    .into_iter();
+    let mut next = || outputs.next().expect("five cells");
+    let take1 = |cell: Cell| match cell {
+        Cell::One(t) => t,
+        _ => unreachable!("cell order is fixed"),
+    };
+    let take3 = |cell: Cell| match cell {
+        Cell::Three(t) => t,
+        _ => unreachable!("cell order is fixed"),
+    };
+    let table1 = take1(next());
+    let table1_ilp = take1(next());
+    let table2 = match next() {
+        Cell::Two(t) => t,
+        _ => unreachable!("cell order is fixed"),
+    };
+    let table3 = take3(next());
+    let table3_ilp = take3(next());
+    Tables {
+        table1,
+        table1_ilp,
+        table2,
+        table3,
+        table3_ilp,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -189,5 +263,25 @@ mod tests {
     fn renders_are_nonempty() {
         assert!(table1(MuSolver::Clique).render().contains("µ3[c]"));
         assert!(table3(RhoSolver::Hungarian).render().contains("Δ⁴"));
+    }
+
+    #[test]
+    fn table1_csv_is_table_i() {
+        let csv = table1(MuSolver::Clique).to_csv();
+        assert!(csv.starts_with("c,mu1,mu2,mu3,mu4\n"));
+        assert_eq!(csv.lines().count(), 5);
+        // Row c = 4 of Table I: µ1[4] = 5, µ2[4] = 0, µ3[4] = 11, µ4[4] = 0.
+        assert!(csv.contains("4,5,0,11,0"), "{csv}");
+    }
+
+    #[test]
+    fn run_all_matches_individual_tables_under_every_driver() {
+        let serial = run_all(Jobs::serial());
+        assert_eq!(serial.table1, table1(MuSolver::Clique));
+        assert_eq!(serial.table1, serial.table1_ilp);
+        assert_eq!(serial.table2, table2());
+        assert_eq!(serial.table3, table3(RhoSolver::Hungarian));
+        assert_eq!(serial.table3, serial.table3_ilp);
+        assert_eq!(run_all(Jobs::Count(3)), serial);
     }
 }

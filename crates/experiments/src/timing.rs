@@ -7,12 +7,11 @@
 //! per-task `µ` searches); absolute numbers are not comparable across
 //! implementations — see EXPERIMENTS.md.
 
-use crate::exec::{self, Jobs};
+use crate::campaign;
+use crate::exec::Jobs;
 use crate::set_seed;
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
 use rta_analysis::{analyze, analyze_all, AnalysisConfig, Method};
-use rta_taskgen::{generate_task_set, group1};
+use rta_taskgen::group1;
 use std::time::Instant;
 
 /// Measured average runtime for one platform size.
@@ -76,7 +75,7 @@ pub fn run_with_jobs(
             while accepted < samples_per_m && attempt < budget {
                 let hi = (attempt + chunk).min(budget);
                 let attempts: Vec<usize> = (attempt..hi).collect();
-                let outcomes = exec::par_map(&attempts, jobs, |&a| {
+                let outcomes = campaign::run_cells(&attempts, jobs, |&a| {
                     measure_attempt(cores, target, seed, a)
                 });
                 // Consume in attempt order; acceptance is deterministic.
@@ -110,8 +109,9 @@ pub fn run_with_jobs(
 /// [`analyze`] calls (the paper's per-method quantity); the fourth times
 /// one [`analyze_all`] over all three methods sharing a single cache.
 fn measure_attempt(cores: usize, target: f64, seed: u64, attempt: usize) -> Option<[f64; 4]> {
-    let mut rng = SmallRng::seed_from_u64(set_seed(seed, cores, attempt));
-    let ts = generate_task_set(&mut rng, &group1(target));
+    // Streaming generation on the claiming worker's scratch (bit-identical
+    // to a fresh `generate_task_set` with this seed).
+    let ts = campaign::generate_on_worker(set_seed(seed, cores, attempt), &group1(target));
     // Time LP-ILP first; only keep positively-answered sets.
     let start = Instant::now();
     let ilp = analyze(&ts, &AnalysisConfig::new(cores, Method::LpIlp));

@@ -9,7 +9,7 @@
 
 use rta_experiments::exec::Jobs;
 use rta_experiments::figure2::{run_serial, run_task_count_with_jobs, run_with_jobs, SweepConfig};
-use rta_experiments::timing;
+use rta_experiments::{campaign, tables, timing};
 
 /// A reduced Figure 2(a) grid: m = 4, 4 utilization points, 6 sets each.
 fn reduced_fig2a() -> SweepConfig {
@@ -48,6 +48,47 @@ fn task_count_variant_is_byte_identical_to_serial() {
     assert_eq!(
         parallel.to_csv("tasks").into_bytes(),
         serial.to_csv("tasks").into_bytes()
+    );
+}
+
+#[test]
+fn campaign_panels_are_byte_identical_to_serial() {
+    // Every `repro campaign` panel must emit the same CSV bytes for any
+    // worker count — the property the golden-CSV CI gate also pins from
+    // the outside.
+    let build = |jobs: Jobs| {
+        let mut panels = vec![
+            campaign::deadline_panel(5, jobs),
+            campaign::chain_panel(5, jobs),
+        ];
+        panels.extend(campaign::core_count_panels(4, jobs));
+        panels
+    };
+    let serial = build(Jobs::serial());
+    for jobs in [Jobs::Count(3), Jobs::Auto] {
+        let parallel = build(jobs);
+        assert_eq!(parallel.len(), serial.len());
+        for (p, s) in parallel.iter().zip(&serial) {
+            assert_eq!(p.name, s.name);
+            assert_eq!(
+                p.result.to_csv(p.x_label).into_bytes(),
+                s.result.to_csv(s.x_label).into_bytes(),
+                "panel {} must be byte-identical under {jobs:?}",
+                p.name
+            );
+        }
+    }
+}
+
+#[test]
+fn tables_campaign_is_identical_to_serial() {
+    let serial = tables::run_all(Jobs::serial());
+    for jobs in [Jobs::Count(2), Jobs::Auto] {
+        assert_eq!(tables::run_all(jobs), serial, "{jobs:?}");
+    }
+    assert_eq!(
+        serial.table1.to_csv(),
+        tables::table1(rta_analysis::MuSolver::Clique).to_csv()
     );
 }
 

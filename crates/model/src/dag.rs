@@ -4,26 +4,47 @@ use crate::error::ModelError;
 use crate::ids::NodeId;
 use crate::time::Time;
 use rta_combinatorics::BitSet;
+use std::sync::OnceLock;
 
 /// A directed acyclic graph of non-preemptive regions (paper Section III-A).
 ///
 /// Nodes carry WCETs; edges are precedence constraints. A `Dag` is immutable
-/// once built (use [`DagBuilder`]) and pre-computes everything the analysis
-/// reads repeatedly: a topological order, per-node transitive closures
-/// (ancestors and descendants) and the graph's aggregate measures
+/// once built (use [`DagBuilder`]) and pre-computes what every consumer
+/// reads: a topological order and the graph's aggregate measures
 /// [`volume`](Dag::volume) (`vol(G)`) and [`longest_path`](Dag::longest_path)
-/// (`L`, the critical path).
-#[derive(Clone, Debug, PartialEq, Eq)]
+/// (`L`, the critical path). The per-node transitive closures (ancestors and
+/// descendants) are computed **lazily** on first use and then shared: sweep
+/// campaigns generate thousands of DAGs whose closures are only consulted
+/// when an analysis actually reaches the precedence-aware µ computation, so
+/// eager closure construction was pure overhead on the generation hot path.
+#[derive(Clone, Debug)]
 pub struct Dag {
     wcets: Vec<Time>,
     succ: Vec<BitSet>,
     pred: Vec<BitSet>,
     topo: Vec<NodeId>,
-    ancestors: Vec<BitSet>,
-    descendants: Vec<BitSet>,
+    closures: OnceLock<Closures>,
     volume: Time,
     longest_path: Time,
 }
+
+/// The lazily-derived transitive closures of a [`Dag`].
+#[derive(Clone, Debug)]
+struct Closures {
+    ancestors: Vec<BitSet>,
+    descendants: Vec<BitSet>,
+}
+
+impl PartialEq for Dag {
+    fn eq(&self, other: &Self) -> bool {
+        // The closures, `pred` and `topo` are all functions of the WCETs and
+        // the successor sets; comparing the defining data keeps equality
+        // independent of whether the lazy closures have been materialized.
+        self.wcets == other.wcets && self.succ == other.succ
+    }
+}
+
+impl Eq for Dag {}
 
 impl Dag {
     /// Number of nodes (`q_k + 1` in the paper's notation).
@@ -65,16 +86,44 @@ impl Dag {
         &self.pred[node.index()]
     }
 
+    /// Transitive closures along the topological order, computed on first
+    /// use and shared by every later query.
+    fn closures(&self) -> &Closures {
+        self.closures.get_or_init(|| {
+            let n = self.wcets.len();
+            let mut descendants = vec![BitSet::with_capacity(n); n];
+            for &v in self.topo.iter().rev() {
+                let mut d = self.succ[v.index()].clone();
+                for s in self.succ[v.index()].iter() {
+                    d.union_with(&descendants[s]);
+                }
+                descendants[v.index()] = d;
+            }
+            let mut ancestors = vec![BitSet::with_capacity(n); n];
+            for &v in &self.topo {
+                let mut a = self.pred[v.index()].clone();
+                for p in self.pred[v.index()].iter() {
+                    a.union_with(&ancestors[p]);
+                }
+                ancestors[v.index()] = a;
+            }
+            Closures {
+                ancestors,
+                descendants,
+            }
+        })
+    }
+
     /// All nodes reachable from `node` (the paper's `SUCC(v)`), excluding
     /// `node` itself.
     pub fn descendants(&self, node: NodeId) -> &BitSet {
-        &self.descendants[node.index()]
+        &self.closures().descendants[node.index()]
     }
 
     /// All nodes from which `node` is reachable (the paper's `PRED(v)`),
     /// excluding `node` itself.
     pub fn ancestors(&self, node: NodeId) -> &BitSet {
-        &self.ancestors[node.index()]
+        &self.closures().ancestors[node.index()]
     }
 
     /// Nodes sharing a common direct predecessor with `node` (the paper's
@@ -90,7 +139,7 @@ impl Dag {
 
     /// `true` if `to` is reachable from `from` by a non-empty path.
     pub fn reaches(&self, from: NodeId, to: NodeId) -> bool {
-        self.descendants[from.index()].contains(to.index())
+        self.closures().descendants[from.index()].contains(to.index())
     }
 
     /// A topological order of the nodes (parents before children).
@@ -279,75 +328,78 @@ impl DagBuilder {
     /// Returns [`ModelError::EmptyDag`] for a graph without nodes, or
     /// [`ModelError::CycleDetected`] if the edges are not acyclic.
     pub fn build(self) -> Result<Dag, ModelError> {
-        let n = self.wcets.len();
-        if n == 0 {
-            return Err(ModelError::EmptyDag);
-        }
-        let mut succ = vec![BitSet::with_capacity(n); n];
-        let mut pred = vec![BitSet::with_capacity(n); n];
-        for (from, to) in &self.edges {
-            succ[from.index()].insert(to.index());
-            pred[to.index()].insert(from.index());
-        }
-
-        // Kahn's algorithm for the topological order + cycle detection.
-        let mut indegree: Vec<usize> = (0..n).map(|v| pred[v].len()).collect();
-        let mut queue: Vec<usize> = (0..n).filter(|&v| indegree[v] == 0).collect();
-        let mut topo = Vec::with_capacity(n);
-        let mut head = 0;
-        while head < queue.len() {
-            let v = queue[head];
-            head += 1;
-            topo.push(NodeId::new(v));
-            for s in succ[v].iter() {
-                indegree[s] -= 1;
-                if indegree[s] == 0 {
-                    queue.push(s);
-                }
-            }
-        }
-        if topo.len() != n {
-            return Err(ModelError::CycleDetected);
-        }
-
-        // Transitive closures along the topological order.
-        let mut descendants = vec![BitSet::with_capacity(n); n];
-        for &v in topo.iter().rev() {
-            let mut d = succ[v.index()].clone();
-            for s in succ[v.index()].iter() {
-                d.union_with(&descendants[s]);
-            }
-            descendants[v.index()] = d;
-        }
-        let mut ancestors = vec![BitSet::with_capacity(n); n];
-        for &v in &topo {
-            let mut a = pred[v.index()].clone();
-            for p in pred[v.index()].iter() {
-                a.union_with(&ancestors[p]);
-            }
-            ancestors[v.index()] = a;
-        }
-
-        // Longest path by dynamic programming over the topological order.
-        let mut finish: Vec<Time> = vec![0; n];
-        let mut longest = 0;
-        for &v in &topo {
-            let start = pred[v.index()].iter().map(|p| finish[p]).max().unwrap_or(0);
-            finish[v.index()] = start + self.wcets[v.index()];
-            longest = longest.max(finish[v.index()]);
-        }
-
-        Ok(Dag {
-            volume: self.wcets.iter().sum(),
-            longest_path: longest,
-            wcets: self.wcets,
-            succ,
-            pred,
-            topo,
-            ancestors,
-            descendants,
-        })
+        build_dag(self.wcets, &self.edges)
     }
+
+    /// As [`build`](Self::build), but resets the builder in place so its
+    /// edge buffer's capacity is reused by the next DAG: the node WCETs move
+    /// into the built DAG, the edge list is cleared but keeps its
+    /// allocation. This is the entry point of scratch-reusing generators
+    /// that build thousands of DAGs per sweep campaign.
+    ///
+    /// # Errors
+    ///
+    /// As [`build`](Self::build). The builder is reset even on error.
+    pub fn build_reset(&mut self) -> Result<Dag, ModelError> {
+        let wcets = std::mem::take(&mut self.wcets);
+        let result = build_dag(wcets, &self.edges);
+        self.edges.clear();
+        result
+    }
+}
+
+/// Validates `(wcets, edges)` and assembles the immutable [`Dag`].
+fn build_dag(wcets: Vec<Time>, edges: &[(NodeId, NodeId)]) -> Result<Dag, ModelError> {
+    let n = wcets.len();
+    if n == 0 {
+        return Err(ModelError::EmptyDag);
+    }
+    let mut succ = vec![BitSet::with_capacity(n); n];
+    let mut pred = vec![BitSet::with_capacity(n); n];
+    for (from, to) in edges {
+        succ[from.index()].insert(to.index());
+        pred[to.index()].insert(from.index());
+    }
+
+    // Kahn's algorithm for the topological order + cycle detection.
+    let mut indegree: Vec<usize> = (0..n).map(|v| pred[v].len()).collect();
+    let mut queue: Vec<usize> = (0..n).filter(|&v| indegree[v] == 0).collect();
+    let mut topo = Vec::with_capacity(n);
+    let mut head = 0;
+    while head < queue.len() {
+        let v = queue[head];
+        head += 1;
+        topo.push(NodeId::new(v));
+        for s in succ[v].iter() {
+            indegree[s] -= 1;
+            if indegree[s] == 0 {
+                queue.push(s);
+            }
+        }
+    }
+    if topo.len() != n {
+        return Err(ModelError::CycleDetected);
+    }
+
+    // Longest path by dynamic programming over the topological order. The
+    // transitive closures are *not* computed here — see [`Dag::closures`].
+    let mut finish: Vec<Time> = vec![0; n];
+    let mut longest = 0;
+    for &v in &topo {
+        let start = pred[v.index()].iter().map(|p| finish[p]).max().unwrap_or(0);
+        finish[v.index()] = start + wcets[v.index()];
+        longest = longest.max(finish[v.index()]);
+    }
+
+    Ok(Dag {
+        volume: wcets.iter().sum(),
+        longest_path: longest,
+        wcets,
+        succ,
+        pred,
+        topo,
+        closures: OnceLock::new(),
+    })
 }
 
 #[cfg(test)]
@@ -374,6 +426,42 @@ mod tests {
     #[test]
     fn empty_dag_is_rejected() {
         assert_eq!(DagBuilder::new().build().unwrap_err(), ModelError::EmptyDag);
+    }
+
+    #[test]
+    fn build_reset_reuses_the_builder_and_matches_build() {
+        let mut b = DagBuilder::new();
+        let v: Vec<NodeId> = b.add_nodes([2, 3, 4]);
+        b.add_edge(v[0], v[1]).unwrap();
+        b.add_edge(v[0], v[2]).unwrap();
+        let reference = b.clone().build().unwrap();
+        let first = b.build_reset().unwrap();
+        assert_eq!(first, reference);
+        // The builder is empty again and usable for an unrelated DAG.
+        assert_eq!(b.node_count(), 0);
+        let w = b.add_node(7);
+        let x = b.add_node(1);
+        b.add_edge(w, x).unwrap();
+        let second = b.build_reset().unwrap();
+        assert_eq!(second.node_count(), 2);
+        assert_eq!(second.longest_path(), 8);
+        assert_ne!(first, second);
+    }
+
+    #[test]
+    fn equality_ignores_lazy_closure_state() {
+        let a = diamond();
+        let b = diamond();
+        // Force `a`'s closures only; the DAGs must still compare equal, and
+        // a clone must preserve the defining data either way.
+        let _ = a.descendants(NodeId::new(0));
+        assert_eq!(a, b);
+        assert_eq!(a.clone(), b.clone());
+        // Closures computed on both sides agree node for node.
+        for v in a.nodes() {
+            assert_eq!(a.descendants(v), b.descendants(v));
+            assert_eq!(a.ancestors(v), b.ancestors(v));
+        }
     }
 
     #[test]

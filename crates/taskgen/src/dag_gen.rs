@@ -115,34 +115,70 @@ impl DagGenConfig {
 /// `node_count() ≤ max_nodes`, `longest_path_node_count() ≤ max_path_nodes`,
 /// every WCET within `wcet_range`, exactly one source and one sink.
 pub fn generate_dag<R: Rng>(rng: &mut R, config: &DagGenConfig) -> Dag {
+    generate_dag_with(rng, config, &mut DagBuilder::new())
+}
+
+/// As [`generate_dag`], assembling the DAG in a caller-owned (empty)
+/// builder whose buffers are reused across calls — the scratch-reusing
+/// entry point of sweep campaigns, drawing **exactly** the same random
+/// sequence as [`generate_dag`].
+///
+/// # Panics
+///
+/// Panics if `builder` is not empty.
+pub fn generate_dag_with<R: Rng>(
+    rng: &mut R,
+    config: &DagGenConfig,
+    builder: &mut DagBuilder,
+) -> Dag {
     config.validate();
-    let mut builder = DagBuilder::new();
+    assert_eq!(builder.node_count(), 0, "builder must start empty");
     let mut budget = config.max_nodes;
     let (entry, _exit) = block(
         rng,
         config,
-        &mut builder,
+        builder,
         &mut budget,
         config.max_path_nodes,
         config.max_width,
         config.force_root_fork,
     );
     let _ = entry;
-    builder.build().expect("generated graph is a valid DAG")
+    builder
+        .build_reset()
+        .expect("generated graph is a valid DAG")
 }
 
 /// Generates a sequential chain of 1 to `max_len` NPRs — the paper's
 /// "control-flow" tasks with very limited (here: no) parallelism.
 pub fn generate_sequential_dag<R: Rng>(rng: &mut R, config: &DagGenConfig) -> Dag {
+    generate_sequential_dag_with(rng, config, &mut DagBuilder::new())
+}
+
+/// As [`generate_sequential_dag`], reusing a caller-owned (empty) builder;
+/// same random sequence as the allocating variant.
+///
+/// # Panics
+///
+/// Panics if `builder` is not empty.
+pub fn generate_sequential_dag_with<R: Rng>(
+    rng: &mut R,
+    config: &DagGenConfig,
+    builder: &mut DagBuilder,
+) -> Dag {
     config.validate();
+    assert_eq!(builder.node_count(), 0, "builder must start empty");
     let hi = config.max_path_nodes.min(config.max_nodes);
     let len = rng.gen_range(config.min_chain_nodes.min(hi)..=hi);
-    let mut builder = DagBuilder::new();
-    let nodes: Vec<NodeId> = (0..len)
-        .map(|_| builder.add_node(wcet(rng, config)))
-        .collect();
-    builder.add_chain(&nodes).expect("chain edges are valid");
-    builder.build().expect("chain is a valid DAG")
+    let mut previous: Option<NodeId> = None;
+    for _ in 0..len {
+        let node = builder.add_node(wcet(rng, config));
+        if let Some(prev) = previous {
+            builder.add_edge(prev, node).expect("chain edges are valid");
+        }
+        previous = Some(node);
+    }
+    builder.build_reset().expect("chain is a valid DAG")
 }
 
 fn wcet<R: Rng>(rng: &mut R, config: &DagGenConfig) -> Time {

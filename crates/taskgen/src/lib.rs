@@ -41,8 +41,11 @@
 pub mod dag_gen;
 pub mod set_gen;
 
-pub use dag_gen::{generate_dag, generate_sequential_dag, DagGenConfig};
+pub use dag_gen::{
+    generate_dag, generate_dag_with, generate_sequential_dag, generate_sequential_dag_with,
+    DagGenConfig,
+};
 pub use set_gen::{
-    generate_task, generate_task_set, generate_task_set_with_count, group1, group2, DagShape,
-    PeriodModel, TaskKind, TaskSetConfig,
+    chain_mix, generate_task, generate_task_set, generate_task_set_with_count, group1, group2,
+    DagShape, PeriodModel, TaskKind, TaskSetConfig, TaskSetGenerator,
 };

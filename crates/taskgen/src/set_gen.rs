@@ -1,19 +1,28 @@
 //! Task and task-set assembly: periods, deadlines, utilization targeting.
+//!
+//! Two entry styles produce **bit-identical** task sets for equal seeds:
+//! the original free functions ([`generate_task_set`] and friends), which
+//! allocate their working memory per call, and the scratch-reusing
+//! [`TaskSetGenerator`], which keeps the DAG builder and the per-set
+//! assembly buffers alive across sets — the hot path of a streaming sweep
+//! campaign, where one generator per worker thread serves thousands of
+//! coordinates without re-allocating. The equivalence is pinned by
+//! proptests in `tests/properties.rs`.
 
-use crate::dag_gen::{generate_dag, generate_sequential_dag, DagGenConfig};
+use crate::dag_gen::{generate_dag_with, generate_sequential_dag_with, DagGenConfig};
 use rand::Rng;
-use rta_model::{Dag, DagTask, TaskSet, Time};
+use rta_model::{Dag, DagBuilder, DagTask, TaskSet, Time};
 
 /// The topology family of one generated DAG.
 #[derive(Clone, Debug, PartialEq)]
 pub enum DagShape {
-    /// Recursive fork-join expansion ([`generate_dag`]). The
+    /// Recursive fork-join expansion ([`crate::generate_dag`]). The
     /// `max_branches` knob controls how parallel the family is: 6 for the
     /// paper's data-flow tasks, 2 for control-flow tasks with "very-limited
     /// parallelism".
     ForkJoin(DagGenConfig),
-    /// A pure sequential chain ([`generate_sequential_dag`]) — the paper's
-    /// "or even sequential" tasks.
+    /// A pure sequential chain ([`crate::generate_sequential_dag`]) — the
+    /// paper's "or even sequential" tasks.
     Chain(DagGenConfig),
 }
 
@@ -106,6 +115,32 @@ pub struct TaskSetConfig {
     pub period_model: PeriodModel,
     /// Kind mix of the generated tasks.
     pub kind: TaskKind,
+    /// Relative deadline as a fraction of the period: `D_i =
+    /// clamp(round(f · T_i), L_i, T_i)` with `f ∈ (0, 1]`. The paper's
+    /// evaluation uses implicit deadlines (`f = 1`, the presets' default);
+    /// the constrained-deadline campaign panel sweeps `f` below 1. The
+    /// clamp at `L_i` keeps every task individually feasible, so the panel
+    /// measures the analyses' deadline sensitivity rather than counting
+    /// trivially-impossible tasks.
+    pub deadline_factor: f64,
+}
+
+impl TaskSetConfig {
+    /// Sets the deadline factor `f` of `D_i = f · T_i` (see
+    /// [`deadline_factor`](Self::deadline_factor)).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < factor ≤ 1`.
+    #[must_use]
+    pub fn with_deadline_factor(mut self, factor: f64) -> Self {
+        assert!(
+            factor > 0.0 && factor <= 1.0,
+            "deadline factor must be in (0, 1]"
+        );
+        self.deadline_factor = factor;
+        self
+    }
 }
 
 /// The paper's first evaluation group: DAGs with different levels of
@@ -125,6 +160,7 @@ pub fn group1(target_utilization: f64) -> TaskSetConfig {
             (0.3, DagShape::ForkJoin(DagGenConfig::low_parallel())),
             (0.2, DagShape::Chain(DagGenConfig::low_parallel())),
         ]),
+        deadline_factor: 1.0,
     }
 }
 
@@ -148,38 +184,111 @@ pub fn group2(target_utilization: f64) -> TaskSetConfig {
             max_width: usize::MAX,
             ..DagGenConfig::default()
         }),
+        deadline_factor: 1.0,
     }
 }
 
-fn generate_kind<R: Rng>(rng: &mut R, kind: &TaskKind) -> Dag {
+/// A control-flow-heavy variant of [`group1`]: `chain_share` of the
+/// mixture weight goes to pure sequential chains, the rest split 60/40
+/// between the highly- and low-parallel fork-join families. The campaign
+/// engine sweeps `chain_share` to chart how the three analyses degrade as
+/// NPR counts grow while parallelism disappears — the regime where LP-max
+/// over-counts hardest.
+///
+/// # Panics
+///
+/// Panics unless `0 ≤ chain_share ≤ 1`.
+pub fn chain_mix(target_utilization: f64, chain_share: f64) -> TaskSetConfig {
+    assert!(
+        (0.0..=1.0).contains(&chain_share),
+        "chain share must be in [0, 1]"
+    );
+    let mut entries = Vec::new();
+    if chain_share < 1.0 {
+        let parallel = 1.0 - chain_share;
+        entries.push((
+            0.6 * parallel,
+            DagShape::ForkJoin(DagGenConfig::highly_parallel()),
+        ));
+        entries.push((
+            0.4 * parallel,
+            DagShape::ForkJoin(DagGenConfig::low_parallel()),
+        ));
+    }
+    if chain_share > 0.0 {
+        entries.push((chain_share, DagShape::Chain(DagGenConfig::low_parallel())));
+    }
+    TaskSetConfig {
+        kind: TaskKind::mixture(entries),
+        ..group1(target_utilization)
+    }
+}
+
+/// Validates the configuration's deadline factor. The field is public, so
+/// generation entry points re-check what
+/// [`with_deadline_factor`](TaskSetConfig::with_deadline_factor) enforced —
+/// an out-of-range factor must panic in release builds too, not silently
+/// clamp.
+fn validate_deadline_factor(config: &TaskSetConfig) {
+    assert!(
+        config.deadline_factor > 0.0 && config.deadline_factor <= 1.0,
+        "deadline factor must be in (0, 1]"
+    );
+}
+
+/// Builds the task from a finished DAG and period, deriving the deadline
+/// from the configuration's [`deadline_factor`](TaskSetConfig::deadline_factor).
+fn finish_task(dag: Dag, period: Time, config: &TaskSetConfig) -> DagTask {
+    debug_assert!(
+        config.deadline_factor > 0.0 && config.deadline_factor <= 1.0,
+        "deadline factor must be in (0, 1]"
+    );
+    if config.deadline_factor >= 1.0 {
+        return DagTask::with_implicit_deadline(dag, period).expect("period ≥ L ≥ 1");
+    }
+    let deadline = ((period as f64 * config.deadline_factor).round() as Time)
+        .max(dag.longest_path())
+        .min(period);
+    DagTask::new(dag, period, deadline).expect("L ≤ D ≤ T by construction")
+}
+
+fn generate_kind_with<R: Rng>(rng: &mut R, kind: &TaskKind, builder: &mut DagBuilder) -> Dag {
     let total: f64 = kind.entries().iter().map(|(w, _)| w).sum();
     let mut draw = rng.gen_range(0.0..total);
     for (weight, shape) in kind.entries() {
         if draw < *weight {
             return match shape {
-                DagShape::ForkJoin(config) => generate_dag(rng, config),
-                DagShape::Chain(config) => generate_sequential_dag(rng, config),
+                DagShape::ForkJoin(config) => generate_dag_with(rng, config, builder),
+                DagShape::Chain(config) => generate_sequential_dag_with(rng, config, builder),
             };
         }
         draw -= weight;
     }
     // Floating-point edge: fall back to the last entry.
     match &kind.entries().last().expect("non-empty mixture").1 {
-        DagShape::ForkJoin(config) => generate_dag(rng, config),
-        DagShape::Chain(config) => generate_sequential_dag(rng, config),
+        DagShape::ForkJoin(config) => generate_dag_with(rng, config, builder),
+        DagShape::Chain(config) => generate_sequential_dag_with(rng, config, builder),
     }
 }
 
 /// Generates one task with a per-task utilization draw: `u ~ U[β, max]`
 /// (using `max = 1` under [`PeriodModel::CommonScale`], whose set-level
 /// scaling is applied by [`generate_task_set`], not here), period
-/// `T = max(L, ⌈vol/u⌉)` and an implicit deadline.
+/// `T = max(L, ⌈vol/u⌉)` and a deadline from the configured factor.
 ///
 /// # Panics
 ///
 /// Panics if `beta` is not a positive probability-like bound consistent
 /// with the period model.
 pub fn generate_task<R: Rng>(rng: &mut R, config: &TaskSetConfig) -> DagTask {
+    generate_task_with(rng, config, &mut DagBuilder::new())
+}
+
+fn generate_task_with<R: Rng>(
+    rng: &mut R,
+    config: &TaskSetConfig,
+    builder: &mut DagBuilder,
+) -> DagTask {
     let max = match config.period_model {
         PeriodModel::PerTaskUtilization { max } => max,
         PeriodModel::CommonScale { .. } | PeriodModel::SlackFactor { .. } => 1.0,
@@ -188,10 +297,284 @@ pub fn generate_task<R: Rng>(rng: &mut R, config: &TaskSetConfig) -> DagTask {
         config.beta > 0.0 && config.beta <= max,
         "beta must be in (0, max utilization]"
     );
-    let dag = generate_kind(rng, &config.kind);
+    validate_deadline_factor(config);
+    let dag = generate_kind_with(rng, &config.kind, builder);
     let utilization = rng.gen_range(config.beta..=max);
     let period = ((dag.volume() as f64 / utilization).ceil() as Time).max(dag.longest_path());
-    DagTask::with_implicit_deadline(dag, period).expect("period ≥ L ≥ 1")
+    finish_task(dag, period, config)
+}
+
+/// The reusable working memory of task-set generation: the DAG builder's
+/// node/edge buffers plus the per-set assembly vectors. One instance per
+/// worker thread serves an entire streaming campaign; every `generate*`
+/// call produces **exactly** the bytes the corresponding free function
+/// would (the scratch never influences a random draw), which
+/// `tests/properties.rs` pins over random seeds.
+#[derive(Debug, Default)]
+pub struct TaskSetGenerator {
+    builder: DagBuilder,
+    dags: Vec<Dag>,
+    slack: Vec<f64>,
+    periods: Vec<f64>,
+}
+
+impl TaskSetGenerator {
+    /// Creates a generator with empty buffers; they grow on first use and
+    /// are retained across calls.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Scratch-reusing equivalent of [`generate_task_set`].
+    ///
+    /// # Panics
+    ///
+    /// As [`generate_task_set`].
+    pub fn generate<R: Rng>(&mut self, rng: &mut R, config: &TaskSetConfig) -> TaskSet {
+        assert!(
+            config.target_utilization > 0.0,
+            "target utilization must be positive"
+        );
+        validate_deadline_factor(config);
+        match config.period_model {
+            PeriodModel::CommonScale { spread } => {
+                let n = ((config.target_utilization / config.beta).round() as usize).max(2);
+                self.assemble_common_scale(rng, config, n, spread)
+            }
+            PeriodModel::SlackFactor {
+                min_slack,
+                max_slack,
+                tasks_per_utilization,
+            } => {
+                let n =
+                    ((config.target_utilization * tasks_per_utilization).round() as usize).max(2);
+                self.assemble_slack_factor(rng, config, n, min_slack, max_slack)
+            }
+            PeriodModel::PerTaskUtilization { .. } => self.assemble_per_task(rng, config),
+        }
+    }
+
+    /// Scratch-reusing equivalent of [`generate_task_set_with_count`].
+    ///
+    /// # Panics
+    ///
+    /// As [`generate_task_set_with_count`].
+    pub fn generate_with_count<R: Rng>(
+        &mut self,
+        rng: &mut R,
+        config: &TaskSetConfig,
+        count: usize,
+    ) -> TaskSet {
+        assert!(count >= 1, "at least one task required");
+        assert!(
+            config.target_utilization > 0.0,
+            "target utilization must be positive"
+        );
+        validate_deadline_factor(config);
+        match config.period_model {
+            PeriodModel::SlackFactor {
+                min_slack,
+                max_slack,
+                ..
+            } => self.assemble_slack_factor(rng, config, count, min_slack, max_slack),
+            PeriodModel::CommonScale { spread } => {
+                self.assemble_common_scale(rng, config, count, spread)
+            }
+            PeriodModel::PerTaskUtilization { .. } => {
+                self.assemble_common_scale(rng, config, count, 2.0)
+            }
+        }
+    }
+
+    /// Generates `n` DAGs into the reused buffer with periods `T_i = vol_i ·
+    /// s_i`, `s_i` log-uniform in `[min_slack, max_slack]`, then applies a
+    /// common multiplicative correction to the slack factors (clamped below
+    /// at `min_slack`) so the set's utilization lands on the target —
+    /// rejection-free: no draw is ever discarded, the correction is a
+    /// deterministic post-pass.
+    fn assemble_slack_factor<R: Rng>(
+        &mut self,
+        rng: &mut R,
+        config: &TaskSetConfig,
+        n: usize,
+        min_slack: f64,
+        max_slack: f64,
+    ) -> TaskSet {
+        assert!(min_slack > 1.0, "min_slack must exceed 1");
+        assert!(max_slack > min_slack, "max_slack must exceed min_slack");
+        self.dags.clear();
+        for _ in 0..n {
+            let dag = generate_kind_with(rng, &config.kind, &mut self.builder);
+            self.dags.push(dag);
+        }
+        let dags = &self.dags;
+
+        // Absolute slack floor: every task must at least be able to absorb
+        // the release blocking of one maximal lower-priority NPR, or it is
+        // dead on arrival under any limited-preemptive analysis. Start at
+        // 2.5× the largest node WCET in the set; halve it while it would
+        // make the utilization target unreachable.
+        let max_wcet = dags.iter().map(rta_model::Dag::max_wcet).max().unwrap_or(0);
+        let mut floor = (max_wcet * 5 / 2) as f64;
+        let min_slack_of = |vol: f64, floor: f64| -> f64 { min_slack.max((vol + floor) / vol) };
+        loop {
+            let reachable: f64 = dags
+                .iter()
+                .map(|d| 1.0 / min_slack_of(d.volume() as f64, floor))
+                .sum();
+            if reachable >= 1.05 * config.target_utilization || floor < 1.0 {
+                break;
+            }
+            floor /= 2.0;
+        }
+
+        self.slack.clear();
+        for d in dags {
+            let draw = rng.gen_range(min_slack.ln()..=max_slack.ln()).exp();
+            self.slack
+                .push(draw.max(min_slack_of(d.volume() as f64, floor)));
+        }
+        let slack = &mut self.slack;
+        // Common correction on the slack factors to land on the target,
+        // iterated because the per-task clamps redistribute utilization to
+        // the unclamped tasks. If every factor is pinned the target is
+        // unreachable for this draw and the set undershoots (making the
+        // corresponding sweep point easier, never harder, to schedule).
+        for _pass in 0..32 {
+            let current: f64 = slack.iter().map(|s| 1.0 / s).sum();
+            if (current - config.target_utilization).abs() < 0.005 * config.target_utilization {
+                break;
+            }
+            let factor = current / config.target_utilization;
+            let mut moved = false;
+            for (d, s) in dags.iter().zip(slack.iter_mut()) {
+                let next = (*s * factor).max(min_slack_of(d.volume() as f64, floor));
+                if (next - *s).abs() > f64::EPSILON {
+                    moved = true;
+                }
+                *s = next;
+            }
+            if !moved {
+                break;
+            }
+        }
+        let tasks: Vec<DagTask> = self
+            .dags
+            .drain(..)
+            .zip(self.slack.iter().copied())
+            .map(|(d, s)| {
+                let period = ((d.volume() as f64 * s).round() as Time)
+                    .max(d.longest_path())
+                    .max(1);
+                finish_task(d, period, config)
+            })
+            .collect();
+        TaskSet::new(tasks).sorted_deadline_monotonic()
+    }
+
+    /// Generates `n` DAGs, draws periods uniformly from `[C, spread·C]`
+    /// with `C` the largest volume, and rescales every period by a common
+    /// factor so the set's utilization lands on the target (with one
+    /// correction pass for integer-rounding and `T ≥ L` clamping).
+    fn assemble_common_scale<R: Rng>(
+        &mut self,
+        rng: &mut R,
+        config: &TaskSetConfig,
+        n: usize,
+        spread: f64,
+    ) -> TaskSet {
+        assert!(spread >= 1.0, "spread must be at least 1");
+        self.dags.clear();
+        for _ in 0..n {
+            let dag = generate_kind_with(rng, &config.kind, &mut self.builder);
+            self.dags.push(dag);
+        }
+        let dags = &self.dags;
+        let scale = dags
+            .iter()
+            .map(rta_model::Dag::volume)
+            .max()
+            .expect("n ≥ 1") as f64;
+        self.periods.clear();
+        for _ in 0..n {
+            self.periods
+                .push(rng.gen_range(scale..=(spread * scale).max(scale + 1.0)));
+        }
+        let periods = &mut self.periods;
+        // Two passes: rescale onto the target, clamp at L, correct once
+        // more.
+        for _pass in 0..2 {
+            let current: f64 = dags
+                .iter()
+                .zip(periods.iter())
+                .map(|(d, t)| d.volume() as f64 / t)
+                .sum();
+            let factor = current / config.target_utilization;
+            for (d, t) in dags.iter().zip(periods.iter_mut()) {
+                *t = (*t * factor).max(d.longest_path() as f64).max(1.0);
+            }
+        }
+        let tasks: Vec<DagTask> = self
+            .dags
+            .drain(..)
+            .zip(self.periods.iter().copied())
+            .map(|(d, t)| {
+                let period = (t.round() as Time).max(d.longest_path()).max(1);
+                finish_task(d, period, config)
+            })
+            .collect();
+        TaskSet::new(tasks).sorted_deadline_monotonic()
+    }
+
+    /// The [`PeriodModel::PerTaskUtilization`] assembly: tasks are appended
+    /// until the accumulated utilization reaches the target; the closing
+    /// task is **rescaled, not redrawn** — its period is recomputed
+    /// analytically so the set lands on the target, with further candidate
+    /// draws only while the landing error exceeds the tolerance (bounded).
+    fn assemble_per_task<R: Rng>(&mut self, rng: &mut R, config: &TaskSetConfig) -> TaskSet {
+        const LANDING_TOLERANCE: f64 = 0.02;
+        const MAX_CLOSING_ATTEMPTS: usize = 64;
+
+        let mut tasks: Vec<DagTask> = Vec::new();
+        let mut acc = 0.0f64;
+        let mut best_closing: Option<(f64, DagTask)> = None;
+        let mut attempts = 0usize;
+        loop {
+            let task = generate_task_with(rng, config, &mut self.builder);
+            let u = task.utilization();
+            if acc + u < config.target_utilization {
+                acc += u;
+                tasks.push(task);
+                continue;
+            }
+            // Candidate closing task: re-scale its period so the set lands
+            // on the target, trying both integer roundings.
+            let missing = config.target_utilization - acc;
+            debug_assert!(missing > 0.0);
+            let volume = task.dag().volume() as f64;
+            let min_period = task.dag().longest_path().max(1);
+            let ideal = volume / missing;
+            let candidates = [
+                (ideal.floor() as Time).max(min_period),
+                (ideal.ceil() as Time).max(min_period),
+            ];
+            for period in candidates {
+                let err = (volume / period as f64 - missing).abs();
+                if best_closing.as_ref().is_none_or(|(e, _)| err < *e) {
+                    let rescaled = finish_task(task.dag().clone(), period, config);
+                    best_closing = Some((err, rescaled));
+                }
+            }
+            attempts += 1;
+            let (err, _) = best_closing.as_ref().expect("candidate recorded");
+            if *err <= LANDING_TOLERANCE || attempts >= MAX_CLOSING_ATTEMPTS {
+                let (_, closing) = best_closing.expect("candidate recorded");
+                tasks.push(closing);
+                break;
+            }
+        }
+        TaskSet::new(tasks).sorted_deadline_monotonic()
+    }
 }
 
 /// Generates a task set with total utilization ≈ `target_utilization`.
@@ -201,82 +584,24 @@ pub fn generate_task<R: Rng>(rng: &mut R, config: &TaskSetConfig) -> DagTask {
 /// set is rescaled onto the target. Under
 /// [`PeriodModel::PerTaskUtilization`], tasks are appended until the
 /// accumulated utilization reaches the target and the closing task is
-/// redrawn until the residual error drops below 2% (bounded retries).
+/// rescaled to absorb the residual (bounded candidate draws).
 /// Priorities are deadline monotonic in both cases.
+///
+/// Allocating convenience wrapper around [`TaskSetGenerator::generate`].
 ///
 /// # Panics
 ///
 /// Panics if `target_utilization ≤ 0`.
 pub fn generate_task_set<R: Rng>(rng: &mut R, config: &TaskSetConfig) -> TaskSet {
-    assert!(
-        config.target_utilization > 0.0,
-        "target utilization must be positive"
-    );
-    match config.period_model {
-        PeriodModel::CommonScale { spread } => {
-            let n = ((config.target_utilization / config.beta).round() as usize).max(2);
-            return assemble_common_scale(rng, config, n, spread);
-        }
-        PeriodModel::SlackFactor {
-            min_slack,
-            max_slack,
-            tasks_per_utilization,
-        } => {
-            let n = ((config.target_utilization * tasks_per_utilization).round() as usize).max(2);
-            return assemble_slack_factor(rng, config, n, min_slack, max_slack);
-        }
-        PeriodModel::PerTaskUtilization { .. } => {}
-    }
-    const LANDING_TOLERANCE: f64 = 0.02;
-    const MAX_CLOSING_ATTEMPTS: usize = 64;
-
-    let mut tasks: Vec<DagTask> = Vec::new();
-    let mut acc = 0.0f64;
-    let mut best_closing: Option<(f64, DagTask)> = None;
-    let mut attempts = 0usize;
-    loop {
-        let task = generate_task(rng, config);
-        let u = task.utilization();
-        if acc + u < config.target_utilization {
-            acc += u;
-            tasks.push(task);
-            continue;
-        }
-        // Candidate closing task: re-scale its period so the set lands on
-        // the target, trying both integer roundings.
-        let missing = config.target_utilization - acc;
-        debug_assert!(missing > 0.0);
-        let volume = task.dag().volume() as f64;
-        let min_period = task.dag().longest_path().max(1);
-        let ideal = volume / missing;
-        let candidates = [
-            (ideal.floor() as Time).max(min_period),
-            (ideal.ceil() as Time).max(min_period),
-        ];
-        for period in candidates {
-            let err = (volume / period as f64 - missing).abs();
-            if best_closing.as_ref().is_none_or(|(e, _)| err < *e) {
-                let rescaled = DagTask::with_implicit_deadline(task.dag().clone(), period)
-                    .expect("period ≥ L ≥ 1");
-                best_closing = Some((err, rescaled));
-            }
-        }
-        attempts += 1;
-        let (err, _) = best_closing.as_ref().expect("candidate recorded");
-        if *err <= LANDING_TOLERANCE || attempts >= MAX_CLOSING_ATTEMPTS {
-            let (_, closing) = best_closing.expect("candidate recorded");
-            tasks.push(closing);
-            break;
-        }
-    }
-    TaskSet::new(tasks).sorted_deadline_monotonic()
+    TaskSetGenerator::new().generate(rng, config)
 }
 
 /// Generates a task set with exactly `count` tasks and total utilization ≈
-/// `target_utilization`, using the common-scale period assembly.
+/// `target_utilization`.
 ///
 /// Used by the task-count sweep variant of the paper's Figure 2(c) (see
-/// DESIGN.md §5.4).
+/// DESIGN.md §5.4). Allocating convenience wrapper around
+/// [`TaskSetGenerator::generate_with_count`].
 ///
 /// # Panics
 ///
@@ -286,140 +611,7 @@ pub fn generate_task_set_with_count<R: Rng>(
     config: &TaskSetConfig,
     count: usize,
 ) -> TaskSet {
-    assert!(count >= 1, "at least one task required");
-    assert!(
-        config.target_utilization > 0.0,
-        "target utilization must be positive"
-    );
-    match config.period_model {
-        PeriodModel::SlackFactor {
-            min_slack,
-            max_slack,
-            ..
-        } => assemble_slack_factor(rng, config, count, min_slack, max_slack),
-        PeriodModel::CommonScale { spread } => assemble_common_scale(rng, config, count, spread),
-        PeriodModel::PerTaskUtilization { .. } => assemble_common_scale(rng, config, count, 2.0),
-    }
-}
-
-/// Generates `n` DAGs with periods `T_i = vol_i · s_i`, `s_i` log-uniform
-/// in `[min_slack, max_slack]`, then applies a common multiplicative
-/// correction to the slack factors (clamped below at `min_slack`) so the
-/// set's utilization lands on the target.
-fn assemble_slack_factor<R: Rng>(
-    rng: &mut R,
-    config: &TaskSetConfig,
-    n: usize,
-    min_slack: f64,
-    max_slack: f64,
-) -> TaskSet {
-    assert!(min_slack > 1.0, "min_slack must exceed 1");
-    assert!(max_slack > min_slack, "max_slack must exceed min_slack");
-    let dags: Vec<rta_model::Dag> = (0..n).map(|_| generate_kind(rng, &config.kind)).collect();
-
-    // Absolute slack floor: every task must at least be able to absorb the
-    // release blocking of one maximal lower-priority NPR, or it is dead on
-    // arrival under any limited-preemptive analysis. Start at 2.5× the
-    // largest node WCET in the set; halve it while it would make the
-    // utilization target unreachable.
-    let max_wcet = dags.iter().map(rta_model::Dag::max_wcet).max().unwrap_or(0);
-    let mut floor = (max_wcet * 5 / 2) as f64;
-    let min_slack_of = |vol: f64, floor: f64| -> f64 { min_slack.max((vol + floor) / vol) };
-    loop {
-        let reachable: f64 = dags
-            .iter()
-            .map(|d| 1.0 / min_slack_of(d.volume() as f64, floor))
-            .sum();
-        if reachable >= 1.05 * config.target_utilization || floor < 1.0 {
-            break;
-        }
-        floor /= 2.0;
-    }
-
-    let mut slack: Vec<f64> = dags
-        .iter()
-        .map(|d| {
-            let draw = rng.gen_range(min_slack.ln()..=max_slack.ln()).exp();
-            draw.max(min_slack_of(d.volume() as f64, floor))
-        })
-        .collect();
-    // Common correction on the slack factors to land on the target,
-    // iterated because the per-task clamps redistribute utilization to the
-    // unclamped tasks. If every factor is pinned the target is unreachable
-    // for this draw and the set undershoots (making the corresponding
-    // sweep point easier, never harder, to schedule).
-    for _pass in 0..32 {
-        let current: f64 = slack.iter().map(|s| 1.0 / s).sum();
-        if (current - config.target_utilization).abs() < 0.005 * config.target_utilization {
-            break;
-        }
-        let factor = current / config.target_utilization;
-        let mut moved = false;
-        for (d, s) in dags.iter().zip(&mut slack) {
-            let next = (*s * factor).max(min_slack_of(d.volume() as f64, floor));
-            if (next - *s).abs() > f64::EPSILON {
-                moved = true;
-            }
-            *s = next;
-        }
-        if !moved {
-            break;
-        }
-    }
-    let tasks: Vec<DagTask> = dags
-        .into_iter()
-        .zip(slack)
-        .map(|(d, s)| {
-            let period = ((d.volume() as f64 * s).round() as Time)
-                .max(d.longest_path())
-                .max(1);
-            DagTask::with_implicit_deadline(d, period).expect("period ≥ L ≥ 1")
-        })
-        .collect();
-    TaskSet::new(tasks).sorted_deadline_monotonic()
-}
-
-/// Generates `n` DAGs, draws periods uniformly from `[C, spread·C]` with
-/// `C` the largest volume, and rescales every period by a common factor so
-/// the set's utilization lands on the target (with one correction pass for
-/// integer-rounding and `T ≥ L` clamping).
-fn assemble_common_scale<R: Rng>(
-    rng: &mut R,
-    config: &TaskSetConfig,
-    n: usize,
-    spread: f64,
-) -> TaskSet {
-    assert!(spread >= 1.0, "spread must be at least 1");
-    let dags: Vec<rta_model::Dag> = (0..n).map(|_| generate_kind(rng, &config.kind)).collect();
-    let scale = dags
-        .iter()
-        .map(rta_model::Dag::volume)
-        .max()
-        .expect("n ≥ 1") as f64;
-    let mut periods: Vec<f64> = (0..n)
-        .map(|_| rng.gen_range(scale..=(spread * scale).max(scale + 1.0)))
-        .collect();
-    // Two passes: rescale onto the target, clamp at L, correct once more.
-    for _pass in 0..2 {
-        let current: f64 = dags
-            .iter()
-            .zip(&periods)
-            .map(|(d, t)| d.volume() as f64 / t)
-            .sum();
-        let factor = current / config.target_utilization;
-        for (d, t) in dags.iter().zip(&mut periods) {
-            *t = (*t * factor).max(d.longest_path() as f64).max(1.0);
-        }
-    }
-    let tasks: Vec<DagTask> = dags
-        .into_iter()
-        .zip(periods)
-        .map(|(d, t)| {
-            let period = (t.round() as Time).max(d.longest_path()).max(1);
-            DagTask::with_implicit_deadline(d, period).expect("period ≥ L ≥ 1")
-        })
-        .collect();
-    TaskSet::new(tasks).sorted_deadline_monotonic()
+    TaskSetGenerator::new().generate_with_count(rng, config, count)
 }
 
 #[cfg(test)]
@@ -497,6 +689,116 @@ mod tests {
         let a = generate_task_set(&mut SmallRng::seed_from_u64(3), &group1(3.0));
         let b = generate_task_set(&mut SmallRng::seed_from_u64(3), &group1(3.0));
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn reused_generator_matches_fresh_generation() {
+        // One generator across many sets must replay the free functions
+        // exactly: the scratch never leaks into a random draw.
+        let mut generator = TaskSetGenerator::new();
+        for seed in 0..40u64 {
+            let config = group1(1.0 + (seed % 7) as f64 * 0.5);
+            let reused = generator.generate(&mut SmallRng::seed_from_u64(seed), &config);
+            let fresh = generate_task_set(&mut SmallRng::seed_from_u64(seed), &config);
+            assert_eq!(reused, fresh, "seed {seed}");
+        }
+        for seed in 0..20u64 {
+            let config = group1(2.0);
+            let n = 2 + (seed % 6) as usize;
+            let reused =
+                generator.generate_with_count(&mut SmallRng::seed_from_u64(seed), &config, n);
+            let fresh =
+                generate_task_set_with_count(&mut SmallRng::seed_from_u64(seed), &config, n);
+            assert_eq!(reused, fresh, "seed {seed}, n {n}");
+        }
+    }
+
+    #[test]
+    fn constrained_deadlines_follow_the_factor() {
+        let config = group1(3.0).with_deadline_factor(0.7);
+        for seed in 0..20u64 {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let ts = generate_task_set(&mut rng, &config);
+            for t in ts.tasks() {
+                let expected = ((t.period() as f64 * 0.7).round() as Time)
+                    .max(t.dag().longest_path())
+                    .min(t.period());
+                assert_eq!(t.deadline(), expected, "seed {seed}");
+                assert!(t.deadline() <= t.period());
+                assert!(t.deadline() >= t.dag().longest_path());
+            }
+        }
+    }
+
+    #[test]
+    fn deadline_factor_only_changes_deadlines() {
+        // The factor is applied after all random draws: the DAGs and
+        // periods of the constrained set equal the implicit-deadline set's.
+        let implicit = generate_task_set(&mut SmallRng::seed_from_u64(9), &group1(3.0));
+        let constrained = generate_task_set(
+            &mut SmallRng::seed_from_u64(9),
+            &group1(3.0).with_deadline_factor(0.8),
+        );
+        assert_eq!(implicit.len(), constrained.len());
+        // Compare as multisets of (dag, period): deadline-monotonic order
+        // may differ once deadlines shrink.
+        let mut a: Vec<(Time, Time)> = implicit
+            .tasks()
+            .iter()
+            .map(|t| (t.dag().volume(), t.period()))
+            .collect();
+        let mut b: Vec<(Time, Time)> = constrained
+            .tasks()
+            .iter()
+            .map(|t| (t.dag().volume(), t.period()))
+            .collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "deadline factor must be in (0, 1]")]
+    fn zero_deadline_factor_panics() {
+        let _ = group1(1.0).with_deadline_factor(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "deadline factor must be in (0, 1]")]
+    fn out_of_range_factor_set_directly_panics_at_generation() {
+        // The field is public; bypassing the builder must still panic at
+        // the generation entry point, in release builds too.
+        let mut config = group1(1.0);
+        config.deadline_factor = 1.3;
+        let _ = generate_task_set(&mut SmallRng::seed_from_u64(0), &config);
+    }
+
+    #[test]
+    fn chain_mix_extremes_and_interior() {
+        let mut rng = SmallRng::seed_from_u64(13);
+        // Pure chains: every task is sequential.
+        let all_chains = generate_task_set(&mut rng, &chain_mix(6.0, 1.0));
+        assert!(all_chains
+            .tasks()
+            .iter()
+            .all(|t| t.dag().max_parallelism() == 1));
+        // No chains: the preset equals a two-family fork-join mixture; over
+        // many tasks a majority must be parallel (forced root forks).
+        let no_chains = generate_task_set(&mut rng, &chain_mix(20.0, 0.0));
+        let parallel = no_chains
+            .tasks()
+            .iter()
+            .filter(|t| t.dag().max_parallelism() > 1)
+            .count();
+        assert!(parallel * 2 > no_chains.len());
+        // Interior share: both kinds appear in a large set.
+        let mixed = generate_task_set(&mut rng, &chain_mix(60.0, 0.5));
+        let chains = mixed
+            .tasks()
+            .iter()
+            .filter(|t| t.dag().max_parallelism() == 1)
+            .count();
+        assert!(chains > 0 && chains < mixed.len());
     }
 
     #[test]
