@@ -146,12 +146,32 @@ pub fn max_rho_over(
     solver: RhoSolver,
     scratch: &mut RhoScratch,
 ) -> Time {
+    max_rho_iter(scenarios.iter(), mu_arrays, solver, scratch)
+}
+
+/// As [`max_rho_over`], over borrowed scenario references — the cache's
+/// mixed suffix-DP path hands in the non-DP-eligible remainder of a
+/// cardinality class without cloning the partitions.
+pub fn max_rho_over_refs(
+    scenarios: &[&Partition],
+    mu_arrays: &[&[Time]],
+    solver: RhoSolver,
+    scratch: &mut RhoScratch,
+) -> Time {
+    max_rho_iter(scenarios.iter().copied(), mu_arrays, solver, scratch)
+}
+
+fn max_rho_iter<'a>(
+    scenarios: impl Iterator<Item = &'a Partition>,
+    mu_arrays: &[&[Time]],
+    solver: RhoSolver,
+    scratch: &mut RhoScratch,
+) -> Time {
     if mu_arrays.is_empty() {
         return 0;
     }
     match solver {
         RhoSolver::Hungarian => scenarios
-            .iter()
             .filter_map(|s| rho_hungarian_in(mu_arrays, s, scratch))
             .max()
             .unwrap_or(0),
@@ -160,7 +180,6 @@ pub fn max_rho_over(
             // for all scenarios, not per scenario.
             let owned: Vec<Vec<Time>> = mu_arrays.iter().map(|mu| mu.to_vec()).collect();
             scenarios
-                .iter()
                 .filter_map(|s| super::paper_ilp::rho_ilp(&owned, s))
                 .max()
                 .unwrap_or(0)

@@ -57,7 +57,7 @@
 //! }
 //! ```
 
-use crate::blocking::scenarios::{max_rho_over, rho_suffix_dp, RhoScratch};
+use crate::blocking::scenarios::{max_rho_over, max_rho_over_refs, rho_suffix_dp, RhoScratch};
 use crate::blocking::{mu, BlockingBounds};
 use crate::config::{AnalysisConfig, Method, MuSolver, RhoSolver, ScenarioSpace};
 use rta_combinatorics::{BitSet, CliqueScratch, PartitionTable};
@@ -94,6 +94,12 @@ struct RhoSlot {
     /// `per_task[k][c − 1]`: `max_{s_l ∈ e_c} ρ_k[s_l]` over the partitions
     /// of exactly `c`, with `lp(k)` as the candidate tasks.
     per_task: OnceCell<Vec<Vec<OnceCell<Time>>>>,
+    /// `dp_columns[c − 1][k]`: the suffix-DP's `max ρ` over the
+    /// **DP-eligible** scenarios of `e_c` for every task under analysis —
+    /// computed once per cardinality column and shared by every `k`, so
+    /// large platforms (m = 16) whose cardinality class mixes small and
+    /// huge scenarios still amortize the small ones across tasks.
+    dp_columns: OnceCell<Vec<OnceCell<Vec<Time>>>>,
 }
 
 /// Everything about a [`TaskSet`] that the response-time analysis can
@@ -164,6 +170,7 @@ impl<'ts> TaskSetCache<'ts> {
                     mu_solver,
                     rho_solver,
                     per_task: OnceCell::new(),
+                    dp_columns: OnceCell::new(),
                 });
             }
         }
@@ -304,45 +311,70 @@ impl<'ts> TaskSetCache<'ts> {
             // once per query) — see `rta_combinatorics::PartitionTable`.
             let scenarios = PartitionTable::scenarios(cores as u32);
 
-            // Column mode: when every scenario of `e_cores` has a small
-            // enough cardinality, one suffix DP per scenario yields the
-            // `max ρ` of *every* task under analysis at once — `lp(k)`
-            // shrinks one task per priority, so the n per-task problems are
-            // suffixes of each other. Sibling cells are published
-            // immediately; later queries at other `k` hit them.
+            // Column mode: scenarios of small enough cardinality are solved
+            // by one suffix DP per scenario, yielding the `max ρ` of
+            // *every* task under analysis at once — `lp(k)` shrinks one
+            // task per priority, so the n per-task problems are suffixes of
+            // each other. Eligibility is **per scenario**: a cardinality
+            // class that mixes DP-sized and huge scenarios (every `e_m` at
+            // m = 16 does — partitions of cardinality > ~10 blow the
+            // `2^|s|` state space) still amortizes its DP-sized majority
+            // across all tasks via a memoized column, and only the large
+            // remainder falls back to a per-task Hungarian solve.
             //
             // The analysis walks k in priority order and most generated
             // sets at high utilization fail at k = 0 without ever asking
             // for k ≥ 1, so the first query of a column is answered
             // individually; the DP kicks in at the second distinct k, when
             // the remaining n − 1 rows are known to be worth amortizing.
-            let dp_eligible =
-                |cardinality: usize| (1u64 << cardinality) <= 4 * (cardinality * n) as u64;
+            let dp_eligible = |cardinality: usize| {
+                cardinality < 63 && (1u64 << cardinality) <= 4 * (cardinality * n) as u64
+            };
             let column_untouched = || {
                 (0..n)
                     .filter(|&i| i != k)
                     .all(|i| per_task[i][cores - 1].get().is_none())
             };
-            if rho_solver == RhoSolver::Hungarian
-                && scenarios.iter().all(|s| dp_eligible(s.cardinality()))
-                && !column_untouched()
-            {
-                let mu_tail: Vec<&[Time]> = (1..n).map(|i| self.mu(i, mu_solver)).collect();
-                let mut best = vec![0; n];
-                for scenario in scenarios {
-                    for (b, v) in best.iter_mut().zip(rho_suffix_dp(scenario, &mu_tail)) {
-                        if let Some(v) = v {
-                            *b = (*b).max(v);
+            let eligible = scenarios
+                .iter()
+                .filter(|s| dp_eligible(s.cardinality()))
+                .count();
+            if rho_solver == RhoSolver::Hungarian && eligible > 0 && !column_untouched() {
+                let dp_columns = slot
+                    .dp_columns
+                    .get_or_init(|| (0..self.max_cores).map(|_| OnceCell::new()).collect());
+                let column = dp_columns[cores - 1].get_or_init(|| {
+                    let mu_tail: Vec<&[Time]> = (1..n).map(|i| self.mu(i, mu_solver)).collect();
+                    let mut best = vec![0; n];
+                    for scenario in scenarios.iter().filter(|s| dp_eligible(s.cardinality())) {
+                        for (b, v) in best.iter_mut().zip(rho_suffix_dp(scenario, &mu_tail)) {
+                            if let Some(v) = v {
+                                *b = (*b).max(v);
+                            }
                         }
                     }
-                }
-                for (k_other, &value) in best.iter().enumerate() {
-                    if k_other != k {
-                        // Already-initialized siblings hold the same value.
-                        let _ = per_task[k_other][cores - 1].set(value);
+                    best
+                });
+                if eligible == scenarios.len() {
+                    // The DP covered the whole class: the column is final,
+                    // publish it to every sibling cell immediately.
+                    for (k_other, &value) in column.iter().enumerate() {
+                        if k_other != k {
+                            // Already-initialized siblings hold the same value.
+                            let _ = per_task[k_other][cores - 1].set(value);
+                        }
                     }
+                    return column[k];
                 }
-                return best[k];
+                // Mixed class: combine the shared DP column with a per-task
+                // solve over the (few) scenarios too large for the DP.
+                let rest: Vec<&rta_combinatorics::Partition> = scenarios
+                    .iter()
+                    .filter(|s| !dp_eligible(s.cardinality()))
+                    .collect();
+                let mu_refs: Vec<&[Time]> = (k + 1..n).map(|i| self.mu(i, mu_solver)).collect();
+                let mut scratch = self.rho_scratch.borrow_mut();
+                return column[k].max(max_rho_over_refs(&rest, &mu_refs, rho_solver, &mut scratch));
             }
 
             let mu_refs: Vec<&[Time]> = (k + 1..n).map(|i| self.mu(i, mu_solver)).collect();

@@ -68,6 +68,7 @@ pub use config::{AnalysisConfig, Method, MuSolver, RhoSolver, ScenarioSpace};
 pub use report::{AnalysisReport, ResponseBound, TaskReport};
 pub use rta::{
     analyze, analyze_all, analyze_uncached, analyze_verdicts, analyze_with, verdict_with,
+    verdicts_with_bounds, SetVerdict,
 };
 
 // Re-exported for callers that want to work with model types directly.

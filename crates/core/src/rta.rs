@@ -143,6 +143,58 @@ pub fn analyze_verdicts(task_set: &TaskSet, configs: &[AnalysisConfig]) -> Vec<b
         .collect()
 }
 
+/// Verdict plus per-task response-time bounds of one configuration — what
+/// [`verdicts_with_bounds`] returns per requested configuration.
+///
+/// The dominance shortcut of [`analyze_verdicts`] deliberately discards
+/// per-task bounds (a set answered through the chain never runs its own
+/// fixed point), which is exactly what empirical validation *cannot* live
+/// without: checking `sim max RT ≤ analytical bound` needs the bound of
+/// every task of every method. This type carries them in the same compact
+/// shape the verdict path uses everywhere else.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SetVerdict {
+    /// `true` iff every task met its deadline bound (the `schedulable`
+    /// flag of the corresponding [`AnalysisReport`]).
+    pub schedulable: bool,
+    /// Response bounds of the analyzed prefix, highest priority first — up
+    /// to and including the first unschedulable task, exactly mirroring
+    /// [`AnalysisReport::tasks`]. When `schedulable` is false the last
+    /// entry is the first iterate that crossed its deadline, not a
+    /// converged bound.
+    pub bounds: Vec<ResponseBound>,
+}
+
+impl SetVerdict {
+    /// The response bound of task `k`, if it was analyzed.
+    pub fn bound(&self, k: usize) -> Option<ResponseBound> {
+        self.bounds.get(k).copied()
+    }
+}
+
+/// Per-task response-time bounds *and* verdicts for a batch of
+/// configurations, sharing one [`TaskSetCache`] — the validation
+/// campaign's analysis entry point.
+///
+/// [`analyze_all`] projected onto `(schedulable, per-task response
+/// bounds)`: same cache sharing, same per-configuration fixed points, no
+/// dominance shortcut (bounds of every requested method are materialized,
+/// so there is nothing to skip). Equality with [`analyze_all`] is pinned
+/// by proptests in `tests/verdicts.rs`.
+pub fn verdicts_with_bounds(task_set: &TaskSet, configs: &[AnalysisConfig]) -> Vec<SetVerdict> {
+    let cache = TaskSetCache::for_configs(task_set, configs);
+    configs
+        .iter()
+        .map(|config| {
+            let report = analyze_with(&cache, config);
+            SetVerdict {
+                schedulable: report.schedulable,
+                bounds: report.tasks.iter().map(|t| t.response_bound).collect(),
+            }
+        })
+        .collect()
+}
+
 /// The schedulability verdict of one configuration through a caller-owned
 /// cache: the `schedulable` flag of [`analyze_with`] without building the
 /// per-task reports. No dominance shortcuts — callers wanting those use
@@ -658,6 +710,33 @@ mod tests {
         let ts = figure1_task_set();
         let cache = crate::cache::TaskSetCache::new(&ts, 2);
         let _ = analyze_with(&cache, &AnalysisConfig::new(4, Method::FpIdeal));
+    }
+
+    #[test]
+    fn verdicts_with_bounds_mirror_full_reports() {
+        // Schedulable and unschedulable sets, every method: the compact
+        // verdict must carry exactly the bounds of the analyzed prefix.
+        let sets = [
+            figure1_task_set(),
+            TaskSet::new(vec![single_node_task(2, 5), single_node_task(100, 1000)]),
+        ];
+        for ts in &sets {
+            for cores in [1usize, 4] {
+                let configs: Vec<AnalysisConfig> = Method::ALL
+                    .iter()
+                    .map(|&m| AnalysisConfig::new(cores, m))
+                    .collect();
+                let reports = analyze_all(ts, &configs);
+                let verdicts = verdicts_with_bounds(ts, &configs);
+                for (report, verdict) in reports.iter().zip(&verdicts) {
+                    assert_eq!(verdict.schedulable, report.schedulable);
+                    let expected: Vec<ResponseBound> =
+                        report.tasks.iter().map(|t| t.response_bound).collect();
+                    assert_eq!(verdict.bounds, expected);
+                    assert_eq!(verdict.bound(0), report.response_bound(0));
+                }
+            }
+        }
     }
 
     #[test]

@@ -101,6 +101,34 @@ fn figure1_cached_mu_and_delta_match_uncached_for_all_core_counts() {
     }
 }
 
+/// Large platforms exercise the *mixed* suffix-DP column: every `e_m` at
+/// m ≥ 8 (with this few tasks) mixes DP-sized and too-large scenarios, so
+/// the cached value combines the shared DP column with a per-task solve of
+/// the remainder — and must still equal the direct computation exactly.
+#[test]
+fn figure1_cached_delta_matches_uncached_up_to_16_cores() {
+    let ts = figure1_task_set();
+    let cache = TaskSetCache::new(&ts, 16);
+    // Query in priority order (like the analysis) so column mode engages
+    // from the second distinct task on.
+    for space in [ScenarioSpace::PaperExact, ScenarioSpace::Extended] {
+        for m in [8usize, 12, 16] {
+            for k in 0..ts.len() {
+                let mu_arrays: Vec<Vec<Time>> = ts
+                    .lower_priority(k)
+                    .iter()
+                    .map(|t| mu_array(t.dag(), m, MuSolver::Clique))
+                    .collect();
+                assert_eq!(
+                    cache.delta(k, m, space, MuSolver::Clique, RhoSolver::Hungarian),
+                    delta(&mu_arrays, m, space, RhoSolver::Hungarian),
+                    "Δ of task {k} at m = {m} ({space:?})"
+                );
+            }
+        }
+    }
+}
+
 /// The headline caching guarantee: one batched analysis over all three
 /// methods computes each needed µ-array exactly once per task set —
 /// independent of how many methods, spaces or tasks under analysis read it.

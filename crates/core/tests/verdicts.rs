@@ -8,7 +8,8 @@ use proptest::prelude::*;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use rta_analysis::{
-    analyze_all, analyze_verdicts, AnalysisConfig, Method, MuSolver, RhoSolver, ScenarioSpace,
+    analyze_all, analyze_verdicts, verdicts_with_bounds, AnalysisConfig, Method, MuSolver,
+    ResponseBound, RhoSolver, ScenarioSpace,
 };
 use rta_combinatorics::PartitionTable;
 use rta_model::examples::figure1_task_set;
@@ -70,6 +71,35 @@ proptest! {
             .map(|r| r.schedulable)
             .collect();
         prop_assert_eq!(analyze_verdicts(&ts, &configs), expected);
+    }
+
+    /// The bound-carrying variant is pinned to `analyze_all` on every
+    /// field the validation campaign reads: the verdict flag and the
+    /// per-task response bounds of the analyzed prefix (length included —
+    /// it must stop at the same first unschedulable task).
+    #[test]
+    fn verdicts_with_bounds_match_analyze_all_on_random_sets(
+        seed in 0u64..1_000_000,
+        cores in 1usize..=6,
+        load_percent in 10u32..=110,
+    ) {
+        let target = cores as f64 * load_percent as f64 / 100.0;
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let ts = generate_task_set(&mut rng, &group1(target));
+        for space in [ScenarioSpace::PaperExact, ScenarioSpace::Extended] {
+            let configs = sweep_configs(cores, space);
+            let reports = analyze_all(&ts, &configs);
+            let verdicts = verdicts_with_bounds(&ts, &configs);
+            prop_assert_eq!(verdicts.len(), reports.len());
+            for (verdict, report) in verdicts.iter().zip(&reports) {
+                prop_assert_eq!(verdict.schedulable, report.schedulable,
+                    "seed {} cores {} {:?}", seed, cores, space);
+                let expected: Vec<ResponseBound> =
+                    report.tasks.iter().map(|t| t.response_bound).collect();
+                prop_assert_eq!(&verdict.bounds, &expected,
+                    "seed {} cores {} {:?}", seed, cores, space);
+            }
+        }
     }
 }
 

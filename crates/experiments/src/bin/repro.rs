@@ -20,6 +20,13 @@
 //!                  chains    chain-heavy task mixtures
 //!                  cores     m ∈ {2, 8} utilization sweeps
 //!                  all       every panel (default)
+//!   validate     simulation-backed soundness campaign: analyze each
+//!                generated set (per-task bounds) AND simulate it, check
+//!                the invariants (accepted ⇒ zero misses, sim max RT ≤
+//!                bound, FP baseline vs FP-ideal), report bound tightness;
+//!                panels m ∈ {2,4,8,16} + deadline/chain mixtures;
+//!                optional selector: cores | deadline | chains | all.
+//!                Exits non-zero on any invariant violation.
 //!   dump-set     print one generated task set as JSON (--seed N --target U)
 //!   all          everything above (except dump-set)
 //!
@@ -29,15 +36,24 @@
 //!   --out DIR    also write CSV files to DIR      (default out/)
 //!   --jobs N     sweep worker threads; 0 = one per core (default 0)
 //!   --serial     shorthand for --jobs 1
+//!   --horizon N  validate: simulate releases over N spans of the set's
+//!                largest period (default 3)
+//!   --policy P   validate: limited | full | both  (default both)
 //! ```
 //!
 //! Sweep output is bit-identical for every `--jobs` value: task-set seeds
 //! derive only from sweep coordinates, generation scratch never influences
-//! a random draw, and results are folded in coordinate order.
+//! a random draw, and results are folded in coordinate order. Every sweep
+//! CSV is **streamed**: rows hit the file as their sweep point completes
+//! (`rta_experiments::csv::CsvSink` fed by the order-preserving worker
+//! channel), no panel buffers its rows in memory.
 
+use rta_experiments::campaign::PanelKind;
+use rta_experiments::csv::CsvSink;
 use rta_experiments::exec::Jobs;
-use rta_experiments::figure2::{run_task_count_with_jobs, run_with_jobs, SweepConfig};
-use rta_experiments::{campaign, tables, timing};
+use rta_experiments::figure2::{self, SweepConfig, SweepPoint, SweepResult};
+use rta_experiments::validate::{PolicyChoice, ValidateOptions, ValidatePanel, ValidatePoint};
+use rta_experiments::{tables, timing, validate};
 use std::path::PathBuf;
 
 struct Options {
@@ -46,6 +62,8 @@ struct Options {
     out: PathBuf,
     seed: u64,
     target: f64,
+    horizon: u64,
+    policy: PolicyChoice,
     /// `None` until `--jobs`/`--serial` is given: sweeps then default to
     /// one worker per core, while `timing` defaults to serial so its
     /// wall-clock averages are not skewed by worker contention.
@@ -72,6 +90,8 @@ fn main() {
         out: PathBuf::from("out"),
         seed: 0,
         target: 2.0,
+        horizon: validate::DEFAULT_HORIZON_FACTOR,
+        policy: PolicyChoice::Both,
         jobs: None,
     };
     let mut it = args.iter();
@@ -107,6 +127,19 @@ fn main() {
                     .and_then(|v| v.parse().ok())
                     .unwrap_or_else(|| usage("--target needs a number"));
             }
+            "--horizon" => {
+                options.horizon = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n > 0)
+                    .unwrap_or_else(|| usage("--horizon needs a positive number of period spans"));
+            }
+            "--policy" => {
+                options.policy = it
+                    .next()
+                    .and_then(|v| PolicyChoice::from_flag(v))
+                    .unwrap_or_else(|| usage("--policy must be limited, full or both"));
+            }
             "--jobs" => {
                 let n: usize = it
                     .next()
@@ -129,8 +162,8 @@ fn main() {
     let Some(command) = command else {
         usage("missing command");
     };
-    if selector.is_some() && command != "campaign" {
-        usage("only the campaign command takes a panel selector");
+    if selector.is_some() && command != "campaign" && command != "validate" {
+        usage("only the campaign and validate commands take a panel selector");
     }
 
     if !Jobs::parallelism_available() && matches!(options.jobs, Some(Jobs::Count(n)) if n > 1) {
@@ -153,6 +186,7 @@ fn main() {
         "timing" => run_timing(&options),
         "sensitivity" => sensitivity(&options),
         "campaign" => run_campaign(&options, selector.as_deref().unwrap_or("all")),
+        "validate" => run_validate(&options, selector.as_deref().unwrap_or("all")),
         "dump-set" => dump_set(&options),
         "all" => {
             let t = regenerate_tables(&options);
@@ -167,37 +201,153 @@ fn main() {
             run_timing(&options);
             sensitivity(&options);
             run_campaign(&options, "all");
+            run_validate(&options, "all");
         }
         other => usage(&format!("unknown command: {other}")),
     }
 }
 
-/// Runs the requested campaign panels and writes one CSV per panel.
+/// Opens the streaming CSV sink of one panel in the output directory.
+fn open_sink(options: &Options, name: &str, header: &[&str]) -> CsvSink<impl std::io::Write> {
+    let path = options.out.join(format!("{name}.csv"));
+    CsvSink::create(&path, header).unwrap_or_else(|e| panic!("create CSV {}: {e}", path.display()))
+}
+
+/// Runs the requested validation panels, streaming each CSV row as its
+/// sweep point completes, and exits non-zero on any invariant violation.
+fn run_validate(options: &Options, selector: &str) {
+    let jobs = options.sweep_jobs();
+    let panels = match selector {
+        "cores" => ValidatePanel::all()
+            .into_iter()
+            .filter(|p| matches!(p, ValidatePanel::Cores(_)))
+            .collect(),
+        "deadline" => vec![ValidatePanel::Deadline],
+        "chains" => vec![ValidatePanel::Chains],
+        "all" => ValidatePanel::all(),
+        other => usage(&format!("unknown validate panel: {other}")),
+    };
+    let vopts = ValidateOptions {
+        sets_per_point: options.sets,
+        horizon_factor: options.horizon,
+        policies: options.policy,
+    };
+    let mut total_violations = 0u64;
+    let mut total_exceedances = 0u64;
+    let mut total_lp_misses = 0u64;
+    for panel in panels {
+        println!(
+            "== validate/{}: {} — {} sets/point, horizon {}x max period, {} worker(s) ==",
+            panel.name(),
+            panel.title(),
+            vopts.sets_per_point,
+            vopts.horizon_factor,
+            jobs.worker_count()
+        );
+        let mut sink = open_sink(
+            options,
+            panel.name(),
+            &validate::csv_header(panel.x_label()),
+        );
+        let mut points = Vec::new();
+        panel.run_into(&vopts, jobs, &mut |p: &ValidatePoint| {
+            sink.row(&p.csv_cells()).expect("write CSV row");
+            points.push(p.clone());
+        });
+        sink.finish().expect("flush CSV");
+        let result = validate::ValidateResult {
+            cores: panel.cores(),
+            points,
+        };
+        println!("{}", result.render(panel.x_label()));
+        total_violations += result.total_violations();
+        total_exceedances += result.total_lp_exceedances();
+        total_lp_misses += result.total_lp_misses();
+        println!(
+            "hard violations: {}; LP bound exceedances: {}; LP deadline misses: {}\nwrote {}\n",
+            result.total_violations(),
+            result.total_lp_exceedances(),
+            result.total_lp_misses(),
+            options.out.join(format!("{}.csv", panel.name())).display()
+        );
+    }
+    if total_exceedances > 0 {
+        println!(
+            "note: {total_exceedances} simulated response(s) exceeded an LP-ILP/LP-max bound — \
+             the documented optimism of the paper's eager-LP blocking bound \
+             (cf. Nasri, Nelissen & Brandenburg, ECRTS 2019); \
+             the sound FP-ideal leg is unaffected"
+        );
+    }
+    if total_lp_misses > 0 {
+        println!(
+            "note: {total_lp_misses} LP-accepted set(s) missed a deadline in simulation — \
+             a full counterexample to the paper's schedulability verdict; \
+             inspect the lp_deadline_misses column"
+        );
+    }
+    if total_violations > 0 {
+        eprintln!(
+            "error: {total_violations} hard soundness violation(s) — \
+             the analysis or the simulator has a bug"
+        );
+        std::process::exit(1);
+    }
+    println!("all hard soundness invariants held");
+}
+
+/// Runs the requested campaign panels, streaming each CSV row as its
+/// sweep point completes.
 fn run_campaign(options: &Options, selector: &str) {
     let jobs = options.sweep_jobs();
     let sets = options.sets;
-    let panels = match selector {
-        "deadline" => vec![campaign::deadline_panel(sets, jobs)],
-        "chains" => vec![campaign::chain_panel(sets, jobs)],
-        "cores" => campaign::core_count_panels(sets, jobs),
-        "all" => campaign::run_all(sets, jobs),
+    let panels: Vec<PanelKind> = match selector {
+        "deadline" => vec![PanelKind::Deadline],
+        "chains" => vec![PanelKind::Chains],
+        "cores" => vec![PanelKind::Cores(2), PanelKind::Cores(8)],
+        "all" => PanelKind::all(),
         other => usage(&format!("unknown campaign panel: {other}")),
     };
-    for panel in panels {
+    for kind in panels {
         println!(
             "== campaign/{}: {} — {} sets/point, {} worker(s) ==",
-            panel.name,
-            panel.title,
+            kind.name(),
+            kind.title(),
             sets,
             jobs.worker_count()
         );
-        println!("{}", panel.result.render(panel.x_label));
+        let result = streamed_sweep(options, kind.name(), kind.x_label(), kind.cores(), |emit| {
+            kind.run_into(sets, jobs, emit)
+        });
+        println!("{}", result.render(kind.x_label()));
         println!(
-            "dominance (LP-max ≤ LP-ILP ≤ FP-ideal): {}\n",
-            panel.result.dominance_holds()
+            "dominance (LP-max ≤ LP-ILP ≤ FP-ideal): {}",
+            result.dominance_holds()
         );
-        write_csv(options, panel.name, &panel.result.to_csv(panel.x_label));
+        println!(
+            "wrote {}\n",
+            options.out.join(format!("{}.csv", kind.name())).display()
+        );
     }
+}
+
+/// Streams one schedulability sweep into its CSV file (row per completed
+/// point) while collecting the points for terminal rendering.
+fn streamed_sweep(
+    options: &Options,
+    name: &str,
+    x_label: &str,
+    cores: usize,
+    run: impl FnOnce(&mut dyn FnMut(&SweepPoint)),
+) -> SweepResult {
+    let mut sink = open_sink(options, name, &figure2::csv_header(x_label));
+    let mut points = Vec::new();
+    run(&mut |p: &SweepPoint| {
+        sink.row(&p.csv_cells()).expect("write CSV row");
+        points.push(p.clone());
+    });
+    sink.finish().expect("flush CSV");
+    SweepResult { cores, points }
 }
 
 fn sensitivity(options: &Options) {
@@ -230,8 +380,9 @@ fn usage(msg: &str) -> ! {
     eprintln!("error: {msg}\n");
     eprintln!(
         "usage: repro <table1|table2|table3|fig2a|fig2b|fig2c|fig2c-tasks|group2|timing|\
-         campaign [deadline|chains|cores|all]|all> \
-         [--sets N] [--samples N] [--out DIR] [--jobs N] [--serial]"
+         campaign [deadline|chains|cores|all]|validate [cores|deadline|chains|all]|all> \
+         [--sets N] [--samples N] [--out DIR] [--jobs N] [--serial] \
+         [--horizon N] [--policy limited|full|both]"
     );
     std::process::exit(2);
 }
@@ -279,14 +430,19 @@ fn sweep(name: &str, config: SweepConfig, options: &Options) {
         options.sweep_jobs().worker_count()
     );
     let start = std::time::Instant::now();
-    let result = run_with_jobs(&config, options.sweep_jobs());
+    let result = streamed_sweep(options, name, "utilization", config.cores, |emit| {
+        figure2::run_into(&config, options.sweep_jobs(), emit)
+    });
     println!("{}", result.render("U"));
     println!(
-        "dominance (LP-max ≤ LP-ILP ≤ FP-ideal): {}; computed in {:.1}s\n",
+        "dominance (LP-max ≤ LP-ILP ≤ FP-ideal): {}; computed in {:.1}s",
         result.dominance_holds(),
         start.elapsed().as_secs_f64()
     );
-    write_csv(options, name, &result.to_csv("utilization"));
+    println!(
+        "wrote {}\n",
+        options.out.join(format!("{name}.csv")).display()
+    );
 }
 
 fn task_count_sweep(options: &Options) {
@@ -296,9 +452,11 @@ fn task_count_sweep(options: &Options) {
         "== fig2c-tasks: m = 16, U = 8, task-count sweep, {} sets/point ==",
         config.sets_per_point
     );
-    let result = run_task_count_with_jobs(&config, &counts, options.sweep_jobs());
+    let result = streamed_sweep(options, "fig2c_tasks", "tasks", config.cores, |emit| {
+        figure2::run_task_count_into(&config, &counts, options.sweep_jobs(), emit)
+    });
     println!("{}", result.render("tasks"));
-    write_csv(options, "fig2c_tasks", &result.to_csv("tasks"));
+    println!("wrote {}\n", options.out.join("fig2c_tasks.csv").display());
 }
 
 fn group2(options: &Options) {
@@ -307,7 +465,10 @@ fn group2(options: &Options) {
         let config = SweepConfig::paper_panel(cores)
             .with_sets_per_point(options.sets)
             .with_generator(rta_taskgen::group2);
-        let result = run_with_jobs(&config, options.sweep_jobs());
+        let name = format!("group2_m{cores}");
+        let result = streamed_sweep(options, &name, "utilization", cores, |emit| {
+            figure2::run_into(&config, options.sweep_jobs(), emit)
+        });
         println!("m = {cores}:");
         println!("{}", result.render("U"));
         // Quantify the gap between LP-ILP and LP-max, which the paper says
@@ -317,11 +478,10 @@ fn group2(options: &Options) {
             .iter()
             .map(|p| p.schedulable_pct[1] - p.schedulable_pct[2])
             .fold(0.0f64, f64::max);
-        println!("max LP-ILP − LP-max gap: {gap:.1} percentage points\n");
-        write_csv(
-            options,
-            &format!("group2_m{cores}"),
-            &result.to_csv("utilization"),
+        println!("max LP-ILP − LP-max gap: {gap:.1} percentage points");
+        println!(
+            "wrote {}\n",
+            options.out.join(format!("{name}.csv")).display()
         );
     }
 }

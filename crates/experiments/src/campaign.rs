@@ -1,29 +1,43 @@
 //! The streaming campaign engine: every experiment driver's substrate.
 //!
-//! A *campaign* is a list of independent, deterministic cells — one
-//! generated-and-analyzed task set per sweep coordinate, or one table
-//! regeneration — fanned over the [`exec`] worker pool. The engine owns the
-//! two properties every driver (figure2, tables, timing, sensitivity, and
-//! the `repro campaign` panels) relies on:
+//! A *campaign* is a list of independent, deterministic cells fanned over
+//! the [`exec`] worker pool. Three cell types exist today: the
+//! **schedulability cell** (generate one task set, evaluate the three
+//! analyses through the verdict fast path — this module's [`sweep_into`]),
+//! the **table cell** (regenerate one paper table — [`crate::tables`]),
+//! and the **validation cell** (generate, analyze *with per-task bounds*,
+//! simulate under both preemption policies and check the soundness
+//! invariants — [`crate::validate`]). The engine owns the properties every
+//! driver (figure2, tables, timing, sensitivity, `repro campaign`, `repro
+//! validate`) relies on:
 //!
-//! * **Streaming evaluation.** Generation is not a separate phase: each
-//!   cell generates its task set *on the worker that claims it*, using a
-//!   per-worker [`TaskSetGenerator`] scratch (DAG builder and assembly
-//!   buffers reused across thousands of sets), then analyzes it through the
-//!   verdict fast path ([`analyze_verdicts`]) — unschedulable sets of a
-//!   high-utilization point never touch the combinatorial blocking
-//!   machinery, and schedulable sets answer LP-ILP from LP-max's verdict
-//!   via the dominance chain.
+//! * **Streaming evaluation, end to end.** Generation is not a separate
+//!   phase: each cell generates its task set *on the worker that claims
+//!   it*, using a per-worker [`TaskSetGenerator`] scratch (DAG builder and
+//!   assembly buffers reused across thousands of sets), then analyzes it
+//!   through the verdict fast path ([`analyze_verdicts`]) — unschedulable
+//!   sets of a high-utilization point never touch the combinatorial
+//!   blocking machinery, and schedulable sets answer LP-ILP from LP-max's
+//!   verdict via the dominance chain. Results stream too: cell outcomes
+//!   flow through the order-preserving worker channel
+//!   ([`exec::stream_indexed`]) into an O(1) per-point fold, and each
+//!   completed point is handed to the caller immediately — the `repro`
+//!   CLI writes it to the panel's CSV file on the spot through a
+//!   [`CsvSink`](crate::csv::CsvSink). No cell list, row list or CSV body
+//!   is ever buffered, so campaign memory is flat no matter how many sets
+//!   per point (or sweep points) are requested.
 //! * **Bit-identical output for any worker count.** Cell seeds derive only
 //!   from campaign coordinates ([`crate::set_seed`]), generation scratch
 //!   never influences a random draw (pinned in `rta-taskgen`'s tests), and
-//!   the per-point fold consumes outcomes in coordinate order.
+//!   the per-point fold consumes outcomes in coordinate order — including
+//!   its floating-point accumulation order, so even the tightness ratios
+//!   of the validation campaign are reproducible bytes.
 //!
 //! On top of the substrate, this module defines the three scenario panels
-//! that the streaming engine makes cheap, surfaced as `repro campaign`
-//! subcommands: a constrained-deadline panel (`D_i = f·T_i`, `f` swept), a
-//! chain-heavy/control-flow mixture panel, and an `m ∈ {2, 8}` core-count
-//! panel.
+//! that the streaming engine makes cheap ([`PanelKind`]), surfaced as
+//! `repro campaign` subcommands: a constrained-deadline panel
+//! (`D_i = f·T_i`, `f` swept), a chain-heavy/control-flow mixture panel,
+//! and an `m ∈ {2, 8}` core-count panel.
 
 use crate::exec::{self, Jobs};
 use crate::figure2::{SweepPoint, SweepResult};
@@ -98,66 +112,79 @@ pub struct SweepSpec<'a, F> {
 /// Streams a sweep: every `(point, set)` cell generates and analyzes its
 /// task set on the worker that claims it, and the per-point fold runs in
 /// coordinate order — bit-identical across worker counts.
+///
+/// Collecting wrapper around [`sweep_into`]; the points vector it builds
+/// is small (one entry per x value), the cell outcomes never materialize.
 pub fn sweep<F>(spec: &SweepSpec<'_, F>, jobs: Jobs) -> SweepResult
 where
     F: Fn(u64, f64) -> TaskSet + Sync,
 {
-    let points = spec.xs.len();
-    let sets = spec.sets_per_point;
-    let coords: Vec<(usize, usize)> = (0..points)
-        .flat_map(|p| (0..sets).map(move |s| (p, s)))
-        .collect();
+    let mut points = Vec::with_capacity(spec.xs.len());
+    sweep_into(spec, jobs, &mut |p: &SweepPoint| points.push(p.clone()));
+    SweepResult {
+        cores: spec.cores,
+        points,
+    }
+}
 
+/// The streaming heart of every sweep: cells flow through the
+/// order-preserving worker channel ([`exec::stream_indexed`]) straight
+/// into an O(1) per-point fold, and each [`SweepPoint`] is handed to
+/// `on_point` the moment its last set folds — no per-cell (or per-point)
+/// buffering anywhere, so sweep memory no longer grows with `sets_per_point`
+/// or the grid size. The fold consumes cell outcomes in coordinate order
+/// regardless of which worker produced them, keeping the emitted points —
+/// including the floating-point accumulation order — bit-identical for
+/// every worker count.
+pub fn sweep_into<F>(spec: &SweepSpec<'_, F>, jobs: Jobs, on_point: &mut dyn FnMut(&SweepPoint))
+where
+    F: Fn(u64, f64) -> TaskSet + Sync,
+{
+    let sets = spec.sets_per_point;
+    if sets == 0 {
+        return;
+    }
     let configs: Vec<AnalysisConfig> = Method::ALL
         .iter()
         .map(|&method| AnalysisConfig::new(spec.cores, method).with_scenario_space(spec.space))
         .collect();
 
-    struct CellOutcome {
-        point: usize,
-        utilization: f64,
-        schedulable: Vec<bool>,
-    }
-
-    let outcomes = run_cells(&coords, jobs, |&(p, s)| {
-        let ts = (spec.make_set)(set_seed(spec.seed, p, s), spec.xs[p]);
-        let schedulable = analyze_verdicts(&ts, &configs);
-        CellOutcome {
-            point: p,
-            utilization: ts.total_utilization(),
-            schedulable,
-        }
-    });
-
-    // Deterministic fold: coordinate order, independent of the driver.
-    let mut counts = vec![[0usize; 3]; points];
-    let mut achieved = vec![0.0f64; points];
-    for outcome in &outcomes {
-        achieved[outcome.point] += outcome.utilization;
-        for (mi, &ok) in outcome.schedulable.iter().enumerate() {
-            if ok {
-                counts[outcome.point][mi] += 1;
+    // Rolling accumulator of the point currently being folded; cells
+    // arrive in coordinate order, so a point completes exactly when its
+    // last set index is consumed.
+    let mut counts = [0usize; 3];
+    let mut achieved = 0.0f64;
+    exec::stream_indexed(
+        spec.xs.len() * sets,
+        jobs,
+        |index| {
+            let (p, s) = (index / sets, index % sets);
+            let ts = (spec.make_set)(set_seed(spec.seed, p, s), spec.xs[p]);
+            let schedulable = analyze_verdicts(&ts, &configs);
+            (ts.total_utilization(), schedulable)
+        },
+        |index, (utilization, schedulable)| {
+            achieved += utilization;
+            for (mi, &ok) in schedulable.iter().enumerate() {
+                if ok {
+                    counts[mi] += 1;
+                }
             }
-        }
-    }
-    let points = spec
-        .xs
-        .iter()
-        .zip(counts.iter().zip(&achieved))
-        .map(|(&x, (c, &u))| SweepPoint {
-            x,
-            achieved_utilization: u / sets as f64,
-            schedulable_pct: [
-                100.0 * c[0] as f64 / sets as f64,
-                100.0 * c[1] as f64 / sets as f64,
-                100.0 * c[2] as f64 / sets as f64,
-            ],
-        })
-        .collect();
-    SweepResult {
-        cores: spec.cores,
-        points,
-    }
+            if index % sets == sets - 1 {
+                on_point(&SweepPoint {
+                    x: spec.xs[index / sets],
+                    achieved_utilization: achieved / sets as f64,
+                    schedulable_pct: [
+                        100.0 * counts[0] as f64 / sets as f64,
+                        100.0 * counts[1] as f64 / sets as f64,
+                        100.0 * counts[2] as f64 / sets as f64,
+                    ],
+                });
+                counts = [0; 3];
+                achieved = 0.0;
+            }
+        },
+    );
 }
 
 /// One named campaign panel: a sweep plus its presentation metadata.
@@ -176,32 +203,175 @@ pub struct Panel {
 /// the panels are a fresh population, not a re-analysis).
 const CAMPAIGN_SEED: u64 = 0xCA4A_161C;
 
+/// The 13-point utilization grid `1 → m` every core-count panel sweeps —
+/// shared by the `repro campaign` and `repro validate` panels so the two
+/// populations stay comparable point for point.
+pub fn utilization_grid(cores: usize) -> Vec<f64> {
+    let m = cores as f64;
+    (0..13)
+        .map(|i| 1.0 + (m - 1.0) * f64::from(i) / 12.0)
+        .collect()
+}
+
+/// The deadline-factor grid `f ∈ {0.5, 0.55, …, 1.0}` of the
+/// constrained-deadline panels (campaign and validation).
+pub fn deadline_factor_grid() -> Vec<f64> {
+    (0..=10).map(|i| 0.5 + 0.05 * f64::from(i)).collect()
+}
+
+/// The chain-share grid `{0, 0.125, …, 1}` of the chain-mixture panels
+/// (campaign and validation).
+pub fn chain_share_grid() -> Vec<f64> {
+    (0..=8).map(|i| 0.125 * f64::from(i)).collect()
+}
+
+/// One of the scenario panels, identified ahead of running it — the CLI
+/// reads the metadata first (to open the streaming CSV sink), then runs
+/// the sweep through [`PanelKind::run_into`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PanelKind {
+    /// Constrained deadlines: `m = 4`, `U = 2`, `D = f·T` with `f` swept.
+    Deadline,
+    /// Chain-heavy mixtures: `m = 4`, `U = 2`, chain share swept.
+    Chains,
+    /// Core-count utilization sweep on `m` cores (the panels are `m ∈
+    /// {2, 8}`; see [`PanelKind::all`]).
+    Cores(usize),
+}
+
+impl PanelKind {
+    /// Every panel, in CLI order.
+    pub fn all() -> Vec<PanelKind> {
+        vec![
+            PanelKind::Deadline,
+            PanelKind::Chains,
+            PanelKind::Cores(2),
+            PanelKind::Cores(8),
+        ]
+    }
+
+    /// CSV file stem and display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            PanelKind::Deadline => "campaign_deadline",
+            PanelKind::Chains => "campaign_chains",
+            PanelKind::Cores(2) => "campaign_cores_m2",
+            PanelKind::Cores(8) => "campaign_cores_m8",
+            PanelKind::Cores(_) => "campaign_cores",
+        }
+    }
+
+    /// Human-readable description printed above the table.
+    pub fn title(self) -> &'static str {
+        match self {
+            PanelKind::Deadline => "constrained deadlines: m = 4, U = 2, D = f*T, f swept",
+            PanelKind::Chains => "chain-heavy mixtures: m = 4, U = 2, chain share swept",
+            PanelKind::Cores(2) => "core count: m = 2 utilization sweep (group 1)",
+            PanelKind::Cores(_) => "core count: m = 8 utilization sweep (group 1)",
+        }
+    }
+
+    /// X-axis label of the rendered table / CSV header.
+    pub fn x_label(self) -> &'static str {
+        match self {
+            PanelKind::Deadline => "deadline_factor",
+            PanelKind::Chains => "chain_share",
+            PanelKind::Cores(_) => "utilization",
+        }
+    }
+
+    /// Core count the panel analyzes on.
+    pub fn cores(self) -> usize {
+        match self {
+            PanelKind::Deadline | PanelKind::Chains => 4,
+            PanelKind::Cores(m) => m,
+        }
+    }
+
+    /// Streams the panel's sweep, delivering each completed point to
+    /// `on_point` (see [`sweep_into`]).
+    pub fn run_into(
+        self,
+        sets_per_point: usize,
+        jobs: Jobs,
+        on_point: &mut dyn FnMut(&SweepPoint),
+    ) {
+        match self {
+            PanelKind::Deadline => {
+                let factors = deadline_factor_grid();
+                sweep_into(
+                    &SweepSpec {
+                        cores: 4,
+                        xs: &factors,
+                        sets_per_point,
+                        seed: CAMPAIGN_SEED,
+                        space: ScenarioSpace::PaperExact,
+                        make_set: |seed, f| {
+                            let config = group1(2.0).with_deadline_factor(f);
+                            generate_on_worker(seed, &config)
+                        },
+                    },
+                    jobs,
+                    on_point,
+                );
+            }
+            PanelKind::Chains => {
+                let shares = chain_share_grid();
+                sweep_into(
+                    &SweepSpec {
+                        cores: 4,
+                        xs: &shares,
+                        sets_per_point,
+                        seed: CAMPAIGN_SEED ^ 1,
+                        space: ScenarioSpace::PaperExact,
+                        make_set: |seed, share| generate_on_worker(seed, &chain_mix(2.0, share)),
+                    },
+                    jobs,
+                    on_point,
+                );
+            }
+            PanelKind::Cores(cores) => {
+                let xs = utilization_grid(cores);
+                sweep_into(
+                    &SweepSpec {
+                        cores,
+                        xs: &xs,
+                        sets_per_point,
+                        seed: CAMPAIGN_SEED ^ (cores as u64),
+                        space: ScenarioSpace::PaperExact,
+                        make_set: |seed, target| generate_on_worker(seed, &group1(target)),
+                    },
+                    jobs,
+                    on_point,
+                );
+            }
+        }
+    }
+
+    /// Runs the panel, collecting the sweep into a [`Panel`].
+    pub fn run(self, sets_per_point: usize, jobs: Jobs) -> Panel {
+        let mut points = Vec::new();
+        self.run_into(sets_per_point, jobs, &mut |p: &SweepPoint| {
+            points.push(p.clone())
+        });
+        Panel {
+            name: self.name(),
+            title: self.title(),
+            x_label: self.x_label(),
+            result: SweepResult {
+                cores: self.cores(),
+                points,
+            },
+        }
+    }
+}
+
 /// The constrained-deadline panel: `m = 4`, `U = m/2`, deadlines
 /// `D_i = f·T_i` with the factor `f` swept — charts how quickly each
 /// analysis sheds schedulability as slack between response bound and
 /// deadline is removed.
 pub fn deadline_panel(sets_per_point: usize, jobs: Jobs) -> Panel {
-    let factors: Vec<f64> = (0..=10).map(|i| 0.5 + 0.05 * f64::from(i)).collect();
-    let result = sweep(
-        &SweepSpec {
-            cores: 4,
-            xs: &factors,
-            sets_per_point,
-            seed: CAMPAIGN_SEED,
-            space: ScenarioSpace::PaperExact,
-            make_set: |seed, f| {
-                let config = group1(2.0).with_deadline_factor(f);
-                generate_on_worker(seed, &config)
-            },
-        },
-        jobs,
-    );
-    Panel {
-        name: "campaign_deadline",
-        title: "constrained deadlines: m = 4, U = 2, D = f*T, f swept",
-        x_label: "deadline_factor",
-        result,
-    }
+    PanelKind::Deadline.run(sets_per_point, jobs)
 }
 
 /// The chain-heavy mixture panel: `m = 4`, `U = m/2`, the sequential-chain
@@ -209,24 +379,7 @@ pub fn deadline_panel(sets_per_point: usize, jobs: Jobs) -> Panel {
 /// degenerate into control-flow chains and LP-max's pooled-NPR bound
 /// over-counts hardest relative to LP-ILP.
 pub fn chain_panel(sets_per_point: usize, jobs: Jobs) -> Panel {
-    let shares: Vec<f64> = (0..=8).map(|i| 0.125 * f64::from(i)).collect();
-    let result = sweep(
-        &SweepSpec {
-            cores: 4,
-            xs: &shares,
-            sets_per_point,
-            seed: CAMPAIGN_SEED ^ 1,
-            space: ScenarioSpace::PaperExact,
-            make_set: |seed, share| generate_on_worker(seed, &chain_mix(2.0, share)),
-        },
-        jobs,
-    );
-    Panel {
-        name: "campaign_chains",
-        title: "chain-heavy mixtures: m = 4, U = 2, chain share swept",
-        x_label: "chain_share",
-        result,
-    }
+    PanelKind::Chains.run(sets_per_point, jobs)
 }
 
 /// The core-count panel: the paper's utilization sweep on the platforms
@@ -234,46 +387,18 @@ pub fn chain_panel(sets_per_point: usize, jobs: Jobs) -> Panel {
 /// three analyses nearly coincide) and `m = 8` re-generated from the
 /// campaign seed population.
 pub fn core_count_panels(sets_per_point: usize, jobs: Jobs) -> Vec<Panel> {
-    [(2usize, "campaign_cores_m2"), (8, "campaign_cores_m8")]
+    [PanelKind::Cores(2), PanelKind::Cores(8)]
         .into_iter()
-        .map(|(cores, name)| {
-            let m = cores as f64;
-            let xs: Vec<f64> = (0..13)
-                .map(|i| 1.0 + (m - 1.0) * f64::from(i) / 12.0)
-                .collect();
-            let result = sweep(
-                &SweepSpec {
-                    cores,
-                    xs: &xs,
-                    sets_per_point,
-                    seed: CAMPAIGN_SEED ^ (cores as u64),
-                    space: ScenarioSpace::PaperExact,
-                    make_set: |seed, target| generate_on_worker(seed, &group1(target)),
-                },
-                jobs,
-            );
-            Panel {
-                name,
-                title: if cores == 2 {
-                    "core count: m = 2 utilization sweep (group 1)"
-                } else {
-                    "core count: m = 8 utilization sweep (group 1)"
-                },
-                x_label: "utilization",
-                result,
-            }
-        })
+        .map(|kind| kind.run(sets_per_point, jobs))
         .collect()
 }
 
 /// All campaign panels, in CLI order.
 pub fn run_all(sets_per_point: usize, jobs: Jobs) -> Vec<Panel> {
-    let mut panels = vec![
-        deadline_panel(sets_per_point, jobs),
-        chain_panel(sets_per_point, jobs),
-    ];
-    panels.extend(core_count_panels(sets_per_point, jobs));
-    panels
+    PanelKind::all()
+        .into_iter()
+        .map(|kind| kind.run(sets_per_point, jobs))
+        .collect()
 }
 
 #[cfg(test)]

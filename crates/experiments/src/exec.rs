@@ -3,11 +3,22 @@
 //! Every experiment in this crate reduces to "evaluate a list of
 //! independent, deterministic jobs" — one schedulability test per generated
 //! task set, seeded purely from its sweep coordinates (see
-//! [`set_seed`](crate::set_seed)). [`par_map`] runs such a list either
-//! serially or on a rayon thread pool, and always returns results in
-//! **input order**, so any fold over them is bit-identical regardless of
-//! the worker count. That property is what lets `repro --jobs 1` and
-//! `repro --jobs 32` print the same bytes.
+//! [`set_seed`](crate::set_seed)). Two drivers run such lists:
+//!
+//! * [`par_map`] evaluates a list and returns all results in **input
+//!   order** (the right shape when the caller folds the whole batch, as
+//!   the tables and timing experiments do);
+//! * [`stream_indexed`] is the **order-preserving worker channel**: it
+//!   delivers each result to a consumer callback *on the calling thread,
+//!   in index order, as soon as it is ready*, holding at most a bounded
+//!   reorder window in memory — so a sweep of a million cells feeds its
+//!   per-point fold (and the streaming [`CsvSink`](crate::csv::CsvSink))
+//!   without ever materializing the result list.
+//!
+//! Both drivers make the same promise: results reach the caller in input
+//! order, so any fold over them is bit-identical regardless of the worker
+//! count. That property is what lets `repro --jobs 1` and `repro --jobs
+//! 32` print the same bytes.
 //!
 //! Parallelism lives behind the crate's `parallel` feature (on by
 //! default): with the feature disabled this module compiles to the plain
@@ -90,6 +101,146 @@ where
     items.iter().map(f).collect()
 }
 
+/// Streams `len` independent evaluations over the worker pool, delivering
+/// each result to `consume` **on the calling thread, in index order**, as
+/// soon as it (and all its predecessors) is ready.
+///
+/// Unlike [`par_map`] this never materializes the result list: at most a
+/// bounded reorder window (a small multiple of the worker count) of
+/// results exists at any instant, with workers back-pressured once they
+/// run that far ahead of the consumer — the memory footprint of a sweep no
+/// longer grows with its cell count. Work indices are claimed dynamically,
+/// so load balancing matches [`par_map`]'s.
+///
+/// `eval` must be pure modulo interior timing (same contract as
+/// [`par_map`]); `consume` runs strictly sequentially and may hold `&mut`
+/// state — the per-point folds and CSV sinks of a campaign live there.
+pub fn stream_indexed<R, F, C>(len: usize, jobs: Jobs, eval: F, mut consume: C)
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+    C: FnMut(usize, R),
+{
+    let workers = jobs.worker_count().min(len);
+    #[cfg(feature = "parallel")]
+    if workers > 1 {
+        stream_parallel(len, workers, &eval, &mut consume);
+        return;
+    }
+    let _ = workers;
+    for index in 0..len {
+        consume(index, eval(index));
+    }
+}
+
+#[cfg(feature = "parallel")]
+fn stream_parallel<R, F, C>(len: usize, workers: usize, eval: &F, consume: &mut C)
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+    C: FnMut(usize, R),
+{
+    use std::collections::BTreeMap;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::{Condvar, Mutex};
+
+    /// Consumer-side cursor plus the reorder buffer, under one lock so the
+    /// condition variable's predicate is race-free. `dead` releases every
+    /// waiter when either side unwinds (a blocked worker must never
+    /// deadlock the scope's implicit join).
+    struct Shared<R> {
+        buffer: BTreeMap<usize, R>,
+        emitted: usize,
+        dead: bool,
+    }
+
+    let window = (2 * workers).max(16);
+    let shared = Mutex::new(Shared::<R> {
+        buffer: BTreeMap::new(),
+        emitted: 0,
+        dead: false,
+    });
+    let signal = Condvar::new();
+    let next_claim = AtomicUsize::new(0);
+
+    struct Release<'a, R> {
+        shared: &'a Mutex<Shared<R>>,
+        signal: &'a Condvar,
+        only_on_panic: bool,
+    }
+    impl<R> Drop for Release<'_, R> {
+        fn drop(&mut self) {
+            if self.only_on_panic && !std::thread::panicking() {
+                return;
+            }
+            if let Ok(mut guard) = self.shared.lock() {
+                guard.dead = true;
+            }
+            self.signal.notify_all();
+        }
+    }
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| {
+                // A worker that unwinds mid-`eval` wakes the consumer (and
+                // its peers) instead of leaving them waiting on a result
+                // that will never arrive.
+                let _abort = Release {
+                    shared: &shared,
+                    signal: &signal,
+                    only_on_panic: true,
+                };
+                loop {
+                    let index = next_claim.fetch_add(1, Ordering::Relaxed);
+                    if index >= len {
+                        break;
+                    }
+                    {
+                        // Backpressure: stay within `window` of the consumer.
+                        let mut guard = shared.lock().expect("stream state poisoned");
+                        while !guard.dead && index >= guard.emitted.saturating_add(window) {
+                            guard = signal.wait(guard).expect("stream state poisoned");
+                        }
+                        if guard.dead {
+                            break;
+                        }
+                    }
+                    let value = eval(index);
+                    shared
+                        .lock()
+                        .expect("stream state poisoned")
+                        .buffer
+                        .insert(index, value);
+                    signal.notify_all();
+                }
+            });
+        }
+        // If `consume` unwinds, every blocked worker is released before the
+        // scope joins; on normal exit this is a no-op (all work is done).
+        let _release = Release {
+            shared: &shared,
+            signal: &signal,
+            only_on_panic: false,
+        };
+        for index in 0..len {
+            let value = {
+                let mut guard = shared.lock().expect("stream state poisoned");
+                loop {
+                    if let Some(value) = guard.buffer.remove(&index) {
+                        guard.emitted = index + 1;
+                        break value;
+                    }
+                    assert!(!guard.dead, "stream worker panicked");
+                    guard = signal.wait(guard).expect("stream state poisoned");
+                }
+            };
+            signal.notify_all();
+            consume(index, value);
+        }
+    });
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -116,5 +267,65 @@ mod tests {
     fn empty_input() {
         let out: Vec<u64> = par_map(&[], Jobs::Auto, |x: &u64| *x);
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn stream_delivers_in_index_order_for_every_driver() {
+        for jobs in [Jobs::serial(), Jobs::Count(3), Jobs::Count(8), Jobs::Auto] {
+            let mut seen = Vec::new();
+            stream_indexed(
+                400,
+                jobs,
+                |i| i as u64 * 7 + 1,
+                |i, v| {
+                    assert_eq!(v, i as u64 * 7 + 1);
+                    seen.push(i);
+                },
+            );
+            assert_eq!(seen, (0..400).collect::<Vec<_>>(), "jobs = {jobs:?}");
+        }
+    }
+
+    #[test]
+    fn stream_consumer_holds_mutable_state() {
+        // The whole point of the streaming driver: the fold lives in a
+        // FnMut on the calling thread.
+        let mut sum = 0u64;
+        stream_indexed(100, Jobs::Count(4), |i| i as u64, |_, v| sum += v);
+        assert_eq!(sum, 99 * 100 / 2);
+    }
+
+    #[test]
+    fn stream_bounds_the_reorder_window() {
+        // With a slow consumer, workers must not race arbitrarily far
+        // ahead: the largest evaluated index can exceed the consumed
+        // prefix by at most the window (2·workers, floored at 16) plus
+        // the workers' in-flight claims.
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let workers = 4usize;
+        let max_evaluated = AtomicUsize::new(0);
+        let mut consumed = 0usize;
+        stream_indexed(
+            600,
+            Jobs::Count(workers),
+            |i| {
+                max_evaluated.fetch_max(i, Ordering::Relaxed);
+                i
+            },
+            |i, _| {
+                let ahead = max_evaluated.load(Ordering::Relaxed).saturating_sub(i);
+                assert!(
+                    ahead <= 16 + 2 * workers,
+                    "worker ran {ahead} cells ahead of the consumer"
+                );
+                consumed += 1;
+            },
+        );
+        assert_eq!(consumed, 600);
+    }
+
+    #[test]
+    fn stream_empty_is_a_no_op() {
+        stream_indexed(0, Jobs::Auto, |_| 0u8, |_, _| panic!("no cells to consume"));
     }
 }

@@ -38,14 +38,9 @@ impl SweepConfig {
     /// of m/12 (13 points, mirroring the plot density), 300 sets per point,
     /// group-1 task sets.
     pub fn paper_panel(cores: usize) -> Self {
-        let m = cores as f64;
-        let points = 13usize;
-        let utilizations = (0..points)
-            .map(|i| 1.0 + (m - 1.0) * i as f64 / (points - 1) as f64)
-            .collect();
         Self {
             cores,
-            utilizations,
+            utilizations: campaign::utilization_grid(cores),
             sets_per_point: 300,
             seed: 0xDA7E_2016,
             generator: rta_taskgen::group1,
@@ -82,6 +77,32 @@ pub struct SweepPoint {
     pub schedulable_pct: [f64; 3],
 }
 
+impl SweepPoint {
+    /// The point as CSV cells, in [`csv_header`] column order — shared by
+    /// the in-memory [`SweepResult::to_csv`] and the streaming
+    /// [`CsvSink`](crate::csv::CsvSink) path so both emit identical bytes.
+    pub fn csv_cells(&self) -> Vec<String> {
+        vec![
+            format!("{:.4}", self.x),
+            format!("{:.4}", self.achieved_utilization),
+            format!("{:.2}", self.schedulable_pct[0]),
+            format!("{:.2}", self.schedulable_pct[1]),
+            format!("{:.2}", self.schedulable_pct[2]),
+        ]
+    }
+}
+
+/// The CSV header of a schedulability sweep, with the given x-axis label.
+pub fn csv_header(x_label: &str) -> [&str; 5] {
+    [
+        x_label,
+        "achieved_utilization",
+        "fp_ideal_pct",
+        "lp_ilp_pct",
+        "lp_max_pct",
+    ]
+}
+
 /// Result of a full sweep.
 #[derive(Clone, Debug, PartialEq)]
 pub struct SweepResult {
@@ -110,7 +131,19 @@ pub fn run_serial(config: &SweepConfig) -> SweepResult {
 /// and the per-point aggregation folds the evaluations in coordinate order
 /// no matter which worker produced them.
 pub fn run_with_jobs(config: &SweepConfig, jobs: Jobs) -> SweepResult {
-    campaign::sweep(
+    let mut points = Vec::with_capacity(config.utilizations.len());
+    run_into(config, jobs, &mut |p: &SweepPoint| points.push(p.clone()));
+    SweepResult {
+        cores: config.cores,
+        points,
+    }
+}
+
+/// As [`run_with_jobs`], delivering each completed [`SweepPoint`] to
+/// `on_point` as soon as its last cell folds — the streaming entry the
+/// `repro` CLI feeds its [`CsvSink`](crate::csv::CsvSink) from.
+pub fn run_into(config: &SweepConfig, jobs: Jobs, on_point: &mut dyn FnMut(&SweepPoint)) {
+    campaign::sweep_into(
         &SweepSpec {
             cores: config.cores,
             xs: &config.utilizations,
@@ -122,7 +155,8 @@ pub fn run_with_jobs(config: &SweepConfig, jobs: Jobs) -> SweepResult {
             },
         },
         jobs,
-    )
+        on_point,
+    );
 }
 
 /// The task-count variant (DESIGN.md §5.4): x-axis = number of tasks, total
@@ -137,9 +171,27 @@ pub fn run_task_count_with_jobs(
     task_counts: &[usize],
     jobs: Jobs,
 ) -> SweepResult {
+    let mut points = Vec::with_capacity(task_counts.len());
+    run_task_count_into(config, task_counts, jobs, &mut |p: &SweepPoint| {
+        points.push(p.clone())
+    });
+    SweepResult {
+        cores: config.cores,
+        points,
+    }
+}
+
+/// As [`run_task_count_with_jobs`], streaming completed points to
+/// `on_point`.
+pub fn run_task_count_into(
+    config: &SweepConfig,
+    task_counts: &[usize],
+    jobs: Jobs,
+    on_point: &mut dyn FnMut(&SweepPoint),
+) {
     let fixed_u = config.cores as f64 / 2.0;
     let xs: Vec<f64> = task_counts.iter().map(|&n| n as f64).collect();
-    campaign::sweep(
+    campaign::sweep_into(
         &SweepSpec {
             cores: config.cores,
             xs: &xs,
@@ -155,7 +207,8 @@ pub fn run_task_count_with_jobs(
             },
         },
         jobs,
-    )
+        on_point,
+    );
 }
 
 impl SweepResult {
@@ -187,29 +240,13 @@ impl SweepResult {
         out
     }
 
-    /// CSV rendering.
+    /// CSV rendering (same bytes as streaming the points through a
+    /// [`CsvSink`](crate::csv::CsvSink) with [`csv_header`]).
     pub fn to_csv(&self, x_label: &str) -> String {
-        let header = [
-            x_label,
-            "achieved_utilization",
-            "fp_ideal_pct",
-            "lp_ilp_pct",
-            "lp_max_pct",
-        ];
-        let rows: Vec<Vec<String>> = self
-            .points
-            .iter()
-            .map(|p| {
-                vec![
-                    format!("{:.4}", p.x),
-                    format!("{:.4}", p.achieved_utilization),
-                    format!("{:.2}", p.schedulable_pct[0]),
-                    format!("{:.2}", p.schedulable_pct[1]),
-                    format!("{:.2}", p.schedulable_pct[2]),
-                ]
-            })
-            .collect();
-        ascii::csv(&header, &rows)
+        crate::csv::to_string(
+            &csv_header(x_label),
+            self.points.iter().map(SweepPoint::csv_cells),
+        )
     }
 
     /// Checks the paper's qualitative shape: at every point,

@@ -36,11 +36,13 @@
 
 pub mod ascii;
 pub mod campaign;
+pub mod csv;
 pub mod exec;
 pub mod figure2;
 pub mod sensitivity;
 pub mod tables;
 pub mod timing;
+pub mod validate;
 
 /// Derives the RNG seed of one generated task set from the sweep
 /// coordinates, independent of threading.

@@ -7,8 +7,12 @@
 //! thread scheduling. These tests pin that property on a reduced
 //! Figure 2(a) grid.
 
+use rta_experiments::csv::CsvSink;
 use rta_experiments::exec::Jobs;
-use rta_experiments::figure2::{run_serial, run_task_count_with_jobs, run_with_jobs, SweepConfig};
+use rta_experiments::figure2::{
+    self, run_serial, run_task_count_with_jobs, run_with_jobs, SweepConfig, SweepPoint,
+};
+use rta_experiments::validate::{self, ValidateOptions, ValidatePanel, ValidatePoint};
 use rta_experiments::{campaign, tables, timing};
 
 /// A reduced Figure 2(a) grid: m = 4, 4 utilization points, 6 sets each.
@@ -77,6 +81,54 @@ fn campaign_panels_are_byte_identical_to_serial() {
                 p.name
             );
         }
+    }
+}
+
+#[test]
+fn streamed_csv_bytes_equal_the_buffered_rendering() {
+    // The CLI streams rows through a `CsvSink` as points complete; the
+    // in-memory `to_csv` must produce the very same bytes (this is what
+    // keeps the committed goldens stable across the refactor).
+    let config = reduced_fig2a();
+    let mut sink = CsvSink::new(Vec::new(), &figure2::csv_header("utilization")).unwrap();
+    figure2::run_into(&config, Jobs::Count(3), &mut |p: &SweepPoint| {
+        sink.row(&p.csv_cells()).unwrap();
+    });
+    let streamed = sink.finish().unwrap();
+    let buffered = run_serial(&config).to_csv("utilization").into_bytes();
+    assert_eq!(streamed, buffered);
+}
+
+#[test]
+fn validate_panels_are_byte_identical_to_serial() {
+    // The validation campaign folds sim + analysis outcomes (including
+    // floating tightness ratios) in coordinate order; any worker count
+    // must emit the same CSV bytes, streamed or buffered.
+    let options = ValidateOptions {
+        sets_per_point: 4,
+        ..ValidateOptions::default()
+    };
+    for panel in [ValidatePanel::Chains, ValidatePanel::Cores(2)] {
+        let serial = panel.run(&options, Jobs::serial());
+        for jobs in [Jobs::Count(3), Jobs::Auto] {
+            let parallel = panel.run(&options, jobs);
+            assert_eq!(parallel, serial, "{panel:?} under {jobs:?}");
+            assert_eq!(
+                parallel.to_csv(panel.x_label()).into_bytes(),
+                serial.to_csv(panel.x_label()).into_bytes(),
+                "{panel:?} CSV bytes under {jobs:?}"
+            );
+        }
+        // Streamed bytes equal the buffered rendering here too.
+        let mut sink = CsvSink::new(Vec::new(), &validate::csv_header(panel.x_label())).unwrap();
+        panel.run_into(&options, Jobs::Count(2), &mut |p: &ValidatePoint| {
+            sink.row(&p.csv_cells()).unwrap();
+        });
+        assert_eq!(
+            sink.finish().unwrap(),
+            serial.to_csv(panel.x_label()).into_bytes(),
+            "{panel:?} streamed vs buffered"
+        );
     }
 }
 

@@ -1,0 +1,103 @@
+//! Cross-layer soundness properties: simulated response times vs the
+//! analytical bounds, through the validation campaign's own cell.
+//!
+//! The FP-ideal (fully-preemptive) bound is sound, so its leg must hold
+//! on *every* generated set — any failure is a hard bug in the analysis
+//! or the simulator. The paper's limited-preemptive bounds are known to
+//! be optimistic on rare sets (see `rta_experiments::validate`'s module
+//! docs); their legs must be *classified* correctly: an observed
+//! exceedance shows up in `lp_exceedances` (never as a hard violation),
+//! and tightness above 1 appears exactly when an exceedance was counted.
+
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use rta_analysis::{verdicts_with_bounds, AnalysisConfig, Method};
+use rta_experiments::validate::{validate_set, PolicyChoice};
+use rta_sim::{simulate, PreemptionPolicy, SimConfig};
+use rta_taskgen::{chain_mix, generate_task_set, group1, group2};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// On every generated set (any utilization band, m ∈ {2, 4, 8}), the
+    /// validation cell reports zero hard violations: the sound FP-ideal
+    /// bound dominates the fully-preemptive simulation, and accepted
+    /// sets never miss deadlines on that leg. Several generator families
+    /// and both simulator policies run per case.
+    #[test]
+    fn fp_ideal_leg_is_sound_on_random_sets(
+        seed in 0u64..1_000_000,
+        cores_index in 0usize..3,
+        load_percent in 30u32..=100,
+    ) {
+        let cores = [2usize, 4, 8][cores_index];
+        let target = cores as f64 * load_percent as f64 / 100.0;
+        let mut rng = SmallRng::seed_from_u64(seed);
+        for ts in [
+            generate_task_set(&mut rng, &group1(target)),
+            generate_task_set(&mut rng, &chain_mix(target, 0.5)),
+        ] {
+            let v = validate_set(&ts, cores, 3, PolicyChoice::Both);
+            prop_assert_eq!(v.hard_violations, 0, "seed {} m {}", seed, cores);
+            // Classification consistency: LP tightness above 1 iff an
+            // exceedance was counted (and vice versa).
+            let lp_above_one = (1..3).any(|mi| v.tightness[mi].is_some_and(|t| t > 1.0));
+            prop_assert_eq!(lp_above_one, v.lp_exceedances > 0);
+        }
+    }
+
+    /// The direct statement of the bound invariant on the sound leg:
+    /// for a set FP-ideal accepts, every task's simulated max response
+    /// under full preemption stays at or below the analytical bound —
+    /// compared exactly in scaled units, under synchronous-periodic WCET
+    /// execution and several horizons.
+    #[test]
+    fn fp_bounds_dominate_fully_preemptive_simulation(
+        seed in 0u64..1_000_000,
+        horizon_factor in 1u64..=4,
+    ) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let ts = generate_task_set(&mut rng, &group2(2.0));
+        let configs = [AnalysisConfig::new(4, Method::FpIdeal)];
+        let verdict = &verdicts_with_bounds(&ts, &configs)[0];
+        prop_assume!(verdict.schedulable);
+        let max_period = ts.tasks().iter().map(|t| t.period()).max().unwrap();
+        let sim = simulate(
+            &ts,
+            &SimConfig::new(4, horizon_factor * max_period)
+                .with_policy(PreemptionPolicy::FullyPreemptive),
+        );
+        prop_assert!(sim.all_deadlines_met());
+        for (stats, &bound) in sim.per_task.iter().zip(&verdict.bounds) {
+            prop_assert!(
+                (stats.max_response as u128) * bound.cores() as u128 <= bound.scaled(),
+                "seed {}: sim {} exceeds bound {}",
+                seed,
+                stats.max_response,
+                bound
+            );
+        }
+    }
+}
+
+/// The limited-preemptive legs on a fixed seed range (deterministic, so
+/// no flake risk from the known rare LP optimism): bounds hold and no
+/// accepted set misses, under both policies, across three generator
+/// families.
+#[test]
+fn lp_bounds_hold_on_the_sampled_m4_population() {
+    let mut accepted = 0u32;
+    for seed in 0..40u64 {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let ts = generate_task_set(&mut rng, &group1(2.0));
+        let v = validate_set(&ts, 4, 3, PolicyChoice::Both);
+        assert_eq!(v.hard_violations, 0, "seed {seed}");
+        assert_eq!(v.lp_exceedances, 0, "seed {seed}");
+        assert_eq!(v.lp_misses, 0, "seed {seed}");
+        if v.accepted[1] {
+            accepted += 1;
+        }
+    }
+    assert!(accepted >= 5, "too few accepted sets ({accepted})");
+}

@@ -7,6 +7,18 @@
 //! simulated response times must never exceed the analytical bounds of a
 //! schedulable configuration.
 //!
+//! That validation actually runs, at campaign scale, in
+//! `rta_experiments::validate` (the `repro validate` CLI command): every
+//! generated task set is analyzed with per-task bounds
+//! (`rta_analysis::verdicts_with_bounds`) *and* simulated under both
+//! preemption policies, and the soundness invariants — an accepted set
+//! shows zero deadline misses, per-task [`TaskStats::max_response`] never
+//! exceeds the bound, the fully-preemptive baseline cross-checks FP-ideal
+//! — are asserted on hundreds of sets per sweep point. The per-task
+//! statistics ([`SimResult::max_responses`]) are always collected; the
+//! execution trace is opt-in ([`SimConfig::with_trace`], off by default),
+//! so campaign-scale simulation pays nothing for it.
+//!
 //! Two preemption policies are implemented (see
 //! [`PreemptionPolicy`]):
 //!

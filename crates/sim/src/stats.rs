@@ -47,6 +47,17 @@ impl SimResult {
     pub fn all_deadlines_met(&self) -> bool {
         self.total_deadline_misses() == 0
     }
+
+    /// Largest observed response time of task `k` — the quantity the
+    /// validation campaign compares against the analytical bound `R_k`.
+    pub fn max_response(&self, k: usize) -> Time {
+        self.per_task[k].max_response
+    }
+
+    /// Per-task maximum observed response times, indexed by priority.
+    pub fn max_responses(&self) -> impl Iterator<Item = Time> + '_ {
+        self.per_task.iter().map(|t| t.max_response)
+    }
 }
 
 #[cfg(test)]
