@@ -10,17 +10,24 @@
 //! I_lp_k = Δ^m_k + p_k · Δ^{m−1}_k
 //! ```
 //!
-//! Two bounds are provided:
+//! Three bounds are provided:
 //!
 //! * [`lpmax`] — Eq. (5), precedence-oblivious;
 //! * [`mu`] + [`scenarios`] — Eqs. (6)–(8), precedence-aware (the LP-ILP
 //!   method), with both combinatorial solvers and the paper's verbatim ILP
-//!   formulations ([`paper_ilp`]).
+//!   formulations ([`paper_ilp`]);
+//! * [`sound`] — the corrected term of the LP-sound method: Eq. (3)'s
+//!   event counting is provably optimistic (newly-started lower-priority
+//!   NPRs on cores the DAG leaves idle; Nasri et al., ECRTS 2019), so the
+//!   sound bound charges the full lower-priority carry-in workload of the
+//!   window instead. It is window-dependent, hence not a
+//!   [`BlockingBounds`] pair — the fixed point evaluates it per iterate.
 
 pub mod lpmax;
 pub mod mu;
 pub mod paper_ilp;
 pub mod scenarios;
+pub mod sound;
 
 use rta_model::Time;
 

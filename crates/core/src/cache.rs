@@ -29,8 +29,11 @@
 //! cardinality `c ∈ 1..=m` serves `Δ^m`, `Δ^{m−1}`, the
 //! [`ScenarioSpace::PaperExact`] and [`ScenarioSpace::Extended`] spaces, and
 //! every method reading them. The combinatorial solvers draw their working
-//! memory from shared scratch buffers, so the per-scenario inner loops
-//! allocate nothing once warm. Scenario lists are not cached here at all:
+//! memory from **per-thread** scratch buffers (the thread-local
+//! `CLIQUE_SCRATCH` / `RHO_SCRATCH` statics) shared across every task set
+//! the thread analyzes, so a streaming sweep's inner loops allocate
+//! nothing once its workers are warm — not merely nothing per query, but
+//! nothing per *task set*. Scenario lists are not cached here at all:
 //! they depend only on the core count, so they come from the
 //! **process-global** [`PartitionTable`] — enumerated once per process,
 //! shared by every task set and worker thread of a whole sweep campaign.
@@ -58,11 +61,28 @@
 //! ```
 
 use crate::blocking::scenarios::{max_rho_over, max_rho_over_refs, rho_suffix_dp, RhoScratch};
+use crate::blocking::sound::SoundBlocking;
 use crate::blocking::{mu, BlockingBounds};
 use crate::config::{AnalysisConfig, Method, MuSolver, RhoSolver, ScenarioSpace};
 use rta_combinatorics::{BitSet, CliqueScratch, PartitionTable};
 use rta_model::{parallel_adjacency, TaskSet, Time};
 use std::cell::{OnceCell, RefCell};
+
+thread_local! {
+    /// The calling thread's reusable clique-search working memory. Scratch
+    /// buffers used to live inside each [`TaskSetCache`], which made their
+    /// allocations once-per-task-set; a streaming sweep builds thousands of
+    /// caches per worker, so the scratch now lives **per thread** and is
+    /// reused across every task set the worker claims (sweep workers are
+    /// threads, and the serial driver keeps one scratch for the whole
+    /// campaign). The buffers are cleared by each solver invocation and
+    /// never influence a result — equivalence with the uncached path stays
+    /// pinned by `tests/cache_equivalence.rs`.
+    static CLIQUE_SCRATCH: RefCell<CliqueScratch> = RefCell::new(CliqueScratch::new());
+    /// Per-thread `ρ` assignment scratch, shared across task sets like
+    /// [`CLIQUE_SCRATCH`].
+    static RHO_SCRATCH: RefCell<RhoScratch> = RefCell::new(RhoScratch::new());
+}
 
 /// Quantities of one task that every analysis reads, captured eagerly.
 #[derive(Clone, Debug)]
@@ -116,8 +136,6 @@ pub struct TaskSetCache<'ts> {
     /// NPR WCETs — `prefix[c]` is Eq. (5)'s `Δ^c` for `c` up to the pool
     /// size (clamped at `max_cores`).
     lp_max: Vec<OnceCell<Vec<Time>>>,
-    clique_scratch: RefCell<CliqueScratch>,
-    rho_scratch: RefCell<RhoScratch>,
 }
 
 impl<'ts> TaskSetCache<'ts> {
@@ -182,8 +200,6 @@ impl<'ts> TaskSetCache<'ts> {
             mu: mu_slots,
             rho: rho_slots,
             lp_max: (0..n).map(|_| OnceCell::new()).collect(),
-            clique_scratch: RefCell::new(CliqueScratch::new()),
-            rho_scratch: RefCell::new(RhoScratch::new()),
         }
     }
 
@@ -257,14 +273,15 @@ impl<'ts> TaskSetCache<'ts> {
         per_task[k].get_or_init(|| match solver {
             MuSolver::Clique => {
                 let adjacency = self.parallel_adjacency(k);
-                let mut scratch = self.clique_scratch.borrow_mut();
-                mu::mu_array_with(
-                    self.task_set.task(k).dag(),
-                    adjacency,
-                    self.max_cores,
-                    solver,
-                    &mut scratch,
-                )
+                CLIQUE_SCRATCH.with(|scratch| {
+                    mu::mu_array_with(
+                        self.task_set.task(k).dag(),
+                        adjacency,
+                        self.max_cores,
+                        solver,
+                        &mut scratch.borrow_mut(),
+                    )
+                })
             }
             // The ILP solver reads the DAG directly; don't touch the
             // adjacency cell (or the clique scratch) on its behalf.
@@ -373,13 +390,20 @@ impl<'ts> TaskSetCache<'ts> {
                     .filter(|s| !dp_eligible(s.cardinality()))
                     .collect();
                 let mu_refs: Vec<&[Time]> = (k + 1..n).map(|i| self.mu(i, mu_solver)).collect();
-                let mut scratch = self.rho_scratch.borrow_mut();
-                return column[k].max(max_rho_over_refs(&rest, &mu_refs, rho_solver, &mut scratch));
+                return RHO_SCRATCH.with(|scratch| {
+                    column[k].max(max_rho_over_refs(
+                        &rest,
+                        &mu_refs,
+                        rho_solver,
+                        &mut scratch.borrow_mut(),
+                    ))
+                });
             }
 
             let mu_refs: Vec<&[Time]> = (k + 1..n).map(|i| self.mu(i, mu_solver)).collect();
-            let mut scratch = self.rho_scratch.borrow_mut();
-            max_rho_over(scenarios, &mu_refs, rho_solver, &mut scratch)
+            RHO_SCRATCH.with(|scratch| {
+                max_rho_over(scenarios, &mu_refs, rho_solver, &mut scratch.borrow_mut())
+            })
         })
     }
 
@@ -467,7 +491,9 @@ impl<'ts> TaskSetCache<'ts> {
     /// equivalent of the per-method dispatch in [`crate::analyze`].
     pub fn blocking_for(&self, k: usize, config: &AnalysisConfig) -> Option<BlockingBounds> {
         match config.method {
-            Method::FpIdeal => None,
+            // LP-sound's corrected term is window-dependent, not a
+            // (Δ^m, Δ^{m−1}) pair: see [`Self::sound_blocking_for`].
+            Method::FpIdeal | Method::LpSound => None,
             Method::LpMax => Some(self.lp_max_blocking(k, config.cores)),
             Method::LpIlp => Some(self.lp_ilp_blocking(
                 k,
@@ -477,6 +503,21 @@ impl<'ts> TaskSetCache<'ts> {
                 config.scenario_space,
             )),
         }
+    }
+
+    /// The sound, window-dependent lower-priority term of task `k`
+    /// ([`crate::blocking::sound`]), assembled from the eagerly-captured
+    /// per-task facts — no DAG is re-walked. `None` unless the
+    /// configuration's method is [`Method::LpSound`].
+    pub fn sound_blocking_for(&self, k: usize, config: &AnalysisConfig) -> Option<SoundBlocking> {
+        (config.method == Method::LpSound).then(|| {
+            SoundBlocking::from_parts(
+                self.facts[k + 1..]
+                    .iter()
+                    .map(|f| (f.volume, f.period, f.deadline)),
+                config.cores,
+            )
+        })
     }
 }
 

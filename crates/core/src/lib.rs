@@ -25,6 +25,15 @@
 //! [`Method::FpIdeal`] is the fully-preemptive baseline of the paper's
 //! evaluation (Eq. 1, zero blocking and zero preemption cost).
 //!
+//! Beyond the paper, [`Method::LpSound`] replaces the event-counted
+//! `I_lp` — empirically refuted by this repository's validation campaign
+//! (the eager-LP unsoundness class of Nasri, Nelissen & Brandenburg,
+//! ECRTS 2019) — with the **corrected, sound** window-workload term of
+//! [`blocking::sound`]: lower-priority tasks charge their full
+//! deadline-bounded carry-in workload over the response window, which
+//! covers non-preemptive regions newly started on cores the DAG's own
+//! precedence constraints leave idle.
+//!
 //! All arithmetic is exact: the rational terms of Eq. 4 are tracked in
 //! scaled units of `1/m` (see [`report::ResponseBound`]); there is no
 //! floating point anywhere in the fixed-point iteration.

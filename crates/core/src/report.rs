@@ -104,7 +104,10 @@ pub struct TaskReport {
     pub response_bound: ResponseBound,
     /// `R_k ≤ D_k`, decided exactly.
     pub schedulable: bool,
-    /// The blocking bounds used (absent under [`Method::FpIdeal`]).
+    /// The blocking bounds used. Absent under [`Method::FpIdeal`] (no
+    /// blocking) and under [`Method::LpSound`], whose corrected term is
+    /// window-dependent rather than a constant `(Δ^m, Δ^{m−1})` pair (see
+    /// [`crate::blocking::sound`]).
     pub blocking: Option<BlockingBounds>,
     /// The preemption bound `p_k = min(q_k, h_k)` at the final iterate.
     pub preemption_bound: u64,

@@ -72,6 +72,14 @@ proptest! {
             let after = analyze(&bigger, &AnalysisConfig::new(4, method));
             let n = before.tasks.len().min(after.tasks.len());
             for k in 0..n {
+                if !before.tasks[k].schedulable || !after.tasks[k].schedulable {
+                    // A failed task's stored value is the first iterate
+                    // that crossed the deadline, not a converged bound —
+                    // a larger per-step increment (LP-sound's workload
+                    // term especially) can cross in fewer, coarser steps,
+                    // so diverged iterates are not comparable.
+                    break;
+                }
                 prop_assert!(
                     after.tasks[k].response_bound.scaled()
                         >= before.tasks[k].response_bound.scaled(),

@@ -103,6 +103,55 @@ proptest! {
     }
 }
 
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The new dominance edge used by the verdict shortcut, stated on the
+    /// bounds themselves: per task, FP-ideal's bound never exceeds
+    /// LP-sound's (the sound method adds a non-negative monotone term to
+    /// the same fixed point), hence LP-sound schedulable ⇒ FP-ideal
+    /// schedulable on every random set.
+    #[test]
+    fn lp_sound_bounds_dominate_fp_ideal(
+        seed in 0u64..1_000_000,
+        cores in 1usize..=6,
+        load_percent in 10u32..=110,
+    ) {
+        let target = cores as f64 * load_percent as f64 / 100.0;
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let ts = generate_task_set(&mut rng, &group1(target));
+        let configs = [
+            AnalysisConfig::new(cores, Method::FpIdeal),
+            AnalysisConfig::new(cores, Method::LpSound),
+        ];
+        let verdicts = verdicts_with_bounds(&ts, &configs);
+        let (fp, sound) = (&verdicts[0], &verdicts[1]);
+        prop_assert!(
+            !sound.schedulable || fp.schedulable,
+            "seed {}: LP-sound accepted a set FP-ideal rejects",
+            seed
+        );
+        for (k, (f, s)) in fp.bounds.iter().zip(&sound.bounds).enumerate() {
+            // Compare converged bounds only: a diverged entry is the first
+            // deadline-crossing iterate, not a bound.
+            if k + 1 == fp.bounds.len() && !fp.schedulable {
+                break;
+            }
+            if k + 1 == sound.bounds.len() && !sound.schedulable {
+                break;
+            }
+            prop_assert!(
+                f.scaled() <= s.scaled(),
+                "seed {} task {}: FP {} above LP-sound {}",
+                seed,
+                k,
+                f,
+                s
+            );
+        }
+    }
+}
+
 #[test]
 fn verdicts_handle_mixed_families_and_solver_variants() {
     // Configurations from *different* families (core counts, spaces, solver

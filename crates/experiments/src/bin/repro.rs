@@ -18,15 +18,22 @@
 //!   campaign     scenario panels beyond the paper; optional selector:
 //!                  deadline  constrained deadlines (D = f·T, f swept)
 //!                  chains    chain-heavy task mixtures
-//!                  cores     m ∈ {2, 8} utilization sweeps
-//!                  all       every panel (default)
+//!                  cores     m ∈ {2, 8, 16} utilization sweeps
+//!                  cross     PeriodModel × deadline_factor cross panels
+//!                  all       every panel (default); also aggregates the
+//!                            LP-ILP vs LP-sound acceptance gap into
+//!                            soundness_cost.csv
 //!   validate     simulation-backed soundness campaign: analyze each
-//!                generated set (per-task bounds) AND simulate it, check
-//!                the invariants (accepted ⇒ zero misses, sim max RT ≤
-//!                bound, FP baseline vs FP-ideal), report bound tightness;
-//!                panels m ∈ {2,4,8,16} + deadline/chain mixtures;
-//!                optional selector: cores | deadline | chains | all.
-//!                Exits non-zero on any invariant violation.
+//!                generated set (per-task bounds, all four methods) AND
+//!                simulate it under the eager-/lazy-limited and fully
+//!                preemptive policies, check the invariants (accepted ⇒
+//!                zero misses, sim max RT ≤ bound; FP-ideal and LP-sound
+//!                legs are hard), report bound tightness; panels
+//!                m ∈ {2,4,8,16} + deadline/chain mixtures + release
+//!                models; optional selector:
+//!                cores | deadline | chains | release | all.
+//!                Exits non-zero on any hard invariant violation
+//!                (including any LP-sound exceedance).
 //!   dump-set     print one generated task set as JSON (--seed N --target U)
 //!   all          everything above (except dump-set)
 //!
@@ -38,7 +45,11 @@
 //!   --serial     shorthand for --jobs 1
 //!   --horizon N  validate: simulate releases over N spans of the set's
 //!                largest period (default 3)
-//!   --policy P   validate: limited | full | both  (default both)
+//!   --policy P   validate: limited | eager | lazy | full | both
+//!                (default both)
+//!   --release R  validate: sync | jitter | sporadic — overrides each
+//!                panel's own release pattern (default: sync everywhere
+//!                except the release panels)
 //! ```
 //!
 //! Sweep output is bit-identical for every `--jobs` value: task-set seeds
@@ -52,7 +63,9 @@ use rta_experiments::campaign::PanelKind;
 use rta_experiments::csv::CsvSink;
 use rta_experiments::exec::Jobs;
 use rta_experiments::figure2::{self, SweepConfig, SweepPoint, SweepResult};
-use rta_experiments::validate::{PolicyChoice, ValidateOptions, ValidatePanel, ValidatePoint};
+use rta_experiments::validate::{
+    PolicyChoice, ReleaseChoice, ValidateOptions, ValidatePanel, ValidatePoint,
+};
 use rta_experiments::{tables, timing, validate};
 use std::path::PathBuf;
 
@@ -64,6 +77,7 @@ struct Options {
     target: f64,
     horizon: u64,
     policy: PolicyChoice,
+    release: Option<ReleaseChoice>,
     /// `None` until `--jobs`/`--serial` is given: sweeps then default to
     /// one worker per core, while `timing` defaults to serial so its
     /// wall-clock averages are not skewed by worker contention.
@@ -92,6 +106,7 @@ fn main() {
         target: 2.0,
         horizon: validate::DEFAULT_HORIZON_FACTOR,
         policy: PolicyChoice::Both,
+        release: None,
         jobs: None,
     };
     let mut it = args.iter();
@@ -138,7 +153,16 @@ fn main() {
                 options.policy = it
                     .next()
                     .and_then(|v| PolicyChoice::from_flag(v))
-                    .unwrap_or_else(|| usage("--policy must be limited, full or both"));
+                    .unwrap_or_else(|| {
+                        usage("--policy must be limited, eager, lazy, full or both")
+                    });
+            }
+            "--release" => {
+                options.release = Some(
+                    it.next()
+                        .and_then(|v| ReleaseChoice::from_flag(v))
+                        .unwrap_or_else(|| usage("--release must be sync, jitter or sporadic")),
+                );
             }
             "--jobs" => {
                 let n: usize = it
@@ -224,6 +248,10 @@ fn run_validate(options: &Options, selector: &str) {
             .collect(),
         "deadline" => vec![ValidatePanel::Deadline],
         "chains" => vec![ValidatePanel::Chains],
+        "release" => ValidatePanel::all()
+            .into_iter()
+            .filter(|p| matches!(p, ValidatePanel::Release(_)))
+            .collect(),
         "all" => ValidatePanel::all(),
         other => usage(&format!("unknown validate panel: {other}")),
     };
@@ -231,6 +259,7 @@ fn run_validate(options: &Options, selector: &str) {
         sets_per_point: options.sets,
         horizon_factor: options.horizon,
         policies: options.policy,
+        release: options.release,
     };
     let mut total_violations = 0u64;
     let mut total_exceedances = 0u64;
@@ -276,7 +305,7 @@ fn run_validate(options: &Options, selector: &str) {
             "note: {total_exceedances} simulated response(s) exceeded an LP-ILP/LP-max bound — \
              the documented optimism of the paper's eager-LP blocking bound \
              (cf. Nasri, Nelissen & Brandenburg, ECRTS 2019); \
-             the sound FP-ideal leg is unaffected"
+             the sound FP-ideal and LP-sound legs are unaffected"
         );
     }
     if total_lp_misses > 0 {
@@ -296,18 +325,45 @@ fn run_validate(options: &Options, selector: &str) {
     println!("all hard soundness invariants held");
 }
 
+/// The column layout of `soundness_cost.csv`: per campaign panel point,
+/// the LP-ILP / LP-sound acceptance ratios and their gap in percentage
+/// points — how much schedulability the corrected bound costs over the
+/// paper's optimistic one.
+const SOUNDNESS_COST_HEADER: [&str; 7] = [
+    "panel",
+    "x",
+    "fp_ideal_pct",
+    "lp_ilp_pct",
+    "lp_max_pct",
+    "lp_sound_pct",
+    "soundness_cost_pp",
+];
+
 /// Runs the requested campaign panels, streaming each CSV row as its
-/// sweep point completes.
+/// sweep point completes. A full-coverage run (`campaign all`)
+/// additionally aggregates the per-point LP-ILP vs LP-sound acceptance
+/// gap into `soundness_cost.csv`; partial selectors leave any existing
+/// aggregate untouched rather than clobbering it with a subset.
 fn run_campaign(options: &Options, selector: &str) {
     let jobs = options.sweep_jobs();
     let sets = options.sets;
     let panels: Vec<PanelKind> = match selector {
         "deadline" => vec![PanelKind::Deadline],
         "chains" => vec![PanelKind::Chains],
-        "cores" => vec![PanelKind::Cores(2), PanelKind::Cores(8)],
+        "cores" => vec![
+            PanelKind::Cores(2),
+            PanelKind::Cores(8),
+            PanelKind::Cores(16),
+        ],
+        "cross" => PanelKind::all()
+            .into_iter()
+            .filter(|k| matches!(k, PanelKind::Cross(_)))
+            .collect(),
         "all" => PanelKind::all(),
         other => usage(&format!("unknown campaign panel: {other}")),
     };
+    let mut cost_sink =
+        (selector == "all").then(|| open_sink(options, "soundness_cost", &SOUNDNESS_COST_HEADER));
     for kind in panels {
         println!(
             "== campaign/{}: {} — {} sets/point, {} worker(s) ==",
@@ -316,12 +372,31 @@ fn run_campaign(options: &Options, selector: &str) {
             sets,
             jobs.worker_count()
         );
-        let result = streamed_sweep(options, kind.name(), kind.x_label(), kind.cores(), |emit| {
-            kind.run_into(sets, jobs, emit)
-        });
+        let cost_sink = &mut cost_sink;
+        let result = streamed_sweep(
+            options,
+            kind.name(),
+            kind.x_label(),
+            kind.cores(),
+            |emit| kind.run_into(sets, jobs, emit),
+            |p| {
+                if let Some(sink) = cost_sink {
+                    sink.row(&[
+                        kind.name().to_string(),
+                        format!("{:.4}", p.x),
+                        format!("{:.2}", p.schedulable_pct[0]),
+                        format!("{:.2}", p.schedulable_pct[1]),
+                        format!("{:.2}", p.schedulable_pct[2]),
+                        format!("{:.2}", p.schedulable_pct[3]),
+                        format!("{:.2}", p.schedulable_pct[1] - p.schedulable_pct[3]),
+                    ])
+                    .expect("write soundness-cost row");
+                }
+            },
+        );
         println!("{}", result.render(kind.x_label()));
         println!(
-            "dominance (LP-max ≤ LP-ILP ≤ FP-ideal): {}",
+            "dominance (LP-max ≤ LP-ILP ≤ FP-ideal ≥ LP-sound): {}",
             result.dominance_holds()
         );
         println!(
@@ -329,21 +404,32 @@ fn run_campaign(options: &Options, selector: &str) {
             options.out.join(format!("{}.csv", kind.name())).display()
         );
     }
+    if let Some(sink) = cost_sink {
+        sink.finish().expect("flush soundness-cost CSV");
+        println!(
+            "wrote {} (LP-ILP vs LP-sound acceptance gap per panel point)\n",
+            options.out.join("soundness_cost.csv").display()
+        );
+    }
 }
 
 /// Streams one schedulability sweep into its CSV file (row per completed
-/// point) while collecting the points for terminal rendering.
+/// point) while collecting the points for terminal rendering; `tap` sees
+/// every point as it completes (side CSVs like the soundness-cost
+/// aggregate hook in here).
 fn streamed_sweep(
     options: &Options,
     name: &str,
     x_label: &str,
     cores: usize,
     run: impl FnOnce(&mut dyn FnMut(&SweepPoint)),
+    mut tap: impl FnMut(&SweepPoint),
 ) -> SweepResult {
     let mut sink = open_sink(options, name, &figure2::csv_header(x_label));
     let mut points = Vec::new();
     run(&mut |p: &SweepPoint| {
         sink.row(&p.csv_cells()).expect("write CSV row");
+        tap(p);
         points.push(p.clone());
     });
     sink.finish().expect("flush CSV");
@@ -380,9 +466,11 @@ fn usage(msg: &str) -> ! {
     eprintln!("error: {msg}\n");
     eprintln!(
         "usage: repro <table1|table2|table3|fig2a|fig2b|fig2c|fig2c-tasks|group2|timing|\
-         campaign [deadline|chains|cores|all]|validate [cores|deadline|chains|all]|all> \
+         campaign [deadline|chains|cores|cross|all]|\
+         validate [cores|deadline|chains|release|all]|all> \
          [--sets N] [--samples N] [--out DIR] [--jobs N] [--serial] \
-         [--horizon N] [--policy limited|full|both]"
+         [--horizon N] [--policy limited|eager|lazy|full|both] \
+         [--release sync|jitter|sporadic]"
     );
     std::process::exit(2);
 }
@@ -430,9 +518,14 @@ fn sweep(name: &str, config: SweepConfig, options: &Options) {
         options.sweep_jobs().worker_count()
     );
     let start = std::time::Instant::now();
-    let result = streamed_sweep(options, name, "utilization", config.cores, |emit| {
-        figure2::run_into(&config, options.sweep_jobs(), emit)
-    });
+    let result = streamed_sweep(
+        options,
+        name,
+        "utilization",
+        config.cores,
+        |emit| figure2::run_into(&config, options.sweep_jobs(), emit),
+        |_| {},
+    );
     println!("{}", result.render("U"));
     println!(
         "dominance (LP-max ≤ LP-ILP ≤ FP-ideal): {}; computed in {:.1}s",
@@ -452,9 +545,14 @@ fn task_count_sweep(options: &Options) {
         "== fig2c-tasks: m = 16, U = 8, task-count sweep, {} sets/point ==",
         config.sets_per_point
     );
-    let result = streamed_sweep(options, "fig2c_tasks", "tasks", config.cores, |emit| {
-        figure2::run_task_count_into(&config, &counts, options.sweep_jobs(), emit)
-    });
+    let result = streamed_sweep(
+        options,
+        "fig2c_tasks",
+        "tasks",
+        config.cores,
+        |emit| figure2::run_task_count_into(&config, &counts, options.sweep_jobs(), emit),
+        |_| {},
+    );
     println!("{}", result.render("tasks"));
     println!("wrote {}\n", options.out.join("fig2c_tasks.csv").display());
 }
@@ -466,9 +564,14 @@ fn group2(options: &Options) {
             .with_sets_per_point(options.sets)
             .with_generator(rta_taskgen::group2);
         let name = format!("group2_m{cores}");
-        let result = streamed_sweep(options, &name, "utilization", cores, |emit| {
-            figure2::run_into(&config, options.sweep_jobs(), emit)
-        });
+        let result = streamed_sweep(
+            options,
+            &name,
+            "utilization",
+            cores,
+            |emit| figure2::run_into(&config, options.sweep_jobs(), emit),
+            |_| {},
+        );
         println!("m = {cores}:");
         println!("{}", result.render("U"));
         // Quantify the gap between LP-ILP and LP-max, which the paper says

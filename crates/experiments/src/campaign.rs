@@ -33,11 +33,15 @@
 //!   its floating-point accumulation order, so even the tightness ratios
 //!   of the validation campaign are reproducible bytes.
 //!
-//! On top of the substrate, this module defines the three scenario panels
-//! that the streaming engine makes cheap ([`PanelKind`]), surfaced as
-//! `repro campaign` subcommands: a constrained-deadline panel
-//! (`D_i = f·T_i`, `f` swept), a chain-heavy/control-flow mixture panel,
-//! and an `m ∈ {2, 8}` core-count panel.
+//! On top of the substrate, this module defines the scenario panels that
+//! the streaming engine makes cheap ([`PanelKind`]), surfaced as `repro
+//! campaign` subcommands: a constrained-deadline panel (`D_i = f·T_i`,
+//! `f` swept), a chain-heavy/control-flow mixture panel, an `m ∈ {2, 8,
+//! 16}` core-count panel, and the `PeriodModel × deadline_factor` cross
+//! panels ([`PanelKind::Cross`]) that re-run the deadline sweep under each
+//! period-derivation family. Every panel charts all four methods,
+//! including the corrected [`Method::LpSound`] bound — the CLI aggregates
+//! the LP-ILP/LP-sound acceptance gap into `soundness_cost.csv`.
 
 use crate::exec::{self, Jobs};
 use crate::figure2::{SweepPoint, SweepResult};
@@ -152,7 +156,7 @@ where
     // Rolling accumulator of the point currently being folded; cells
     // arrive in coordinate order, so a point completes exactly when its
     // last set index is consumed.
-    let mut counts = [0usize; 3];
+    let mut counts = [0usize; 4];
     let mut achieved = 0.0f64;
     exec::stream_indexed(
         spec.xs.len() * sets,
@@ -171,16 +175,18 @@ where
                 }
             }
             if index % sets == sets - 1 {
+                let pct = |c: usize| 100.0 * c as f64 / sets as f64;
                 on_point(&SweepPoint {
                     x: spec.xs[index / sets],
                     achieved_utilization: achieved / sets as f64,
                     schedulable_pct: [
-                        100.0 * counts[0] as f64 / sets as f64,
-                        100.0 * counts[1] as f64 / sets as f64,
-                        100.0 * counts[2] as f64 / sets as f64,
+                        pct(counts[0]),
+                        pct(counts[1]),
+                        pct(counts[2]),
+                        pct(counts[3]),
                     ],
                 });
-                counts = [0; 3];
+                counts = [0; 4];
                 achieved = 0.0;
             }
         },
@@ -225,6 +231,36 @@ pub fn chain_share_grid() -> Vec<f64> {
     (0..=8).map(|i| 0.125 * f64::from(i)).collect()
 }
 
+/// The period-derivation family of one [`PanelKind::Cross`] panel — the
+/// `PeriodModel` axis of the `PeriodModel × deadline_factor` cross.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PeriodFamily {
+    /// The calibrated default: heterogeneous periods via log-uniform slack
+    /// factors (the [`group1`] preset).
+    SlackFactor,
+    /// Near-homogeneous periods on a common scale — the carry-in-collapse
+    /// regime of DESIGN.md §5.3.
+    CommonScale,
+    /// Independent heavy per-task utilizations — the fragile-small-task
+    /// regime.
+    PerTaskUtilization,
+}
+
+impl PeriodFamily {
+    /// The `group1(2.0)` preset with this family's period model.
+    fn config(self) -> TaskSetConfig {
+        let mut config = group1(2.0);
+        config.period_model = match self {
+            PeriodFamily::SlackFactor => return config,
+            PeriodFamily::CommonScale => rta_taskgen::PeriodModel::CommonScale { spread: 2.0 },
+            PeriodFamily::PerTaskUtilization => {
+                rta_taskgen::PeriodModel::PerTaskUtilization { max: 1.0 }
+            }
+        };
+        config
+    }
+}
+
 /// One of the scenario panels, identified ahead of running it — the CLI
 /// reads the metadata first (to open the streaming CSV sink), then runs
 /// the sweep through [`PanelKind::run_into`].
@@ -235,8 +271,14 @@ pub enum PanelKind {
     /// Chain-heavy mixtures: `m = 4`, `U = 2`, chain share swept.
     Chains,
     /// Core-count utilization sweep on `m` cores (the panels are `m ∈
-    /// {2, 8}`; see [`PanelKind::all`]).
+    /// {2, 8, 16}`; see [`PanelKind::all`]).
     Cores(usize),
+    /// The `PeriodModel × deadline_factor` cross: the deadline sweep of
+    /// [`PanelKind::Deadline`] re-run under each period-derivation family,
+    /// so the deadline sensitivity of the four analyses can be compared
+    /// across generator regimes rather than only under the calibrated
+    /// default.
+    Cross(PeriodFamily),
 }
 
 impl PanelKind {
@@ -247,6 +289,10 @@ impl PanelKind {
             PanelKind::Chains,
             PanelKind::Cores(2),
             PanelKind::Cores(8),
+            PanelKind::Cores(16),
+            PanelKind::Cross(PeriodFamily::SlackFactor),
+            PanelKind::Cross(PeriodFamily::CommonScale),
+            PanelKind::Cross(PeriodFamily::PerTaskUtilization),
         ]
     }
 
@@ -257,7 +303,11 @@ impl PanelKind {
             PanelKind::Chains => "campaign_chains",
             PanelKind::Cores(2) => "campaign_cores_m2",
             PanelKind::Cores(8) => "campaign_cores_m8",
+            PanelKind::Cores(16) => "campaign_cores_m16",
             PanelKind::Cores(_) => "campaign_cores",
+            PanelKind::Cross(PeriodFamily::SlackFactor) => "campaign_cross_slack",
+            PanelKind::Cross(PeriodFamily::CommonScale) => "campaign_cross_common",
+            PanelKind::Cross(PeriodFamily::PerTaskUtilization) => "campaign_cross_pertask",
         }
     }
 
@@ -267,14 +317,24 @@ impl PanelKind {
             PanelKind::Deadline => "constrained deadlines: m = 4, U = 2, D = f*T, f swept",
             PanelKind::Chains => "chain-heavy mixtures: m = 4, U = 2, chain share swept",
             PanelKind::Cores(2) => "core count: m = 2 utilization sweep (group 1)",
-            PanelKind::Cores(_) => "core count: m = 8 utilization sweep (group 1)",
+            PanelKind::Cores(8) => "core count: m = 8 utilization sweep (group 1)",
+            PanelKind::Cores(_) => "core count: m = 16 utilization sweep (group 1)",
+            PanelKind::Cross(PeriodFamily::SlackFactor) => {
+                "period model x deadline: slack-factor periods, D = f*T, f swept"
+            }
+            PanelKind::Cross(PeriodFamily::CommonScale) => {
+                "period model x deadline: common-scale periods, D = f*T, f swept"
+            }
+            PanelKind::Cross(PeriodFamily::PerTaskUtilization) => {
+                "period model x deadline: per-task-utilization periods, D = f*T, f swept"
+            }
         }
     }
 
     /// X-axis label of the rendered table / CSV header.
     pub fn x_label(self) -> &'static str {
         match self {
-            PanelKind::Deadline => "deadline_factor",
+            PanelKind::Deadline | PanelKind::Cross(_) => "deadline_factor",
             PanelKind::Chains => "chain_share",
             PanelKind::Cores(_) => "utilization",
         }
@@ -283,7 +343,7 @@ impl PanelKind {
     /// Core count the panel analyzes on.
     pub fn cores(self) -> usize {
         match self {
-            PanelKind::Deadline | PanelKind::Chains => 4,
+            PanelKind::Deadline | PanelKind::Chains | PanelKind::Cross(_) => 4,
             PanelKind::Cores(m) => m,
         }
     }
@@ -345,6 +405,24 @@ impl PanelKind {
                     on_point,
                 );
             }
+            PanelKind::Cross(family) => {
+                let factors = deadline_factor_grid();
+                let base = family.config();
+                sweep_into(
+                    &SweepSpec {
+                        cores: 4,
+                        xs: &factors,
+                        sets_per_point,
+                        seed: CAMPAIGN_SEED ^ (0x100 + family as u64),
+                        space: ScenarioSpace::PaperExact,
+                        make_set: |seed, f| {
+                            generate_on_worker(seed, &base.clone().with_deadline_factor(f))
+                        },
+                    },
+                    jobs,
+                    on_point,
+                );
+            }
         }
     }
 
@@ -382,15 +460,34 @@ pub fn chain_panel(sets_per_point: usize, jobs: Jobs) -> Panel {
     PanelKind::Chains.run(sets_per_point, jobs)
 }
 
-/// The core-count panel: the paper's utilization sweep on the platforms
-/// Figure 2 skips — `m = 2` (where `p(m)` collapses to 2 scenarios and all
-/// three analyses nearly coincide) and `m = 8` re-generated from the
-/// campaign seed population.
+/// The core-count panels: the paper's utilization sweep on `m = 2` (where
+/// `p(m)` collapses to 2 scenarios and the paper's three analyses nearly
+/// coincide), `m = 8`, and `m = 16` (the platform the validation campaign
+/// already covered; its schedulability panel rides the same mixed
+/// suffix-DP cache path) — all re-generated from the campaign seed
+/// population.
 pub fn core_count_panels(sets_per_point: usize, jobs: Jobs) -> Vec<Panel> {
-    [PanelKind::Cores(2), PanelKind::Cores(8)]
-        .into_iter()
-        .map(|kind| kind.run(sets_per_point, jobs))
-        .collect()
+    [
+        PanelKind::Cores(2),
+        PanelKind::Cores(8),
+        PanelKind::Cores(16),
+    ]
+    .into_iter()
+    .map(|kind| kind.run(sets_per_point, jobs))
+    .collect()
+}
+
+/// The `PeriodModel × deadline_factor` cross panels, one per period
+/// family.
+pub fn cross_panels(sets_per_point: usize, jobs: Jobs) -> Vec<Panel> {
+    [
+        PanelKind::Cross(PeriodFamily::SlackFactor),
+        PanelKind::Cross(PeriodFamily::CommonScale),
+        PanelKind::Cross(PeriodFamily::PerTaskUtilization),
+    ]
+    .into_iter()
+    .map(|kind| kind.run(sets_per_point, jobs))
+    .collect()
 }
 
 /// All campaign panels, in CLI order.
@@ -437,15 +534,41 @@ mod tests {
     }
 
     #[test]
-    fn core_count_panels_cover_m2_and_m8() {
-        let panels = core_count_panels(6, Jobs::serial());
-        assert_eq!(panels.len(), 2);
+    fn core_count_panels_cover_m2_m8_and_m16() {
+        let panels = core_count_panels(4, Jobs::serial());
+        assert_eq!(panels.len(), 3);
         assert_eq!(panels[0].result.cores, 2);
         assert_eq!(panels[1].result.cores, 8);
+        assert_eq!(panels[2].result.cores, 16);
         for panel in &panels {
             assert!(panel.result.dominance_holds(), "{}", panel.name);
             assert_eq!(panel.result.points.len(), 13);
         }
+    }
+
+    #[test]
+    fn cross_panels_cover_every_period_family() {
+        let panels = cross_panels(4, Jobs::serial());
+        assert_eq!(panels.len(), 3);
+        let names: Vec<&str> = panels.iter().map(|p| p.name).collect();
+        assert_eq!(
+            names,
+            [
+                "campaign_cross_slack",
+                "campaign_cross_common",
+                "campaign_cross_pertask"
+            ]
+        );
+        for panel in &panels {
+            assert_eq!(panel.x_label, "deadline_factor");
+            assert_eq!(panel.result.points.len(), 11);
+            assert!(panel.result.dominance_holds(), "{}", panel.name);
+        }
+        // The slack-factor cross panel shares generation with the plain
+        // deadline panel's family but uses its own seed: a fresh
+        // population, not a re-analysis.
+        let deadline = deadline_panel(4, Jobs::serial());
+        assert_ne!(panels[0].result, deadline.result);
     }
 
     #[test]

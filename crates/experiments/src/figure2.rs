@@ -63,7 +63,7 @@ impl SweepConfig {
 }
 
 /// One point of the sweep: the percentage of schedulable task sets per
-/// method, in [`Method::ALL`] order (FP-ideal, LP-ILP, LP-max).
+/// method, in [`Method::ALL`] order (FP-ideal, LP-ILP, LP-max, LP-sound).
 #[derive(Clone, Debug, PartialEq)]
 pub struct SweepPoint {
     /// X coordinate (nominal target utilization, or task count for the
@@ -74,7 +74,7 @@ pub struct SweepPoint {
     /// saturates; see `rta_taskgen::PeriodModel::SlackFactor`).
     pub achieved_utilization: f64,
     /// Schedulable percentage per method.
-    pub schedulable_pct: [f64; 3],
+    pub schedulable_pct: [f64; 4],
 }
 
 impl SweepPoint {
@@ -88,18 +88,20 @@ impl SweepPoint {
             format!("{:.2}", self.schedulable_pct[0]),
             format!("{:.2}", self.schedulable_pct[1]),
             format!("{:.2}", self.schedulable_pct[2]),
+            format!("{:.2}", self.schedulable_pct[3]),
         ]
     }
 }
 
 /// The CSV header of a schedulability sweep, with the given x-axis label.
-pub fn csv_header(x_label: &str) -> [&str; 5] {
+pub fn csv_header(x_label: &str) -> [&str; 6] {
     [
         x_label,
         "achieved_utilization",
         "fp_ideal_pct",
         "lp_ilp_pct",
         "lp_max_pct",
+        "lp_sound_pct",
     ]
 }
 
@@ -214,7 +216,14 @@ pub fn run_task_count_into(
 impl SweepResult {
     /// ASCII rendering: a table plus per-method sparklines.
     pub fn render(&self, x_label: &str) -> String {
-        let header = [x_label, "achieved U", "FP-ideal %", "LP-ILP %", "LP-max %"];
+        let header = [
+            x_label,
+            "achieved U",
+            "FP-ideal %",
+            "LP-ILP %",
+            "LP-max %",
+            "LP-sound %",
+        ];
         let rows: Vec<Vec<String>> = self
             .points
             .iter()
@@ -225,6 +234,7 @@ impl SweepResult {
                     format!("{:.1}", p.schedulable_pct[0]),
                     format!("{:.1}", p.schedulable_pct[1]),
                     format!("{:.1}", p.schedulable_pct[2]),
+                    format!("{:.1}", p.schedulable_pct[3]),
                 ]
             })
             .collect();
@@ -249,12 +259,15 @@ impl SweepResult {
         )
     }
 
-    /// Checks the paper's qualitative shape: at every point,
-    /// `LP-max ≤ LP-ILP ≤ FP-ideal` (percentage of schedulable sets).
+    /// Checks the theorem-backed qualitative shape: at every point,
+    /// `LP-max ≤ LP-ILP ≤ FP-ideal` and `LP-sound ≤ FP-ideal` (percentage
+    /// of schedulable sets; no per-point ordering connects LP-sound to the
+    /// paper's two LP bounds).
     pub fn dominance_holds(&self) -> bool {
         self.points.iter().all(|p| {
             p.schedulable_pct[2] <= p.schedulable_pct[1] + 1e-9
                 && p.schedulable_pct[1] <= p.schedulable_pct[0] + 1e-9
+                && p.schedulable_pct[3] <= p.schedulable_pct[0] + 1e-9
         })
     }
 }

@@ -3,8 +3,10 @@
 //!
 //! The FP-ideal (fully-preemptive) bound is sound, so its leg must hold
 //! on *every* generated set — any failure is a hard bug in the analysis
-//! or the simulator. The paper's limited-preemptive bounds are known to
-//! be optimistic on rare sets (see `rta_experiments::validate`'s module
+//! or the simulator. The same standard applies to the corrected LP-sound
+//! bound, under **both** limited-preemption flavours and every release
+//! model. The paper's limited-preemptive bounds are known to be
+//! optimistic on rare sets (see `rta_experiments::validate`'s module
 //! docs); their legs must be *classified* correctly: an observed
 //! exceedance shows up in `lp_exceedances` (never as a hard violation),
 //! and tightness above 1 appears exactly when an exceedance was counted.
@@ -13,37 +15,48 @@ use proptest::prelude::*;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use rta_analysis::{verdicts_with_bounds, AnalysisConfig, Method};
-use rta_experiments::validate::{validate_set, PolicyChoice};
+use rta_experiments::validate::{validate_set, PolicyChoice, ReleaseChoice};
 use rta_sim::{simulate, PreemptionPolicy, SimConfig};
 use rta_taskgen::{chain_mix, generate_task_set, group1, group2};
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
-    /// On every generated set (any utilization band, m ∈ {2, 4, 8}), the
-    /// validation cell reports zero hard violations: the sound FP-ideal
-    /// bound dominates the fully-preemptive simulation, and accepted
-    /// sets never miss deadlines on that leg. Several generator families
-    /// and both simulator policies run per case.
+    /// On every generated set (any utilization band, m ∈ {2, 4, 8}, any
+    /// release model), the validation cell reports zero hard violations:
+    /// the sound FP-ideal bound dominates the fully-preemptive
+    /// simulation, the corrected LP-sound bound dominates both the eager
+    /// and the lazy limited-preemptive simulation, and accepted sets
+    /// never miss deadlines on those legs. Several generator families and
+    /// all three simulator policies run per case.
     #[test]
-    fn fp_ideal_leg_is_sound_on_random_sets(
+    fn sound_legs_hold_on_random_sets(
         seed in 0u64..1_000_000,
         cores_index in 0usize..3,
         load_percent in 30u32..=100,
+        release_index in 0usize..3,
     ) {
         let cores = [2usize, 4, 8][cores_index];
+        let release = [ReleaseChoice::Sync, ReleaseChoice::Jitter, ReleaseChoice::Sporadic]
+            [release_index];
         let target = cores as f64 * load_percent as f64 / 100.0;
         let mut rng = SmallRng::seed_from_u64(seed);
         for ts in [
             generate_task_set(&mut rng, &group1(target)),
             generate_task_set(&mut rng, &chain_mix(target, 0.5)),
         ] {
-            let v = validate_set(&ts, cores, 3, PolicyChoice::Both);
+            let v = validate_set(&ts, cores, 3, PolicyChoice::Both, release);
             prop_assert_eq!(v.hard_violations, 0, "seed {} m {}", seed, cores);
             // Classification consistency: LP tightness above 1 iff an
-            // exceedance was counted (and vice versa).
+            // exceedance was counted (and vice versa); the sound legs'
+            // tightness never exceeds 1.
             let lp_above_one = (1..3).any(|mi| v.tightness[mi].is_some_and(|t| t > 1.0));
             prop_assert_eq!(lp_above_one, v.lp_exceedances > 0);
+            for mi in [0usize, 3] {
+                if let Some(t) = v.tightness[mi] {
+                    prop_assert!(t <= 1.0, "sound leg {} tightness {} > 1", mi, t);
+                }
+            }
         }
     }
 
@@ -83,21 +96,32 @@ proptest! {
 
 /// The limited-preemptive legs on a fixed seed range (deterministic, so
 /// no flake risk from the known rare LP optimism): bounds hold and no
-/// accepted set misses, under both policies, across three generator
-/// families.
+/// accepted set misses, under all policies, across three generator
+/// families. LP-sound must accept a nonzero share of this easy
+/// population — the corrected bound costs schedulability, it does not
+/// zero it out.
 #[test]
 fn lp_bounds_hold_on_the_sampled_m4_population() {
     let mut accepted = 0u32;
+    let mut sound_accepted = 0u32;
     for seed in 0..40u64 {
         let mut rng = SmallRng::seed_from_u64(seed);
         let ts = generate_task_set(&mut rng, &group1(2.0));
-        let v = validate_set(&ts, 4, 3, PolicyChoice::Both);
+        let v = validate_set(&ts, 4, 3, PolicyChoice::Both, ReleaseChoice::Sync);
         assert_eq!(v.hard_violations, 0, "seed {seed}");
         assert_eq!(v.lp_exceedances, 0, "seed {seed}");
         assert_eq!(v.lp_misses, 0, "seed {seed}");
         if v.accepted[1] {
             accepted += 1;
         }
+        if v.accepted[3] {
+            sound_accepted += 1;
+            assert!(v.accepted[0], "LP-sound accepted but FP-ideal rejected");
+        }
     }
     assert!(accepted >= 5, "too few accepted sets ({accepted})");
+    assert!(
+        sound_accepted >= 1,
+        "LP-sound accepted nothing on an easy population"
+    );
 }

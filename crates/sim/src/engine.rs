@@ -14,6 +14,15 @@
 //! over at the first preemption point (node boundary) reached by any
 //! lower-priority task.
 //!
+//! Under the **lazy** limited-preemptive policy (Nasri, Nelissen &
+//! Brandenburg, ECRTS 2019) step 1 is refined: a job reaching one of its
+//! node boundaries keeps the core for its own next ready node whenever a
+//! higher-priority job is waiting but a *lower-priority* job is still
+//! running elsewhere — the waiting job preempts only the lowest-priority
+//! running job, at that job's next boundary. Cores whose freeing job has
+//! no ready continuation fall back to the globally highest-priority ready
+//! node, so the policy remains work-conserving.
+//!
 //! Preempted nodes (fully-preemptive only) re-enter the ready set with
 //! their remaining execution; stale completion events are invalidated by an
 //! assignment-id check, so preemption is O(log n) without heap surgery.
@@ -92,6 +101,9 @@ struct Engine<'a> {
     jobs: Vec<Job>,
     ready: BTreeSet<ReadyKey>,
     cores: Vec<Option<Running>>,
+    /// Which job `(task, seq)` freed each core at the current instant —
+    /// the lazy policy's continuation claim, cleared after scheduling.
+    freed_by: Vec<Option<(usize, u64)>>,
     next_assignment: u64,
     seq_counters: Vec<u64>,
     stats: Vec<TaskStats>,
@@ -115,6 +127,7 @@ pub fn simulate(task_set: &TaskSet, config: &SimConfig) -> SimResult {
         jobs: Vec::new(),
         ready: BTreeSet::new(),
         cores: vec![None; config.cores],
+        freed_by: vec![None; config.cores],
         next_assignment: 0,
         seq_counters: vec![0; task_set.len()],
         stats: vec![TaskStats::default(); task_set.len()],
@@ -266,6 +279,7 @@ impl Engine<'_> {
         }
         self.cores[core] = None;
         let job_idx = running.job;
+        self.freed_by[core] = Some((self.jobs[job_idx].task, self.jobs[job_idx].seq));
         let node = running.node;
         let (task, seq) = (self.jobs[job_idx].task, self.jobs[job_idx].seq);
         self.record(TraceEvent {
@@ -320,17 +334,25 @@ impl Engine<'_> {
     }
 
     fn schedule(&mut self, now: Time) {
-        // Step 1: fill free cores with the highest-priority ready nodes.
-        for core in 0..self.cores.len() {
-            if self.cores[core].is_some() {
-                continue;
+        // Step 1: fill free cores with the highest-priority ready nodes —
+        // except under lazy preemption, where a freeing job may keep its
+        // core for its own continuation.
+        if self.config.policy == PreemptionPolicy::LazyPreemptive {
+            self.fill_lazily(now);
+        } else {
+            for core in 0..self.cores.len() {
+                if self.cores[core].is_some() {
+                    continue;
+                }
+                let Some(&key) = self.ready.first() else {
+                    break;
+                };
+                self.ready.remove(&key);
+                self.assign(core, key, now);
             }
-            let Some(&key) = self.ready.first() else {
-                break;
-            };
-            self.ready.remove(&key);
-            self.assign(core, key, now);
         }
+        // Continuation claims only live within the scheduling instant.
+        self.freed_by.fill(None);
 
         // Step 2 (fully preemptive only): displace lower-priority running
         // nodes.
@@ -350,6 +372,59 @@ impl Engine<'_> {
                 }
             }
         }
+    }
+
+    /// The lazy fill: each free core first honours its freeing job's
+    /// continuation claim. The claim holds when the job has a ready node
+    /// of its own, the globally best ready node belongs to a
+    /// higher-priority job (a preemption would happen under the eager
+    /// policy), and a lower-priority job is still running on another core
+    /// (the lazy victim the waiting job must preempt instead). Without a
+    /// claim the core takes the globally highest-priority ready node, so
+    /// no core idles while work is ready.
+    fn fill_lazily(&mut self, now: Time) {
+        for core in 0..self.cores.len() {
+            if self.cores[core].is_some() {
+                continue;
+            }
+            let Some(&global_best) = self.ready.first() else {
+                break;
+            };
+            let key = match self.freed_by[core] {
+                Some(owner) => {
+                    let own_next = self
+                        .ready
+                        .range(
+                            (owner.0, owner.1, 0, 0)..=(owner.0, owner.1, usize::MAX, usize::MAX),
+                        )
+                        .next()
+                        .copied();
+                    match own_next {
+                        Some(own)
+                            if (global_best.0, global_best.1) < owner
+                                && self.lower_priority_job_running(owner) =>
+                        {
+                            own
+                        }
+                        _ => global_best,
+                    }
+                }
+                None => global_best,
+            };
+            self.ready.remove(&key);
+            self.assign(core, key, now);
+        }
+    }
+
+    /// `true` when some currently-running job has lower priority than
+    /// `job` — the lazy policy's victim check.
+    fn lower_priority_job_running(&self, job: (usize, u64)) -> bool {
+        self.cores.iter().any(|slot| {
+            slot.is_some_and(|r| {
+                let running = &self.jobs[r.job];
+                (running.task, running.seq) > job
+            })
+        })
     }
 
     /// The running node with the numerically largest (task, seq) — the
@@ -512,6 +587,83 @@ mod tests {
         );
         // hp: 2 jobs × 2 = 4; lp: 9. Last completion = 13.
         assert_eq!(result.makespan, 13);
+    }
+
+    fn chain(wcets: &[Time], period: Time) -> DagTask {
+        let mut b = DagBuilder::new();
+        let v: Vec<NodeId> = wcets.iter().map(|&w| b.add_node(w)).collect();
+        b.add_chain(&v).unwrap();
+        DagTask::with_implicit_deadline(b.build().unwrap(), period).unwrap()
+    }
+
+    /// The defining divergence of the two limited-preemption flavours.
+    /// m = 2, H = (2, T 10), M = chain 5-5-5 (T 100), L = (9, T 100):
+    /// at t = 10, H's second job is released just as M finishes a node
+    /// while L's long NPR still runs on the other core. Eager preemption
+    /// hands M's freed core to H (response 2); lazy preemption lets M
+    /// continue — H must wait for the *lowest*-priority job L's boundary
+    /// at t = 11 (response 3).
+    #[test]
+    fn lazy_defers_preemption_to_the_lowest_priority_boundary() {
+        let ts = TaskSet::new(vec![single(2, 10), chain(&[5, 5, 5], 100), single(9, 100)]);
+        let eager = simulate(&ts, &SimConfig::new(2, 20));
+        assert_eq!(eager.per_task[0].max_response, 2);
+        let lazy = simulate(
+            &ts,
+            &SimConfig::new(2, 20).with_policy(PreemptionPolicy::LazyPreemptive),
+        );
+        assert_eq!(lazy.per_task[0].max_response, 3);
+        // Lazy is kinder to the continuing middle job: it finishes at 15
+        // instead of 16.
+        assert_eq!(lazy.per_task[1].max_response, 15);
+        assert_eq!(eager.per_task[1].max_response, 16);
+        // Work is conserved under both policies.
+        assert_eq!(eager.per_task[2].jobs_completed, 1);
+        assert_eq!(lazy.per_task[2].jobs_completed, 1);
+    }
+
+    #[test]
+    fn lazy_equals_eager_without_contention() {
+        // With a single task (or idle cores for every ready node) the
+        // continuation claim never fires: both flavours produce identical
+        // schedules.
+        let ts = TaskSet::new(vec![fork_join([1, 3, 2, 1], 100), single(4, 50)]);
+        let eager = simulate(&ts, &SimConfig::new(4, 200));
+        let lazy = simulate(
+            &ts,
+            &SimConfig::new(4, 200).with_policy(PreemptionPolicy::LazyPreemptive),
+        );
+        assert_eq!(eager, lazy);
+    }
+
+    #[test]
+    fn lazy_is_work_conserving() {
+        // A freeing job with no ready continuation must hand its core to
+        // whatever is ready — here the lower-priority task, which would
+        // otherwise starve behind an idle continuation claim.
+        let ts = TaskSet::new(vec![single(3, 100), single(5, 100)]);
+        let lazy = simulate(
+            &ts,
+            &SimConfig::new(1, 50).with_policy(PreemptionPolicy::LazyPreemptive),
+        );
+        // hp runs 0–3, lp runs 3–8 on the single core.
+        assert_eq!(lazy.per_task[1].max_response, 8);
+        assert_eq!(lazy.makespan, 8);
+    }
+
+    #[test]
+    fn lazy_is_deterministic() {
+        let ts = TaskSet::new(vec![
+            single(3, 7),
+            fork_join([1, 2, 2, 1], 13),
+            single(6, 29),
+        ]);
+        let cfg = SimConfig::new(2, 500)
+            .with_policy(PreemptionPolicy::LazyPreemptive)
+            .with_release(ReleaseModel::Sporadic { jitter: 5 })
+            .with_execution(ExecutionModel::Randomized { fraction: 0.5 })
+            .with_seed(42);
+        assert_eq!(simulate(&ts, &cfg), simulate(&ts, &cfg));
     }
 
     #[test]

@@ -10,22 +10,27 @@
 //! That validation actually runs, at campaign scale, in
 //! `rta_experiments::validate` (the `repro validate` CLI command): every
 //! generated task set is analyzed with per-task bounds
-//! (`rta_analysis::verdicts_with_bounds`) *and* simulated under both
-//! preemption policies, and the soundness invariants — an accepted set
-//! shows zero deadline misses, per-task [`TaskStats::max_response`] never
-//! exceeds the bound, the fully-preemptive baseline cross-checks FP-ideal
-//! — are asserted on hundreds of sets per sweep point. The per-task
-//! statistics ([`SimResult::max_responses`]) are always collected; the
-//! execution trace is opt-in ([`SimConfig::with_trace`], off by default),
-//! so campaign-scale simulation pays nothing for it.
+//! (`rta_analysis::verdicts_with_bounds`) *and* simulated under the
+//! eager- and lazy-limited-preemptive and the fully-preemptive policies,
+//! and the soundness invariants — an accepted set shows zero deadline
+//! misses, per-task [`TaskStats::max_response`] never exceeds the bound,
+//! the fully-preemptive baseline cross-checks FP-ideal — are asserted on
+//! hundreds of sets per sweep point. The per-task statistics
+//! ([`SimResult::max_responses`]) are always collected; the execution
+//! trace is opt-in ([`SimConfig::with_trace`], off by default), so
+//! campaign-scale simulation pays nothing for it.
 //!
-//! Two preemption policies are implemented (see
+//! Three preemption policies are implemented (see
 //! [`PreemptionPolicy`]):
 //!
-//! * **limited preemptive** — the paper's model: every DAG node is a
-//!   non-preemptive region; scheduling decisions happen only at node
+//! * **limited preemptive (eager)** — the paper's model: every DAG node is
+//!   a non-preemptive region; scheduling decisions happen only at node
 //!   boundaries and job releases, with *eager* preemption (at a preemption
 //!   point, the highest-priority ready work takes the core immediately);
+//! * **limited preemptive (lazy)** — the alternative flavour of Nasri,
+//!   Nelissen & Brandenburg (ECRTS 2019): a waiting higher-priority job
+//!   preempts only the *lowest*-priority running job, at that job's next
+//!   node boundary; other jobs reaching a boundary continue;
 //! * **fully preemptive** — the FP baseline: running nodes can be suspended
 //!   at any instant and resumed later.
 //!
