@@ -21,6 +21,11 @@
 //! median nanoseconds per sweep point of every shape, so CI can archive the
 //! perf trajectory run over run.
 
+// These benches track the perf trajectory of the original batched
+// entry points, now thin wrappers over `AnalysisRequest` — calling
+// them here is the point, not an oversight.
+#![allow(deprecated)]
+
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use rta_analysis::{analyze, analyze_all, analyze_uncached, AnalysisConfig, Method, ScenarioSpace};

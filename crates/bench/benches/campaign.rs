@@ -21,6 +21,11 @@
 //! JSON is deliberately line-oriented — one scalar per line — so the CI
 //! gate can extract fields with `grep`/`awk` instead of a JSON parser.
 
+// These benches track the perf trajectory of the original batched
+// entry points, now thin wrappers over `AnalysisRequest` — calling
+// them here is the point, not an oversight.
+#![allow(deprecated)]
+
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use rta_analysis::{analyze_all, analyze_verdicts, AnalysisConfig, Method, ScenarioSpace};

@@ -21,6 +21,11 @@
 //! (override the path with the `BENCH_JSON` environment variable),
 //! line-oriented like its predecessors so CI can `grep` fields.
 
+// These benches track the perf trajectory of the original batched
+// entry points, now thin wrappers over `AnalysisRequest` — calling
+// them here is the point, not an oversight.
+#![allow(deprecated)]
+
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use rta_analysis::{analyze, analyze_all, analyze_verdicts, AnalysisConfig, Method, ScenarioSpace};

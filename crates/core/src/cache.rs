@@ -47,17 +47,16 @@
 //!
 //! ```
 //! use rta_analysis::cache::TaskSetCache;
-//! use rta_analysis::{analyze_with, AnalysisConfig, Method, MuSolver};
+//! use rta_analysis::{AnalysisRequest, MuSolver};
 //! use rta_model::examples::figure1_task_set;
 //!
 //! let task_set = figure1_task_set();
 //! let cache = TaskSetCache::new(&task_set, 4);
 //! // µ of τ3 (Table I), computed once and shared by every query below.
 //! assert_eq!(cache.mu(3, MuSolver::default()), &[6, 7, 9, 11]);
-//! for method in Method::ALL {
-//!     let report = analyze_with(&cache, &AnalysisConfig::new(4, method));
-//!     assert!(report.schedulable);
-//! }
+//! // All four methods answered from the shared tables in one request.
+//! let outcome = AnalysisRequest::new(4).with_bounds(true).evaluate_with(&cache);
+//! assert!(outcome.verdicts().iter().all(|&ok| ok));
 //! ```
 
 use crate::blocking::scenarios::{max_rho_over, max_rho_over_refs, rho_suffix_dp, RhoScratch};

@@ -108,7 +108,7 @@ pub enum ScenarioSpace {
 ///     .with_scenario_space(ScenarioSpace::PaperExact);
 /// assert_eq!(config.cores, 8);
 /// ```
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub struct AnalysisConfig {
     /// Number of identical cores `m ≥ 1`.
     pub cores: usize,

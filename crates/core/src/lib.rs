@@ -42,10 +42,31 @@
 //! pools, per-cardinality Δ rows, longest paths and volumes — is computed
 //! once per task set in a [`cache::TaskSetCache`] and shared across tasks
 //! under analysis, platform slices and methods. [`analyze`] builds the
-//! cache internally; [`analyze_all`] shares one cache across a batch of
-//! configurations (the Figure 2 hot path evaluates all three methods from
-//! the same tables); [`analyze_uncached`] keeps the original
+//! cache internally; [`analyze_uncached`] keeps the original
 //! recompute-per-task path as a pinned reference.
+//!
+//! # The unified request API (and migrating off the legacy entry points)
+//!
+//! Batch analysis goes through **one** entry point: build an
+//! [`AnalysisRequest`] (platform + method selection + bounds on/off +
+//! solver knobs) and call [`AnalysisRequest::evaluate`] (or
+//! [`AnalysisRequest::evaluate_with`] to share a [`TaskSetCache`]); it
+//! resolves to an [`AnalysisOutcome`] carrying one verdict — and, on
+//! request, the per-task response bounds — per method. Verdict-only
+//! requests run the method-dominance fast path automatically. On top of
+//! it, [`lru::AnalysisLru`] memoizes outcomes across repeated task sets —
+//! the admission-control layer behind `repro serve`.
+//!
+//! The four former batch entry points are deprecated thin wrappers,
+//! pinned bit-identical to the request path by this crate's proptests.
+//! Migration is mechanical:
+//!
+//! | Legacy call | Request equivalent |
+//! |---|---|
+//! | `analyze_verdicts(ts, &configs)` | `AnalysisRequest::new(m).with_methods(methods).evaluate(ts).verdicts()` |
+//! | `verdicts_with_bounds(ts, &configs)` | `…​.with_bounds(true).evaluate(ts)`, read `outcomes()[i].bounds` |
+//! | `analyze_all(ts, &configs)` | `…​.with_bounds(true).evaluate(ts)` (or [`analyze`] per config for full [`TaskReport`]s) |
+//! | `analyze_with(&cache, &config)` | `AnalysisRequest::for_config(&config, true).evaluate_with(&cache)` (or [`analyze`]) |
 //!
 //! # Example
 //!
@@ -68,17 +89,20 @@
 pub mod blocking;
 pub mod cache;
 pub mod config;
+pub mod lru;
 pub mod report;
+pub mod request;
 pub mod rta;
 pub mod workload;
 
 pub use cache::TaskSetCache;
 pub use config::{AnalysisConfig, Method, MuSolver, RhoSolver, ScenarioSpace};
+pub use lru::{AnalysisLru, CacheOutcome, LruStats};
 pub use report::{AnalysisReport, ResponseBound, TaskReport};
-pub use rta::{
-    analyze, analyze_all, analyze_uncached, analyze_verdicts, analyze_with, verdict_with,
-    verdicts_with_bounds, SetVerdict,
-};
+pub use request::{AnalysisOutcome, AnalysisRequest, MethodOutcome};
+pub use rta::{analyze, analyze_uncached, verdict_with, SetVerdict};
+#[allow(deprecated)]
+pub use rta::{analyze_all, analyze_verdicts, analyze_with, verdicts_with_bounds};
 
 // Re-exported for callers that want to work with model types directly.
 pub use rta_model::{DagTask, TaskSet, Time};

@@ -1,0 +1,453 @@
+//! Bounded memoization of analysis outcomes across repeated task sets —
+//! the admission-control cache behind `repro serve`.
+//!
+//! An admission controller sees the same task sets over and over: the
+//! currently-admitted workload is re-analyzed with every candidate change,
+//! and clients retry or poll with identical payloads. [`AnalysisLru`]
+//! makes that traffic cheap without touching the analysis itself:
+//!
+//! * task sets are keyed by [`TaskSet::stable_hash`] (with a full equality
+//!   check behind the hash, so 64-bit collisions cannot cross-pollute
+//!   results) and kept in a bounded least-recently-used store;
+//! * per task set, the cache remembers **per-method facts**, keyed by the
+//!   exact [`AnalysisConfig`] the method ran under: the verdict, and — when
+//!   they were materialized — the per-task response bounds. A request is a
+//!   *hit* when every method it asks for is already answered, so repeat
+//!   queries **and** near-repeats that recombine previously answered
+//!   methods (e.g. all four methods first, `LP-sound` alone later) are
+//!   O(lookup).
+//!
+//! Sharing verdicts across request shapes is sound: a method's
+//! schedulability flag is the same fact whether it came from the
+//! verdict-only dominance chain or from a bound-carrying fixed point —
+//! the chain's short-circuits are exact (see
+//! [`AnalysisRequest::evaluate`]), and only *requested* methods are ever
+//! recorded, never the chain's internal placeholders.
+//!
+//! The cache cannot hold [`crate::TaskSetCache`]s directly — those borrow
+//! their task set, and this crate forbids the `unsafe` a self-referential
+//! owner would need — so a *near* lookup (set known, some requested method
+//! not yet answered) re-derives the lazy tables. What the LRU buys is the
+//! O(lookup) repeat path; what it stores is small (verdicts and bound
+//! vectors, not the combinatorial tables).
+//!
+//! Locking discipline: [`fetch`] and [`store`] are split so a concurrent
+//! server holds its mutex only for the O(lookup) parts and evaluates
+//! outside the lock; single-threaded callers use [`analyze`].
+//!
+//! [`fetch`]: AnalysisLru::fetch
+//! [`store`]: AnalysisLru::store
+//! [`analyze`]: AnalysisLru::analyze
+//!
+//! # Example
+//!
+//! ```
+//! use rta_analysis::{AnalysisLru, AnalysisRequest, CacheOutcome, Method};
+//! use rta_model::examples::figure1_task_set;
+//!
+//! let mut lru = AnalysisLru::new(8);
+//! let ts = figure1_task_set();
+//! let all = AnalysisRequest::new(4);
+//! assert_eq!(lru.analyze(&ts, &all).1, CacheOutcome::Miss);
+//! // Identical repeat: answered from the memo.
+//! assert_eq!(lru.analyze(&ts, &all).1, CacheOutcome::Hit);
+//! // Near-repeat recombining already-answered methods: still a hit.
+//! let sound = AnalysisRequest::new(4).with_methods([Method::LpSound]);
+//! assert_eq!(lru.analyze(&ts, &sound).1, CacheOutcome::Hit);
+//! ```
+
+use crate::config::AnalysisConfig;
+use crate::report::ResponseBound;
+use crate::request::{AnalysisOutcome, AnalysisRequest, MethodOutcome};
+use rta_model::TaskSet;
+use std::collections::HashMap;
+
+/// Per-entry bound on remembered per-method facts. A cooperating client
+/// reuses a handful of configurations; only an adversarial stream of
+/// ever-new solver knobs could grow an entry without bound, so past the
+/// cap the entry's facts are simply reset.
+const MAX_FACTS_PER_SET: usize = 256;
+
+/// How a request was answered relative to the cache.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CacheOutcome {
+    /// Task set known and every requested method already answered.
+    Hit,
+    /// Task set known, but at least one requested method had to run.
+    Near,
+    /// Task set not in the cache.
+    Miss,
+}
+
+impl CacheOutcome {
+    /// The wire label (`"hit"` / `"near"` / `"miss"`).
+    pub fn label(self) -> &'static str {
+        match self {
+            CacheOutcome::Hit => "hit",
+            CacheOutcome::Near => "near",
+            CacheOutcome::Miss => "miss",
+        }
+    }
+}
+
+/// Running counters of cache behaviour.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LruStats {
+    /// Requests answered entirely from the memo.
+    pub hits: u64,
+    /// Requests on a cached set that still had to evaluate some method.
+    pub near_hits: u64,
+    /// Requests on an uncached set.
+    pub misses: u64,
+    /// Task-set entries displaced by the capacity bound.
+    pub evictions: u64,
+}
+
+/// One cached task set with its answered per-method facts.
+struct Entry {
+    key: u64,
+    task_set: TaskSet,
+    /// Verdicts recorded from verdict-only evaluations.
+    verdicts: HashMap<AnalysisConfig, bool>,
+    /// Verdict + per-task bounds from bound-carrying evaluations.
+    bounds: HashMap<AnalysisConfig, (bool, Vec<ResponseBound>)>,
+    /// Recency stamp from the owner's monotone clock.
+    last_used: u64,
+}
+
+impl Entry {
+    fn fact_count(&self) -> usize {
+        self.verdicts.len() + self.bounds.len()
+    }
+
+    /// Answers one method from the recorded facts, if present. A bound
+    ///-carrying fact also answers the verdict-only shape of the same
+    /// configuration (the flag is the same fixed point's answer); the
+    /// converse direction is impossible.
+    fn answer(&self, config: &AnalysisConfig, want_bounds: bool) -> Option<MethodOutcome> {
+        let method = config.method;
+        if want_bounds {
+            let (schedulable, bounds) = self.bounds.get(config)?;
+            Some(MethodOutcome {
+                method,
+                schedulable: *schedulable,
+                bounds: Some(bounds.clone()),
+            })
+        } else {
+            let schedulable = self
+                .verdicts
+                .get(config)
+                .copied()
+                .or_else(|| self.bounds.get(config).map(|(s, _)| *s))?;
+            Some(MethodOutcome {
+                method,
+                schedulable,
+                bounds: None,
+            })
+        }
+    }
+}
+
+/// A bounded least-recently-used cache of analysis outcomes, keyed by
+/// [`TaskSet::stable_hash`]. See the [module docs](self) for the design.
+pub struct AnalysisLru {
+    entries: Vec<Entry>,
+    capacity: usize,
+    clock: u64,
+    stats: LruStats,
+}
+
+impl AnalysisLru {
+    /// Creates a cache holding at most `capacity` task sets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity >= 1, "capacity must be at least 1");
+        Self {
+            entries: Vec::new(),
+            capacity,
+            clock: 0,
+            stats: LruStats::default(),
+        }
+    }
+
+    /// Number of task sets currently cached.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` if nothing is cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The capacity this cache was created with.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// The running counters.
+    pub fn stats(&self) -> LruStats {
+        self.stats
+    }
+
+    /// Attempts to answer `request` from the cache alone — O(lookup), no
+    /// analysis. On [`CacheOutcome::Hit`] the full outcome is returned and
+    /// the entry's recency is bumped; otherwise the caller should evaluate
+    /// the request (outside any lock guarding this cache) and hand the
+    /// result to [`store`](Self::store).
+    pub fn fetch(
+        &mut self,
+        task_set: &TaskSet,
+        request: &AnalysisRequest,
+    ) -> (Option<AnalysisOutcome>, CacheOutcome) {
+        self.clock += 1;
+        let key = task_set.stable_hash();
+        let Some(entry) = self
+            .entries
+            .iter_mut()
+            .find(|e| e.key == key && e.task_set == *task_set)
+        else {
+            self.stats.misses += 1;
+            return (None, CacheOutcome::Miss);
+        };
+        entry.last_used = self.clock;
+        let answers: Option<Vec<MethodOutcome>> = request
+            .methods
+            .iter()
+            .map(|&m| entry.answer(&request.config_for(m), request.want_bounds))
+            .collect();
+        match answers {
+            Some(outcomes) => {
+                self.stats.hits += 1;
+                (
+                    Some(AnalysisOutcome::from_parts(request.cores, outcomes)),
+                    CacheOutcome::Hit,
+                )
+            }
+            None => {
+                self.stats.near_hits += 1;
+                (None, CacheOutcome::Near)
+            }
+        }
+    }
+
+    /// Records an evaluated outcome: every `(configuration, method)` fact
+    /// it carries becomes answerable, creating (and if necessary evicting
+    /// to make room for) the task set's entry.
+    pub fn store(
+        &mut self,
+        task_set: &TaskSet,
+        request: &AnalysisRequest,
+        outcome: &AnalysisOutcome,
+    ) {
+        self.clock += 1;
+        let key = task_set.stable_hash();
+        let entry = match self
+            .entries
+            .iter_mut()
+            .position(|e| e.key == key && e.task_set == *task_set)
+        {
+            Some(i) => &mut self.entries[i],
+            None => {
+                if self.entries.len() == self.capacity {
+                    let (lru, _) = self
+                        .entries
+                        .iter()
+                        .enumerate()
+                        .min_by_key(|(_, e)| e.last_used)
+                        .expect("capacity >= 1, so a full cache is non-empty");
+                    self.entries.swap_remove(lru);
+                    self.stats.evictions += 1;
+                }
+                self.entries.push(Entry {
+                    key,
+                    task_set: task_set.clone(),
+                    verdicts: HashMap::new(),
+                    bounds: HashMap::new(),
+                    last_used: 0,
+                });
+                self.entries.last_mut().expect("just pushed")
+            }
+        };
+        entry.last_used = self.clock;
+        if entry.fact_count() + outcome.outcomes().len() > MAX_FACTS_PER_SET {
+            entry.verdicts.clear();
+            entry.bounds.clear();
+        }
+        for answer in outcome.outcomes() {
+            let config = request.config_for(answer.method);
+            match &answer.bounds {
+                Some(bounds) => {
+                    entry
+                        .bounds
+                        .insert(config, (answer.schedulable, bounds.clone()));
+                }
+                None => {
+                    entry.verdicts.insert(config, answer.schedulable);
+                }
+            }
+        }
+    }
+
+    /// Fetch-or-evaluate convenience for single-threaded callers: answers
+    /// from the cache when possible, otherwise evaluates and stores.
+    pub fn analyze(
+        &mut self,
+        task_set: &TaskSet,
+        request: &AnalysisRequest,
+    ) -> (AnalysisOutcome, CacheOutcome) {
+        match self.fetch(task_set, request) {
+            (Some(outcome), status) => (outcome, status),
+            (None, status) => {
+                let outcome = request.evaluate(task_set);
+                self.store(task_set, request, &outcome);
+                (outcome, status)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Method;
+    use rta_model::examples::figure1_task_set;
+    use rta_model::{DagBuilder, DagTask};
+
+    fn small_set(wcet: u64, period: u64) -> TaskSet {
+        let mut b = DagBuilder::new();
+        b.add_node(wcet);
+        TaskSet::new(vec![DagTask::with_implicit_deadline(
+            b.build().unwrap(),
+            period,
+        )
+        .unwrap()])
+    }
+
+    #[test]
+    fn repeat_and_recombined_queries_hit() {
+        let mut lru = AnalysisLru::new(4);
+        let ts = figure1_task_set();
+        let all = AnalysisRequest::new(4);
+        assert_eq!(lru.analyze(&ts, &all).1, CacheOutcome::Miss);
+        let (outcome, status) = lru.analyze(&ts, &all);
+        assert_eq!(status, CacheOutcome::Hit);
+        assert_eq!(outcome, all.evaluate(&ts));
+        // Any subset of the answered methods is a hit, in any order.
+        let sub = AnalysisRequest::new(4).with_methods([Method::LpSound, Method::FpIdeal]);
+        let (outcome, status) = lru.analyze(&ts, &sub);
+        assert_eq!(status, CacheOutcome::Hit);
+        assert_eq!(outcome, sub.evaluate(&ts));
+    }
+
+    #[test]
+    fn bounds_answer_verdicts_but_not_vice_versa() {
+        let mut lru = AnalysisLru::new(4);
+        let ts = figure1_task_set();
+        let with_bounds = AnalysisRequest::new(4).with_bounds(true);
+        lru.analyze(&ts, &with_bounds);
+        // Bound-carrying facts answer the verdict-only shape...
+        let verdicts_only = AnalysisRequest::new(4);
+        assert_eq!(lru.analyze(&ts, &verdicts_only).1, CacheOutcome::Hit);
+        // ...but verdict facts cannot conjure bounds: a different platform
+        // slice has only verdicts recorded, so asking it for bounds is Near.
+        let narrow = AnalysisRequest::new(2);
+        lru.analyze(&ts, &narrow);
+        let narrow_bounds = AnalysisRequest::new(2).with_bounds(true);
+        assert_eq!(lru.analyze(&ts, &narrow_bounds).1, CacheOutcome::Near);
+    }
+
+    #[test]
+    fn near_hits_on_new_methods_then_hit() {
+        let mut lru = AnalysisLru::new(4);
+        let ts = figure1_task_set();
+        let fp = AnalysisRequest::new(4).with_methods([Method::FpIdeal]);
+        lru.analyze(&ts, &fp);
+        let more = AnalysisRequest::new(4).with_methods([Method::FpIdeal, Method::LpMax]);
+        assert_eq!(lru.analyze(&ts, &more).1, CacheOutcome::Near);
+        assert_eq!(lru.analyze(&ts, &more).1, CacheOutcome::Hit);
+        assert_eq!(
+            lru.stats(),
+            LruStats {
+                hits: 1,
+                near_hits: 1,
+                misses: 1,
+                evictions: 0
+            }
+        );
+    }
+
+    #[test]
+    fn eviction_displaces_the_least_recently_used_set() {
+        let mut lru = AnalysisLru::new(2);
+        let a = small_set(1, 10);
+        let b = small_set(2, 10);
+        let c = small_set(3, 10);
+        let req = AnalysisRequest::new(2);
+        lru.analyze(&a, &req);
+        lru.analyze(&b, &req);
+        lru.analyze(&a, &req); // touch a: b is now the LRU entry
+        lru.analyze(&c, &req); // evicts b
+        assert_eq!(lru.len(), 2);
+        assert_eq!(lru.stats().evictions, 1);
+        assert_eq!(lru.analyze(&a, &req).1, CacheOutcome::Hit);
+        assert_eq!(lru.analyze(&c, &req).1, CacheOutcome::Hit);
+        assert_eq!(lru.analyze(&b, &req).1, CacheOutcome::Miss);
+    }
+
+    #[test]
+    fn hash_collisions_cannot_cross_pollute() {
+        // Force a collision by lying about the key: two entries with equal
+        // keys but different sets must still resolve by full equality.
+        let mut lru = AnalysisLru::new(4);
+        let a = small_set(1, 10);
+        let b = small_set(9, 10);
+        let req = AnalysisRequest::new(2);
+        let (outcome_a, _) = lru.analyze(&a, &req);
+        lru.entries[0].key = b.stable_hash();
+        assert_eq!(lru.analyze(&b, &req).1, CacheOutcome::Miss);
+        let (outcome_b, _) = lru.analyze(&b, &req);
+        assert_eq!(outcome_a, req.evaluate(&a));
+        assert_eq!(outcome_b, req.evaluate(&b));
+    }
+
+    #[test]
+    fn structurally_equal_sets_share_an_entry() {
+        let mut lru = AnalysisLru::new(4);
+        let req = AnalysisRequest::new(2);
+        lru.analyze(&small_set(1, 10), &req);
+        // An independently built but equal set is the same cache line.
+        assert_eq!(lru.analyze(&small_set(1, 10), &req).1, CacheOutcome::Hit);
+        assert_eq!(lru.len(), 1);
+    }
+
+    #[test]
+    fn fact_bound_resets_instead_of_growing() {
+        let mut lru = AnalysisLru::new(1);
+        let ts = figure1_task_set();
+        for cores in 1..=(MAX_FACTS_PER_SET + 2) {
+            let req = AnalysisRequest::new(cores).with_methods([Method::FpIdeal]);
+            lru.analyze(&ts, &req);
+        }
+        assert_eq!(lru.len(), 1);
+        assert!(lru.entries[0].fact_count() <= MAX_FACTS_PER_SET);
+    }
+
+    #[test]
+    fn empty_method_lists_only_hit_known_sets() {
+        let mut lru = AnalysisLru::new(2);
+        let ts = small_set(1, 10);
+        let none = AnalysisRequest::new(2).with_methods([]);
+        assert_eq!(lru.analyze(&ts, &none).1, CacheOutcome::Miss);
+        assert_eq!(lru.analyze(&ts, &none).1, CacheOutcome::Hit);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_panics() {
+        let _ = AnalysisLru::new(0);
+    }
+}

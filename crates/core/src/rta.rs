@@ -21,9 +21,12 @@ use crate::blocking::BlockingBounds;
 use crate::cache::TaskSetCache;
 use crate::config::{AnalysisConfig, Method};
 use crate::report::{AnalysisReport, ResponseBound, TaskReport};
+use crate::request::AnalysisRequest;
 use crate::workload::interfering_workload;
 use rta_model::{TaskId, TaskSet, Time};
 
+/// The deprecation note shared by the four legacy batch entry points (see
+/// the crate docs' migration notes).
 /// Analyzes a task set, producing per-task response-time bounds and the
 /// overall schedulability verdict.
 ///
@@ -44,7 +47,7 @@ use rta_model::{TaskId, TaskSet, Time};
 /// [`AnalysisConfig::new`]).
 pub fn analyze(task_set: &TaskSet, config: &AnalysisConfig) -> AnalysisReport {
     let cache = TaskSetCache::for_configs(task_set, std::slice::from_ref(config));
-    analyze_with(&cache, config)
+    analyze_with_impl(&cache, config)
 }
 
 /// Analyzes a task set under several configurations, sharing one
@@ -55,9 +58,17 @@ pub fn analyze(task_set: &TaskSet, config: &AnalysisConfig) -> AnalysisReport {
 /// methods, scenario spaces and platform slices all read the same tables.
 /// Reports are returned in `configs` order, each bit-identical to an
 /// independent [`analyze`] call with the same configuration.
+#[deprecated(
+    since = "0.1.0",
+    note = "superseded by the unified request API: build an `AnalysisRequest` and \
+                      call `evaluate` / `evaluate_with` — see the migration notes in the crate docs"
+)]
 pub fn analyze_all(task_set: &TaskSet, configs: &[AnalysisConfig]) -> Vec<AnalysisReport> {
     let cache = TaskSetCache::for_configs(task_set, configs);
-    configs.iter().map(|c| analyze_with(&cache, c)).collect()
+    configs
+        .iter()
+        .map(|c| analyze_with_impl(&cache, c))
+        .collect()
 }
 
 /// Schedulability verdicts only — one `bool` per configuration, equal to
@@ -104,6 +115,15 @@ pub fn analyze_all(task_set: &TaskSet, configs: &[AnalysisConfig]) -> Vec<Analys
 /// FP-ideal, runs its own (combinatorics-free) fixed point. Equality with
 /// [`analyze_all`] is pinned by `tests/verdicts.rs` over random generated
 /// task sets.
+///
+/// Now a thin wrapper: each group of configurations agreeing on everything
+/// but the method becomes one verdict-only [`AnalysisRequest`], whose
+/// evaluation *is* the dominance chain described above.
+#[deprecated(
+    since = "0.1.0",
+    note = "superseded by the unified request API: build an `AnalysisRequest` and \
+                      call `evaluate` / `evaluate_with` — see the migration notes in the crate docs"
+)]
 pub fn analyze_verdicts(task_set: &TaskSet, configs: &[AnalysisConfig]) -> Vec<bool> {
     let cache = TaskSetCache::for_configs(task_set, configs);
     let same_family = |a: &AnalysisConfig, b: &AnalysisConfig| {
@@ -121,44 +141,11 @@ pub fn analyze_verdicts(task_set: &TaskSet, configs: &[AnalysisConfig]) -> Vec<b
         let family: Vec<usize> = (i..configs.len())
             .filter(|&j| verdicts[j].is_none() && same_family(&configs[i], &configs[j]))
             .collect();
-        let with_method = |method: Method| AnalysisConfig {
-            method,
-            ..configs[i].clone()
-        };
-        let wants = |method: Method| family.iter().any(|&j| configs[j].method == method);
-        // FP-ideal is the cheapest method and a negative FP-ideal verdict
-        // settles the whole family (including LP-sound, whose bound is
-        // never below FP-ideal's), so it is always evaluated first.
-        let fp = verdict_with(&cache, &with_method(Method::FpIdeal));
-        let (ilp, max, sound) = if !fp {
-            (false, false, false)
-        } else {
-            let max = if wants(Method::LpMax) || wants(Method::LpIlp) {
-                verdict_with(&cache, &with_method(Method::LpMax))
-            } else {
-                false
-            };
-            let ilp = if !wants(Method::LpIlp) {
-                false
-            } else if max {
-                true // dominated: LP-max schedulable ⇒ LP-ILP schedulable
-            } else {
-                verdict_with(&cache, &with_method(Method::LpIlp))
-            };
-            // No edge reaches LP-sound from the LP-ILP/LP-max side: its
-            // verdict always runs its own fixed point (cheap — no
-            // combinatorial blocking machinery).
-            let sound =
-                wants(Method::LpSound) && verdict_with(&cache, &with_method(Method::LpSound));
-            (ilp, max, sound)
-        };
-        for &j in &family {
-            verdicts[j] = Some(match configs[j].method {
-                Method::FpIdeal => fp,
-                Method::LpIlp => ilp,
-                Method::LpMax => max,
-                Method::LpSound => sound,
-            });
+        let request = AnalysisRequest::for_config(&configs[i], false)
+            .with_methods(family.iter().map(|&j| configs[j].method));
+        let outcome = request.evaluate_with(&cache);
+        for (&j, answer) in family.iter().zip(outcome.outcomes()) {
+            verdicts[j] = Some(answer.schedulable);
         }
     }
     verdicts
@@ -205,15 +192,27 @@ impl SetVerdict {
 /// dominance shortcut (bounds of every requested method are materialized,
 /// so there is nothing to skip). Equality with [`analyze_all`] is pinned
 /// by proptests in `tests/verdicts.rs`.
+///
+/// Now a thin wrapper: each configuration becomes one bound-carrying
+/// [`AnalysisRequest`] sharing the batch's cache.
+#[deprecated(
+    since = "0.1.0",
+    note = "superseded by the unified request API: build an `AnalysisRequest` and \
+                      call `evaluate` / `evaluate_with` — see the migration notes in the crate docs"
+)]
 pub fn verdicts_with_bounds(task_set: &TaskSet, configs: &[AnalysisConfig]) -> Vec<SetVerdict> {
     let cache = TaskSetCache::for_configs(task_set, configs);
     configs
         .iter()
         .map(|config| {
-            let report = analyze_with(&cache, config);
+            let outcome = AnalysisRequest::for_config(config, true).evaluate_with(&cache);
+            let answer = outcome
+                .into_outcomes()
+                .pop()
+                .expect("single-method request yields one outcome");
             SetVerdict {
-                schedulable: report.schedulable,
-                bounds: report.tasks.iter().map(|t| t.response_bound).collect(),
+                schedulable: answer.schedulable,
+                bounds: answer.bounds.expect("bounds were requested"),
             }
         })
         .collect()
@@ -264,13 +263,41 @@ pub fn verdict_with(cache: &TaskSetCache<'_>, config: &AnalysisConfig) -> bool {
     true
 }
 
-/// Analyzes a task set through a caller-owned [`TaskSetCache`] (the
-/// workhorse behind [`analyze`] and [`analyze_all`]).
+/// Analyzes a task set through a caller-owned [`TaskSetCache`].
 ///
 /// # Panics
 ///
 /// Panics if `config.cores == 0` or `config.cores > cache.max_cores()`.
+#[deprecated(
+    since = "0.1.0",
+    note = "superseded by the unified request API: build an `AnalysisRequest` and \
+                      call `evaluate` / `evaluate_with` — see the migration notes in the crate docs"
+)]
 pub fn analyze_with(cache: &TaskSetCache<'_>, config: &AnalysisConfig) -> AnalysisReport {
+    analyze_with_impl(cache, config)
+}
+
+/// Per-task response bounds and the verdict of one configuration — the
+/// bound-carrying evaluation behind [`AnalysisRequest::evaluate_with`]:
+/// the `(schedulable, response bounds of the analyzed prefix)` projection
+/// of [`analyze_with_impl`], bit-identical to projecting the full report.
+pub(crate) fn bounds_with(
+    cache: &TaskSetCache<'_>,
+    config: &AnalysisConfig,
+) -> (bool, Vec<ResponseBound>) {
+    let report = analyze_with_impl(cache, config);
+    (
+        report.schedulable,
+        report.tasks.iter().map(|t| t.response_bound).collect(),
+    )
+}
+
+/// The full-report workhorse behind [`analyze`], the deprecated batch
+/// wrappers and the bound-carrying request shape.
+pub(crate) fn analyze_with_impl(
+    cache: &TaskSetCache<'_>,
+    config: &AnalysisConfig,
+) -> AnalysisReport {
     assert!(config.cores >= 1, "at least one core required");
     assert!(
         config.cores <= cache.max_cores(),
@@ -516,6 +543,11 @@ fn fixed_point(
 
 #[cfg(test)]
 mod tests {
+    // The legacy entry points stay under test: they are deprecated, not
+    // removed, and the wrappers must remain bit-identical to the unified
+    // request path they delegate to.
+    #![allow(deprecated)]
+
     use super::*;
     use crate::config::{Method, MuSolver, RhoSolver, ScenarioSpace};
     use rta_model::examples::figure1_task_set;

@@ -2,6 +2,11 @@
 //! bit-identical to the original per-call path, and the per-task-set
 //! precomputation really computes each µ-array exactly once.
 
+// The legacy batch entry points under test are deprecated wrappers over
+// the unified request API; this suite is exactly what pins them
+// bit-identical to it.
+#![allow(deprecated)]
+
 use proptest::prelude::*;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;

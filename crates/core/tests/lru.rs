@@ -1,0 +1,98 @@
+//! The admission-control cache's contract: whatever mix of repeats,
+//! near-repeats and evictions a request stream produces, every answer the
+//! [`AnalysisLru`] hands out is identical to a cold evaluation of the same
+//! request — caching is an optimization, never an approximation. Also pins
+//! the LRU bookkeeping itself (eviction order, stable-hash keying) from
+//! the integration level.
+
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use rta_analysis::{AnalysisLru, AnalysisRequest, CacheOutcome, Method};
+use rta_model::TaskSet;
+use rta_taskgen::{generate_task_set, group1};
+
+/// A request shape chosen by the proptest strategy: which methods, which
+/// platform slice, bounds or not.
+fn shaped_request(cores: usize, shape: u8, bounds: bool) -> AnalysisRequest {
+    let methods: &[Method] = match shape % 5 {
+        0 => &Method::ALL,
+        1 => &[Method::FpIdeal],
+        2 => &[Method::LpSound],
+        3 => &[Method::LpIlp, Method::LpMax],
+        _ => &[Method::LpSound, Method::FpIdeal, Method::LpSound],
+    };
+    AnalysisRequest::new(cores)
+        .with_methods(methods.iter().copied())
+        .with_bounds(bounds)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// A stream of varied requests over a handful of task sets, pushed
+    /// through a deliberately tiny LRU (so evictions and re-admissions
+    /// happen constantly), answers every query exactly like a cold
+    /// evaluation.
+    #[test]
+    fn cached_and_cold_outcomes_are_identical(
+        seed in 0u64..1_000_000,
+        cores in 1usize..=4,
+        load_percent in 20u32..=100,
+        script in proptest::collection::vec((0usize..3, 0u8..=9, any::<bool>()), 1..24),
+    ) {
+        let target = cores as f64 * load_percent as f64 / 100.0;
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let sets: Vec<TaskSet> = (0..3)
+            .map(|_| generate_task_set(&mut rng, &group1(target)))
+            .collect();
+        let mut lru = AnalysisLru::new(2); // smaller than the working set
+        for &(which, shape, bounds) in &script {
+            let ts = &sets[which];
+            let request = shaped_request(cores, shape, bounds);
+            let (cached, _) = lru.analyze(ts, &request);
+            prop_assert_eq!(cached, request.evaluate(ts), "set {} {:?}", which, request);
+        }
+        let stats = lru.stats();
+        prop_assert_eq!(
+            (stats.hits + stats.near_hits + stats.misses) as usize,
+            script.len()
+        );
+    }
+}
+
+#[test]
+fn lru_keeps_recently_touched_sets_under_pressure() {
+    let mut rng = SmallRng::seed_from_u64(7);
+    let sets: Vec<TaskSet> = (0..4)
+        .map(|_| generate_task_set(&mut rng, &group1(2.0)))
+        .collect();
+    let req = AnalysisRequest::new(2);
+    let mut lru = AnalysisLru::new(3);
+    for ts in &sets[..3] {
+        assert_eq!(lru.analyze(ts, &req).1, CacheOutcome::Miss);
+    }
+    // Touch 0 and 1; 2 becomes the eviction victim when 3 arrives.
+    assert_eq!(lru.analyze(&sets[0], &req).1, CacheOutcome::Hit);
+    assert_eq!(lru.analyze(&sets[1], &req).1, CacheOutcome::Hit);
+    assert_eq!(lru.analyze(&sets[3], &req).1, CacheOutcome::Miss);
+    assert_eq!(lru.analyze(&sets[2], &req).1, CacheOutcome::Miss);
+    assert_eq!(lru.stats().evictions, 2); // sets[2], then the next victim
+}
+
+#[test]
+fn stable_hash_keys_entries_across_clones_and_rebuilds() {
+    // A cloned set and a JSON round-trip of it are the same cache line:
+    // the key is content, not identity.
+    let mut rng = SmallRng::seed_from_u64(11);
+    let ts = generate_task_set(&mut rng, &group1(2.0));
+    let round_tripped =
+        rta_model::json::task_set_from_json(&rta_model::json::task_set_to_json(&ts)).unwrap();
+    assert_eq!(ts.stable_hash(), round_tripped.stable_hash());
+    let req = AnalysisRequest::new(2);
+    let mut lru = AnalysisLru::new(4);
+    lru.analyze(&ts, &req);
+    assert_eq!(lru.analyze(&ts.clone(), &req).1, CacheOutcome::Hit);
+    assert_eq!(lru.analyze(&round_tripped, &req).1, CacheOutcome::Hit);
+    assert_eq!(lru.len(), 1);
+}

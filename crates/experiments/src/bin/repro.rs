@@ -35,7 +35,14 @@
 //!                Exits non-zero on any hard invariant violation
 //!                (including any LP-sound exceedance).
 //!   dump-set     print one generated task set as JSON (--seed N --target U)
-//!   all          everything above (except dump-set)
+//!   serve        admission-control daemon: answer accept/reject verdicts
+//!                over line-delimited JSON frames on a TCP socket, with a
+//!                bounded LRU of analyzed task sets (see README, "Serving
+//!                verdicts"); runs until a client sends {"shutdown":true}
+//!   loadgen      drive a running server with a repeat/fresh request mix
+//!                at configurable concurrency; prints throughput, cache
+//!                hit rate and latency percentiles
+//!   all          everything above (except dump-set, serve and loadgen)
 //!
 //! options:
 //!   --sets N     task sets per sweep point        (default 300)
@@ -50,6 +57,14 @@
 //!   --release R  validate: sync | jitter | sporadic — overrides each
 //!                panel's own release pattern (default: sync everywhere
 //!                except the release panels)
+//!   --addr A     serve/loadgen: socket address (default 127.0.0.1:7431)
+//!   --lru N      serve: task sets kept in the admission cache (default 128)
+//!   --conns N    loadgen: concurrent connections      (default 8)
+//!   --requests N loadgen: requests per connection     (default 200)
+//!   --repeat P   loadgen: percent of repeat requests  (default 80)
+//!   --bounds     loadgen: request per-task bounds on every frame
+//!   --bench P    loadgen: also write the flat BENCH JSON report to P
+//!   --shutdown   loadgen: stop the server after the burst
 //! ```
 //!
 //! Sweep output is bit-identical for every `--jobs` value: task-set seeds
@@ -82,6 +97,14 @@ struct Options {
     /// one worker per core, while `timing` defaults to serial so its
     /// wall-clock averages are not skewed by worker contention.
     jobs: Option<Jobs>,
+    addr: String,
+    lru: usize,
+    conns: usize,
+    requests: usize,
+    repeat: u32,
+    bounds: bool,
+    bench: Option<PathBuf>,
+    shutdown: bool,
 }
 
 impl Options {
@@ -108,6 +131,14 @@ fn main() {
         policy: PolicyChoice::Both,
         release: None,
         jobs: None,
+        addr: "127.0.0.1:7431".into(),
+        lru: rta_experiments::serve::DEFAULT_LRU_CAPACITY,
+        conns: 8,
+        requests: 200,
+        repeat: 80,
+        bounds: false,
+        bench: None,
+        shutdown: false,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -174,6 +205,53 @@ fn main() {
             "--serial" => {
                 options.jobs = Some(Jobs::serial());
             }
+            "--addr" => {
+                options.addr = it
+                    .next()
+                    .cloned()
+                    .unwrap_or_else(|| usage("--addr needs a host:port address"));
+            }
+            "--lru" => {
+                options.lru = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n > 0)
+                    .unwrap_or_else(|| usage("--lru needs a positive number of task sets"));
+            }
+            "--conns" => {
+                options.conns = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n > 0)
+                    .unwrap_or_else(|| usage("--conns needs a positive number"));
+            }
+            "--requests" => {
+                options.requests = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n > 0)
+                    .unwrap_or_else(|| usage("--requests needs a positive number"));
+            }
+            "--repeat" => {
+                options.repeat = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n <= 100)
+                    .unwrap_or_else(|| usage("--repeat needs a percentage (0..=100)"));
+            }
+            "--bounds" => {
+                options.bounds = true;
+            }
+            "--bench" => {
+                options.bench = Some(
+                    it.next()
+                        .map(PathBuf::from)
+                        .unwrap_or_else(|| usage("--bench needs a path")),
+                );
+            }
+            "--shutdown" => {
+                options.shutdown = true;
+            }
             cmd if command.is_none() && !cmd.starts_with('-') => {
                 command = Some(cmd.to_string());
             }
@@ -212,6 +290,8 @@ fn main() {
         "campaign" => run_campaign(&options, selector.as_deref().unwrap_or("all")),
         "validate" => run_validate(&options, selector.as_deref().unwrap_or("all")),
         "dump-set" => dump_set(&options),
+        "serve" => run_serve(&options),
+        "loadgen" => run_loadgen(&options),
         "all" => {
             let t = regenerate_tables(&options);
             table1(&options, &t);
@@ -447,6 +527,60 @@ fn sensitivity(options: &Options) {
     }
 }
 
+/// Runs the admission-control daemon in the foreground until a client's
+/// `{"shutdown":true}` frame stops it.
+fn run_serve(options: &Options) {
+    let serve_options = rta_experiments::serve::ServeOptions {
+        addr: options.addr.clone(),
+        lru_capacity: options.lru,
+        ..Default::default()
+    };
+    let handle = rta_experiments::serve::spawn(&serve_options)
+        .unwrap_or_else(|e| usage(&format!("cannot bind {}: {e}", serve_options.addr)));
+    println!(
+        "serving admission-control verdicts on {} (LRU capacity {}; \
+         send {{\"shutdown\":true}} to stop)",
+        handle.addr(),
+        options.lru
+    );
+    handle.join();
+    println!("server stopped");
+}
+
+/// Drives a running server with the configured request mix and prints
+/// (and optionally writes) the measurement report.
+fn run_loadgen(options: &Options) {
+    let loadgen_options = rta_experiments::loadgen::LoadgenOptions {
+        addr: options.addr.clone(),
+        connections: options.conns,
+        requests_per_connection: options.requests,
+        repeat_percent: options.repeat,
+        bounds: options.bounds,
+        seed: options.seed,
+        target: options.target,
+        shutdown: options.shutdown,
+        ..Default::default()
+    };
+    println!(
+        "== loadgen: {} connections x {} requests, {}% repeats, against {} ==",
+        loadgen_options.connections,
+        loadgen_options.requests_per_connection,
+        loadgen_options.repeat_percent,
+        loadgen_options.addr
+    );
+    let report = rta_experiments::loadgen::run(&loadgen_options)
+        .unwrap_or_else(|e| usage(&format!("loadgen against {} failed: {e}", options.addr)));
+    println!("{}", report.render());
+    if let Some(path) = &options.bench {
+        std::fs::write(path, report.to_bench_json(&loadgen_options)).expect("write BENCH JSON");
+        println!("wrote {}", path.display());
+    }
+    if report.errors > 0 {
+        eprintln!("error: {} request(s) failed", report.errors);
+        std::process::exit(1);
+    }
+}
+
 fn dump_set(options: &Options) {
     use rand::rngs::SmallRng;
     use rand::SeedableRng;
@@ -467,10 +601,12 @@ fn usage(msg: &str) -> ! {
     eprintln!(
         "usage: repro <table1|table2|table3|fig2a|fig2b|fig2c|fig2c-tasks|group2|timing|\
          campaign [deadline|chains|cores|cross|all]|\
-         validate [cores|deadline|chains|release|all]|all> \
+         validate [cores|deadline|chains|release|all]|serve|loadgen|all> \
          [--sets N] [--samples N] [--out DIR] [--jobs N] [--serial] \
          [--horizon N] [--policy limited|eager|lazy|full|both] \
-         [--release sync|jitter|sporadic]"
+         [--release sync|jitter|sporadic] \
+         [--addr HOST:PORT] [--lru N] [--conns N] [--requests N] \
+         [--repeat PCT] [--bounds] [--bench PATH] [--shutdown]"
     );
     std::process::exit(2);
 }

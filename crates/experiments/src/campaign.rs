@@ -15,7 +15,8 @@
 //!   phase: each cell generates its task set *on the worker that claims
 //!   it*, using a per-worker [`TaskSetGenerator`] scratch (DAG builder and
 //!   assembly buffers reused across thousands of sets), then analyzes it
-//!   through the verdict fast path ([`analyze_verdicts`]) — unschedulable
+//!   through the verdict fast path (a verdict-only [`AnalysisRequest`]) —
+//!   unschedulable
 //!   sets of a high-utilization point never touch the combinatorial
 //!   blocking machinery, and schedulable sets answer LP-ILP from LP-max's
 //!   verdict via the dominance chain. Results stream too: cell outcomes
@@ -40,7 +41,8 @@
 //! 16}` core-count panel, and the `PeriodModel × deadline_factor` cross
 //! panels ([`PanelKind::Cross`]) that re-run the deadline sweep under each
 //! period-derivation family. Every panel charts all four methods,
-//! including the corrected [`Method::LpSound`] bound — the CLI aggregates
+//! including the corrected [`rta_analysis::Method::LpSound`] bound — the
+//! CLI aggregates
 //! the LP-ILP/LP-sound acceptance gap into `soundness_cost.csv`.
 
 use crate::exec::{self, Jobs};
@@ -48,7 +50,7 @@ use crate::figure2::{SweepPoint, SweepResult};
 use crate::set_seed;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
-use rta_analysis::{analyze_verdicts, AnalysisConfig, Method, ScenarioSpace};
+use rta_analysis::{AnalysisRequest, ScenarioSpace};
 use rta_model::TaskSet;
 use rta_taskgen::{chain_mix, group1, TaskSetConfig, TaskSetGenerator};
 use std::cell::RefCell;
@@ -148,10 +150,7 @@ where
     if sets == 0 {
         return;
     }
-    let configs: Vec<AnalysisConfig> = Method::ALL
-        .iter()
-        .map(|&method| AnalysisConfig::new(spec.cores, method).with_scenario_space(spec.space))
-        .collect();
+    let request = AnalysisRequest::new(spec.cores).with_scenario_space(spec.space);
 
     // Rolling accumulator of the point currently being folded; cells
     // arrive in coordinate order, so a point completes exactly when its
@@ -164,7 +163,7 @@ where
         |index| {
             let (p, s) = (index / sets, index % sets);
             let ts = (spec.make_set)(set_seed(spec.seed, p, s), spec.xs[p]);
-            let schedulable = analyze_verdicts(&ts, &configs);
+            let schedulable = request.evaluate(&ts).verdicts();
             (ts.total_utilization(), schedulable)
         },
         |index, (utilization, schedulable)| {

@@ -21,6 +21,13 @@
 //! chain-heavy task mixtures, and the `m ∈ {2, 8}` platforms — via
 //! `repro campaign`.
 //!
+//! The crate also carries the online surface of the ROADMAP's north star:
+//! [`serve`] (`repro serve`) answers admission-control verdicts over a
+//! line-delimited JSON socket, backed by the unified
+//! [`rta_analysis::AnalysisRequest`] API and its admission cache, and
+//! [`loadgen`] (`repro loadgen`) load-tests it and emits the BENCH
+//! figures.
+//!
 //! Every driver runs on the **streaming campaign engine** ([`campaign`]):
 //! each sweep cell generates its task set on the worker that claims it
 //! (per-worker scratch, no separate generation phase) and analyzes it
@@ -39,7 +46,9 @@ pub mod campaign;
 pub mod csv;
 pub mod exec;
 pub mod figure2;
+pub mod loadgen;
 pub mod sensitivity;
+pub mod serve;
 pub mod tables;
 pub mod timing;
 pub mod validate;

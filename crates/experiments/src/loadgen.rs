@@ -1,0 +1,374 @@
+//! `repro loadgen` — a load-generating client for [`crate::serve`].
+//!
+//! Drives a running `repro serve` instance with a configurable mix of
+//! **repeat** requests (drawn from a small pool of pre-generated task
+//! sets, so a warm server answers them from its admission cache) and
+//! **fresh** requests (a never-seen task set each, forcing cold
+//! analyses), over N concurrent connections. Every worker keeps its own
+//! connection and deterministic RNG, so a `(seed, workers, requests)`
+//! triple always produces the same request stream.
+//!
+//! The report separates latency by the server's own `cache` label, which
+//! is what makes the admission cache's value measurable: `hit_p50_micros`
+//! vs `miss_p50_micros` is the repeat-vs-cold speedup the BENCH gate
+//! asserts on. Latencies are measured client-side (send → response line),
+//! so they include the wire round trip; `micros` from the server is used
+//! for the per-class analysis-time split.
+
+use crate::set_seed;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use rta_model::json::task_set_to_json_compact;
+use rta_model::TaskSet;
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::thread;
+use std::time::Instant;
+
+/// Load-generator configuration.
+#[derive(Clone, Debug)]
+pub struct LoadgenOptions {
+    /// Server address, e.g. `127.0.0.1:7431`.
+    pub addr: String,
+    /// Concurrent connections (worker threads).
+    pub connections: usize,
+    /// Requests sent per connection.
+    pub requests_per_connection: usize,
+    /// Percentage of requests drawn from the shared repeat pool.
+    pub repeat_percent: u32,
+    /// Size of the shared repeat pool.
+    pub pool_size: usize,
+    /// Platform size every request asks about.
+    pub cores: usize,
+    /// Ask for per-task bounds on every request.
+    pub bounds: bool,
+    /// Base RNG seed for task-set generation.
+    pub seed: u64,
+    /// Target utilization of generated sets.
+    pub target: f64,
+    /// Send `{"shutdown":true}` after the run (stops the server).
+    pub shutdown: bool,
+}
+
+impl Default for LoadgenOptions {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:7431".into(),
+            connections: 8,
+            requests_per_connection: 200,
+            repeat_percent: 80,
+            pool_size: 16,
+            cores: 4,
+            bounds: false,
+            seed: 0xC0FFEE,
+            target: 2.0,
+            shutdown: false,
+        }
+    }
+}
+
+/// Latency statistics of one response class, in microseconds.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct LatencyStats {
+    /// Responses in this class.
+    pub count: usize,
+    /// Median.
+    pub p50: u64,
+    /// 99th percentile.
+    pub p99: u64,
+    /// 99.9th percentile.
+    pub p999: u64,
+    /// Arithmetic mean.
+    pub mean: f64,
+}
+
+impl LatencyStats {
+    /// Computes the percentiles of a set of samples (sorted in place).
+    fn from_samples(samples: &mut [u64]) -> Self {
+        if samples.is_empty() {
+            return Self::default();
+        }
+        samples.sort_unstable();
+        let pct = |p: f64| {
+            let rank = ((samples.len() as f64) * p).ceil() as usize;
+            samples[rank.clamp(1, samples.len()) - 1]
+        };
+        Self {
+            count: samples.len(),
+            p50: pct(0.50),
+            p99: pct(0.99),
+            p999: pct(0.999),
+            mean: samples.iter().sum::<u64>() as f64 / samples.len() as f64,
+        }
+    }
+}
+
+/// What one loadgen run measured.
+#[derive(Clone, Debug, Default)]
+pub struct LoadgenReport {
+    /// Requests sent (all workers).
+    pub requests: usize,
+    /// Error responses received (must be zero on a healthy run).
+    pub errors: usize,
+    /// Responses labelled `hit` / `near` / `miss` by the server.
+    pub hits: usize,
+    /// Near-hits (set cached, some method evaluated).
+    pub near_hits: usize,
+    /// Cold analyses.
+    pub misses: usize,
+    /// Wall-clock of the whole burst, seconds.
+    pub elapsed_secs: f64,
+    /// Sustained successful verdict responses per second.
+    pub verdicts_per_sec: f64,
+    /// Client-side round-trip latency over all successful responses.
+    pub latency: LatencyStats,
+    /// Server-side analysis micros of cache-hit responses.
+    pub hit_micros: LatencyStats,
+    /// Server-side analysis micros of cold (miss) responses.
+    pub miss_micros: LatencyStats,
+}
+
+impl LoadgenReport {
+    /// Cache hit rate over successful responses.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.near_hits + self.misses;
+        if total == 0 {
+            return 0.0;
+        }
+        self.hits as f64 / total as f64
+    }
+
+    /// Cold-to-hit speedup on the server-side analysis path (p50-based;
+    /// the BENCH gate asserts this is at least 5).
+    pub fn repeat_speedup(&self) -> f64 {
+        if self.hit_micros.count == 0 || self.miss_micros.count == 0 {
+            return 0.0;
+        }
+        // Guard the denominator: an O(lookup) hit can round to 0 µs.
+        self.miss_micros.p50 as f64 / (self.hit_micros.p50 as f64).max(1.0)
+    }
+
+    /// Human-readable summary.
+    pub fn render(&self) -> String {
+        format!(
+            "requests: {} ({} errors)\n\
+             cache: {} hits / {} near / {} misses (hit rate {:.1}%)\n\
+             throughput: {:.0} verdicts/s over {:.2}s\n\
+             latency (client µs): p50 {} / p99 {} / p999 {}\n\
+             analysis (server µs): hit p50 {} vs cold p50 {} — {:.0}x repeat speedup",
+            self.requests,
+            self.errors,
+            self.hits,
+            self.near_hits,
+            self.misses,
+            self.hit_rate() * 100.0,
+            self.verdicts_per_sec,
+            self.elapsed_secs,
+            self.latency.p50,
+            self.latency.p99,
+            self.latency.p999,
+            self.hit_micros.p50,
+            self.miss_micros.p50,
+            self.repeat_speedup(),
+        )
+    }
+
+    /// The flat BENCH JSON format of this repository (one scalar per
+    /// line, greppable).
+    pub fn to_bench_json(&self, options: &LoadgenOptions) -> String {
+        format!(
+            "{{\n  \"bench\": \"serve\",\n  \"connections\": {},\n  \
+             \"requests\": {},\n  \"repeat_percent\": {},\n  \"pool_size\": {},\n  \
+             \"cores\": {},\n  \"errors\": {},\n  \"hits\": {},\n  \
+             \"near_hits\": {},\n  \"misses\": {},\n  \"hit_rate_pct\": {:.2},\n  \
+             \"verdicts_per_sec\": {:.0},\n  \"latency_p50_micros\": {},\n  \
+             \"latency_p99_micros\": {},\n  \"latency_p999_micros\": {},\n  \
+             \"hit_p50_micros\": {},\n  \"miss_p50_micros\": {},\n  \
+             \"repeat_speedup\": {:.1}\n}}\n",
+            options.connections,
+            self.requests,
+            options.repeat_percent,
+            options.pool_size,
+            options.cores,
+            self.errors,
+            self.hits,
+            self.near_hits,
+            self.misses,
+            self.hit_rate() * 100.0,
+            self.verdicts_per_sec,
+            self.latency.p50,
+            self.latency.p99,
+            self.latency.p999,
+            self.hit_micros.p50,
+            self.miss_micros.p50,
+            self.repeat_speedup(),
+        )
+    }
+}
+
+/// Per-worker tally, merged after the burst.
+#[derive(Default)]
+struct WorkerTally {
+    requests: usize,
+    errors: usize,
+    hits: usize,
+    near_hits: usize,
+    misses: usize,
+    latencies: Vec<u64>,
+    hit_micros: Vec<u64>,
+    miss_micros: Vec<u64>,
+}
+
+/// Runs the burst and aggregates the report. Fails fast on connection
+/// errors (a missing server is a setup problem, not a measurement).
+pub fn run(options: &LoadgenOptions) -> io::Result<LoadgenReport> {
+    assert!(options.connections >= 1, "need at least one connection");
+    assert!(options.pool_size >= 1, "need at least one pooled set");
+    // The repeat pool is generated once and shared read-only; its compact
+    // JSON is pre-rendered so workers do no serialization work per frame.
+    let pool: Arc<Vec<String>> = Arc::new(
+        (0..options.pool_size)
+            .map(|i| {
+                let mut rng = SmallRng::seed_from_u64(set_seed(options.seed, 0, i));
+                let ts =
+                    rta_taskgen::generate_task_set(&mut rng, &rta_taskgen::group1(options.target));
+                task_set_to_json_compact(&ts)
+            })
+            .collect(),
+    );
+    let started = Instant::now();
+    let mut workers = Vec::new();
+    for worker in 0..options.connections {
+        let options = options.clone();
+        let pool = Arc::clone(&pool);
+        workers.push(thread::spawn(move || run_worker(&options, worker, &pool)));
+    }
+    let mut tally = WorkerTally::default();
+    for worker in workers {
+        let part = worker
+            .join()
+            .map_err(|_| io::Error::other("loadgen worker panicked"))??;
+        tally.requests += part.requests;
+        tally.errors += part.errors;
+        tally.hits += part.hits;
+        tally.near_hits += part.near_hits;
+        tally.misses += part.misses;
+        tally.latencies.extend(part.latencies);
+        tally.hit_micros.extend(part.hit_micros);
+        tally.miss_micros.extend(part.miss_micros);
+    }
+    let elapsed = started.elapsed().as_secs_f64();
+    if options.shutdown {
+        // Separate control connection; best effort (the burst is done).
+        if let Ok(mut stream) = TcpStream::connect(&options.addr) {
+            let _ = stream.write_all(b"{\"shutdown\":true}\n");
+            let mut line = String::new();
+            let _ = BufReader::new(&stream).read_line(&mut line);
+        }
+    }
+    let successes = tally.requests - tally.errors;
+    Ok(LoadgenReport {
+        requests: tally.requests,
+        errors: tally.errors,
+        hits: tally.hits,
+        near_hits: tally.near_hits,
+        misses: tally.misses,
+        elapsed_secs: elapsed,
+        verdicts_per_sec: successes as f64 / elapsed.max(1e-9),
+        latency: LatencyStats::from_samples(&mut tally.latencies),
+        hit_micros: LatencyStats::from_samples(&mut tally.hit_micros),
+        miss_micros: LatencyStats::from_samples(&mut tally.miss_micros),
+    })
+}
+
+fn run_worker(options: &LoadgenOptions, worker: usize, pool: &[String]) -> io::Result<WorkerTally> {
+    let stream = TcpStream::connect(&options.addr)?;
+    let mut writer = stream.try_clone()?;
+    let mut reader = BufReader::new(stream);
+    let mut rng = SmallRng::seed_from_u64(options.seed ^ (worker as u64).wrapping_mul(0x9E37));
+    let mut tally = WorkerTally::default();
+    let mut line = String::new();
+    for request_index in 0..options.requests_per_connection {
+        let repeat = rng.gen_range(0..100u32) < options.repeat_percent;
+        let set_json = if repeat {
+            pool[rng.gen_range(0..pool.len())].clone()
+        } else {
+            // A set no other worker or iteration generates: point index 1
+            // keeps fresh seeds disjoint from the pool's (point 0).
+            let fresh = set_seed(
+                options.seed,
+                1,
+                worker * options.requests_per_connection + request_index,
+            );
+            let mut set_rng = SmallRng::seed_from_u64(fresh);
+            let ts: TaskSet =
+                rta_taskgen::generate_task_set(&mut set_rng, &rta_taskgen::group1(options.target));
+            task_set_to_json_compact(&ts)
+        };
+        let frame = format!(
+            "{{\"v\":1,\"cores\":{},\"bounds\":{},\"task_set\":{}}}\n",
+            options.cores, options.bounds, set_json
+        );
+        let sent = Instant::now();
+        writer.write_all(frame.as_bytes())?;
+        writer.flush()?;
+        line.clear();
+        if reader.read_line(&mut line)? == 0 {
+            return Err(io::Error::other("server closed the connection mid-burst"));
+        }
+        let latency = sent.elapsed().as_micros() as u64;
+        tally.requests += 1;
+        if line.contains("\"ok\":true") {
+            tally.latencies.push(latency);
+            let micros = field_u64(&line, "\"micros\":").unwrap_or(0);
+            if line.contains("\"cache\":\"hit\"") {
+                tally.hits += 1;
+                tally.hit_micros.push(micros);
+            } else if line.contains("\"cache\":\"near\"") {
+                tally.near_hits += 1;
+            } else {
+                tally.misses += 1;
+                tally.miss_micros.push(micros);
+            }
+        } else {
+            tally.errors += 1;
+        }
+    }
+    Ok(tally)
+}
+
+/// Pulls one `"key":<integer>` field out of a response line without a full
+/// JSON parse (the hot path of the measurement loop).
+fn field_u64(line: &str, key: &str) -> Option<u64> {
+    let start = line.find(key)? + key.len();
+    let rest = &line[start..];
+    let end = rest
+        .find(|c: char| !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_of_known_samples() {
+        let mut samples: Vec<u64> = (1..=1000).collect();
+        let stats = LatencyStats::from_samples(&mut samples);
+        assert_eq!(stats.count, 1000);
+        assert_eq!(stats.p50, 500);
+        assert_eq!(stats.p99, 990);
+        assert_eq!(stats.p999, 999);
+        assert!((stats.mean - 500.5).abs() < 1e-9);
+        assert_eq!(LatencyStats::from_samples(&mut []).count, 0);
+    }
+
+    #[test]
+    fn integer_fields_parse_out_of_response_lines() {
+        let line = r#"{"v":1,"ok":true,"cache":"hit","micros":412,"verdicts":[]}"#;
+        assert_eq!(field_u64(line, "\"micros\":"), Some(412));
+        assert_eq!(field_u64(line, "\"absent\":"), None);
+    }
+}

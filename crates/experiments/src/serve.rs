@@ -1,0 +1,575 @@
+//! `repro serve` — an admission-control daemon answering schedulability
+//! verdicts over a socket.
+//!
+//! The ROADMAP's north star is serving verdicts at production scale; this
+//! module is the long-running surface over the unified request API
+//! ([`rta_analysis::AnalysisRequest`]) and the admission-control cache
+//! ([`rta_analysis::AnalysisLru`]).
+//!
+//! # Wire protocol
+//!
+//! Line-delimited JSON over TCP: every frame is one compact JSON object
+//! terminated by `\n`, in both directions (`rta_model::json` is the only
+//! JSON machinery — no new dependencies). A request:
+//!
+//! ```json
+//! {"v":1,"id":7,"cores":4,"methods":["FP-ideal","LP-sound"],"bounds":true,
+//!  "task_set":{"version":1,"tasks":[{"period":40,"deadline":40,
+//!  "dag":{"wcets":[2,6,4,1],"edges":[[0,1],[0,2],[1,3],[2,3]]}}]}}
+//! ```
+//!
+//! * `v` — optional envelope version; must be `1` when present.
+//! * `id` — optional integer, echoed verbatim in the response so clients
+//!   can pipeline frames.
+//! * `cores` — required platform size (`1..=MAX_CORES`).
+//! * `methods` — optional array of method labels (`"FP-ideal"`,
+//!   `"LP-ILP"`, `"LP-max"`, `"LP-sound"`); omitted means all four.
+//! * `bounds` — optional, default `false`; `true` materializes per-task
+//!   response bounds.
+//! * `task_set` — required, the versioned task-set payload of
+//!   [`rta_model::json`].
+//!
+//! A successful response (`cache` is the [`CacheOutcome`] label, `micros`
+//! the server-side analysis time, `bounds` the per-task response-time
+//! ceilings of the analyzed prefix, present iff requested):
+//!
+//! ```json
+//! {"v":1,"id":7,"ok":true,"cache":"miss","micros":412,"verdicts":[
+//!   {"method":"FP-ideal","schedulable":true,"bounds":[9]},
+//!   {"method":"LP-sound","schedulable":true,"bounds":[9]}]}
+//! ```
+//!
+//! Any failure — malformed JSON, schema violations, unknown schema
+//! versions, model violations such as cyclic DAGs, oversized frames —
+//! produces a structured error on the same connection and the server
+//! keeps serving (no panic, no dropped connection):
+//!
+//! ```json
+//! {"v":1,"ok":false,"error":{"kind":"model","message":"..."}}
+//! ```
+//!
+//! `kind` is one of `syntax`, `schema`, `version`, `model`, `protocol`,
+//! `too_large`. Two special frames bypass analysis: `{"stats":true}`
+//! reports counters, `{"shutdown":true}` acknowledges and stops the
+//! server.
+
+use rta_analysis::{AnalysisLru, AnalysisRequest, CacheOutcome, Method};
+use rta_model::json::{self, JsonError, Value};
+use rta_model::TaskSet;
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread;
+use std::time::Instant;
+
+/// Hard cap on `cores`: a request is a platform description, not a memory
+/// allocation license (per-core tables grow with `m`).
+pub const MAX_CORES: usize = 1024;
+
+/// Default bound on one request frame, newline included.
+pub const DEFAULT_MAX_FRAME: usize = 1 << 20;
+
+/// Default number of task sets the admission cache retains.
+pub const DEFAULT_LRU_CAPACITY: usize = 128;
+
+/// Server configuration.
+#[derive(Clone, Debug)]
+pub struct ServeOptions {
+    /// Listen address, e.g. `127.0.0.1:0` (port 0 picks a free port).
+    pub addr: String,
+    /// Task-set capacity of the admission cache.
+    pub lru_capacity: usize,
+    /// Maximum accepted frame length in bytes (newline included); longer
+    /// frames are answered with a `too_large` error and skipped.
+    pub max_frame: usize,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".into(),
+            lru_capacity: DEFAULT_LRU_CAPACITY,
+            max_frame: DEFAULT_MAX_FRAME,
+        }
+    }
+}
+
+/// Shared server state: the admission cache plus global counters.
+struct ServerState {
+    lru: Mutex<AnalysisLru>,
+    stop: AtomicBool,
+    local_addr: SocketAddr,
+    requests: AtomicU64,
+    errors: AtomicU64,
+}
+
+impl ServerState {
+    /// Unblocks the accept loop after `stop` was raised: `accept` has no
+    /// timeout, so the raiser connects to the listener itself.
+    fn poke_acceptor(&self) {
+        let _ = TcpStream::connect(self.local_addr);
+    }
+}
+
+/// A running server. Dropping the handle does **not** stop the server;
+/// call [`shutdown`](ServerHandle::shutdown) (or send a `{"shutdown":true}`
+/// frame) to stop it, or [`join`](ServerHandle::join) to serve until a
+/// client does.
+pub struct ServerHandle {
+    state: Arc<ServerState>,
+    acceptor: thread::JoinHandle<()>,
+}
+
+impl ServerHandle {
+    /// The bound address (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.state.local_addr
+    }
+
+    /// Stops accepting, unblocks the accept loop and waits for it to exit.
+    /// Connections already being served finish their current frame and
+    /// close on their own threads.
+    pub fn shutdown(self) {
+        self.state.stop.store(true, Ordering::SeqCst);
+        self.state.poke_acceptor();
+        let _ = self.acceptor.join();
+    }
+
+    /// Blocks until some client's `{"shutdown":true}` frame stops the
+    /// server (the foreground `repro serve` mode).
+    pub fn join(self) {
+        let _ = self.acceptor.join();
+    }
+}
+
+/// Binds the listener and spawns the accept loop (thread per connection).
+pub fn spawn(options: &ServeOptions) -> io::Result<ServerHandle> {
+    let listener = TcpListener::bind(&options.addr)?;
+    let state = Arc::new(ServerState {
+        lru: Mutex::new(AnalysisLru::new(options.lru_capacity)),
+        stop: AtomicBool::new(false),
+        local_addr: listener.local_addr()?,
+        requests: AtomicU64::new(0),
+        errors: AtomicU64::new(0),
+    });
+    let max_frame = options.max_frame;
+    let accept_state = Arc::clone(&state);
+    let acceptor = thread::spawn(move || {
+        for stream in listener.incoming() {
+            if accept_state.stop.load(Ordering::SeqCst) {
+                break;
+            }
+            let Ok(stream) = stream else { continue };
+            let conn_state = Arc::clone(&accept_state);
+            thread::spawn(move || {
+                // A failed connection is the client's problem; the server
+                // must outlive it either way.
+                let _ = serve_connection(&conn_state, stream, max_frame);
+            });
+        }
+    });
+    Ok(ServerHandle { state, acceptor })
+}
+
+// ---------------------------------------------------------------------------
+// Per-connection loop
+// ---------------------------------------------------------------------------
+
+/// What one request frame asks for.
+#[derive(Debug)]
+enum Frame {
+    Analyze {
+        id: Option<u64>,
+        task_set: TaskSet,
+        request: AnalysisRequest,
+    },
+    Stats {
+        id: Option<u64>,
+    },
+    Shutdown {
+        id: Option<u64>,
+    },
+}
+
+/// A structured wire error: `kind` is part of the protocol, `message` is
+/// for humans.
+struct WireError {
+    kind: &'static str,
+    message: String,
+}
+
+impl WireError {
+    fn protocol(message: impl Into<String>) -> Self {
+        Self {
+            kind: "protocol",
+            message: message.into(),
+        }
+    }
+}
+
+impl From<JsonError> for WireError {
+    fn from(e: JsonError) -> Self {
+        let kind = match &e {
+            JsonError::Syntax { .. } => "syntax",
+            JsonError::Schema(_) => "schema",
+            JsonError::UnknownVersion { .. } => "version",
+            JsonError::Model(_) => "model",
+        };
+        Self {
+            kind,
+            message: e.to_string(),
+        }
+    }
+}
+
+fn serve_connection(
+    state: &Arc<ServerState>,
+    stream: TcpStream,
+    max_frame: usize,
+) -> io::Result<()> {
+    let mut writer = stream.try_clone()?;
+    let mut reader = BufReader::new(stream);
+    loop {
+        let mut line = Vec::new();
+        let n = (&mut reader)
+            .take(max_frame as u64)
+            .read_until(b'\n', &mut line)?;
+        if n == 0 {
+            return Ok(()); // client closed the connection
+        }
+        if line.last() != Some(&b'\n') && line.len() == max_frame {
+            // Frame exceeds the cap: answer the structured error, then
+            // drain the rest of the oversized line so the connection
+            // re-synchronizes at the next newline.
+            state.errors.fetch_add(1, Ordering::Relaxed);
+            respond_error(
+                &mut writer,
+                None,
+                &WireError {
+                    kind: "too_large",
+                    message: format!("frame exceeds {max_frame} bytes"),
+                },
+            )?;
+            if !drain_to_newline(&mut reader)? {
+                return Ok(()); // EOF inside the oversized frame
+            }
+            continue;
+        }
+        let text = String::from_utf8_lossy(&line);
+        if text.trim().is_empty() {
+            continue; // bare keep-alive newline
+        }
+        match parse_frame(text.trim()) {
+            Err(error) => {
+                state.errors.fetch_add(1, Ordering::Relaxed);
+                respond_error(&mut writer, None, &error)?;
+            }
+            Ok(Frame::Stats { id }) => {
+                let (stats, cached) = {
+                    let lru = state.lru.lock().expect("lru lock");
+                    (lru.stats(), lru.len())
+                };
+                let mut out = String::from("{\"v\":1,");
+                push_id(&mut out, id);
+                let _ = write_stats(&mut out, state, cached, stats);
+                writeln_frame(&mut writer, out)?;
+            }
+            Ok(Frame::Shutdown { id }) => {
+                let mut out = String::from("{\"v\":1,");
+                push_id(&mut out, id);
+                out.push_str("\"ok\":true,\"shutdown\":true}");
+                writeln_frame(&mut writer, out)?;
+                state.stop.store(true, Ordering::SeqCst);
+                state.poke_acceptor();
+                return Ok(());
+            }
+            Ok(Frame::Analyze {
+                id,
+                task_set,
+                request,
+            }) => {
+                state.requests.fetch_add(1, Ordering::Relaxed);
+                let started = Instant::now();
+                // Hold the cache lock only for the O(lookup) parts; the
+                // analysis itself runs unlocked so connections that miss
+                // do not serialize behind each other.
+                let fetched = state
+                    .lru
+                    .lock()
+                    .expect("lru lock")
+                    .fetch(&task_set, &request);
+                let (outcome, status) = match fetched {
+                    (Some(outcome), status) => (outcome, status),
+                    (None, status) => {
+                        let outcome = request.evaluate(&task_set);
+                        state
+                            .lru
+                            .lock()
+                            .expect("lru lock")
+                            .store(&task_set, &request, &outcome);
+                        (outcome, status)
+                    }
+                };
+                let micros = started.elapsed().as_micros();
+                respond_outcome(&mut writer, id, status, micros, &outcome)?;
+            }
+        }
+    }
+}
+
+/// Discards input up to and including the next newline. Returns `false` on
+/// EOF.
+fn drain_to_newline(reader: &mut impl BufRead) -> io::Result<bool> {
+    let mut chunk = Vec::with_capacity(4096);
+    loop {
+        chunk.clear();
+        let n = reader.take(4096).read_until(b'\n', &mut chunk)?;
+        if n == 0 {
+            return Ok(false);
+        }
+        if chunk.last() == Some(&b'\n') {
+            return Ok(true);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Request parsing
+// ---------------------------------------------------------------------------
+
+fn method_from_label(label: &str) -> Option<Method> {
+    Method::ALL.into_iter().find(|m| m.label() == label)
+}
+
+fn parse_frame(text: &str) -> Result<Frame, WireError> {
+    let doc = json::parse(text)?;
+    let Value::Object(_) = &doc else {
+        return Err(WireError::protocol("a request must be a JSON object"));
+    };
+    match doc.get("v") {
+        None => {}
+        Some(v) if v.as_u64() == Some(1) => {}
+        Some(other) => {
+            return Err(WireError::protocol(format!(
+                "unsupported envelope version {other:?} (this server speaks v=1)"
+            )));
+        }
+    }
+    let id = match doc.get("id") {
+        None => None,
+        Some(v) => Some(
+            v.as_u64()
+                .ok_or_else(|| WireError::protocol("\"id\" must be a non-negative integer"))?,
+        ),
+    };
+    if doc.get("stats").and_then(Value::as_bool) == Some(true) {
+        return Ok(Frame::Stats { id });
+    }
+    if doc.get("shutdown").and_then(Value::as_bool) == Some(true) {
+        return Ok(Frame::Shutdown { id });
+    }
+    let cores = doc
+        .get("cores")
+        .ok_or_else(|| WireError::protocol("request is missing \"cores\""))?
+        .as_u64()
+        .ok_or_else(|| WireError::protocol("\"cores\" must be a non-negative integer"))?;
+    if cores == 0 || cores as usize > MAX_CORES {
+        return Err(WireError::protocol(format!(
+            "\"cores\" must be in 1..={MAX_CORES}, got {cores}"
+        )));
+    }
+    let methods: Vec<Method> = match doc.get("methods") {
+        None => Method::ALL.to_vec(),
+        Some(v) => v
+            .as_array()
+            .ok_or_else(|| WireError::protocol("\"methods\" must be an array of labels"))?
+            .iter()
+            .map(|item| {
+                item.as_str().and_then(method_from_label).ok_or_else(|| {
+                    WireError::protocol(format!(
+                        "unknown method {item:?}; expected one of \
+                         \"FP-ideal\", \"LP-ILP\", \"LP-max\", \"LP-sound\""
+                    ))
+                })
+            })
+            .collect::<Result<_, _>>()?,
+    };
+    let want_bounds = match doc.get("bounds") {
+        None => false,
+        Some(v) => v
+            .as_bool()
+            .ok_or_else(|| WireError::protocol("\"bounds\" must be a boolean"))?,
+    };
+    let task_set = json::task_set_from_value(
+        doc.get("task_set")
+            .ok_or_else(|| WireError::protocol("request is missing \"task_set\""))?,
+    )?;
+    let request = AnalysisRequest::new(cores as usize)
+        .with_methods(methods)
+        .with_bounds(want_bounds);
+    Ok(Frame::Analyze {
+        id,
+        task_set,
+        request,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Response rendering
+// ---------------------------------------------------------------------------
+
+fn push_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                use std::fmt::Write as _;
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn push_id(out: &mut String, id: Option<u64>) {
+    if let Some(id) = id {
+        use std::fmt::Write as _;
+        let _ = write!(out, "\"id\":{id},");
+    }
+}
+
+fn writeln_frame(writer: &mut impl Write, mut frame: String) -> io::Result<()> {
+    frame.push('\n');
+    writer.write_all(frame.as_bytes())?;
+    writer.flush()
+}
+
+fn respond_error(writer: &mut impl Write, id: Option<u64>, error: &WireError) -> io::Result<()> {
+    let mut out = String::from("{\"v\":1,");
+    push_id(&mut out, id);
+    out.push_str("\"ok\":false,\"error\":{\"kind\":\"");
+    out.push_str(error.kind);
+    out.push_str("\",\"message\":");
+    push_escaped(&mut out, &error.message);
+    out.push_str("}}");
+    writeln_frame(writer, out)
+}
+
+fn respond_outcome(
+    writer: &mut impl Write,
+    id: Option<u64>,
+    status: CacheOutcome,
+    micros: u128,
+    outcome: &rta_analysis::AnalysisOutcome,
+) -> io::Result<()> {
+    use std::fmt::Write as _;
+    let mut out = String::from("{\"v\":1,");
+    push_id(&mut out, id);
+    let _ = write!(
+        out,
+        "\"ok\":true,\"cache\":\"{}\",\"micros\":{micros},\"verdicts\":[",
+        status.label()
+    );
+    for (i, answer) in outcome.outcomes().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"method\":\"{}\",\"schedulable\":{}",
+            answer.method.label(),
+            answer.schedulable
+        );
+        if let Some(bounds) = &answer.bounds {
+            out.push_str(",\"bounds\":[");
+            for (j, bound) in bounds.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "{}", bound.ceil());
+            }
+            out.push(']');
+        }
+        out.push('}');
+    }
+    out.push_str("]}");
+    writeln_frame(writer, out)
+}
+
+fn write_stats(
+    out: &mut String,
+    state: &ServerState,
+    cached_sets: usize,
+    stats: rta_analysis::LruStats,
+) -> std::fmt::Result {
+    use std::fmt::Write as _;
+    write!(
+        out,
+        "\"ok\":true,\"stats\":{{\"requests\":{},\"errors\":{},\"cached_sets\":{},\
+         \"hits\":{},\"near_hits\":{},\"misses\":{},\"evictions\":{}}}}}",
+        state.requests.load(Ordering::Relaxed),
+        state.errors.load(Ordering::Relaxed),
+        cached_sets,
+        stats.hits,
+        stats.near_hits,
+        stats.misses,
+        stats.evictions,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn method_labels_round_trip() {
+        for method in Method::ALL {
+            assert_eq!(method_from_label(method.label()), Some(method));
+        }
+        assert_eq!(method_from_label("FP-Ideal"), None);
+    }
+
+    #[test]
+    fn frame_parsing_defaults_and_errors() {
+        let ok = parse_frame(
+            r#"{"cores":4,"task_set":{"tasks":[{"period":9,"deadline":9,"dag":{"wcets":[1],"edges":[]}}]}}"#,
+        );
+        let Ok(Frame::Analyze {
+            id,
+            request,
+            task_set,
+        }) = ok
+        else {
+            panic!("expected an analyze frame");
+        };
+        assert_eq!(id, None);
+        assert_eq!(request.methods, Method::ALL.to_vec());
+        assert!(!request.want_bounds);
+        assert_eq!(task_set.len(), 1);
+        for (text, kind) in [
+            (r#"{"task_set":{"tasks":[]}}"#, "protocol"), // no cores
+            (r#"{"cores":0,"task_set":{"tasks":[]}}"#, "protocol"),
+            (r#"{"cores":4,"v":2,"task_set":{"tasks":[]}}"#, "protocol"),
+            (
+                r#"{"cores":4,"methods":["fp"],"task_set":{"tasks":[]}}"#,
+                "protocol",
+            ),
+            (r#"{"cores":4}"#, "protocol"), // no task_set
+            (
+                r#"{"cores":4,"task_set":{"version":9,"tasks":[]}}"#,
+                "version",
+            ),
+            (r#"{"cores":4,"task_set":{"tasks":"#, "syntax"),
+        ] {
+            let err = parse_frame(text).expect_err(text);
+            assert_eq!(err.kind, kind, "{text}: {}", err.message);
+        }
+    }
+}

@@ -10,7 +10,7 @@
 use crate::campaign;
 use crate::exec::Jobs;
 use crate::set_seed;
-use rta_analysis::{analyze, analyze_all, AnalysisConfig, Method};
+use rta_analysis::{analyze, AnalysisConfig, AnalysisRequest, Method};
 use rta_taskgen::group1;
 use std::time::Instant;
 
@@ -27,7 +27,8 @@ pub struct TimingRow {
     /// Average seconds per FP-ideal analysis (same sets).
     pub fp_ideal_seconds: f64,
     /// Average seconds for all three methods batched through one shared
-    /// analysis cache ([`analyze_all`], the Figure 2 hot path) — compare
+    /// analysis cache (a multi-method [`AnalysisRequest`], the Figure 2
+    /// hot path) — compare
     /// with the sum of the three per-method columns for the cache win.
     pub batched_seconds: f64,
     /// How many positively-answered sets the averages cover.
@@ -107,7 +108,8 @@ pub fn run_with_jobs(
 /// `Some([ilp, max, fp, batched])` seconds when the LP-ILP test answers
 /// positively, `None` otherwise. The first three time stand-alone
 /// [`analyze`] calls (the paper's per-method quantity); the fourth times
-/// one [`analyze_all`] over the **same three paper methods**
+/// one bounds-carrying [`AnalysisRequest`] over the **same three paper
+/// methods**
 /// ([`Method::PAPER`], deliberately not LP-sound) sharing a single cache,
 /// so the batched column stays comparable with the sum of the three
 /// stand-alone ones.
@@ -128,12 +130,11 @@ fn measure_attempt(cores: usize, target: f64, seed: u64, attempt: usize) -> Opti
     let start = Instant::now();
     let _ = analyze(&ts, &AnalysisConfig::new(cores, Method::FpIdeal));
     let fp_time = start.elapsed().as_secs_f64();
-    let configs: Vec<AnalysisConfig> = Method::PAPER
-        .iter()
-        .map(|&m| AnalysisConfig::new(cores, m))
-        .collect();
+    let request = AnalysisRequest::new(cores)
+        .with_methods(Method::PAPER.iter().copied())
+        .with_bounds(true);
     let start = Instant::now();
-    let _ = analyze_all(&ts, &configs);
+    let _ = request.evaluate(&ts);
     let batched_time = start.elapsed().as_secs_f64();
     Some([ilp_time, max_time, fp_time, batched_time])
 }

@@ -81,8 +81,8 @@
 //! keeps inter-arrivals at or above the period, so all four analyses
 //! remain on the hook: a violation under any release model is real.
 //!
-//! The analysis side runs through
-//! [`rta_analysis::verdicts_with_bounds`]: the dominance-short-circuited
+//! The analysis side runs through a bounds-carrying
+//! [`rta_analysis::AnalysisRequest`]: the dominance-short-circuited
 //! verdict path of the ordinary campaign panels discards per-task bounds,
 //! which validation cannot live without. Cells flow through the same
 //! streaming engine as every other panel ([`crate::exec::stream_indexed`]
@@ -98,7 +98,7 @@ use crate::ascii;
 use crate::campaign::generate_on_worker;
 use crate::exec::{self, Jobs};
 use crate::set_seed;
-use rta_analysis::{verdicts_with_bounds, AnalysisConfig, Method, ScenarioSpace};
+use rta_analysis::{AnalysisRequest, Method, ScenarioSpace};
 use rta_model::{TaskSet, Time};
 use rta_sim::{simulate, PreemptionPolicy, ReleaseModel, SimConfig};
 use rta_taskgen::{chain_mix, group1};
@@ -308,11 +308,11 @@ pub fn validate_set(
     // `ScenarioSpace::Extended`), and simulation finds those sets — the
     // validation campaign therefore checks the sound space, while the
     // reproduction panels keep charting the paper's exact one.
-    let configs: Vec<AnalysisConfig> = Method::ALL
-        .iter()
-        .map(|&m| AnalysisConfig::new(cores, m).with_scenario_space(ScenarioSpace::Extended))
-        .collect();
-    let verdicts = verdicts_with_bounds(ts, &configs);
+    let verdicts = AnalysisRequest::new(cores)
+        .with_scenario_space(ScenarioSpace::Extended)
+        .with_bounds(true)
+        .evaluate(ts)
+        .into_outcomes();
     let accepted = [
         verdicts[0].schedulable,
         verdicts[1].schedulable,
@@ -363,7 +363,7 @@ pub fn validate_set(
             // compared exactly in scaled units.
             let mut exceeded = false;
             let mut worst = 0.0f64;
-            for (stats, &bound) in result.per_task.iter().zip(&verdict.bounds) {
+            for (stats, &bound) in result.per_task.iter().zip(verdict.bounds.iter().flatten()) {
                 if (stats.max_response as u128) * bound.cores() as u128 > bound.scaled() {
                     exceeded = true;
                 }
@@ -873,9 +873,12 @@ mod tests {
     fn lp_sound_covers_the_frozen_counterexample() {
         use rta_analysis::Method;
         let ts = counterexample_task_set();
-        let configs = [rta_analysis::AnalysisConfig::new(2, Method::LpSound)
-            .with_scenario_space(ScenarioSpace::Extended)];
-        let verdict = &verdicts_with_bounds(&ts, &configs)[0];
+        let outcome = AnalysisRequest::new(2)
+            .with_methods([Method::LpSound])
+            .with_scenario_space(ScenarioSpace::Extended)
+            .with_bounds(true)
+            .evaluate(&ts);
+        let verdict = outcome.outcome(Method::LpSound).expect("LP-sound answered");
         let sim = simulate(
             &ts,
             &SimConfig::new(2, 3 * 1216).with_policy(PreemptionPolicy::LimitedPreemptive),

@@ -1,0 +1,195 @@
+//! End-to-end contract of the admission-control server: hostile inputs
+//! get structured errors on a connection that stays up, verdicts match
+//! the library API, repeats hit the cache, and the whole thing starts
+//! and stops cleanly. Everything runs against a real socket on a
+//! kernel-assigned port.
+
+use rta_experiments::loadgen::{self, LoadgenOptions};
+use rta_experiments::serve::{spawn, ServeOptions, ServerHandle};
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+
+fn test_server(max_frame: usize) -> ServerHandle {
+    spawn(&ServeOptions {
+        addr: "127.0.0.1:0".into(),
+        lru_capacity: 8,
+        max_frame,
+    })
+    .expect("bind test server")
+}
+
+/// One client connection with line-framed send/receive helpers.
+struct Client {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    fn connect(handle: &ServerHandle) -> Self {
+        let stream = TcpStream::connect(handle.addr()).expect("connect");
+        Self {
+            writer: stream.try_clone().expect("clone stream"),
+            reader: BufReader::new(stream),
+        }
+    }
+
+    fn send(&mut self, frame: &str) -> String {
+        self.writer
+            .write_all(format!("{frame}\n").as_bytes())
+            .expect("send frame");
+        let mut line = String::new();
+        self.reader.read_line(&mut line).expect("read response");
+        assert!(line.ends_with('\n'), "unterminated response: {line:?}");
+        line
+    }
+}
+
+const FIGURE1_SET: &str = r#"{"version":1,"tasks":[
+    {"period":100,"deadline":100,"dag":{"wcets":[2,3,4,4,2,4,3,2,2,3],
+     "edges":[[0,1],[0,2],[0,3],[1,4],[1,5],[2,6],[3,6],[4,7],[5,7],[5,8],[6,8],[2,9],[7,9],[8,9]]}},
+    {"period":120,"deadline":120,"dag":{"wcets":[4,5,6,5],"edges":[[0,1],[0,2],[1,3],[2,3]]}}
+]}"#;
+
+fn analyze_frame(set: &str) -> String {
+    format!(
+        "{{\"v\":1,\"id\":42,\"cores\":4,\"task_set\":{}}}",
+        set.replace('\n', " ")
+    )
+}
+
+#[test]
+fn hostile_inputs_get_structured_errors_and_the_connection_survives() {
+    let handle = test_server(4096);
+    let mut client = Client::connect(&handle);
+    for (frame, kind) in [
+        // Malformed JSON.
+        ("{\"cores\": 4, \"task_set\":", "syntax"),
+        // NaN is not valid JSON at all.
+        (
+            "{\"cores\":4,\"task_set\":{\"tasks\":[{\"period\":NaN}]}}",
+            "syntax",
+        ),
+        // Negative WCET: parses as a float, rejected by the schema.
+        (
+            "{\"cores\":4,\"task_set\":{\"tasks\":[{\"period\":9,\"deadline\":9,\
+             \"dag\":{\"wcets\":[-3],\"edges\":[]}}]}}",
+            "schema",
+        ),
+        // Cyclic edge list: schema-valid, rejected by the model.
+        (
+            "{\"cores\":4,\"task_set\":{\"tasks\":[{\"period\":9,\"deadline\":9,\
+             \"dag\":{\"wcets\":[1,1],\"edges\":[[0,1],[1,0]]}}]}}",
+            "model",
+        ),
+        // Future schema version.
+        (
+            "{\"cores\":4,\"task_set\":{\"version\":7,\"tasks\":[]}}",
+            "version",
+        ),
+        // Protocol violations.
+        ("[1,2,3]", "protocol"),
+        ("{\"cores\":4}", "protocol"),
+        ("{\"cores\":99999,\"task_set\":{\"tasks\":[]}}", "protocol"),
+    ] {
+        let response = client.send(frame);
+        assert!(
+            response.contains(&format!("\"kind\":\"{kind}\"")),
+            "{frame} => {response}"
+        );
+        assert!(response.contains("\"ok\":false"), "{response}");
+    }
+    // The same connection still answers a well-formed request.
+    let response = client.send(&analyze_frame(FIGURE1_SET));
+    assert!(response.contains("\"ok\":true"), "{response}");
+    assert!(response.contains("\"id\":42"), "{response}");
+    handle.shutdown();
+}
+
+#[test]
+fn oversized_frames_error_and_resynchronize() {
+    let handle = test_server(512);
+    let mut client = Client::connect(&handle);
+    // Far larger than the 512-byte frame cap.
+    let huge = format!("{{\"cores\":4,\"padding\":\"{}\"}}", "x".repeat(4096));
+    let response = client.send(&huge);
+    assert!(response.contains("\"kind\":\"too_large\""), "{response}");
+    // The connection re-synchronized at the newline: next frame works.
+    let response = client.send("{\"cores\":2,\"task_set\":{\"tasks\":[]}}");
+    assert!(response.contains("\"ok\":true"), "{response}");
+    handle.shutdown();
+}
+
+#[test]
+fn verdicts_match_the_library_and_repeats_hit_the_cache() {
+    let handle = test_server(1 << 20);
+    let mut client = Client::connect(&handle);
+    let cold = client.send(&analyze_frame(FIGURE1_SET));
+    assert!(cold.contains("\"cache\":\"miss\""), "{cold}");
+    // All four methods accept the Figure-1-style set on 4 cores (the
+    // library agrees; this is the wire rendering of the same outcome).
+    for method in ["FP-ideal", "LP-ILP", "LP-max", "LP-sound"] {
+        assert!(
+            cold.contains(&format!("{{\"method\":\"{method}\",\"schedulable\":true}}")),
+            "{cold}"
+        );
+    }
+    let warm = client.send(&analyze_frame(FIGURE1_SET));
+    assert!(warm.contains("\"cache\":\"hit\""), "{warm}");
+    // Bounds on request: near-hit (same set, new shape), per-task arrays.
+    let bounds_frame = format!(
+        "{{\"cores\":4,\"bounds\":true,\"methods\":[\"LP-sound\"],\"task_set\":{}}}",
+        FIGURE1_SET.replace('\n', " ")
+    );
+    let with_bounds = client.send(&bounds_frame);
+    assert!(with_bounds.contains("\"cache\":\"near\""), "{with_bounds}");
+    assert!(with_bounds.contains("\"bounds\":["), "{with_bounds}");
+    // A second connection sees the same warm cache.
+    let mut other = Client::connect(&handle);
+    let repeat = other.send(&analyze_frame(FIGURE1_SET));
+    assert!(repeat.contains("\"cache\":\"hit\""), "{repeat}");
+    let stats = other.send("{\"stats\":true}");
+    assert!(stats.contains("\"errors\":0"), "{stats}");
+    assert!(stats.contains("\"cached_sets\":1"), "{stats}");
+    handle.shutdown();
+}
+
+#[test]
+fn wire_shutdown_stops_the_server() {
+    let handle = test_server(4096);
+    let addr = handle.addr();
+    let mut client = Client::connect(&handle);
+    let response = client.send("{\"shutdown\":true,\"id\":1}");
+    assert!(response.contains("\"shutdown\":true"), "{response}");
+    // The accept loop exits; join returns instead of blocking forever.
+    handle.join();
+    // New connections are no longer served (connect may still succeed
+    // briefly on some platforms' backlog, but no response comes back).
+    if let Ok(mut stream) = TcpStream::connect(addr) {
+        let _ = stream.write_all(b"{\"stats\":true}\n");
+        let mut line = String::new();
+        let _ = BufReader::new(stream).read_line(&mut line);
+        assert!(line.is_empty(), "served after shutdown: {line}");
+    }
+}
+
+#[test]
+fn loadgen_round_trip_reports_hits_and_no_errors() {
+    let handle = test_server(1 << 20);
+    let report = loadgen::run(&LoadgenOptions {
+        addr: handle.addr().to_string(),
+        connections: 4,
+        requests_per_connection: 25,
+        repeat_percent: 70,
+        pool_size: 4,
+        cores: 2,
+        target: 1.0,
+        ..Default::default()
+    })
+    .expect("loadgen run");
+    assert_eq!(report.errors, 0);
+    assert_eq!(report.requests, 100);
+    assert_eq!(report.hits + report.near_hits + report.misses, 100);
+    assert!(report.hits > 0, "no cache hits in a 70% repeat mix");
+    assert!(report.verdicts_per_sec > 0.0);
+    handle.shutdown();
+}

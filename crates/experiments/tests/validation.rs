@@ -14,7 +14,7 @@
 use proptest::prelude::*;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
-use rta_analysis::{verdicts_with_bounds, AnalysisConfig, Method};
+use rta_analysis::{AnalysisRequest, Method};
 use rta_experiments::validate::{validate_set, PolicyChoice, ReleaseChoice};
 use rta_sim::{simulate, PreemptionPolicy, SimConfig};
 use rta_taskgen::{chain_mix, generate_task_set, group1, group2};
@@ -72,8 +72,11 @@ proptest! {
     ) {
         let mut rng = SmallRng::seed_from_u64(seed);
         let ts = generate_task_set(&mut rng, &group2(2.0));
-        let configs = [AnalysisConfig::new(4, Method::FpIdeal)];
-        let verdict = &verdicts_with_bounds(&ts, &configs)[0];
+        let outcome = AnalysisRequest::new(4)
+            .with_methods([Method::FpIdeal])
+            .with_bounds(true)
+            .evaluate(&ts);
+        let verdict = outcome.outcome(Method::FpIdeal).expect("FP-ideal answered");
         prop_assume!(verdict.schedulable);
         let max_period = ts.tasks().iter().map(|t| t.period()).max().unwrap();
         let sim = simulate(
@@ -82,7 +85,7 @@ proptest! {
                 .with_policy(PreemptionPolicy::FullyPreemptive),
         );
         prop_assert!(sim.all_deadlines_met());
-        for (stats, &bound) in sim.per_task.iter().zip(&verdict.bounds) {
+        for (stats, &bound) in sim.per_task.iter().zip(verdict.bounds.iter().flatten()) {
             prop_assert!(
                 (stats.max_response as u128) * bound.cores() as u128 <= bound.scaled(),
                 "seed {}: sim {} exceeds bound {}",

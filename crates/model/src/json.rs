@@ -6,6 +6,7 @@
 //!
 //! ```json
 //! {
+//!   "version": 1,
 //!   "tasks": [
 //!     {
 //!       "name": "video",
@@ -21,6 +22,18 @@
 //! (insignificant whitespace, string escapes, any key order) and validates
 //! through the usual [`DagBuilder`] / [`DagTask::new`] constructors, so a
 //! parsed task upholds every model invariant.
+//!
+//! Task-**set** payloads are versioned: writers stamp the current
+//! [`TASK_SET_SCHEMA_VERSION`], readers accept version-less legacy payloads
+//! (implicitly version 1) and reject anything newer with the structured
+//! [`JsonError::UnknownVersion`] — never a panic — so an old server given a
+//! new client's payload degrades into a clean protocol error.
+//!
+//! Besides the pretty printers there are single-line compact writers
+//! ([`task_set_to_json_compact`]) for line-delimited wire framing, and the
+//! generic JSON layer ([`Value`], [`parse`], [`task_set_from_value`]) is
+//! public so protocol envelopes that *embed* a task set (the `repro serve`
+//! request format) can parse once and pick fields off the tree.
 //!
 //! # Example
 //!
@@ -47,6 +60,11 @@ use std::collections::BTreeMap;
 use std::fmt;
 use std::fmt::Write as _;
 
+/// The newest task-set payload schema version this build reads and the one
+/// it writes. Version-less payloads predate versioning and are read as
+/// version 1.
+pub const TASK_SET_SCHEMA_VERSION: u64 = 1;
+
 /// Why a JSON document could not be turned into a model value.
 #[derive(Clone, Debug, PartialEq)]
 pub enum JsonError {
@@ -59,6 +77,14 @@ pub enum JsonError {
     },
     /// Well-formed JSON that does not match the schema.
     Schema(String),
+    /// The payload declares a schema version this build does not read.
+    UnknownVersion {
+        /// The version the payload declares.
+        found: u64,
+        /// The newest version this build understands
+        /// ([`TASK_SET_SCHEMA_VERSION`]).
+        supported: u64,
+    },
     /// Schema-valid input rejected by a model constructor (e.g. a cycle or
     /// a deadline exceeding the period).
     Model(ModelError),
@@ -71,6 +97,10 @@ impl fmt::Display for JsonError {
                 write!(f, "JSON syntax error at byte {offset}: {message}")
             }
             JsonError::Schema(message) => write!(f, "JSON schema error: {message}"),
+            JsonError::UnknownVersion { found, supported } => write!(
+                f,
+                "unsupported task-set schema version {found} (this build reads up to {supported})"
+            ),
             JsonError::Model(e) => write!(f, "parsed JSON violates the task model: {e}"),
         }
     }
@@ -148,9 +178,10 @@ pub fn task_to_json(task: &DagTask) -> String {
     out
 }
 
-/// Renders a task set as pretty-printed JSON (tasks in priority order).
+/// Renders a task set as pretty-printed JSON (tasks in priority order),
+/// stamped with the current [`TASK_SET_SCHEMA_VERSION`].
 pub fn task_set_to_json(task_set: &TaskSet) -> String {
-    let mut out = String::from("{\n  \"tasks\": [");
+    let mut out = format!("{{\n  \"version\": {TASK_SET_SCHEMA_VERSION},\n  \"tasks\": [");
     for (i, task) in task_set.tasks().iter().enumerate() {
         if i > 0 {
             out.push(',');
@@ -165,21 +196,132 @@ pub fn task_set_to_json(task_set: &TaskSet) -> String {
     out
 }
 
+fn dag_into_compact(out: &mut String, dag: &Dag) {
+    out.push_str("{\"wcets\":[");
+    for (i, w) in dag.wcets().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{w}");
+    }
+    out.push_str("],\"edges\":[");
+    for (i, (from, to)) in dag.edges().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "[{},{}]", from.index(), to.index());
+    }
+    out.push_str("]}");
+}
+
+fn task_into_compact(out: &mut String, task: &DagTask) {
+    out.push('{');
+    if let Some(name) = task.name() {
+        out.push_str("\"name\":");
+        escape_into(out, name);
+        out.push(',');
+    }
+    let _ = write!(
+        out,
+        "\"period\":{},\"deadline\":{},\"dag\":",
+        task.period(),
+        task.deadline()
+    );
+    dag_into_compact(out, task.dag());
+    out.push('}');
+}
+
+/// Renders one task as single-line compact JSON (same schema as
+/// [`task_to_json`], no insignificant whitespace).
+pub fn task_to_json_compact(task: &DagTask) -> String {
+    let mut out = String::new();
+    task_into_compact(&mut out, task);
+    out
+}
+
+/// Renders a task set as single-line compact JSON — the form the
+/// line-delimited `repro serve` wire protocol embeds in its request frames.
+/// Parses back through [`task_set_from_json`] like the pretty form.
+pub fn task_set_to_json_compact(task_set: &TaskSet) -> String {
+    let mut out = format!("{{\"version\":{TASK_SET_SCHEMA_VERSION},\"tasks\":[");
+    for (i, task) in task_set.tasks().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        task_into_compact(&mut out, task);
+    }
+    out.push_str("]}");
+    out
+}
+
 // ---------------------------------------------------------------------------
 // Parsing: a minimal recursive-descent JSON reader
 // ---------------------------------------------------------------------------
 
 /// A parsed JSON value.
+///
+/// Public so that protocol layers embedding a task set in a larger
+/// envelope (the `repro serve` request format) can [`parse`] the document
+/// once, pick their own fields off the tree, and hand the `"task_set"`
+/// subtree to [`task_set_from_value`].
 #[derive(Clone, Debug, PartialEq)]
-enum Value {
+pub enum Value {
+    /// `null`.
     Null,
+    /// `true` / `false`.
     Bool(bool),
     /// Numbers that fit an unsigned integer exactly stay exact.
     UInt(u64),
+    /// Any other number (negative, fractional, or in exponent form).
     Float(f64),
+    /// A string.
     Str(String),
+    /// An array.
     Array(Vec<Value>),
+    /// An object. Key order is not preserved (nor significant).
     Object(BTreeMap<String, Value>),
+}
+
+impl Value {
+    /// The value of `key`, if this is an object that has it.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(map) => map.get(key),
+            _ => None,
+        }
+    }
+
+    /// The exact unsigned integer, if this is one.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::UInt(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The boolean, if this is one.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The string slice, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The element slice, if this is an array.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
 }
 
 struct Parser<'a> {
@@ -428,7 +570,13 @@ fn utf8_len(first: u8) -> usize {
     }
 }
 
-fn parse_document(text: &str) -> Result<Value, JsonError> {
+/// Parses one complete JSON document into a [`Value`] tree.
+///
+/// # Errors
+///
+/// Returns [`JsonError::Syntax`] when the text is not well-formed JSON or
+/// has trailing characters after the document.
+pub fn parse(text: &str) -> Result<Value, JsonError> {
     let mut parser = Parser {
         bytes: text.as_bytes(),
         pos: 0,
@@ -528,20 +676,36 @@ fn task_from_value(value: &Value) -> Result<DagTask, JsonError> {
 /// Returns [`JsonError`] for malformed JSON, schema mismatches, or inputs
 /// rejected by the model constructors.
 pub fn task_from_json(text: &str) -> Result<DagTask, JsonError> {
-    task_from_value(&parse_document(text)?)
+    task_from_value(&parse(text)?)
 }
 
-/// Parses a task set from JSON (the format of [`task_set_to_json`]).
+/// Maps an already-parsed [`Value`] to a task set, enforcing the schema
+/// version: a missing `"version"` reads as the legacy version 1, a declared
+/// version must equal [`TASK_SET_SCHEMA_VERSION`].
 ///
 /// # Errors
 ///
-/// Returns [`JsonError`] for malformed JSON, schema mismatches, or inputs
-/// rejected by the model constructors.
-pub fn task_set_from_json(text: &str) -> Result<TaskSet, JsonError> {
-    let document = parse_document(text)?;
-    let Value::Object(obj) = &document else {
-        return Err(JsonError::Schema("top level must be an object".into()));
+/// Returns [`JsonError`] for schema mismatches, unknown schema versions, or
+/// inputs rejected by the model constructors.
+pub fn task_set_from_value(value: &Value) -> Result<TaskSet, JsonError> {
+    let Value::Object(obj) = value else {
+        return Err(JsonError::Schema("a task set must be a JSON object".into()));
     };
+    match obj.get("version") {
+        None => {} // version-less legacy payload: version 1
+        Some(Value::UInt(v)) if *v == TASK_SET_SCHEMA_VERSION => {}
+        Some(Value::UInt(v)) => {
+            return Err(JsonError::UnknownVersion {
+                found: *v,
+                supported: TASK_SET_SCHEMA_VERSION,
+            });
+        }
+        Some(other) => {
+            return Err(JsonError::Schema(format!(
+                "\"version\" must be a non-negative integer, got {other:?}"
+            )));
+        }
+    }
     let Some(Value::Array(tasks)) = obj.get("tasks") else {
         return Err(JsonError::Schema("\"tasks\" must be an array".into()));
     };
@@ -551,6 +715,16 @@ pub fn task_set_from_json(text: &str) -> Result<TaskSet, JsonError> {
             .map(task_from_value)
             .collect::<Result<_, _>>()?,
     ))
+}
+
+/// Parses a task set from JSON (the format of [`task_set_to_json`]).
+///
+/// # Errors
+///
+/// Returns [`JsonError`] for malformed JSON, schema mismatches, unknown
+/// schema versions, or inputs rejected by the model constructors.
+pub fn task_set_from_json(text: &str) -> Result<TaskSet, JsonError> {
+    task_set_from_value(&parse(text)?)
 }
 
 #[cfg(test)]
@@ -679,5 +853,69 @@ mod tests {
             task_from_json(r#"{"period": 5.5, "deadline": 3, "dag": {"wcets": [1], "edges": []}}"#)
                 .unwrap_err();
         assert!(matches!(err, JsonError::Schema(_)), "{err:?}");
+    }
+
+    #[test]
+    fn task_set_payloads_are_version_stamped() {
+        let ts = TaskSet::new(vec![fork_join()]);
+        let json = task_set_to_json(&ts);
+        assert!(json.contains("\"version\": 1"), "{json}");
+        assert_eq!(task_set_from_json(&json).unwrap(), ts);
+    }
+
+    #[test]
+    fn version_less_legacy_payloads_still_parse() {
+        let legacy =
+            r#"{"tasks": [{"period": 5, "deadline": 3, "dag": {"wcets": [1], "edges": []}}]}"#;
+        assert_eq!(task_set_from_json(legacy).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn unknown_versions_are_rejected_with_a_structured_error() {
+        let future = r#"{"version": 2, "tasks": []}"#;
+        assert_eq!(
+            task_set_from_json(future).unwrap_err(),
+            JsonError::UnknownVersion {
+                found: 2,
+                supported: TASK_SET_SCHEMA_VERSION
+            }
+        );
+        // Non-integer versions are a schema error, not a panic.
+        for bad in [
+            r#"{"version": "1", "tasks": []}"#,
+            r#"{"version": -1, "tasks": []}"#,
+        ] {
+            let err = task_set_from_json(bad).unwrap_err();
+            assert!(matches!(err, JsonError::Schema(_)), "{bad}: {err:?}");
+        }
+    }
+
+    #[test]
+    fn compact_writers_are_single_line_and_round_trip() {
+        let ts = TaskSet::new(vec![fork_join().named("a \"b\"\n"), fork_join()]);
+        let compact = task_set_to_json_compact(&ts);
+        assert!(!compact.contains('\n'), "{compact}");
+        assert!(compact.starts_with("{\"version\":1,"), "{compact}");
+        assert_eq!(task_set_from_json(&compact).unwrap(), ts);
+        // Compact and pretty forms parse to the same model value.
+        assert_eq!(
+            task_set_from_json(&task_set_to_json(&ts)).unwrap(),
+            task_set_from_json(&compact).unwrap()
+        );
+        let task = fork_join().named("t");
+        let one = task_to_json_compact(&task);
+        assert!(!one.contains('\n'), "{one}");
+        assert_eq!(task_from_json(&one).unwrap(), task);
+    }
+
+    #[test]
+    fn envelope_parsing_through_the_public_value_layer() {
+        let doc = parse(r#"{"cores": 4, "bounds": true, "task_set": {"version": 1, "tasks": []}}"#)
+            .unwrap();
+        assert_eq!(doc.get("cores").and_then(Value::as_u64), Some(4));
+        assert_eq!(doc.get("bounds").and_then(Value::as_bool), Some(true));
+        let ts = task_set_from_value(doc.get("task_set").unwrap()).unwrap();
+        assert!(ts.is_empty());
+        assert!(doc.get("missing").is_none());
     }
 }
