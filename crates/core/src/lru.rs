@@ -234,6 +234,33 @@ impl AnalysisLru {
         }
     }
 
+    /// Answers `request` from recorded facts only, or not at all — the
+    /// degraded-mode fast path for callers shedding load. Behaves like
+    /// [`fetch`](Self::fetch) on a full hit (recency bumped, hit counted);
+    /// on anything less it returns `None` **without** counting a miss or
+    /// near-hit, because no analysis follows — the caller refuses the
+    /// request instead, and its own shed accounting covers that.
+    pub fn fetch_facts(
+        &mut self,
+        task_set: &TaskSet,
+        request: &AnalysisRequest,
+    ) -> Option<AnalysisOutcome> {
+        let key = task_set.stable_hash();
+        let entry = self
+            .entries
+            .iter_mut()
+            .find(|e| e.key == key && e.task_set == *task_set)?;
+        let outcomes: Vec<MethodOutcome> = request
+            .methods
+            .iter()
+            .map(|&m| entry.answer(&request.config_for(m), request.want_bounds))
+            .collect::<Option<_>>()?;
+        self.clock += 1;
+        entry.last_used = self.clock;
+        self.stats.hits += 1;
+        Some(AnalysisOutcome::from_parts(request.cores, outcomes))
+    }
+
     /// Records an evaluated outcome: every `(configuration, method)` fact
     /// it carries becomes answerable, creating (and if necessary evicting
     /// to make room for) the task set's entry.
@@ -443,6 +470,39 @@ mod tests {
         let none = AnalysisRequest::new(2).with_methods([]);
         assert_eq!(lru.analyze(&ts, &none).1, CacheOutcome::Miss);
         assert_eq!(lru.analyze(&ts, &none).1, CacheOutcome::Hit);
+    }
+
+    #[test]
+    fn facts_only_path_answers_hits_and_refuses_everything_else() {
+        let mut lru = AnalysisLru::new(4);
+        let ts = figure1_task_set();
+        let req = AnalysisRequest::new(4);
+        // Nothing recorded: no answer, and no miss/near counted — the
+        // caller refuses the request and accounts for it as shed.
+        assert_eq!(lru.fetch_facts(&ts, &req), None);
+        lru.analyze(&ts, &req);
+        let stats_before = lru.stats();
+        let outcome = lru.fetch_facts(&ts, &req).expect("recorded facts");
+        assert_eq!(outcome, req.evaluate(&ts));
+        assert_eq!(lru.stats().hits, stats_before.hits + 1);
+        // A shape needing facts that were never recorded is refused, and
+        // neither the miss nor the near-hit counter moves.
+        let bounds = AnalysisRequest::new(4).with_bounds(true);
+        assert_eq!(lru.fetch_facts(&ts, &bounds), None);
+        assert_eq!(lru.stats().misses, stats_before.misses);
+        assert_eq!(lru.stats().near_hits, stats_before.near_hits);
+        // The hit bumped recency: under eviction pressure the facts-served
+        // set survives over one analyzed earlier but never re-touched.
+        let mut lru = AnalysisLru::new(2);
+        let small = AnalysisRequest::new(2);
+        let a = small_set(1, 10);
+        let b = small_set(2, 10);
+        lru.analyze(&a, &small);
+        lru.analyze(&b, &small);
+        lru.fetch_facts(&a, &small).expect("a is cached");
+        lru.analyze(&small_set(3, 10), &small); // evicts b, not a
+        assert_eq!(lru.analyze(&a, &small).1, CacheOutcome::Hit);
+        assert_eq!(lru.analyze(&b, &small).1, CacheOutcome::Miss);
     }
 
     #[test]

@@ -37,11 +37,18 @@
 //!   dump-set     print one generated task set as JSON (--seed N --target U)
 //!   serve        admission-control daemon: answer accept/reject verdicts
 //!                over line-delimited JSON frames on a TCP socket, with a
-//!                bounded LRU of analyzed task sets (see README, "Serving
-//!                verdicts"); runs until a client sends {"shutdown":true}
+//!                bounded LRU of analyzed task sets, a bounded connection
+//!                pool, idle/frame timeouts and watermark load shedding
+//!                (see README, "Serving verdicts" and "Operating the
+//!                server"); runs until a client sends {"shutdown":true},
+//!                then drains live connections and reports the drain
 //!   loadgen      drive a running server with a repeat/fresh request mix
-//!                at configurable concurrency; prints throughput, cache
-//!                hit rate and latency percentiles
+//!                at configurable concurrency; retries transient failures
+//!                with capped, deterministically jittered backoff; prints
+//!                throughput, cache hit rate, latency percentiles and
+//!                retry accounting. With --chaos, runs a seeded script of
+//!                hostile client behaviours instead (slowloris, mid-frame
+//!                disconnects, malformed/oversized bursts, idle connects)
 //!   all          everything above (except dump-set, serve and loadgen)
 //!
 //! options:
@@ -65,6 +72,14 @@
 //!   --bounds     loadgen: request per-task bounds on every frame
 //!   --bench P    loadgen: also write the flat BENCH JSON report to P
 //!   --shutdown   loadgen: stop the server after the burst
+//!   --max-conns N serve: connection-pool bound          (default 64)
+//!   --watermark N serve: shed-mode threshold            (default 3/4 of
+//!                the pool bound)
+//!   --idle-ms N  serve: idle-connection timeout, ms     (default 30000)
+//!   --frame-ms N serve: frame arrival/processing budget (default 10000)
+//!   --drain-ms N serve: shutdown drain deadline, ms     (default 5000)
+//!   --retries N  loadgen: transient-failure retries     (default 4)
+//!   --chaos      loadgen: run the seeded hostile-client script
 //! ```
 //!
 //! Sweep output is bit-identical for every `--jobs` value: task-set seeds
@@ -105,6 +120,14 @@ struct Options {
     bounds: bool,
     bench: Option<PathBuf>,
     shutdown: bool,
+    max_conns: usize,
+    /// `None` derives the shed watermark as 3/4 of `max_conns`.
+    watermark: Option<usize>,
+    idle_ms: u64,
+    frame_ms: u64,
+    drain_ms: u64,
+    retries: usize,
+    chaos: bool,
 }
 
 impl Options {
@@ -139,6 +162,13 @@ fn main() {
         bounds: false,
         bench: None,
         shutdown: false,
+        max_conns: rta_experiments::serve::DEFAULT_MAX_CONNS,
+        watermark: None,
+        idle_ms: 30_000,
+        frame_ms: 10_000,
+        drain_ms: 5_000,
+        retries: 4,
+        chaos: false,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -251,6 +281,51 @@ fn main() {
             }
             "--shutdown" => {
                 options.shutdown = true;
+            }
+            "--max-conns" => {
+                options.max_conns = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n > 0)
+                    .unwrap_or_else(|| usage("--max-conns needs a positive number"));
+            }
+            "--watermark" => {
+                options.watermark = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .filter(|&n| n > 0)
+                        .unwrap_or_else(|| usage("--watermark needs a positive number")),
+                );
+            }
+            "--idle-ms" => {
+                options.idle_ms = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n > 0)
+                    .unwrap_or_else(|| usage("--idle-ms needs a positive number of ms"));
+            }
+            "--frame-ms" => {
+                options.frame_ms = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n > 0)
+                    .unwrap_or_else(|| usage("--frame-ms needs a positive number of ms"));
+            }
+            "--drain-ms" => {
+                options.drain_ms = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n > 0)
+                    .unwrap_or_else(|| usage("--drain-ms needs a positive number of ms"));
+            }
+            "--retries" => {
+                options.retries = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--retries needs a number"));
+            }
+            "--chaos" => {
+                options.chaos = true;
             }
             cmd if command.is_none() && !cmd.starts_with('-') => {
                 command = Some(cmd.to_string());
@@ -530,9 +605,15 @@ fn sensitivity(options: &Options) {
 /// Runs the admission-control daemon in the foreground until a client's
 /// `{"shutdown":true}` frame stops it.
 fn run_serve(options: &Options) {
+    use std::time::Duration;
     let serve_options = rta_experiments::serve::ServeOptions {
         addr: options.addr.clone(),
         lru_capacity: options.lru,
+        max_conns: options.max_conns,
+        shed_watermark: options.watermark.unwrap_or(options.max_conns * 3 / 4),
+        idle_timeout: Duration::from_millis(options.idle_ms),
+        frame_timeout: Duration::from_millis(options.frame_ms),
+        drain_timeout: Duration::from_millis(options.drain_ms),
         ..Default::default()
     };
     let handle = rta_experiments::serve::spawn(&serve_options)
@@ -543,8 +624,21 @@ fn run_serve(options: &Options) {
         handle.addr(),
         options.lru
     );
-    handle.join();
-    println!("server stopped");
+    println!(
+        "limits: {} connections (shedding past {}), idle timeout {}ms, \
+         frame timeout {}ms, drain timeout {}ms",
+        serve_options.max_conns,
+        serve_options.shed_watermark,
+        options.idle_ms,
+        options.frame_ms,
+        options.drain_ms
+    );
+    let report = handle.join();
+    println!("server stopped: {}", report.render());
+    if report.panicked > 0 {
+        eprintln!("error: {} connection thread(s) panicked", report.panicked);
+        std::process::exit(1);
+    }
 }
 
 /// Drives a running server with the configured request mix and prints
@@ -559,15 +653,26 @@ fn run_loadgen(options: &Options) {
         seed: options.seed,
         target: options.target,
         shutdown: options.shutdown,
+        retries: options.retries,
+        chaos: options.chaos,
         ..Default::default()
     };
-    println!(
-        "== loadgen: {} connections x {} requests, {}% repeats, against {} ==",
-        loadgen_options.connections,
-        loadgen_options.requests_per_connection,
-        loadgen_options.repeat_percent,
-        loadgen_options.addr
-    );
+    if loadgen_options.chaos {
+        println!(
+            "== loadgen --chaos: {} workers x {} seeded hostile actions, against {} ==",
+            loadgen_options.connections,
+            loadgen_options.requests_per_connection,
+            loadgen_options.addr
+        );
+    } else {
+        println!(
+            "== loadgen: {} connections x {} requests, {}% repeats, against {} ==",
+            loadgen_options.connections,
+            loadgen_options.requests_per_connection,
+            loadgen_options.repeat_percent,
+            loadgen_options.addr
+        );
+    }
     let report = rta_experiments::loadgen::run(&loadgen_options)
         .unwrap_or_else(|e| usage(&format!("loadgen against {} failed: {e}", options.addr)));
     println!("{}", report.render());
@@ -606,7 +711,9 @@ fn usage(msg: &str) -> ! {
          [--horizon N] [--policy limited|eager|lazy|full|both] \
          [--release sync|jitter|sporadic] \
          [--addr HOST:PORT] [--lru N] [--conns N] [--requests N] \
-         [--repeat PCT] [--bounds] [--bench PATH] [--shutdown]"
+         [--repeat PCT] [--bounds] [--bench PATH] [--shutdown] \
+         [--max-conns N] [--watermark N] [--idle-ms N] [--frame-ms N] \
+         [--drain-ms N] [--retries N] [--chaos]"
     );
     std::process::exit(2);
 }

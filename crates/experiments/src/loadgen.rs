@@ -14,7 +14,31 @@
 //! asserts on. Latencies are measured client-side (send → response line),
 //! so they include the wire round trip; `micros` from the server is used
 //! for the per-class analysis-time split.
+//!
+//! # Retries
+//!
+//! A request that fails transiently — the connection drops, the read
+//! times out, or the server answers `overloaded` while shedding load —
+//! is retried up to [`LoadgenOptions::retries`] times with capped
+//! exponential backoff. The jitter is drawn from a **separate** seeded
+//! RNG, so retry timing never perturbs the repeat/fresh request mix: the
+//! request stream for a given seed is identical whether or not the
+//! server sheds. Retry accounting (`retries`, `reconnects`,
+//! `overloaded`, `gave_up`) lands in the report and the BENCH output.
+//!
+//! # Chaos mode
+//!
+//! With [`LoadgenOptions::chaos`] set, workers stop measuring throughput
+//! and instead run a seeded script of hostile client behaviours —
+//! slowloris half-frames, mid-frame disconnects, malformed and oversized
+//! bursts, connect-and-idle — against the server. The script is a pure
+//! function of `(seed, worker)` ([`chaos_script`]), so a chaos run is
+//! exactly reproducible. The tally counts what the server did about it
+//! (structured error frames observed, connections closed on us); the
+//! point of the mode is that a concurrent *clean* client stays unharmed,
+//! which the chaos suite and the CI `chaos-smoke` job assert.
 
+use crate::serve::DEFAULT_MAX_FRAME;
 use crate::set_seed;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -24,7 +48,18 @@ use std::io::{self, BufRead, BufReader, Write};
 use std::net::TcpStream;
 use std::sync::Arc;
 use std::thread;
-use std::time::Instant;
+use std::time::{Duration, Instant};
+
+/// How long a well-behaved client waits for a response line before it
+/// declares the connection dead and retries elsewhere.
+const CLIENT_READ_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// How long chaos actions linger to observe the server's reaction.
+const CHAOS_READ_TIMEOUT: Duration = Duration::from_millis(250);
+
+/// Write timeout on chaos sockets, so a refused connection cannot stall
+/// the chaos worker on a large write.
+const CHAOS_WRITE_TIMEOUT: Duration = Duration::from_secs(2);
 
 /// Load-generator configuration.
 #[derive(Clone, Debug)]
@@ -33,7 +68,8 @@ pub struct LoadgenOptions {
     pub addr: String,
     /// Concurrent connections (worker threads).
     pub connections: usize,
-    /// Requests sent per connection.
+    /// Requests sent per connection (chaos actions per worker in chaos
+    /// mode).
     pub requests_per_connection: usize,
     /// Percentage of requests drawn from the shared repeat pool.
     pub repeat_percent: u32,
@@ -49,6 +85,14 @@ pub struct LoadgenOptions {
     pub target: f64,
     /// Send `{"shutdown":true}` after the run (stops the server).
     pub shutdown: bool,
+    /// Transient-failure retries per request (0 disables retrying).
+    pub retries: usize,
+    /// First backoff delay, microseconds; doubles per retry.
+    pub backoff_micros: u64,
+    /// Backoff ceiling, microseconds.
+    pub backoff_cap_micros: u64,
+    /// Run the seeded hostile-client script instead of the measured burst.
+    pub chaos: bool,
 }
 
 impl Default for LoadgenOptions {
@@ -64,6 +108,10 @@ impl Default for LoadgenOptions {
             seed: 0xC0FFEE,
             target: 2.0,
             shutdown: false,
+            retries: 4,
+            backoff_micros: 500,
+            backoff_cap_micros: 100_000,
+            chaos: false,
         }
     }
 }
@@ -104,12 +152,51 @@ impl LatencyStats {
     }
 }
 
+/// What the chaos script did and what the server did about it.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ChaosTally {
+    /// Hostile actions executed.
+    pub actions: usize,
+    /// Byte-at-a-time partial frames (then abandoned).
+    pub slowloris: usize,
+    /// Connections dropped halfway through a frame.
+    pub mid_frame_disconnects: usize,
+    /// Bursts of junk lines.
+    pub malformed_bursts: usize,
+    /// Frames exceeding the server's frame cap.
+    pub oversized: usize,
+    /// Connections opened and left idle.
+    pub connect_and_idle: usize,
+    /// Structured `"ok":false` frames the server answered with.
+    pub error_frames_seen: usize,
+    /// Times the server closed the connection on us (timeout policy at
+    /// work).
+    pub server_closes: usize,
+    /// Connects refused outright (pool exhausted or injected fault).
+    pub failed_connects: usize,
+}
+
+/// The hostile behaviours chaos mode can exhibit.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ChaosAction {
+    /// Send a partial frame one byte at a time, then stop mid-frame.
+    Slowloris,
+    /// Send half a frame and disconnect immediately.
+    MidFrameDisconnect,
+    /// Send several lines of junk and read the error frames back.
+    MalformedBurst,
+    /// Send a frame larger than any server accepts.
+    Oversized,
+    /// Connect, say nothing, linger, leave.
+    ConnectAndIdle,
+}
+
 /// What one loadgen run measured.
 #[derive(Clone, Debug, Default)]
 pub struct LoadgenReport {
-    /// Requests sent (all workers).
+    /// Requests sent (all workers; chaos actions in chaos mode).
     pub requests: usize,
-    /// Error responses received (must be zero on a healthy run).
+    /// Requests that failed after all retries (zero on a healthy run).
     pub errors: usize,
     /// Responses labelled `hit` / `near` / `miss` by the server.
     pub hits: usize,
@@ -117,6 +204,14 @@ pub struct LoadgenReport {
     pub near_hits: usize,
     /// Cold analyses.
     pub misses: usize,
+    /// Retry attempts across all requests.
+    pub retries: usize,
+    /// Connections re-established after a drop or read timeout.
+    pub reconnects: usize,
+    /// `overloaded` error frames received (server shedding load).
+    pub overloaded: usize,
+    /// Requests abandoned after exhausting the retry budget.
+    pub gave_up: usize,
     /// Wall-clock of the whole burst, seconds.
     pub elapsed_secs: f64,
     /// Sustained successful verdict responses per second.
@@ -127,6 +222,8 @@ pub struct LoadgenReport {
     pub hit_micros: LatencyStats,
     /// Server-side analysis micros of cold (miss) responses.
     pub miss_micros: LatencyStats,
+    /// The chaos tally, present iff the run was a chaos run.
+    pub chaos: Option<ChaosTally>,
 }
 
 impl LoadgenReport {
@@ -151,14 +248,38 @@ impl LoadgenReport {
 
     /// Human-readable summary.
     pub fn render(&self) -> String {
+        if let Some(chaos) = &self.chaos {
+            return format!(
+                "chaos: {} hostile actions over {:.2}s\n\
+                 mix: {} slowloris / {} mid-frame disconnects / {} malformed bursts / \
+                 {} oversized / {} connect-and-idle\n\
+                 server reaction: {} structured error frames, {} connections closed on us, \
+                 {} connects refused",
+                chaos.actions,
+                self.elapsed_secs,
+                chaos.slowloris,
+                chaos.mid_frame_disconnects,
+                chaos.malformed_bursts,
+                chaos.oversized,
+                chaos.connect_and_idle,
+                chaos.error_frames_seen,
+                chaos.server_closes,
+                chaos.failed_connects,
+            );
+        }
         format!(
             "requests: {} ({} errors)\n\
+             retries: {} ({} overloaded, {} reconnects, {} gave up)\n\
              cache: {} hits / {} near / {} misses (hit rate {:.1}%)\n\
              throughput: {:.0} verdicts/s over {:.2}s\n\
              latency (client µs): p50 {} / p99 {} / p999 {}\n\
              analysis (server µs): hit p50 {} vs cold p50 {} — {:.0}x repeat speedup",
             self.requests,
             self.errors,
+            self.retries,
+            self.overloaded,
+            self.reconnects,
+            self.gave_up,
             self.hits,
             self.near_hits,
             self.misses,
@@ -177,10 +298,33 @@ impl LoadgenReport {
     /// The flat BENCH JSON format of this repository (one scalar per
     /// line, greppable).
     pub fn to_bench_json(&self, options: &LoadgenOptions) -> String {
+        if let Some(chaos) = &self.chaos {
+            return format!(
+                "{{\n  \"bench\": \"serve-chaos\",\n  \"connections\": {},\n  \
+                 \"actions\": {},\n  \"slowloris\": {},\n  \
+                 \"mid_frame_disconnects\": {},\n  \"malformed_bursts\": {},\n  \
+                 \"oversized\": {},\n  \"connect_and_idle\": {},\n  \
+                 \"error_frames_seen\": {},\n  \"server_closes\": {},\n  \
+                 \"failed_connects\": {},\n  \"errors\": {}\n}}\n",
+                options.connections,
+                chaos.actions,
+                chaos.slowloris,
+                chaos.mid_frame_disconnects,
+                chaos.malformed_bursts,
+                chaos.oversized,
+                chaos.connect_and_idle,
+                chaos.error_frames_seen,
+                chaos.server_closes,
+                chaos.failed_connects,
+                self.errors,
+            );
+        }
         format!(
             "{{\n  \"bench\": \"serve\",\n  \"connections\": {},\n  \
              \"requests\": {},\n  \"repeat_percent\": {},\n  \"pool_size\": {},\n  \
-             \"cores\": {},\n  \"errors\": {},\n  \"hits\": {},\n  \
+             \"cores\": {},\n  \"errors\": {},\n  \"retries\": {},\n  \
+             \"overloaded\": {},\n  \"reconnects\": {},\n  \"gave_up\": {},\n  \
+             \"hits\": {},\n  \
              \"near_hits\": {},\n  \"misses\": {},\n  \"hit_rate_pct\": {:.2},\n  \
              \"verdicts_per_sec\": {:.0},\n  \"latency_p50_micros\": {},\n  \
              \"latency_p99_micros\": {},\n  \"latency_p999_micros\": {},\n  \
@@ -192,6 +336,10 @@ impl LoadgenReport {
             options.pool_size,
             options.cores,
             self.errors,
+            self.retries,
+            self.overloaded,
+            self.reconnects,
+            self.gave_up,
             self.hits,
             self.near_hits,
             self.misses,
@@ -215,13 +363,19 @@ struct WorkerTally {
     hits: usize,
     near_hits: usize,
     misses: usize,
+    retries: usize,
+    reconnects: usize,
+    overloaded: usize,
+    gave_up: usize,
     latencies: Vec<u64>,
     hit_micros: Vec<u64>,
     miss_micros: Vec<u64>,
+    chaos: ChaosTally,
 }
 
-/// Runs the burst and aggregates the report. Fails fast on connection
-/// errors (a missing server is a setup problem, not a measurement).
+/// Runs the burst (or chaos script) and aggregates the report. Fails
+/// fast on a first connection error in clean mode (a missing server is a
+/// setup problem, not a measurement).
 pub fn run(options: &LoadgenOptions) -> io::Result<LoadgenReport> {
     assert!(options.connections >= 1, "need at least one connection");
     assert!(options.pool_size >= 1, "need at least one pooled set");
@@ -242,11 +396,17 @@ pub fn run(options: &LoadgenOptions) -> io::Result<LoadgenReport> {
     for worker in 0..options.connections {
         let options = options.clone();
         let pool = Arc::clone(&pool);
-        workers.push(thread::spawn(move || run_worker(&options, worker, &pool)));
+        workers.push(thread::spawn(move || {
+            if options.chaos {
+                Ok(run_chaos_worker(&options, worker, &pool))
+            } else {
+                run_worker(&options, worker, &pool)
+            }
+        }));
     }
     let mut tally = WorkerTally::default();
     for worker in workers {
-        let part = worker
+        let part: WorkerTally = worker
             .join()
             .map_err(|_| io::Error::other("loadgen worker panicked"))??;
         tally.requests += part.requests;
@@ -254,9 +414,14 @@ pub fn run(options: &LoadgenOptions) -> io::Result<LoadgenReport> {
         tally.hits += part.hits;
         tally.near_hits += part.near_hits;
         tally.misses += part.misses;
+        tally.retries += part.retries;
+        tally.reconnects += part.reconnects;
+        tally.overloaded += part.overloaded;
+        tally.gave_up += part.gave_up;
         tally.latencies.extend(part.latencies);
         tally.hit_micros.extend(part.hit_micros);
         tally.miss_micros.extend(part.miss_micros);
+        merge_chaos(&mut tally.chaos, &part.chaos);
     }
     let elapsed = started.elapsed().as_secs_f64();
     if options.shutdown {
@@ -274,19 +439,80 @@ pub fn run(options: &LoadgenOptions) -> io::Result<LoadgenReport> {
         hits: tally.hits,
         near_hits: tally.near_hits,
         misses: tally.misses,
+        retries: tally.retries,
+        reconnects: tally.reconnects,
+        overloaded: tally.overloaded,
+        gave_up: tally.gave_up,
         elapsed_secs: elapsed,
         verdicts_per_sec: successes as f64 / elapsed.max(1e-9),
         latency: LatencyStats::from_samples(&mut tally.latencies),
         hit_micros: LatencyStats::from_samples(&mut tally.hit_micros),
         miss_micros: LatencyStats::from_samples(&mut tally.miss_micros),
+        chaos: options.chaos.then_some(tally.chaos),
     })
 }
 
+fn merge_chaos(into: &mut ChaosTally, part: &ChaosTally) {
+    into.actions += part.actions;
+    into.slowloris += part.slowloris;
+    into.mid_frame_disconnects += part.mid_frame_disconnects;
+    into.malformed_bursts += part.malformed_bursts;
+    into.oversized += part.oversized;
+    into.connect_and_idle += part.connect_and_idle;
+    into.error_frames_seen += part.error_frames_seen;
+    into.server_closes += part.server_closes;
+    into.failed_connects += part.failed_connects;
+}
+
+/// One client connection with a bounded read, so a stalled server can
+/// never hang the load generator.
+struct Conn {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Conn {
+    fn connect(addr: &str) -> io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_read_timeout(Some(CLIENT_READ_TIMEOUT))?;
+        Ok(Self {
+            writer: stream.try_clone()?,
+            reader: BufReader::new(stream),
+        })
+    }
+
+    /// Sends one frame and reads one response line. `false` means the
+    /// connection is unusable (dropped, reset, or timed out) and the
+    /// caller should reconnect.
+    fn round_trip(&mut self, frame: &str, line: &mut String) -> bool {
+        if self.writer.write_all(frame.as_bytes()).is_err() || self.writer.flush().is_err() {
+            return false;
+        }
+        line.clear();
+        match self.reader.read_line(line) {
+            Ok(0) | Err(_) => false,
+            Ok(_) => line.ends_with('\n'),
+        }
+    }
+}
+
+/// The capped exponential backoff before retry number `attempt` (1-based).
+/// Jitter lands the delay in the upper half of the exponential ceiling;
+/// drawing it from a dedicated RNG keeps the request mix independent of
+/// how many retries happened.
+fn backoff_delay(attempt: usize, base: u64, cap: u64, jitter: &mut SmallRng) -> Duration {
+    let shift = (attempt.saturating_sub(1)).min(16) as u32;
+    let ceiling = base.saturating_mul(1u64 << shift).min(cap).max(1);
+    Duration::from_micros(ceiling / 2 + jitter.gen_range(0..=ceiling.div_ceil(2)))
+}
+
 fn run_worker(options: &LoadgenOptions, worker: usize, pool: &[String]) -> io::Result<WorkerTally> {
-    let stream = TcpStream::connect(&options.addr)?;
-    let mut writer = stream.try_clone()?;
-    let mut reader = BufReader::new(stream);
+    // A missing server fails the run outright; everything after this is
+    // retried rather than fatal.
+    let mut conn = Some(Conn::connect(&options.addr)?);
     let mut rng = SmallRng::seed_from_u64(options.seed ^ (worker as u64).wrapping_mul(0x9E37));
+    let mut jitter_rng =
+        SmallRng::seed_from_u64(options.seed ^ 0xB0_FF0E ^ (worker as u64).wrapping_mul(0x51F7));
     let mut tally = WorkerTally::default();
     let mut line = String::new();
     for request_index in 0..options.requests_per_connection {
@@ -310,15 +536,48 @@ fn run_worker(options: &LoadgenOptions, worker: usize, pool: &[String]) -> io::R
             "{{\"v\":1,\"cores\":{},\"bounds\":{},\"task_set\":{}}}\n",
             options.cores, options.bounds, set_json
         );
-        let sent = Instant::now();
-        writer.write_all(frame.as_bytes())?;
-        writer.flush()?;
-        line.clear();
-        if reader.read_line(&mut line)? == 0 {
-            return Err(io::Error::other("server closed the connection mid-burst"));
-        }
-        let latency = sent.elapsed().as_micros() as u64;
+        let mut attempt = 0;
+        let latency = loop {
+            if conn.is_none() {
+                if let Ok(fresh) = Conn::connect(&options.addr) {
+                    conn = Some(fresh);
+                    tally.reconnects += 1;
+                }
+            }
+            let mut answered = false;
+            let sent = Instant::now();
+            if let Some(c) = conn.as_mut() {
+                answered = c.round_trip(&frame, &mut line);
+                if !answered {
+                    conn = None;
+                }
+            }
+            if answered {
+                if line.contains("\"kind\":\"overloaded\"") {
+                    // The server is shedding; the connection survives.
+                    tally.overloaded += 1;
+                } else {
+                    break Some(sent.elapsed().as_micros() as u64);
+                }
+            }
+            if attempt >= options.retries {
+                break None;
+            }
+            attempt += 1;
+            tally.retries += 1;
+            thread::sleep(backoff_delay(
+                attempt,
+                options.backoff_micros,
+                options.backoff_cap_micros,
+                &mut jitter_rng,
+            ));
+        };
         tally.requests += 1;
+        let Some(latency) = latency else {
+            tally.errors += 1;
+            tally.gave_up += 1;
+            continue;
+        };
         if line.contains("\"ok\":true") {
             tally.latencies.push(latency);
             let micros = field_u64(&line, "\"micros\":").unwrap_or(0);
@@ -336,6 +595,162 @@ fn run_worker(options: &LoadgenOptions, worker: usize, pool: &[String]) -> io::R
         }
     }
     Ok(tally)
+}
+
+// ---------------------------------------------------------------------------
+// Chaos mode
+// ---------------------------------------------------------------------------
+
+/// The deterministic hostile-action script for one chaos worker: a pure
+/// function of `(seed, worker, actions)`, so any chaos run can be
+/// replayed exactly.
+pub fn chaos_script(seed: u64, worker: usize, actions: usize) -> Vec<ChaosAction> {
+    let mut rng =
+        SmallRng::seed_from_u64(seed ^ 0xC7A0_5EED ^ (worker as u64).wrapping_mul(0x9E37));
+    (0..actions)
+        .map(|_| match rng.gen_range(0..5u32) {
+            0 => ChaosAction::Slowloris,
+            1 => ChaosAction::MidFrameDisconnect,
+            2 => ChaosAction::MalformedBurst,
+            3 => ChaosAction::Oversized,
+            _ => ChaosAction::ConnectAndIdle,
+        })
+        .collect()
+}
+
+fn run_chaos_worker(options: &LoadgenOptions, worker: usize, pool: &[String]) -> WorkerTally {
+    let script = chaos_script(options.seed, worker, options.requests_per_connection);
+    // Action parameters (which set, how long to idle) come from their own
+    // seeded stream, independent of the action sequence.
+    let mut param_rng =
+        SmallRng::seed_from_u64(options.seed ^ 0x9A4A_11CE ^ (worker as u64).wrapping_mul(0x51F7));
+    let mut tally = WorkerTally::default();
+    for action in script {
+        tally.chaos.actions += 1;
+        let sample = &pool[param_rng.gen_range(0..pool.len())];
+        let frame = format!(
+            "{{\"v\":1,\"cores\":{},\"task_set\":{}}}\n",
+            options.cores, sample
+        );
+        run_chaos_action(options, action, &frame, &mut param_rng, &mut tally.chaos);
+    }
+    tally
+}
+
+/// Opens a socket for one hostile action; both directions are bounded so
+/// no action can take more than a couple of seconds.
+fn chaos_connect(addr: &str, chaos: &mut ChaosTally) -> Option<TcpStream> {
+    match TcpStream::connect(addr) {
+        Ok(stream) => {
+            let _ = stream.set_read_timeout(Some(CHAOS_READ_TIMEOUT));
+            let _ = stream.set_write_timeout(Some(CHAOS_WRITE_TIMEOUT));
+            Some(stream)
+        }
+        Err(_) => {
+            chaos.failed_connects += 1;
+            None
+        }
+    }
+}
+
+/// Reads whatever the server has to say within the observation window,
+/// counting structured error frames and whether the server closed on us.
+fn observe_responses(stream: &TcpStream, chaos: &mut ChaosTally) {
+    let Ok(clone) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(clone);
+    let mut line = String::new();
+    loop {
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) => {
+                chaos.server_closes += 1;
+                return;
+            }
+            Ok(_) => {
+                if line.contains("\"ok\":false") {
+                    chaos.error_frames_seen += 1;
+                }
+            }
+            Err(_) => return, // window over, server still has us
+        }
+    }
+}
+
+fn run_chaos_action(
+    options: &LoadgenOptions,
+    action: ChaosAction,
+    frame: &str,
+    param_rng: &mut SmallRng,
+    chaos: &mut ChaosTally,
+) {
+    match action {
+        ChaosAction::Slowloris => {
+            chaos.slowloris += 1;
+            let Some(mut stream) = chaos_connect(&options.addr, chaos) else {
+                return;
+            };
+            // Dribble out the first half of a real frame one byte at a
+            // time, then stop writing and watch what the server does.
+            let half = &frame.as_bytes()[..(frame.len() / 2).min(48)];
+            for byte in half {
+                if stream.write_all(&[*byte]).is_err() {
+                    break;
+                }
+                thread::sleep(Duration::from_millis(1));
+            }
+            observe_responses(&stream, chaos);
+        }
+        ChaosAction::MidFrameDisconnect => {
+            chaos.mid_frame_disconnects += 1;
+            let Some(mut stream) = chaos_connect(&options.addr, chaos) else {
+                return;
+            };
+            let _ = stream.write_all(&frame.as_bytes()[..frame.len() / 2]);
+            // Drop without finishing the frame: the server must treat it
+            // as a closed connection, not a parse error.
+        }
+        ChaosAction::MalformedBurst => {
+            chaos.malformed_bursts += 1;
+            let Some(mut stream) = chaos_connect(&options.addr, chaos) else {
+                return;
+            };
+            for junk in ["{\"cores\":", "definitely not json", "[1,2,"] {
+                if stream.write_all(junk.as_bytes()).is_err() || stream.write_all(b"\n").is_err() {
+                    break;
+                }
+            }
+            observe_responses(&stream, chaos);
+        }
+        ChaosAction::Oversized => {
+            chaos.oversized += 1;
+            let Some(mut stream) = chaos_connect(&options.addr, chaos) else {
+                return;
+            };
+            // Larger than any server's default frame cap; written in
+            // chunks so a refused connection bails out early.
+            let chunk = vec![b'x'; 64 * 1024];
+            let mut remaining = DEFAULT_MAX_FRAME + 4096;
+            while remaining > 0 {
+                let n = remaining.min(chunk.len());
+                if stream.write_all(&chunk[..n]).is_err() {
+                    break;
+                }
+                remaining -= n;
+            }
+            let _ = stream.write_all(b"\n");
+            observe_responses(&stream, chaos);
+        }
+        ChaosAction::ConnectAndIdle => {
+            chaos.connect_and_idle += 1;
+            let Some(stream) = chaos_connect(&options.addr, chaos) else {
+                return;
+            };
+            thread::sleep(Duration::from_millis(param_rng.gen_range(20..=80)));
+            observe_responses(&stream, chaos);
+        }
+    }
 }
 
 /// Pulls one `"key":<integer>` field out of a response line without a full
@@ -370,5 +785,46 @@ mod tests {
         let line = r#"{"v":1,"ok":true,"cache":"hit","micros":412,"verdicts":[]}"#;
         assert_eq!(field_u64(line, "\"micros\":"), Some(412));
         assert_eq!(field_u64(line, "\"absent\":"), None);
+    }
+
+    #[test]
+    fn backoff_is_capped_exponential_and_deterministic() {
+        let delays = |seed: u64| -> Vec<Duration> {
+            let mut jitter = SmallRng::seed_from_u64(seed);
+            (1..=8)
+                .map(|attempt| backoff_delay(attempt, 500, 4_000, &mut jitter))
+                .collect()
+        };
+        // Deterministic for a fixed seed.
+        assert_eq!(delays(7), delays(7));
+        for (i, delay) in delays(7).iter().enumerate() {
+            // Every delay lands in the upper half of the exponential
+            // ceiling, and the ceiling respects the cap.
+            let ceiling = (500u64 << i).min(4_000);
+            assert!(
+                delay.as_micros() >= u128::from(ceiling / 2),
+                "{i}: {delay:?}"
+            );
+            assert!(delay.as_micros() <= u128::from(ceiling), "{i}: {delay:?}");
+        }
+    }
+
+    #[test]
+    fn chaos_scripts_are_deterministic_and_diverse() {
+        let a = chaos_script(42, 0, 64);
+        assert_eq!(a, chaos_script(42, 0, 64));
+        assert_eq!(a.len(), 64);
+        // Workers get distinct scripts; all five behaviours appear in a
+        // script of this length.
+        assert_ne!(a, chaos_script(42, 1, 64));
+        for kind in [
+            ChaosAction::Slowloris,
+            ChaosAction::MidFrameDisconnect,
+            ChaosAction::MalformedBurst,
+            ChaosAction::Oversized,
+            ChaosAction::ConnectAndIdle,
+        ] {
+            assert!(a.contains(&kind), "{kind:?} missing from the script");
+        }
     }
 }

@@ -1,5 +1,5 @@
 //! `repro serve` — an admission-control daemon answering schedulability
-//! verdicts over a socket.
+//! verdicts over a socket, hardened against overload and hostile clients.
 //!
 //! The ROADMAP's north star is serving verdicts at production scale; this
 //! module is the long-running surface over the unified request API
@@ -40,28 +40,75 @@
 //! ```
 //!
 //! Any failure — malformed JSON, schema violations, unknown schema
-//! versions, model violations such as cyclic DAGs, oversized frames —
-//! produces a structured error on the same connection and the server
-//! keeps serving (no panic, no dropped connection):
+//! versions, model violations such as cyclic DAGs, oversized frames, an
+//! exhausted connection pool, a stalled client — produces a structured
+//! error on the same path and the server keeps serving (no panic, no
+//! abandoned socket):
 //!
 //! ```json
 //! {"v":1,"ok":false,"error":{"kind":"model","message":"..."}}
 //! ```
 //!
 //! `kind` is one of `syntax`, `schema`, `version`, `model`, `protocol`,
-//! `too_large`. Two special frames bypass analysis: `{"stats":true}`
-//! reports counters, `{"shutdown":true}` acknowledges and stops the
-//! server.
+//! `too_large`, `overloaded`, `timeout`. Two special frames bypass
+//! analysis: `{"stats":true}` reports counters, `{"shutdown":true}`
+//! acknowledges and stops the server.
+//!
+//! # Robustness model
+//!
+//! The server is built to survive overload and hostile clients **by
+//! construction** (and the chaos suite in
+//! `crates/experiments/tests/chaos.rs` injects faults to prove it):
+//!
+//! * **Bounded connection pool** — at most [`ServeOptions::max_conns`]
+//!   connections are served concurrently; excess connections receive one
+//!   `overloaded` error frame and are closed, so a connection flood can
+//!   never spawn unbounded threads.
+//! * **Idle and frame timeouts** — a connection that sends nothing for
+//!   [`ServeOptions::idle_timeout`], or starts a frame and fails to finish
+//!   it within [`ServeOptions::frame_timeout`] (the slowloris pattern),
+//!   receives a `timeout` error frame and is closed. Both are enforced
+//!   with `set_read_timeout` ticks, so a stalled socket occupies its pool
+//!   slot for a bounded time only. Writes carry the same timeout, so a
+//!   client that stops *reading* cannot park a thread either.
+//! * **Load shedding** — once the pool is at or past
+//!   [`ServeOptions::shed_watermark`], analyze frames are answered from
+//!   recorded cache facts only ([`AnalysisLru::fetch_facts`]): a repeat of
+//!   an answered request is still served in O(lookup), anything that would
+//!   need a cold analysis gets an `overloaded` error frame instead — the
+//!   connection survives and resynchronizes at the next newline. Cold
+//!   frames that do run are timed; completions past the frame budget are
+//!   counted (`overruns` in `stats`) — the fixed point itself is not
+//!   cancellable mid-flight, so the budget is enforced *before* the
+//!   analysis (shedding), not by killing it.
+//! * **Graceful drain** — shutdown stops accepting, then joins every live
+//!   connection thread up to [`ServeOptions::drain_timeout`]; the
+//!   resulting [`DrainReport`] says how many threads were joined, cut off,
+//!   or had panicked. Connection threads observe the stop flag at every
+//!   read tick, so drain latency is bounded by the tick, not by client
+//!   behaviour.
+//! * **Bounded accept loop** — the listener is non-blocking and rechecks
+//!   the stop flag every few milliseconds, so shutdown can never hang in
+//!   `accept` (this replaces the PR-6 `poke_acceptor` self-connect hack,
+//!   whose failure path was silent); accept errors are counted, not
+//!   ignored.
+//! * **Fault hook** — [`ServeOptions::fault`] installs a seeded
+//!   [`FaultPlan`] (test-only knob) that drops freshly accepted
+//!   connections and delays frame processing at configurable rates, so
+//!   the chaos suite can widen race windows deterministically without
+//!   touching the serving logic.
 
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
 use rta_analysis::{AnalysisLru, AnalysisRequest, CacheOutcome, Method};
 use rta_model::json::{self, JsonError, Value};
 use rta_model::TaskSet;
 use std::io::{self, BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Hard cap on `cores`: a request is a platform description, not a memory
 /// allocation license (per-core tables grow with `m`).
@@ -73,6 +120,42 @@ pub const DEFAULT_MAX_FRAME: usize = 1 << 20;
 /// Default number of task sets the admission cache retains.
 pub const DEFAULT_LRU_CAPACITY: usize = 128;
 
+/// Default bound on concurrently served connections.
+pub const DEFAULT_MAX_CONNS: usize = 64;
+
+/// How often blocked reads and the accept loop recheck the stop flag; the
+/// upper bound on how long a drain waits for an *idle* connection.
+const STOP_TICK: Duration = Duration::from_millis(25);
+
+/// Accept-loop sleep between polls when no connection is pending — the
+/// bounded recheck that makes a hung shutdown impossible.
+const ACCEPT_TICK: Duration = Duration::from_millis(5);
+
+/// Smallest socket timeout we ever set (zero would disable the timeout).
+const MIN_SOCKET_TIMEOUT: Duration = Duration::from_millis(1);
+
+/// Seeded fault injection — the test-only knob behind the chaos suite.
+///
+/// When installed via [`ServeOptions::fault`], the server draws from a
+/// [`SmallRng`] seeded with `seed` to (a) drop freshly accepted
+/// connections before serving them (`drop_accept_pct`) and (b) sleep for
+/// up to `delay_max_micros` before processing an analyze frame
+/// (`delay_pct`). Neither fault can corrupt an answer — drops look like
+/// network failures to the client, delays only widen race windows — which
+/// is exactly what the chaos suite needs to prove the server stays
+/// correct under scheduling adversity.
+#[derive(Clone, Debug)]
+pub struct FaultPlan {
+    /// RNG seed for the injected-fault stream.
+    pub seed: u64,
+    /// Percent of accepted connections dropped before serving (0..=100).
+    pub drop_accept_pct: u32,
+    /// Percent of analyze frames delayed before processing (0..=100).
+    pub delay_pct: u32,
+    /// Upper bound on one injected delay, in microseconds.
+    pub delay_max_micros: u64,
+}
+
 /// Server configuration.
 #[derive(Clone, Debug)]
 pub struct ServeOptions {
@@ -83,6 +166,26 @@ pub struct ServeOptions {
     /// Maximum accepted frame length in bytes (newline included); longer
     /// frames are answered with a `too_large` error and skipped.
     pub max_frame: usize,
+    /// Maximum concurrently served connections; excess connections get an
+    /// `overloaded` error frame and are closed.
+    pub max_conns: usize,
+    /// Active-connection count at which the server starts shedding load:
+    /// analyze frames are then answered from cache facts only, anything
+    /// cold gets an `overloaded` error frame.
+    pub shed_watermark: usize,
+    /// A connection that sends no byte for this long is closed with a
+    /// `timeout` error frame.
+    pub idle_timeout: Duration,
+    /// A started frame must arrive completely within this budget, or the
+    /// connection is closed with a `timeout` error frame (slowloris
+    /// defense). Also the write timeout, and the processing budget whose
+    /// breaches the `overruns` counter records.
+    pub frame_timeout: Duration,
+    /// How long shutdown waits for live connection threads to finish
+    /// before cutting them off.
+    pub drain_timeout: Duration,
+    /// Seeded fault injection (test-only); `None` in production.
+    pub fault: Option<FaultPlan>,
 }
 
 impl Default for ServeOptions {
@@ -91,31 +194,170 @@ impl Default for ServeOptions {
             addr: "127.0.0.1:0".into(),
             lru_capacity: DEFAULT_LRU_CAPACITY,
             max_frame: DEFAULT_MAX_FRAME,
+            max_conns: DEFAULT_MAX_CONNS,
+            shed_watermark: DEFAULT_MAX_CONNS * 3 / 4,
+            idle_timeout: Duration::from_secs(30),
+            frame_timeout: Duration::from_secs(10),
+            drain_timeout: Duration::from_secs(5),
+            fault: None,
         }
+    }
+}
+
+/// Gauge of live connections: the pool bound, the shed signal, and the
+/// condition drain waits on.
+struct ActiveGauge {
+    count: Mutex<usize>,
+    zero: Condvar,
+}
+
+impl ActiveGauge {
+    fn new() -> Self {
+        Self {
+            count: Mutex::new(0),
+            zero: Condvar::new(),
+        }
+    }
+
+    /// Claims a pool slot unless `max` are already taken.
+    fn try_acquire(&self, max: usize) -> bool {
+        let mut count = self.count.lock().expect("gauge lock");
+        if *count >= max {
+            false
+        } else {
+            *count += 1;
+            true
+        }
+    }
+
+    fn release(&self) {
+        let mut count = self.count.lock().expect("gauge lock");
+        *count -= 1;
+        if *count == 0 {
+            self.zero.notify_all();
+        }
+    }
+
+    fn current(&self) -> usize {
+        *self.count.lock().expect("gauge lock")
+    }
+
+    /// Blocks until no connection is live or `deadline` passes; returns
+    /// whether the pool drained in time.
+    fn wait_zero(&self, deadline: Instant) -> bool {
+        let mut count = self.count.lock().expect("gauge lock");
+        while *count > 0 {
+            let now = Instant::now();
+            if now >= deadline {
+                return false;
+            }
+            let (guard, _) = self
+                .zero
+                .wait_timeout(count, deadline - now)
+                .expect("gauge lock");
+            count = guard;
+        }
+        true
+    }
+}
+
+/// Releases the pool slot when a connection thread exits — including by
+/// panic, so a crashed handler can never wedge the gauge.
+struct ConnGuard {
+    state: Arc<ServerState>,
+}
+
+impl Drop for ConnGuard {
+    fn drop(&mut self) {
+        self.state.active.release();
     }
 }
 
 /// Shared server state: the admission cache plus global counters.
 struct ServerState {
+    options: ServeOptions,
     lru: Mutex<AnalysisLru>,
     stop: AtomicBool,
     local_addr: SocketAddr,
+    active: ActiveGauge,
     requests: AtomicU64,
     errors: AtomicU64,
+    shed: AtomicU64,
+    timeouts: AtomicU64,
+    overruns: AtomicU64,
+    accept_errors: AtomicU64,
+    drained: AtomicU64,
+    cut_off: AtomicU64,
+    panicked: AtomicU64,
+    injected_drops: AtomicU64,
+    injected_delays: AtomicU64,
+    fault: Option<Mutex<SmallRng>>,
 }
 
 impl ServerState {
-    /// Unblocks the accept loop after `stop` was raised: `accept` has no
-    /// timeout, so the raiser connects to the listener itself.
-    fn poke_acceptor(&self) {
-        let _ = TcpStream::connect(self.local_addr);
+    fn stopping(&self) -> bool {
+        self.stop.load(Ordering::SeqCst)
+    }
+
+    /// Fault hook: should this freshly accepted connection be dropped?
+    fn inject_accept_drop(&self) -> bool {
+        let Some(rng) = &self.fault else { return false };
+        let plan = self.options.fault.as_ref().expect("fault plan");
+        if plan.drop_accept_pct == 0 {
+            return false;
+        }
+        let hit = rng.lock().expect("fault rng").gen_range(0..100u32) < plan.drop_accept_pct;
+        if hit {
+            self.injected_drops.fetch_add(1, Ordering::Relaxed);
+        }
+        hit
+    }
+
+    /// Fault hook: artificial processing delay for the current frame.
+    fn inject_delay(&self) -> Option<Duration> {
+        let rng = self.fault.as_ref()?;
+        let plan = self.options.fault.as_ref().expect("fault plan");
+        if plan.delay_pct == 0 {
+            return None;
+        }
+        let mut rng = rng.lock().expect("fault rng");
+        if rng.gen_range(0..100u32) < plan.delay_pct {
+            self.injected_delays.fetch_add(1, Ordering::Relaxed);
+            Some(Duration::from_micros(
+                rng.gen_range(0..=plan.delay_max_micros),
+            ))
+        } else {
+            None
+        }
+    }
+}
+
+/// What a drain observed: every connection thread is accounted for.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DrainReport {
+    /// Connection threads joined cleanly (over the server's lifetime).
+    pub drained: u64,
+    /// Threads still running when the drain deadline passed (detached).
+    pub cut_off: u64,
+    /// Threads that had panicked (always 0 on a correct server).
+    pub panicked: u64,
+}
+
+impl DrainReport {
+    /// Human-readable one-liner.
+    pub fn render(&self) -> String {
+        format!(
+            "drained {} connection thread(s), cut off {}, panicked {}",
+            self.drained, self.cut_off, self.panicked
+        )
     }
 }
 
 /// A running server. Dropping the handle does **not** stop the server;
 /// call [`shutdown`](ServerHandle::shutdown) (or send a `{"shutdown":true}`
 /// frame) to stop it, or [`join`](ServerHandle::join) to serve until a
-/// client does.
+/// client does. Either way the accept loop drains live connection threads
+/// before exiting and reports what it saw.
 pub struct ServerHandle {
     state: Arc<ServerState>,
     acceptor: thread::JoinHandle<()>,
@@ -127,49 +369,140 @@ impl ServerHandle {
         self.state.local_addr
     }
 
-    /// Stops accepting, unblocks the accept loop and waits for it to exit.
-    /// Connections already being served finish their current frame and
-    /// close on their own threads.
-    pub fn shutdown(self) {
+    /// Stops accepting, drains live connection threads up to the
+    /// configured deadline and reports the result.
+    pub fn shutdown(self) -> DrainReport {
         self.state.stop.store(true, Ordering::SeqCst);
-        self.state.poke_acceptor();
-        let _ = self.acceptor.join();
+        self.join()
     }
 
     /// Blocks until some client's `{"shutdown":true}` frame stops the
-    /// server (the foreground `repro serve` mode).
-    pub fn join(self) {
+    /// server (the foreground `repro serve` mode), then reports the drain.
+    pub fn join(self) -> DrainReport {
         let _ = self.acceptor.join();
+        DrainReport {
+            drained: self.state.drained.load(Ordering::Relaxed),
+            cut_off: self.state.cut_off.load(Ordering::Relaxed),
+            panicked: self.state.panicked.load(Ordering::Relaxed),
+        }
     }
 }
 
-/// Binds the listener and spawns the accept loop (thread per connection).
+/// Binds the listener and spawns the accept loop (thread per connection,
+/// bounded by the pool).
 pub fn spawn(options: &ServeOptions) -> io::Result<ServerHandle> {
     let listener = TcpListener::bind(&options.addr)?;
+    listener.set_nonblocking(true)?;
     let state = Arc::new(ServerState {
+        options: options.clone(),
         lru: Mutex::new(AnalysisLru::new(options.lru_capacity)),
         stop: AtomicBool::new(false),
         local_addr: listener.local_addr()?,
+        active: ActiveGauge::new(),
         requests: AtomicU64::new(0),
         errors: AtomicU64::new(0),
+        shed: AtomicU64::new(0),
+        timeouts: AtomicU64::new(0),
+        overruns: AtomicU64::new(0),
+        accept_errors: AtomicU64::new(0),
+        drained: AtomicU64::new(0),
+        cut_off: AtomicU64::new(0),
+        panicked: AtomicU64::new(0),
+        injected_drops: AtomicU64::new(0),
+        injected_delays: AtomicU64::new(0),
+        fault: options
+            .fault
+            .as_ref()
+            .map(|plan| Mutex::new(SmallRng::seed_from_u64(plan.seed))),
     });
-    let max_frame = options.max_frame;
     let accept_state = Arc::clone(&state);
-    let acceptor = thread::spawn(move || {
-        for stream in listener.incoming() {
-            if accept_state.stop.load(Ordering::SeqCst) {
-                break;
-            }
-            let Ok(stream) = stream else { continue };
-            let conn_state = Arc::clone(&accept_state);
-            thread::spawn(move || {
-                // A failed connection is the client's problem; the server
-                // must outlive it either way.
-                let _ = serve_connection(&conn_state, stream, max_frame);
-            });
-        }
-    });
+    let acceptor = thread::spawn(move || accept_loop(&accept_state, listener));
     Ok(ServerHandle { state, acceptor })
+}
+
+/// The accept loop: non-blocking polls with a bounded stop recheck, pool
+/// admission, and — once stopped — the drain of live connection threads.
+fn accept_loop(state: &Arc<ServerState>, listener: TcpListener) {
+    let mut registry: Vec<thread::JoinHandle<()>> = Vec::new();
+    loop {
+        if state.stopping() {
+            break;
+        }
+        match listener.accept() {
+            Ok((stream, _)) => {
+                reap_finished(state, &mut registry);
+                if state.inject_accept_drop() {
+                    continue; // simulated accept-path failure
+                }
+                if state.active.try_acquire(state.options.max_conns) {
+                    let guard = ConnGuard {
+                        state: Arc::clone(state),
+                    };
+                    let conn_state = Arc::clone(state);
+                    registry.push(thread::spawn(move || {
+                        let _guard = guard;
+                        // A failed connection is the client's problem; the
+                        // server must outlive it either way.
+                        let _ = serve_connection(&conn_state, stream);
+                    }));
+                } else {
+                    state.shed.fetch_add(1, Ordering::Relaxed);
+                    refuse_overloaded(stream, state.options.frame_timeout);
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => thread::sleep(ACCEPT_TICK),
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(_) => {
+                state.accept_errors.fetch_add(1, Ordering::Relaxed);
+                thread::sleep(ACCEPT_TICK);
+            }
+        }
+    }
+    drain_connections(state, registry);
+}
+
+/// Joins already-finished connection threads so the registry stays
+/// bounded by the number of *live* connections, not lifetime totals.
+fn reap_finished(state: &ServerState, registry: &mut Vec<thread::JoinHandle<()>>) {
+    let mut i = 0;
+    while i < registry.len() {
+        if registry[i].is_finished() {
+            finish(state, registry.swap_remove(i));
+        } else {
+            i += 1;
+        }
+    }
+}
+
+fn finish(state: &ServerState, handle: thread::JoinHandle<()>) {
+    match handle.join() {
+        Ok(()) => state.drained.fetch_add(1, Ordering::Relaxed),
+        Err(_) => state.panicked.fetch_add(1, Ordering::Relaxed),
+    };
+}
+
+/// The drain phase: wait for the pool to empty (connection threads see the
+/// stop flag at every read tick), then join what finished and cut off —
+/// detach and count — whatever is still running at the deadline.
+fn drain_connections(state: &ServerState, registry: Vec<thread::JoinHandle<()>>) {
+    let deadline = Instant::now() + state.options.drain_timeout;
+    let all_done = state.active.wait_zero(deadline);
+    for handle in registry {
+        if all_done || handle.is_finished() {
+            finish(state, handle);
+        } else {
+            state.cut_off.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Answers a pool-exceeding connection with one `overloaded` frame and
+/// closes it; best effort under a short write timeout so a hostile client
+/// cannot stall the acceptor.
+fn refuse_overloaded(stream: TcpStream, write_timeout: Duration) {
+    let _ = stream.set_write_timeout(Some(write_timeout.max(MIN_SOCKET_TIMEOUT)));
+    let mut stream = stream;
+    let _ = respond_error(&mut stream, None, &WireError::overloaded());
 }
 
 // ---------------------------------------------------------------------------
@@ -206,6 +539,20 @@ impl WireError {
             message: message.into(),
         }
     }
+
+    fn overloaded() -> Self {
+        Self {
+            kind: "overloaded",
+            message: "server is shedding load; retry with backoff".into(),
+        }
+    }
+
+    fn timeout(message: impl Into<String>) -> Self {
+        Self {
+            kind: "timeout",
+            message: message.into(),
+        }
+    }
 }
 
 impl From<JsonError> for WireError {
@@ -223,113 +570,253 @@ impl From<JsonError> for WireError {
     }
 }
 
-fn serve_connection(
-    state: &Arc<ServerState>,
-    stream: TcpStream,
-    max_frame: usize,
-) -> io::Result<()> {
+/// How one attempt to read a frame ended.
+enum FrameRead {
+    /// A complete newline-terminated frame is in the buffer.
+    Frame,
+    /// The client closed the connection (possibly mid-frame).
+    Closed,
+    /// The server is stopping; close without reading further.
+    Stopped,
+    /// No byte arrived within the idle budget.
+    IdleTimeout,
+    /// A frame started but did not complete within the frame budget.
+    Stalled,
+    /// The frame exceeded `max_frame` bytes without a newline.
+    Oversized,
+}
+
+fn serve_connection(state: &Arc<ServerState>, stream: TcpStream) -> io::Result<()> {
+    // A client that stops *reading* must not park this thread forever.
+    stream.set_write_timeout(Some(state.options.frame_timeout.max(MIN_SOCKET_TIMEOUT)))?;
     let mut writer = stream.try_clone()?;
     let mut reader = BufReader::new(stream);
+    let mut line = Vec::new();
     loop {
-        let mut line = Vec::new();
-        let n = (&mut reader)
-            .take(max_frame as u64)
-            .read_until(b'\n', &mut line)?;
-        if n == 0 {
-            return Ok(()); // client closed the connection
-        }
-        if line.last() != Some(&b'\n') && line.len() == max_frame {
-            // Frame exceeds the cap: answer the structured error, then
-            // drain the rest of the oversized line so the connection
-            // re-synchronizes at the next newline.
-            state.errors.fetch_add(1, Ordering::Relaxed);
-            respond_error(
-                &mut writer,
-                None,
-                &WireError {
-                    kind: "too_large",
-                    message: format!("frame exceeds {max_frame} bytes"),
-                },
-            )?;
-            if !drain_to_newline(&mut reader)? {
-                return Ok(()); // EOF inside the oversized frame
-            }
-            continue;
-        }
-        let text = String::from_utf8_lossy(&line);
-        if text.trim().is_empty() {
-            continue; // bare keep-alive newline
-        }
-        match parse_frame(text.trim()) {
-            Err(error) => {
-                state.errors.fetch_add(1, Ordering::Relaxed);
-                respond_error(&mut writer, None, &error)?;
-            }
-            Ok(Frame::Stats { id }) => {
-                let (stats, cached) = {
-                    let lru = state.lru.lock().expect("lru lock");
-                    (lru.stats(), lru.len())
-                };
-                let mut out = String::from("{\"v\":1,");
-                push_id(&mut out, id);
-                let _ = write_stats(&mut out, state, cached, stats);
-                writeln_frame(&mut writer, out)?;
-            }
-            Ok(Frame::Shutdown { id }) => {
-                let mut out = String::from("{\"v\":1,");
-                push_id(&mut out, id);
-                out.push_str("\"ok\":true,\"shutdown\":true}");
-                writeln_frame(&mut writer, out)?;
-                state.stop.store(true, Ordering::SeqCst);
-                state.poke_acceptor();
+        match read_frame(state, &mut reader, &mut line)? {
+            FrameRead::Closed | FrameRead::Stopped => return Ok(()),
+            FrameRead::IdleTimeout => {
+                state.timeouts.fetch_add(1, Ordering::Relaxed);
+                let _ = respond_error(
+                    &mut writer,
+                    None,
+                    &WireError::timeout(format!(
+                        "no frame within the {}ms idle budget",
+                        state.options.idle_timeout.as_millis()
+                    )),
+                );
                 return Ok(());
             }
-            Ok(Frame::Analyze {
-                id,
-                task_set,
-                request,
-            }) => {
-                state.requests.fetch_add(1, Ordering::Relaxed);
-                let started = Instant::now();
-                // Hold the cache lock only for the O(lookup) parts; the
-                // analysis itself runs unlocked so connections that miss
-                // do not serialize behind each other.
-                let fetched = state
-                    .lru
-                    .lock()
-                    .expect("lru lock")
-                    .fetch(&task_set, &request);
-                let (outcome, status) = match fetched {
-                    (Some(outcome), status) => (outcome, status),
-                    (None, status) => {
-                        let outcome = request.evaluate(&task_set);
-                        state
-                            .lru
-                            .lock()
-                            .expect("lru lock")
-                            .store(&task_set, &request, &outcome);
-                        (outcome, status)
-                    }
-                };
-                let micros = started.elapsed().as_micros();
-                respond_outcome(&mut writer, id, status, micros, &outcome)?;
+            FrameRead::Stalled => {
+                state.timeouts.fetch_add(1, Ordering::Relaxed);
+                let _ = respond_error(
+                    &mut writer,
+                    None,
+                    &WireError::timeout(format!(
+                        "frame did not complete within the {}ms frame budget",
+                        state.options.frame_timeout.as_millis()
+                    )),
+                );
+                return Ok(());
+            }
+            FrameRead::Oversized => {
+                // Answer the structured error, then drain the rest of the
+                // oversized line so the connection re-synchronizes at the
+                // next newline.
+                state.errors.fetch_add(1, Ordering::Relaxed);
+                respond_error(
+                    &mut writer,
+                    None,
+                    &WireError {
+                        kind: "too_large",
+                        message: format!("frame exceeds {} bytes", state.options.max_frame),
+                    },
+                )?;
+                if !drain_to_newline(state, &mut reader)? {
+                    return Ok(()); // EOF or stall inside the oversized frame
+                }
+            }
+            FrameRead::Frame => {
+                let text = String::from_utf8_lossy(&line);
+                if text.trim().is_empty() {
+                    continue; // bare keep-alive newline
+                }
+                if !handle_frame(state, &mut writer, text.trim())? {
+                    return Ok(());
+                }
             }
         }
     }
 }
 
-/// Discards input up to and including the next newline. Returns `false` on
-/// EOF.
-fn drain_to_newline(reader: &mut impl BufRead) -> io::Result<bool> {
-    let mut chunk = Vec::with_capacity(4096);
-    loop {
-        chunk.clear();
-        let n = reader.take(4096).read_until(b'\n', &mut chunk)?;
-        if n == 0 {
+/// Parses and answers one complete frame; returns `false` when the
+/// connection should close (wire shutdown).
+fn handle_frame(state: &Arc<ServerState>, writer: &mut TcpStream, text: &str) -> io::Result<bool> {
+    match parse_frame(text) {
+        Err(error) => {
+            state.errors.fetch_add(1, Ordering::Relaxed);
+            respond_error(writer, None, &error)?;
+        }
+        Ok(Frame::Stats { id }) => {
+            let (stats, cached) = {
+                let lru = state.lru.lock().expect("lru lock");
+                (lru.stats(), lru.len())
+            };
+            let mut out = String::from("{\"v\":1,");
+            push_id(&mut out, id);
+            let _ = write_stats(&mut out, state, cached, stats);
+            writeln_frame(writer, out)?;
+        }
+        Ok(Frame::Shutdown { id }) => {
+            let mut out = String::from("{\"v\":1,");
+            push_id(&mut out, id);
+            out.push_str("\"ok\":true,\"shutdown\":true}");
+            writeln_frame(writer, out)?;
+            state.stop.store(true, Ordering::SeqCst);
             return Ok(false);
         }
-        if chunk.last() == Some(&b'\n') {
-            return Ok(true);
+        Ok(Frame::Analyze {
+            id,
+            task_set,
+            request,
+        }) => {
+            state.requests.fetch_add(1, Ordering::Relaxed);
+            if let Some(delay) = state.inject_delay() {
+                thread::sleep(delay);
+            }
+            let started = Instant::now();
+            if state.active.current() >= state.options.shed_watermark {
+                // Degraded mode: answer from recorded facts only — never
+                // start a cold analysis while the pool is under pressure.
+                let cached = state
+                    .lru
+                    .lock()
+                    .expect("lru lock")
+                    .fetch_facts(&task_set, &request);
+                match cached {
+                    Some(outcome) => {
+                        let micros = started.elapsed().as_micros();
+                        respond_outcome(writer, id, CacheOutcome::Hit, micros, &outcome)?;
+                    }
+                    None => {
+                        state.shed.fetch_add(1, Ordering::Relaxed);
+                        respond_error(writer, id, &WireError::overloaded())?;
+                    }
+                }
+                return Ok(true);
+            }
+            // Hold the cache lock only for the O(lookup) parts; the
+            // analysis itself runs unlocked so connections that miss
+            // do not serialize behind each other.
+            let fetched = state
+                .lru
+                .lock()
+                .expect("lru lock")
+                .fetch(&task_set, &request);
+            let (outcome, status) = match fetched {
+                (Some(outcome), status) => (outcome, status),
+                (None, status) => {
+                    let outcome = request.evaluate(&task_set);
+                    state
+                        .lru
+                        .lock()
+                        .expect("lru lock")
+                        .store(&task_set, &request, &outcome);
+                    (outcome, status)
+                }
+            };
+            let elapsed = started.elapsed();
+            if elapsed > state.options.frame_timeout {
+                state.overruns.fetch_add(1, Ordering::Relaxed);
+            }
+            respond_outcome(writer, id, status, elapsed.as_micros(), &outcome)?;
+        }
+    }
+    Ok(true)
+}
+
+/// Reads one newline-terminated frame into `line` under the idle/frame
+/// budgets, rechecking the stop flag every tick.
+fn read_frame(
+    state: &ServerState,
+    reader: &mut BufReader<TcpStream>,
+    line: &mut Vec<u8>,
+) -> io::Result<FrameRead> {
+    line.clear();
+    let max_frame = state.options.max_frame;
+    let idle_deadline = Instant::now() + state.options.idle_timeout;
+    let mut frame_deadline: Option<Instant> = None;
+    loop {
+        if state.stopping() {
+            return Ok(FrameRead::Stopped);
+        }
+        let deadline = frame_deadline.unwrap_or(idle_deadline);
+        let now = Instant::now();
+        if now >= deadline {
+            return Ok(if line.is_empty() {
+                FrameRead::IdleTimeout
+            } else {
+                FrameRead::Stalled
+            });
+        }
+        let wait = (deadline - now).min(STOP_TICK).max(MIN_SOCKET_TIMEOUT);
+        reader.get_ref().set_read_timeout(Some(wait))?;
+        let cap = (max_frame - line.len()) as u64;
+        match (&mut *reader).take(cap).read_until(b'\n', line) {
+            Ok(0) if line.is_empty() => return Ok(FrameRead::Closed),
+            // `Ok` without a newline means the cap was exhausted or the
+            // client closed mid-frame.
+            Ok(_) if line.last() == Some(&b'\n') => return Ok(FrameRead::Frame),
+            Ok(_) => {
+                return Ok(if line.len() >= max_frame {
+                    FrameRead::Oversized
+                } else {
+                    FrameRead::Closed
+                });
+            }
+            Err(e) if is_timeout(&e) => {
+                // Partial bytes read before the tick expired stay in
+                // `line`; the first of them starts the frame budget.
+                if !line.is_empty() && frame_deadline.is_none() {
+                    frame_deadline = Some(Instant::now() + state.options.frame_timeout);
+                }
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+fn is_timeout(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+    )
+}
+
+/// Discards input up to and including the next newline, under the frame
+/// budget. Returns `false` when the connection should close (EOF, stop,
+/// or a stalled oversized frame).
+fn drain_to_newline(state: &ServerState, reader: &mut BufReader<TcpStream>) -> io::Result<bool> {
+    let deadline = Instant::now() + state.options.frame_timeout;
+    let mut chunk = Vec::with_capacity(4096);
+    loop {
+        if state.stopping() {
+            return Ok(false);
+        }
+        let now = Instant::now();
+        if now >= deadline {
+            state.timeouts.fetch_add(1, Ordering::Relaxed);
+            return Ok(false);
+        }
+        let wait = (deadline - now).min(STOP_TICK).max(MIN_SOCKET_TIMEOUT);
+        reader.get_ref().set_read_timeout(Some(wait))?;
+        chunk.clear();
+        match (&mut *reader).take(4096).read_until(b'\n', &mut chunk) {
+            Ok(0) => return Ok(false),
+            Ok(_) if chunk.last() == Some(&b'\n') => return Ok(true),
+            Ok(_) => {}
+            Err(e) if is_timeout(&e) => {}
+            Err(e) => return Err(e),
         }
     }
 }
@@ -462,21 +949,12 @@ fn respond_error(writer: &mut impl Write, id: Option<u64>, error: &WireError) ->
     writeln_frame(writer, out)
 }
 
-fn respond_outcome(
-    writer: &mut impl Write,
-    id: Option<u64>,
-    status: CacheOutcome,
-    micros: u128,
-    outcome: &rta_analysis::AnalysisOutcome,
-) -> io::Result<()> {
+/// The compact JSON array of per-method verdicts exactly as the wire
+/// carries it — public so tests can pin server responses byte-identical
+/// to the library path.
+pub fn verdicts_json(outcome: &rta_analysis::AnalysisOutcome) -> String {
     use std::fmt::Write as _;
-    let mut out = String::from("{\"v\":1,");
-    push_id(&mut out, id);
-    let _ = write!(
-        out,
-        "\"ok\":true,\"cache\":\"{}\",\"micros\":{micros},\"verdicts\":[",
-        status.label()
-    );
+    let mut out = String::from("[");
     for (i, answer) in outcome.outcomes().iter().enumerate() {
         if i > 0 {
             out.push(',');
@@ -499,7 +977,26 @@ fn respond_outcome(
         }
         out.push('}');
     }
-    out.push_str("]}");
+    out.push(']');
+    out
+}
+
+fn respond_outcome(
+    writer: &mut impl Write,
+    id: Option<u64>,
+    status: CacheOutcome,
+    micros: u128,
+    outcome: &rta_analysis::AnalysisOutcome,
+) -> io::Result<()> {
+    use std::fmt::Write as _;
+    let mut out = String::from("{\"v\":1,");
+    push_id(&mut out, id);
+    let _ = write!(
+        out,
+        "\"ok\":true,\"cache\":\"{}\",\"micros\":{micros},\"verdicts\":{}}}",
+        status.label(),
+        verdicts_json(outcome)
+    );
     writeln_frame(writer, out)
 }
 
@@ -512,10 +1009,20 @@ fn write_stats(
     use std::fmt::Write as _;
     write!(
         out,
-        "\"ok\":true,\"stats\":{{\"requests\":{},\"errors\":{},\"cached_sets\":{},\
+        "\"ok\":true,\"stats\":{{\"requests\":{},\"errors\":{},\"active_conns\":{},\
+         \"shed\":{},\"timeouts\":{},\"overruns\":{},\"drained\":{},\"accept_errors\":{},\
+         \"injected_drops\":{},\"injected_delays\":{},\"cached_sets\":{},\
          \"hits\":{},\"near_hits\":{},\"misses\":{},\"evictions\":{}}}}}",
         state.requests.load(Ordering::Relaxed),
         state.errors.load(Ordering::Relaxed),
+        state.active.current(),
+        state.shed.load(Ordering::Relaxed),
+        state.timeouts.load(Ordering::Relaxed),
+        state.overruns.load(Ordering::Relaxed),
+        state.drained.load(Ordering::Relaxed),
+        state.accept_errors.load(Ordering::Relaxed),
+        state.injected_drops.load(Ordering::Relaxed),
+        state.injected_delays.load(Ordering::Relaxed),
         cached_sets,
         stats.hits,
         stats.near_hits,
@@ -571,5 +1078,12 @@ mod tests {
             let err = parse_frame(text).expect_err(text);
             assert_eq!(err.kind, kind, "{text}: {}", err.message);
         }
+    }
+
+    #[test]
+    fn default_watermark_sits_below_the_pool_bound() {
+        let options = ServeOptions::default();
+        assert!(options.shed_watermark < options.max_conns);
+        assert!(options.shed_watermark > 0);
     }
 }

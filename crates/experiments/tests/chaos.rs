@@ -1,0 +1,152 @@
+//! The deterministic chaos harness: a seeded storm of hostile clients
+//! plus injected server faults, with a well-behaved control client
+//! running concurrently. The contract under fire:
+//!
+//! * the server never panics,
+//! * every connection thread is joined on drain (no leaks, nothing cut
+//!   off),
+//! * the control client's verdicts stay **byte-identical** to the
+//!   library path the whole time.
+//!
+//! Every random draw — the chaos action script, the action parameters,
+//! the injected faults — is seeded, so a failure here replays exactly.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use rta_experiments::loadgen::{self, chaos_script, ChaosAction, LoadgenOptions};
+use rta_experiments::serve::{spawn, verdicts_json, FaultPlan, ServeOptions};
+use rta_model::json::task_set_to_json_compact;
+use rta_model::TaskSet;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+const SEED: u64 = 0xD15_A57E5;
+const CHAOS_WORKERS: usize = 3;
+const ACTIONS_PER_WORKER: usize = 8;
+const CORES: usize = 3;
+
+/// One control request over a fresh connection, retried until the server
+/// answers: injected faults may drop any individual connection, and that
+/// is exactly what a well-behaved client's retry loop absorbs.
+fn control_request(addr: SocketAddr, frame: &str) -> String {
+    for _ in 0..50 {
+        let Ok(stream) = TcpStream::connect(addr) else {
+            std::thread::sleep(Duration::from_millis(5));
+            continue;
+        };
+        stream
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .expect("read timeout");
+        let mut writer = stream.try_clone().expect("clone");
+        if writer.write_all(frame.as_bytes()).is_err() {
+            continue;
+        }
+        let mut line = String::new();
+        match BufReader::new(stream).read_line(&mut line) {
+            Ok(n) if n > 0 && line.ends_with('\n') => {
+                if line.contains("\"kind\":\"overloaded\"") {
+                    // Shedding is a retryable answer, not a failure.
+                    std::thread::sleep(Duration::from_millis(5));
+                    continue;
+                }
+                return line;
+            }
+            _ => continue, // dropped by an injected fault; retry
+        }
+    }
+    panic!("control client never got an answer for {frame:?}");
+}
+
+#[test]
+fn chaos_storm_never_panics_never_leaks_and_keeps_verdicts_byte_correct() {
+    let handle = spawn(&ServeOptions {
+        addr: "127.0.0.1:0".into(),
+        lru_capacity: 16,
+        max_conns: 16,
+        shed_watermark: 12,
+        idle_timeout: Duration::from_secs(2),
+        frame_timeout: Duration::from_millis(150),
+        drain_timeout: Duration::from_secs(5),
+        fault: Some(FaultPlan {
+            seed: 0xFA_57,
+            drop_accept_pct: 10,
+            delay_pct: 20,
+            delay_max_micros: 1500,
+        }),
+        ..Default::default()
+    })
+    .expect("bind chaos server");
+    let addr = handle.addr();
+
+    // The chaos storm runs in the background while the control client
+    // works through its script in the foreground.
+    let chaos_options = LoadgenOptions {
+        addr: addr.to_string(),
+        connections: CHAOS_WORKERS,
+        requests_per_connection: ACTIONS_PER_WORKER,
+        pool_size: 4,
+        cores: CORES,
+        seed: SEED,
+        chaos: true,
+        ..Default::default()
+    };
+    let chaos = std::thread::spawn(move || loadgen::run(&chaos_options).expect("chaos run"));
+
+    // Three fixed task sets with library-computed expected verdicts.
+    let sets: Vec<(String, String)> = (0..3)
+        .map(|i| {
+            let mut rng = SmallRng::seed_from_u64(SEED ^ (0xC0_117 + i));
+            let ts: TaskSet = rta_taskgen::generate_task_set(&mut rng, &rta_taskgen::group1(2.0));
+            let expected = verdicts_json(&rta_analysis::AnalysisRequest::new(CORES).evaluate(&ts));
+            (task_set_to_json_compact(&ts), expected)
+        })
+        .collect();
+    for i in 0..40 {
+        let (set_json, expected) = &sets[i % sets.len()];
+        let frame = format!("{{\"v\":1,\"id\":{i},\"cores\":{CORES},\"task_set\":{set_json}}}\n");
+        let response = control_request(addr, &frame);
+        assert!(response.contains("\"ok\":true"), "request {i}: {response}");
+        assert!(response.contains(&format!("\"id\":{i},")), "{response}");
+        // Byte-correct verdicts, pinned against the library path, while
+        // the storm rages on the same server.
+        assert!(
+            response.contains(&format!("\"verdicts\":{expected}}}")),
+            "request {i} diverged from the library path:\n  wire: {response}  expected verdicts: {expected}"
+        );
+    }
+
+    let chaos_report = chaos.join().expect("chaos thread");
+    let tally = chaos_report.chaos.expect("chaos tally");
+    assert_eq!(chaos_report.errors, 0, "{chaos_report:?}");
+    assert_eq!(tally.actions, CHAOS_WORKERS * ACTIONS_PER_WORKER);
+    // The executed action mix is exactly the seeded script's mix.
+    let mut expected_counts = [0usize; 5];
+    for worker in 0..CHAOS_WORKERS {
+        for action in chaos_script(SEED, worker, ACTIONS_PER_WORKER) {
+            expected_counts[match action {
+                ChaosAction::Slowloris => 0,
+                ChaosAction::MidFrameDisconnect => 1,
+                ChaosAction::MalformedBurst => 2,
+                ChaosAction::Oversized => 3,
+                ChaosAction::ConnectAndIdle => 4,
+            }] += 1;
+        }
+    }
+    assert_eq!(
+        [
+            tally.slowloris,
+            tally.mid_frame_disconnects,
+            tally.malformed_bursts,
+            tally.oversized,
+            tally.connect_and_idle,
+        ],
+        expected_counts,
+        "{tally:?}"
+    );
+
+    // Drain: every connection thread joined, none panicked, none leaked.
+    let report = handle.shutdown();
+    assert_eq!(report.panicked, 0, "{report:?}");
+    assert_eq!(report.cut_off, 0, "{report:?}");
+}

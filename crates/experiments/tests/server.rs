@@ -6,16 +6,32 @@
 
 use rta_experiments::loadgen::{self, LoadgenOptions};
 use rta_experiments::serve::{spawn, ServeOptions, ServerHandle};
-use std::io::{BufRead, BufReader, Write};
+use std::io::{BufRead, BufReader, Read, Write};
 use std::net::TcpStream;
+use std::time::{Duration, Instant};
 
 fn test_server(max_frame: usize) -> ServerHandle {
-    spawn(&ServeOptions {
+    serve_with(|options| options.max_frame = max_frame)
+}
+
+fn serve_with(configure: impl FnOnce(&mut ServeOptions)) -> ServerHandle {
+    let mut options = ServeOptions {
         addr: "127.0.0.1:0".into(),
         lru_capacity: 8,
-        max_frame,
-    })
-    .expect("bind test server")
+        ..Default::default()
+    };
+    configure(&mut options);
+    spawn(&options).expect("bind test server")
+}
+
+/// Pulls one `"key":<integer>` field out of a response line.
+fn stat_field(line: &str, key: &str) -> u64 {
+    let start = line.find(key).unwrap_or_else(|| panic!("{key} in {line}")) + key.len();
+    let rest = &line[start..];
+    let end = rest
+        .find(|c: char| !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    rest[..end].parse().expect("integer field")
 }
 
 /// One client connection with line-framed send/receive helpers.
@@ -170,6 +186,209 @@ fn wire_shutdown_stops_the_server() {
         let _ = BufReader::new(stream).read_line(&mut line);
         assert!(line.is_empty(), "served after shutdown: {line}");
     }
+}
+
+const OVERLOADED_FRAME: &str = "{\"v\":1,\"ok\":false,\"error\":{\"kind\":\"overloaded\",\
+     \"message\":\"server is shedding load; retry with backoff\"}}\n";
+
+/// A raw connection for tests that need to observe timeouts and closes
+/// rather than clean request/response pairs.
+struct RawConn {
+    stream: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl RawConn {
+    fn connect(handle: &ServerHandle) -> Self {
+        let stream = TcpStream::connect(handle.addr()).expect("connect");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .expect("read timeout");
+        Self {
+            reader: BufReader::new(stream.try_clone().expect("clone")),
+            stream,
+        }
+    }
+
+    fn read_line(&mut self) -> Option<String> {
+        let mut line = String::new();
+        match self.reader.read_line(&mut line) {
+            Ok(0) => None,
+            Ok(_) => Some(line),
+            Err(e) => panic!("read timed out or failed: {e}"),
+        }
+    }
+
+    fn at_eof(&mut self) -> bool {
+        let mut byte = [0u8; 1];
+        matches!(self.reader.read(&mut byte), Ok(0))
+    }
+}
+
+#[test]
+fn idle_connections_get_a_timeout_frame_and_are_closed() {
+    let handle = serve_with(|o| {
+        o.idle_timeout = Duration::from_millis(80);
+        o.frame_timeout = Duration::from_millis(500);
+    });
+    let mut conn = RawConn::connect(&handle);
+    // Say nothing: the server must end the standoff, not us.
+    let line = conn.read_line().expect("a timeout frame before the close");
+    assert!(line.contains("\"kind\":\"timeout\""), "{line}");
+    assert!(line.contains("idle"), "{line}");
+    assert!(conn.at_eof(), "connection must be closed after the timeout");
+    let report = handle.shutdown();
+    assert_eq!(report.cut_off, 0, "{report:?}");
+    assert_eq!(report.panicked, 0, "{report:?}");
+}
+
+#[test]
+fn slowloris_frames_trip_the_frame_budget() {
+    let handle = serve_with(|o| {
+        o.idle_timeout = Duration::from_secs(5);
+        o.frame_timeout = Duration::from_millis(100);
+    });
+    let mut conn = RawConn::connect(&handle);
+    // Dribble out the start of a frame, then stall mid-frame: the frame
+    // budget (not the much longer idle budget) must cut us off.
+    for byte in b"{\"v\":1," {
+        conn.stream.write_all(&[*byte]).expect("slow write");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    let line = conn.read_line().expect("a timeout frame before the close");
+    assert!(line.contains("\"kind\":\"timeout\""), "{line}");
+    assert!(line.contains("frame"), "{line}");
+    assert!(conn.at_eof(), "connection must be closed after the timeout");
+    // The incident is visible in the stats counters.
+    let mut control = Client::connect(&handle);
+    let stats = control.send("{\"stats\":true}");
+    assert!(stat_field(&stats, "\"timeouts\":") >= 1, "{stats}");
+    handle.shutdown();
+}
+
+#[test]
+fn mid_frame_disconnects_are_cleaned_up() {
+    let handle = serve_with(|o| o.drain_timeout = Duration::from_secs(2));
+    {
+        let mut conn = RawConn::connect(&handle);
+        conn.stream
+            .write_all(b"{\"v\":1,\"cores\":4,\"task_")
+            .expect("partial write");
+        // Drop mid-frame: the server must treat this as a closed
+        // connection, not an error, and release the pool slot.
+    }
+    let mut control = Client::connect(&handle);
+    let response = control.send(&analyze_frame(FIGURE1_SET));
+    assert!(response.contains("\"ok\":true"), "{response}");
+    let report = handle.shutdown();
+    assert_eq!(report.cut_off, 0, "{report:?}");
+    assert_eq!(report.panicked, 0, "{report:?}");
+}
+
+#[test]
+fn excess_connections_get_structured_overloaded_frames() {
+    let handle = serve_with(|o| {
+        o.max_conns = 2;
+        // Watermark above the pool bound: in-pool connections never shed,
+        // so this test isolates the pool-refusal path.
+        o.shed_watermark = 3;
+    });
+    let mut c1 = Client::connect(&handle);
+    let mut c2 = Client::connect(&handle);
+    // Round trips prove both connections hold pool slots before the
+    // third one arrives.
+    assert!(c1.send("{\"stats\":true}").contains("\"ok\":true"));
+    assert!(c2.send("{\"stats\":true}").contains("\"ok\":true"));
+    // The pool is full: the excess connection gets exactly one
+    // structured overloaded frame, byte-pinned, and is closed.
+    let mut c3 = RawConn::connect(&handle);
+    let line = c3.read_line().expect("an overloaded frame");
+    assert_eq!(line, OVERLOADED_FRAME);
+    assert!(c3.at_eof(), "refused connection must be closed");
+    // In-pool connections are unharmed, and the refusal is counted.
+    let response = c1.send(&analyze_frame(FIGURE1_SET));
+    assert!(response.contains("\"ok\":true"), "{response}");
+    let stats = c1.send("{\"stats\":true}");
+    assert!(stat_field(&stats, "\"shed\":") >= 1, "{stats}");
+    assert_eq!(stat_field(&stats, "\"active_conns\":"), 2, "{stats}");
+    // Freeing a slot re-opens the pool.
+    drop(c2);
+    let deadline = Instant::now() + Duration::from_secs(5);
+    loop {
+        let mut probe = RawConn::connect(&handle);
+        probe
+            .stream
+            .write_all(b"{\"stats\":true}\n")
+            .expect("probe write");
+        match probe.read_line() {
+            Some(line) if line.contains("\"ok\":true") => break,
+            _ => assert!(Instant::now() < deadline, "pool slot never freed"),
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    handle.shutdown();
+}
+
+#[test]
+fn watermark_shedding_answers_cache_hits_and_refuses_cold_analyses() {
+    let handle = serve_with(|o| {
+        o.max_conns = 8;
+        o.shed_watermark = 2;
+    });
+    // Below the watermark: full service caches the set's facts.
+    let mut c1 = Client::connect(&handle);
+    let cold = c1.send(&analyze_frame(FIGURE1_SET));
+    assert!(cold.contains("\"cache\":\"miss\""), "{cold}");
+    // The second connection puts the pool at the watermark: shed mode.
+    let mut c2 = Client::connect(&handle);
+    // Cache hits are still answered in full…
+    let hit = c2.send(&analyze_frame(FIGURE1_SET));
+    assert!(hit.contains("\"ok\":true"), "{hit}");
+    assert!(hit.contains("\"cache\":\"hit\""), "{hit}");
+    // …but anything needing a cold analysis is refused with a structured
+    // frame that echoes the request id, and the connection survives.
+    let fresh = "{\"v\":1,\"id\":9,\"cores\":4,\"task_set\":{\"tasks\":[\
+         {\"period\":50,\"deadline\":50,\"dag\":{\"wcets\":[7],\"edges\":[]}}]}}";
+    let refused = c2.send(fresh);
+    assert!(refused.contains("\"kind\":\"overloaded\""), "{refused}");
+    assert!(refused.contains("\"id\":9"), "{refused}");
+    let again = c2.send(&analyze_frame(FIGURE1_SET));
+    assert!(again.contains("\"cache\":\"hit\""), "{again}");
+    let stats = c2.send("{\"stats\":true}");
+    assert!(stat_field(&stats, "\"shed\":") >= 1, "{stats}");
+    // Closing a connection lifts the pressure: the same cold request now
+    // gets a full analysis.
+    drop(c2);
+    let deadline = Instant::now() + Duration::from_secs(5);
+    loop {
+        let stats = c1.send("{\"stats\":true}");
+        if stat_field(&stats, "\"active_conns\":") == 1 {
+            break;
+        }
+        assert!(Instant::now() < deadline, "shed connection never released");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    let served = c1.send(fresh);
+    assert!(served.contains("\"ok\":true"), "{served}");
+    assert!(served.contains("\"cache\":\"miss\""), "{served}");
+    let report = handle.shutdown();
+    assert_eq!(report.cut_off, 0, "{report:?}");
+    assert_eq!(report.panicked, 0, "{report:?}");
+}
+
+#[test]
+fn shutdown_drains_live_connections_without_cutting_them_off() {
+    let handle = serve_with(|o| o.drain_timeout = Duration::from_secs(5));
+    // Three live mid-conversation connections at shutdown time.
+    let mut clients: Vec<Client> = (0..3).map(|_| Client::connect(&handle)).collect();
+    for client in &mut clients {
+        let response = client.send(&analyze_frame(FIGURE1_SET));
+        assert!(response.contains("\"ok\":true"), "{response}");
+    }
+    let report = handle.shutdown();
+    assert_eq!(report.cut_off, 0, "{report:?}");
+    assert_eq!(report.panicked, 0, "{report:?}");
+    assert!(report.drained >= 3, "{report:?}");
 }
 
 #[test]
