@@ -10,7 +10,7 @@ use rta_combinatorics::{
     max_weight_assignment, max_weight_clique_of_size, partition_count, partitions, BitSet,
 };
 use rta_ilp::{IlpBuilder, Sense};
-use rta_sim::{simulate, SimConfig};
+use rta_sim::SimRequest;
 use rta_taskgen::{generate_task_set, group1};
 use std::hint::black_box;
 
@@ -91,8 +91,8 @@ fn bench_simulator(c: &mut Criterion) {
     let ts = generate_task_set(&mut rng, &group1(2.0));
     let horizon = ts.tasks().iter().map(|t| t.period()).max().unwrap_or(1) * 10;
     c.bench_function("simulate_10_maxperiods_m4", |b| {
-        let config = SimConfig::new(4, horizon);
-        b.iter(|| simulate(black_box(&ts), &config))
+        let request = SimRequest::new(4, horizon);
+        b.iter(|| request.evaluate(black_box(&ts)))
     });
 }
 

@@ -63,12 +63,17 @@
 //!                (default both)
 //!   --release R  validate: sync | jitter | sporadic — overrides each
 //!                panel's own release pattern (default: sync everywhere
-//!                except the release panels)
+//!                except the release panels); jitter magnitudes are
+//!                per-task fractions of each task's own period (T_i/10
+//!                for jitter, T_i for sporadic), reported in the CSV
+//!                jitter column
 //!   --addr A     serve/loadgen: socket address (default 127.0.0.1:7431)
 //!   --lru N      serve: task sets kept in the admission cache (default 128)
 //!   --conns N    loadgen: concurrent connections      (default 8)
 //!   --requests N loadgen: requests per connection     (default 200)
 //!   --repeat P   loadgen: percent of repeat requests  (default 80)
+//!   --simulate P loadgen: percent of requests sent as {"simulate":...}
+//!                frames (event-driven simulation on the server; default 0)
 //!   --bounds     loadgen: request per-task bounds on every frame
 //!   --bench P    loadgen: also write the flat BENCH JSON report to P
 //!   --shutdown   loadgen: stop the server after the burst
@@ -117,6 +122,7 @@ struct Options {
     conns: usize,
     requests: usize,
     repeat: u32,
+    simulate: u32,
     bounds: bool,
     bench: Option<PathBuf>,
     shutdown: bool,
@@ -159,6 +165,7 @@ fn main() {
         conns: 8,
         requests: 200,
         repeat: 80,
+        simulate: 0,
         bounds: false,
         bench: None,
         shutdown: false,
@@ -268,6 +275,13 @@ fn main() {
                     .and_then(|v| v.parse().ok())
                     .filter(|&n| n <= 100)
                     .unwrap_or_else(|| usage("--repeat needs a percentage (0..=100)"));
+            }
+            "--simulate" => {
+                options.simulate = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n <= 100)
+                    .unwrap_or_else(|| usage("--simulate needs a percentage (0..=100)"));
             }
             "--bounds" => {
                 options.bounds = true;
@@ -419,6 +433,7 @@ fn run_validate(options: &Options, selector: &str) {
     let mut total_violations = 0u64;
     let mut total_exceedances = 0u64;
     let mut total_lp_misses = 0u64;
+    let mut total_truncated = 0u64;
     for panel in panels {
         println!(
             "== validate/{}: {} — {} sets/point, horizon {}x max period, {} worker(s) ==",
@@ -447,6 +462,7 @@ fn run_validate(options: &Options, selector: &str) {
         total_violations += result.total_violations();
         total_exceedances += result.total_lp_exceedances();
         total_lp_misses += result.total_lp_misses();
+        total_truncated += result.total_truncated_traces();
         println!(
             "hard violations: {}; LP bound exceedances: {}; LP deadline misses: {}\nwrote {}\n",
             result.total_violations(),
@@ -468,6 +484,13 @@ fn run_validate(options: &Options, selector: &str) {
             "note: {total_lp_misses} LP-accepted set(s) missed a deadline in simulation — \
              a full counterexample to the paper's schedulability verdict; \
              inspect the lp_deadline_misses column"
+        );
+    }
+    if total_truncated > 0 {
+        eprintln!(
+            "warning: {total_truncated} counterexample trace(s) hit the bounded-trace \
+             capacity and are truncated — recorded witness schedules are missing their \
+             tail; re-run the offending cell with a smaller --horizon to capture it whole"
         );
     }
     if total_violations > 0 {
@@ -649,6 +672,7 @@ fn run_loadgen(options: &Options) {
         connections: options.conns,
         requests_per_connection: options.requests,
         repeat_percent: options.repeat,
+        simulate_percent: options.simulate,
         bounds: options.bounds,
         seed: options.seed,
         target: options.target,
@@ -711,7 +735,7 @@ fn usage(msg: &str) -> ! {
          [--horizon N] [--policy limited|eager|lazy|full|both] \
          [--release sync|jitter|sporadic] \
          [--addr HOST:PORT] [--lru N] [--conns N] [--requests N] \
-         [--repeat PCT] [--bounds] [--bench PATH] [--shutdown] \
+         [--repeat PCT] [--simulate PCT] [--bounds] [--bench PATH] [--shutdown] \
          [--max-conns N] [--watermark N] [--idle-ms N] [--frame-ms N] \
          [--drain-ms N] [--retries N] [--chaos]"
     );

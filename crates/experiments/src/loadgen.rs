@@ -61,6 +61,10 @@ const CHAOS_READ_TIMEOUT: Duration = Duration::from_millis(250);
 /// the chaos worker on a large write.
 const CHAOS_WRITE_TIMEOUT: Duration = Duration::from_secs(2);
 
+/// The horizon every loadgen simulate frame asks for — long enough that a
+/// simulation costs real work, far below the server-side cap.
+const SIM_HORIZON: u64 = 20_000;
+
 /// Load-generator configuration.
 #[derive(Clone, Debug)]
 pub struct LoadgenOptions {
@@ -73,6 +77,10 @@ pub struct LoadgenOptions {
     pub requests_per_connection: usize,
     /// Percentage of requests drawn from the shared repeat pool.
     pub repeat_percent: u32,
+    /// Percentage of requests sent as `{"simulate":...}` frames instead
+    /// of analyses (0 disables the simulate leg entirely, leaving the
+    /// request stream byte-identical to earlier releases).
+    pub simulate_percent: u32,
     /// Size of the shared repeat pool.
     pub pool_size: usize,
     /// Platform size every request asks about.
@@ -102,6 +110,7 @@ impl Default for LoadgenOptions {
             connections: 8,
             requests_per_connection: 200,
             repeat_percent: 80,
+            simulate_percent: 0,
             pool_size: 16,
             cores: 4,
             bounds: false,
@@ -204,6 +213,8 @@ pub struct LoadgenReport {
     pub near_hits: usize,
     /// Cold analyses.
     pub misses: usize,
+    /// Successful `{"simulate":...}` responses.
+    pub sims: usize,
     /// Retry attempts across all requests.
     pub retries: usize,
     /// Connections re-established after a drop or read timeout.
@@ -222,6 +233,8 @@ pub struct LoadgenReport {
     pub hit_micros: LatencyStats,
     /// Server-side analysis micros of cold (miss) responses.
     pub miss_micros: LatencyStats,
+    /// Server-side simulation micros of simulate responses.
+    pub sim_micros: LatencyStats,
     /// The chaos tally, present iff the run was a chaos run.
     pub chaos: Option<ChaosTally>,
 }
@@ -267,13 +280,21 @@ impl LoadgenReport {
                 chaos.failed_connects,
             );
         }
+        let sim_line = if self.sims > 0 {
+            format!(
+                "\nsimulate: {} responses, server p50 {} µs",
+                self.sims, self.sim_micros.p50
+            )
+        } else {
+            String::new()
+        };
         format!(
             "requests: {} ({} errors)\n\
              retries: {} ({} overloaded, {} reconnects, {} gave up)\n\
              cache: {} hits / {} near / {} misses (hit rate {:.1}%)\n\
              throughput: {:.0} verdicts/s over {:.2}s\n\
              latency (client µs): p50 {} / p99 {} / p999 {}\n\
-             analysis (server µs): hit p50 {} vs cold p50 {} — {:.0}x repeat speedup",
+             analysis (server µs): hit p50 {} vs cold p50 {} — {:.0}x repeat speedup{sim_line}",
             self.requests,
             self.errors,
             self.retries,
@@ -321,18 +342,22 @@ impl LoadgenReport {
         }
         format!(
             "{{\n  \"bench\": \"serve\",\n  \"connections\": {},\n  \
-             \"requests\": {},\n  \"repeat_percent\": {},\n  \"pool_size\": {},\n  \
+             \"requests\": {},\n  \"repeat_percent\": {},\n  \
+             \"simulate_percent\": {},\n  \"pool_size\": {},\n  \
              \"cores\": {},\n  \"errors\": {},\n  \"retries\": {},\n  \
              \"overloaded\": {},\n  \"reconnects\": {},\n  \"gave_up\": {},\n  \
              \"hits\": {},\n  \
-             \"near_hits\": {},\n  \"misses\": {},\n  \"hit_rate_pct\": {:.2},\n  \
+             \"near_hits\": {},\n  \"misses\": {},\n  \"sim_requests\": {},\n  \
+             \"hit_rate_pct\": {:.2},\n  \
              \"verdicts_per_sec\": {:.0},\n  \"latency_p50_micros\": {},\n  \
              \"latency_p99_micros\": {},\n  \"latency_p999_micros\": {},\n  \
              \"hit_p50_micros\": {},\n  \"miss_p50_micros\": {},\n  \
+             \"sim_p50_micros\": {},\n  \
              \"repeat_speedup\": {:.1}\n}}\n",
             options.connections,
             self.requests,
             options.repeat_percent,
+            options.simulate_percent,
             options.pool_size,
             options.cores,
             self.errors,
@@ -343,6 +368,7 @@ impl LoadgenReport {
             self.hits,
             self.near_hits,
             self.misses,
+            self.sims,
             self.hit_rate() * 100.0,
             self.verdicts_per_sec,
             self.latency.p50,
@@ -350,6 +376,7 @@ impl LoadgenReport {
             self.latency.p999,
             self.hit_micros.p50,
             self.miss_micros.p50,
+            self.sim_micros.p50,
             self.repeat_speedup(),
         )
     }
@@ -363,6 +390,7 @@ struct WorkerTally {
     hits: usize,
     near_hits: usize,
     misses: usize,
+    sims: usize,
     retries: usize,
     reconnects: usize,
     overloaded: usize,
@@ -370,6 +398,7 @@ struct WorkerTally {
     latencies: Vec<u64>,
     hit_micros: Vec<u64>,
     miss_micros: Vec<u64>,
+    sim_micros: Vec<u64>,
     chaos: ChaosTally,
 }
 
@@ -414,6 +443,7 @@ pub fn run(options: &LoadgenOptions) -> io::Result<LoadgenReport> {
         tally.hits += part.hits;
         tally.near_hits += part.near_hits;
         tally.misses += part.misses;
+        tally.sims += part.sims;
         tally.retries += part.retries;
         tally.reconnects += part.reconnects;
         tally.overloaded += part.overloaded;
@@ -421,6 +451,7 @@ pub fn run(options: &LoadgenOptions) -> io::Result<LoadgenReport> {
         tally.latencies.extend(part.latencies);
         tally.hit_micros.extend(part.hit_micros);
         tally.miss_micros.extend(part.miss_micros);
+        tally.sim_micros.extend(part.sim_micros);
         merge_chaos(&mut tally.chaos, &part.chaos);
     }
     let elapsed = started.elapsed().as_secs_f64();
@@ -439,6 +470,7 @@ pub fn run(options: &LoadgenOptions) -> io::Result<LoadgenReport> {
         hits: tally.hits,
         near_hits: tally.near_hits,
         misses: tally.misses,
+        sims: tally.sims,
         retries: tally.retries,
         reconnects: tally.reconnects,
         overloaded: tally.overloaded,
@@ -448,6 +480,7 @@ pub fn run(options: &LoadgenOptions) -> io::Result<LoadgenReport> {
         latency: LatencyStats::from_samples(&mut tally.latencies),
         hit_micros: LatencyStats::from_samples(&mut tally.hit_micros),
         miss_micros: LatencyStats::from_samples(&mut tally.miss_micros),
+        sim_micros: LatencyStats::from_samples(&mut tally.sim_micros),
         chaos: options.chaos.then_some(tally.chaos),
     })
 }
@@ -516,6 +549,11 @@ fn run_worker(options: &LoadgenOptions, worker: usize, pool: &[String]) -> io::R
     let mut tally = WorkerTally::default();
     let mut line = String::new();
     for request_index in 0..options.requests_per_connection {
+        // The simulate draw is gated on the flag so a 0% run makes no
+        // extra RNG draws — its request stream is byte-identical to one
+        // produced before the simulate leg existed.
+        let simulate =
+            options.simulate_percent > 0 && rng.gen_range(0..100u32) < options.simulate_percent;
         let repeat = rng.gen_range(0..100u32) < options.repeat_percent;
         let set_json = if repeat {
             pool[rng.gen_range(0..pool.len())].clone()
@@ -532,10 +570,17 @@ fn run_worker(options: &LoadgenOptions, worker: usize, pool: &[String]) -> io::R
                 rta_taskgen::generate_task_set(&mut set_rng, &rta_taskgen::group1(options.target));
             task_set_to_json_compact(&ts)
         };
-        let frame = format!(
-            "{{\"v\":1,\"cores\":{},\"bounds\":{},\"task_set\":{}}}\n",
-            options.cores, options.bounds, set_json
-        );
+        let frame = if simulate {
+            format!(
+                "{{\"v\":1,\"simulate\":{{\"cores\":{},\"horizon\":{},\"task_set\":{}}}}}\n",
+                options.cores, SIM_HORIZON, set_json
+            )
+        } else {
+            format!(
+                "{{\"v\":1,\"cores\":{},\"bounds\":{},\"task_set\":{}}}\n",
+                options.cores, options.bounds, set_json
+            )
+        };
         let mut attempt = 0;
         let latency = loop {
             if conn.is_none() {
@@ -581,7 +626,10 @@ fn run_worker(options: &LoadgenOptions, worker: usize, pool: &[String]) -> io::R
         if line.contains("\"ok\":true") {
             tally.latencies.push(latency);
             let micros = field_u64(&line, "\"micros\":").unwrap_or(0);
-            if line.contains("\"cache\":\"hit\"") {
+            if simulate {
+                tally.sims += 1;
+                tally.sim_micros.push(micros);
+            } else if line.contains("\"cache\":\"hit\"") {
                 tally.hits += 1;
                 tally.hit_micros.push(micros);
             } else if line.contains("\"cache\":\"near\"") {

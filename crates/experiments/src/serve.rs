@@ -54,6 +54,42 @@
 //! analysis: `{"stats":true}` reports counters, `{"shutdown":true}`
 //! acknowledges and stops the server.
 //!
+//! # Simulation frames
+//!
+//! Besides analysis verdicts, the server runs the event-driven simulator
+//! ([`rta_sim::SimRequest`]) on demand. A simulate frame carries one
+//! `"simulate"` object in the same versioned envelope:
+//!
+//! ```json
+//! {"v":1,"id":9,"simulate":{"cores":4,"horizon":20000,"policy":"lazy",
+//!  "release":"jitter","seed":7,"task_set":{"version":1,"tasks":[...]}}}
+//! ```
+//!
+//! * `cores` — required, `1..=MAX_CORES`.
+//! * `horizon` — required; **capped server-side** at [`MAX_SIM_HORIZON`]
+//!   (a horizon is simulated work, not a free parameter — an unbounded
+//!   one would be a denial-of-service lever).
+//! * `policy` — optional: `"eager"` (default), `"lazy"`, `"full"`.
+//! * `release` — optional: `"sync"` (default), `"jitter"`, `"sporadic"` —
+//!   the validation campaign's release patterns (per-task
+//!   period-fraction jitter of 0, T_i/10 and T_i respectively).
+//! * `seed` — optional RNG seed, default 0.
+//! * `task_set` — required, same versioned payload as analyze frames.
+//!
+//! The response reports the run's statistics (no trace crosses the
+//! wire):
+//!
+//! ```json
+//! {"v":1,"id":9,"ok":true,"micros":2140,"sim":{"makespan":20125,
+//!  "deadline_misses":0,"events":1843,"deferred_preemptions":0,
+//!  "peak_live_jobs":3,"max_responses":[9,41]}}
+//! ```
+//!
+//! Simulate frames obey the same robustness rules as analyze frames:
+//! past the shed watermark they are refused with `overloaded` (there is
+//! no cache to degrade to), and a run that outlives the frame budget
+//! counts against the `overruns` stat.
+//!
 //! # Robustness model
 //!
 //! The server is built to survive overload and hostile clients **by
@@ -98,11 +134,13 @@
 //!   the chaos suite can widen race windows deterministically without
 //!   touching the serving logic.
 
+use crate::validate::ReleaseChoice;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use rta_analysis::{AnalysisLru, AnalysisRequest, CacheOutcome, Method};
 use rta_model::json::{self, JsonError, Value};
-use rta_model::TaskSet;
+use rta_model::{TaskSet, Time};
+use rta_sim::{PreemptionPolicy, SimOutcome, SimRequest};
 use std::io::{self, BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -116,6 +154,11 @@ pub const MAX_CORES: usize = 1024;
 
 /// Default bound on one request frame, newline included.
 pub const DEFAULT_MAX_FRAME: usize = 1 << 20;
+
+/// Server-side cap on a simulate frame's horizon: simulated time is
+/// simulated *work*, so an uncapped horizon would let one frame occupy a
+/// connection thread indefinitely.
+pub const MAX_SIM_HORIZON: Time = 10_000_000;
 
 /// Default number of task sets the admission cache retains.
 pub const DEFAULT_LRU_CAPACITY: usize = 128;
@@ -281,6 +324,7 @@ struct ServerState {
     local_addr: SocketAddr,
     active: ActiveGauge,
     requests: AtomicU64,
+    sim_requests: AtomicU64,
     errors: AtomicU64,
     shed: AtomicU64,
     timeouts: AtomicU64,
@@ -400,6 +444,7 @@ pub fn spawn(options: &ServeOptions) -> io::Result<ServerHandle> {
         local_addr: listener.local_addr()?,
         active: ActiveGauge::new(),
         requests: AtomicU64::new(0),
+        sim_requests: AtomicU64::new(0),
         errors: AtomicU64::new(0),
         shed: AtomicU64::new(0),
         timeouts: AtomicU64::new(0),
@@ -516,6 +561,11 @@ enum Frame {
         id: Option<u64>,
         task_set: TaskSet,
         request: AnalysisRequest,
+    },
+    Simulate {
+        id: Option<u64>,
+        task_set: TaskSet,
+        request: SimRequest,
     },
     Stats {
         id: Option<u64>,
@@ -731,6 +781,31 @@ fn handle_frame(state: &Arc<ServerState>, writer: &mut TcpStream, text: &str) ->
             }
             respond_outcome(writer, id, status, elapsed.as_micros(), &outcome)?;
         }
+        Ok(Frame::Simulate {
+            id,
+            task_set,
+            request,
+        }) => {
+            state.sim_requests.fetch_add(1, Ordering::Relaxed);
+            if let Some(delay) = state.inject_delay() {
+                thread::sleep(delay);
+            }
+            // Simulations are never cached (the state space is seeded and
+            // horizon-shaped, so hits would be coincidental), so under
+            // pressure there is no degraded answer to give: shed outright.
+            if state.active.current() >= state.options.shed_watermark {
+                state.shed.fetch_add(1, Ordering::Relaxed);
+                respond_error(writer, id, &WireError::overloaded())?;
+                return Ok(true);
+            }
+            let started = Instant::now();
+            let outcome = request.evaluate(&task_set);
+            let elapsed = started.elapsed();
+            if elapsed > state.options.frame_timeout {
+                state.overruns.fetch_add(1, Ordering::Relaxed);
+            }
+            respond_sim(writer, id, elapsed.as_micros(), &outcome)?;
+        }
     }
     Ok(true)
 }
@@ -856,16 +931,10 @@ fn parse_frame(text: &str) -> Result<Frame, WireError> {
     if doc.get("shutdown").and_then(Value::as_bool) == Some(true) {
         return Ok(Frame::Shutdown { id });
     }
-    let cores = doc
-        .get("cores")
-        .ok_or_else(|| WireError::protocol("request is missing \"cores\""))?
-        .as_u64()
-        .ok_or_else(|| WireError::protocol("\"cores\" must be a non-negative integer"))?;
-    if cores == 0 || cores as usize > MAX_CORES {
-        return Err(WireError::protocol(format!(
-            "\"cores\" must be in 1..={MAX_CORES}, got {cores}"
-        )));
+    if let Some(sim) = doc.get("simulate") {
+        return parse_simulate(id, sim);
     }
+    let cores = parse_cores(&doc)?;
     let methods: Vec<Method> = match doc.get("methods") {
         None => Method::ALL.to_vec(),
         Some(v) => v
@@ -892,10 +961,91 @@ fn parse_frame(text: &str) -> Result<Frame, WireError> {
         doc.get("task_set")
             .ok_or_else(|| WireError::protocol("request is missing \"task_set\""))?,
     )?;
-    let request = AnalysisRequest::new(cores as usize)
+    let request = AnalysisRequest::new(cores)
         .with_methods(methods)
         .with_bounds(want_bounds);
     Ok(Frame::Analyze {
+        id,
+        task_set,
+        request,
+    })
+}
+
+/// Validates the `cores` field of an analyze frame or a `simulate`
+/// object (shared bounds: a core count is a platform description, not an
+/// allocation license).
+fn parse_cores(doc: &Value) -> Result<usize, WireError> {
+    let cores = doc
+        .get("cores")
+        .ok_or_else(|| WireError::protocol("request is missing \"cores\""))?
+        .as_u64()
+        .ok_or_else(|| WireError::protocol("\"cores\" must be a non-negative integer"))?;
+    if cores == 0 || cores as usize > MAX_CORES {
+        return Err(WireError::protocol(format!(
+            "\"cores\" must be in 1..={MAX_CORES}, got {cores}"
+        )));
+    }
+    Ok(cores as usize)
+}
+
+/// Parses the `"simulate"` object of a simulate frame into a
+/// [`SimRequest`] (never with tracing: traces are bounded but large, and
+/// no client needs them over the wire).
+fn parse_simulate(id: Option<u64>, sim: &Value) -> Result<Frame, WireError> {
+    let Value::Object(_) = sim else {
+        return Err(WireError::protocol("\"simulate\" must be a JSON object"));
+    };
+    let cores = parse_cores(sim)?;
+    let horizon = sim
+        .get("horizon")
+        .ok_or_else(|| WireError::protocol("\"simulate\" is missing \"horizon\""))?
+        .as_u64()
+        .ok_or_else(|| WireError::protocol("\"horizon\" must be a non-negative integer"))?;
+    if horizon == 0 || horizon > MAX_SIM_HORIZON {
+        return Err(WireError::protocol(format!(
+            "\"horizon\" must be in 1..={MAX_SIM_HORIZON}, got {horizon} \
+             (the horizon is capped server-side)"
+        )));
+    }
+    let policy = match sim.get("policy") {
+        None => PreemptionPolicy::LimitedPreemptive,
+        Some(v) => match v.as_str() {
+            Some("eager") => PreemptionPolicy::LimitedPreemptive,
+            Some("lazy") => PreemptionPolicy::LazyPreemptive,
+            Some("full") => PreemptionPolicy::FullyPreemptive,
+            _ => {
+                return Err(WireError::protocol(format!(
+                    "unknown policy {v:?}; expected \"eager\", \"lazy\" or \"full\""
+                )));
+            }
+        },
+    };
+    let release = match sim.get("release") {
+        None => ReleaseChoice::Sync,
+        Some(v) => v
+            .as_str()
+            .and_then(ReleaseChoice::from_flag)
+            .ok_or_else(|| {
+                WireError::protocol(format!(
+                    "unknown release {v:?}; expected \"sync\", \"jitter\" or \"sporadic\""
+                ))
+            })?,
+    };
+    let seed = match sim.get("seed") {
+        None => 0,
+        Some(v) => v
+            .as_u64()
+            .ok_or_else(|| WireError::protocol("\"seed\" must be a non-negative integer"))?,
+    };
+    let task_set = json::task_set_from_value(
+        sim.get("task_set")
+            .ok_or_else(|| WireError::protocol("\"simulate\" is missing \"task_set\""))?,
+    )?;
+    let request = SimRequest::new(cores, horizon)
+        .with_policy(policy)
+        .with_release(release.release())
+        .with_seed(seed);
+    Ok(Frame::Simulate {
         id,
         task_set,
         request,
@@ -1000,6 +1150,50 @@ fn respond_outcome(
     writeln_frame(writer, out)
 }
 
+/// The compact JSON object of simulation results exactly as the wire
+/// carries it — public so tests can pin server responses to the library
+/// path.
+pub fn sim_json(outcome: &SimOutcome) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::from("{");
+    let _ = write!(
+        out,
+        "\"makespan\":{},\"deadline_misses\":{},\"events\":{},\
+         \"deferred_preemptions\":{},\"peak_live_jobs\":{},\"max_responses\":[",
+        outcome.makespan(),
+        outcome.total_deadline_misses(),
+        outcome.events_processed(),
+        outcome.deferred_preemptions(),
+        outcome.peak_live_jobs(),
+    );
+    for (i, stats) in outcome.per_task().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{}", stats.max_response);
+    }
+    out.push_str("]}");
+    out
+}
+
+fn respond_sim(
+    writer: &mut impl Write,
+    id: Option<u64>,
+    micros: u128,
+    outcome: &SimOutcome,
+) -> io::Result<()> {
+    use std::fmt::Write as _;
+    let mut out = String::from("{\"v\":1,");
+    push_id(&mut out, id);
+    let _ = write!(
+        out,
+        "\"ok\":true,\"micros\":{micros},\"sim\":{}",
+        sim_json(outcome)
+    );
+    out.push('}');
+    writeln_frame(writer, out)
+}
+
 fn write_stats(
     out: &mut String,
     state: &ServerState,
@@ -1009,11 +1203,13 @@ fn write_stats(
     use std::fmt::Write as _;
     write!(
         out,
-        "\"ok\":true,\"stats\":{{\"requests\":{},\"errors\":{},\"active_conns\":{},\
+        "\"ok\":true,\"stats\":{{\"requests\":{},\"sim_requests\":{},\"errors\":{},\
+         \"active_conns\":{},\
          \"shed\":{},\"timeouts\":{},\"overruns\":{},\"drained\":{},\"accept_errors\":{},\
          \"injected_drops\":{},\"injected_delays\":{},\"cached_sets\":{},\
          \"hits\":{},\"near_hits\":{},\"misses\":{},\"evictions\":{}}}}}",
         state.requests.load(Ordering::Relaxed),
+        state.sim_requests.load(Ordering::Relaxed),
         state.errors.load(Ordering::Relaxed),
         state.active.current(),
         state.shed.load(Ordering::Relaxed),
@@ -1078,6 +1274,73 @@ mod tests {
             let err = parse_frame(text).expect_err(text);
             assert_eq!(err.kind, kind, "{text}: {}", err.message);
         }
+    }
+
+    #[test]
+    fn simulate_frame_parsing_defaults_and_errors() {
+        const SET: &str = r#"{"tasks":[{"period":9,"deadline":9,"dag":{"wcets":[1],"edges":[]}}]}"#;
+        let ok = parse_frame(&format!(
+            r#"{{"v":1,"id":9,"simulate":{{"cores":4,"horizon":20000,"task_set":{SET}}}}}"#
+        ));
+        let Ok(Frame::Simulate {
+            id,
+            request,
+            task_set,
+        }) = ok
+        else {
+            panic!("expected a simulate frame");
+        };
+        assert_eq!(id, Some(9));
+        assert_eq!(task_set.len(), 1);
+        // Defaults: the paper's eager policy, synchronous release, seed 0.
+        let reference = SimRequest::new(4, 20_000);
+        assert_eq!(request, reference);
+        // Explicit knobs land in the request.
+        let Ok(Frame::Simulate { request, .. }) = parse_frame(&format!(
+            r#"{{"simulate":{{"cores":2,"horizon":500,"policy":"lazy","release":"sporadic","seed":7,"task_set":{SET}}}}}"#
+        )) else {
+            panic!("expected a simulate frame");
+        };
+        assert_eq!(
+            request,
+            SimRequest::new(2, 500)
+                .with_policy(PreemptionPolicy::LazyPreemptive)
+                .with_release(ReleaseChoice::Sporadic.release())
+                .with_seed(7)
+        );
+        let bad = [
+            r#"{"simulate":true}"#.to_string(),
+            format!(r#"{{"simulate":{{"horizon":10,"task_set":{SET}}}}}"#), // no cores
+            format!(r#"{{"simulate":{{"cores":4,"task_set":{SET}}}}}"#),    // no horizon
+            format!(r#"{{"simulate":{{"cores":4,"horizon":0,"task_set":{SET}}}}}"#),
+            // Above MAX_SIM_HORIZON: the horizon is capped server-side.
+            format!(r#"{{"simulate":{{"cores":4,"horizon":10000001,"task_set":{SET}}}}}"#),
+            format!(r#"{{"simulate":{{"cores":4,"horizon":10,"policy":"np","task_set":{SET}}}}}"#),
+            format!(
+                r#"{{"simulate":{{"cores":4,"horizon":10,"release":"burst","task_set":{SET}}}}}"#
+            ),
+            r#"{"simulate":{"cores":4,"horizon":10}}"#.to_string(), // no task_set
+            format!(r#"{{"simulate":{{"cores":4,"horizon":10,"task_set":{SET}}},"v":3}}"#),
+        ];
+        for text in &bad {
+            let err = parse_frame(text).expect_err(text);
+            assert_eq!(err.kind, "protocol", "{text}: {}", err.message);
+        }
+    }
+
+    #[test]
+    fn sim_json_reports_the_library_outcome() {
+        use rta_model::{DagBuilder, DagTask};
+        let mut b = DagBuilder::new();
+        b.add_node(2);
+        let task = DagTask::with_implicit_deadline(b.build().unwrap(), 10).unwrap();
+        let ts = TaskSet::new(vec![task]);
+        let outcome = SimRequest::new(1, 20).evaluate(&ts);
+        let json = sim_json(&outcome);
+        assert!(json.contains("\"makespan\":12"), "{json}");
+        assert!(json.contains("\"deadline_misses\":0"), "{json}");
+        assert!(json.contains("\"max_responses\":[2]"), "{json}");
+        assert!(json.contains("\"peak_live_jobs\":"), "{json}");
     }
 
     #[test]

@@ -74,12 +74,16 @@
 //! for every legal release pattern. The campaign's default adversary is
 //! the synchronous-periodic WCET pattern; [`ReleaseChoice`] promotes the
 //! simulator's other patterns to first-class `--release` knobs (`sync`,
-//! `jitter` — inter-arrivals stretched by a small random jitter — and
-//! `sporadic` — inter-arrivals stretched by up to a full minimum period),
+//! `jitter` — every inter-arrival of task `i` stretched by a uniform
+//! random delay of up to a tenth of *its own* period `T_i` — and
+//! `sporadic` — inter-arrivals stretched by up to a full own period),
 //! and two dedicated panels ([`ValidatePanel::Release`]) run the `m = 4`
-//! utilization sweep under each non-synchronous pattern. Every pattern
-//! keeps inter-arrivals at or above the period, so all four analyses
-//! remain on the hook: a violation under any release model is real.
+//! utilization sweep under each non-synchronous pattern. Jitter is
+//! first-class and per-task ([`rta_sim::Jitter::PeriodFraction`]); the
+//! relative fraction is reported in the `jitter` CSV column. Every
+//! pattern keeps inter-arrivals at or above the period, so all four
+//! analyses remain on the hook: a violation under any release model is
+//! real.
 //!
 //! The analysis side runs through a bounds-carrying
 //! [`rta_analysis::AnalysisRequest`]: the dominance-short-circuited
@@ -99,8 +103,8 @@ use crate::campaign::generate_on_worker;
 use crate::exec::{self, Jobs};
 use crate::set_seed;
 use rta_analysis::{AnalysisRequest, Method, ScenarioSpace};
-use rta_model::{TaskSet, Time};
-use rta_sim::{simulate, PreemptionPolicy, ReleaseModel, SimConfig};
+use rta_model::TaskSet;
+use rta_sim::{Jitter, PreemptionPolicy, Release, SimRequest};
 use rta_taskgen::{chain_mix, group1};
 
 /// Base seed of the validation panels (a fresh population, distinct from
@@ -169,11 +173,12 @@ pub enum ReleaseChoice {
     /// campaign default.
     #[default]
     Sync,
-    /// Sporadic with small jitter: every inter-arrival is stretched by a
-    /// uniform random delay of up to a tenth of the set's smallest period.
+    /// Sporadic with small per-task jitter: every inter-arrival of task
+    /// `i` is stretched by a uniform random delay of up to a tenth of its
+    /// own period `T_i`.
     Jitter,
-    /// Strongly sporadic: inter-arrivals stretched by up to a full
-    /// smallest period — the low-interference end of the legal patterns.
+    /// Strongly sporadic: per-task inter-arrivals stretched by up to a
+    /// full own period — the low-interference end of the legal patterns.
     Sporadic,
 }
 
@@ -197,19 +202,29 @@ impl ReleaseChoice {
         }
     }
 
-    /// The simulator release model for one task set: jitter magnitudes
-    /// derive from the set's smallest period so the pattern scales with
-    /// the generated time base.
-    pub fn model_for(self, ts: &TaskSet) -> ReleaseModel {
-        let min_period: Time = ts.tasks().iter().map(|t| t.period()).min().unwrap_or(1);
+    /// The simulator release scenario: jitter is a first-class per-task
+    /// magnitude ([`Jitter::PeriodFraction`] resolves to a fraction of
+    /// each task's *own* period), so the pattern scales with the
+    /// generated time base and never needs the task set in hand.
+    pub fn release(self) -> Release {
         match self {
-            ReleaseChoice::Sync => ReleaseModel::SynchronousPeriodic,
-            ReleaseChoice::Jitter => ReleaseModel::Sporadic {
-                jitter: (min_period / 10).max(1),
+            ReleaseChoice::Sync => Release::Synchronous,
+            ReleaseChoice::Jitter => Release::Sporadic {
+                jitter: Jitter::PeriodFraction { percent: 10 },
             },
-            ReleaseChoice::Sporadic => ReleaseModel::Sporadic {
-                jitter: min_period.max(1),
+            ReleaseChoice::Sporadic => Release::Sporadic {
+                jitter: Jitter::PeriodFraction { percent: 100 },
             },
+        }
+    }
+
+    /// The per-task jitter magnitude as a fraction of the period — the
+    /// scalar reported in the `jitter` CSV column.
+    pub fn jitter_fraction(self) -> f64 {
+        match self {
+            ReleaseChoice::Sync => 0.0,
+            ReleaseChoice::Jitter => 0.1,
+            ReleaseChoice::Sporadic => 1.0,
         }
     }
 }
@@ -268,6 +283,13 @@ pub struct SetValidation {
     /// method accepted the set and at least one of its simulator policies
     /// ran.
     pub tightness: [Option<f64>; 4],
+    /// Counterexample witness traces that hit the bounded-trace capacity:
+    /// whenever a policy run produced any finding (hard violation,
+    /// exceedance or miss), the cell re-simulates with tracing enabled to
+    /// capture the offending schedule; a truncated witness means the
+    /// recorded Gantt chart is missing its tail, and `repro validate`
+    /// warns about it.
+    pub truncated_traces: u64,
 }
 
 /// The simulator policies whose schedules method `mi`'s bounds must
@@ -321,12 +343,12 @@ pub fn validate_set(
     ];
     let max_period = ts.tasks().iter().map(|t| t.period()).max().unwrap_or(1);
     let horizon = horizon_factor.saturating_mul(max_period).max(1);
-    let release_model = release.model_for(ts);
 
     let mut hard_violations = 0u64;
     let mut lp_exceedances = 0u64;
     let mut lp_misses = 0u64;
     let mut tightness = [None; 4];
+    let mut truncated_traces = 0u64;
     for policy in [
         PreemptionPolicy::LimitedPreemptive,
         PreemptionPolicy::LazyPreemptive,
@@ -340,19 +362,18 @@ pub fn validate_set(
             // validate, skip the simulation entirely.
             continue;
         }
-        let result = simulate(
-            ts,
-            &SimConfig::new(cores, horizon)
-                .with_policy(policy)
-                .with_release(release_model),
-        );
+        let request = SimRequest::new(cores, horizon)
+            .with_policy(policy)
+            .with_release(release.release());
+        let outcome = request.evaluate(ts);
+        let findings_before = (hard_violations, lp_exceedances, lp_misses);
         for (mi, verdict) in verdicts.iter().enumerate() {
             if !policies_of(mi).contains(&policy) || !verdict.schedulable {
                 continue;
             }
             let sound = is_sound(mi);
             // Invariant 1: an accepted set never misses a deadline.
-            if result.total_deadline_misses() > 0 {
+            if outcome.total_deadline_misses() > 0 {
                 if sound {
                     hard_violations += 1;
                 } else {
@@ -363,7 +384,11 @@ pub fn validate_set(
             // compared exactly in scaled units.
             let mut exceeded = false;
             let mut worst = 0.0f64;
-            for (stats, &bound) in result.per_task.iter().zip(verdict.bounds.iter().flatten()) {
+            for (stats, &bound) in outcome
+                .per_task()
+                .iter()
+                .zip(verdict.bounds.iter().flatten())
+            {
                 if (stats.max_response as u128) * bound.cores() as u128 > bound.scaled() {
                     exceeded = true;
                 }
@@ -380,6 +405,15 @@ pub fn validate_set(
             }
             tightness[mi] = Some(tightness[mi].map_or(worst, |w: f64| w.max(worst)));
         }
+        if (hard_violations, lp_exceedances, lp_misses) != findings_before {
+            // Capture the counterexample schedule as a trace witness (the
+            // run is deterministic, so the re-run reproduces it exactly)
+            // and surface whether the bounded trace could hold all of it.
+            let witness = request.with_trace(true).evaluate(ts);
+            if witness.trace_dropped() > 0 {
+                truncated_traces += 1;
+            }
+        }
     }
 
     SetValidation {
@@ -389,6 +423,7 @@ pub fn validate_set(
         lp_exceedances,
         lp_misses,
         tightness,
+        truncated_traces,
     }
 }
 
@@ -399,6 +434,9 @@ pub struct ValidatePoint {
     pub x: f64,
     /// Release pattern the panel simulated under.
     pub release: ReleaseChoice,
+    /// Per-task release-jitter magnitude as a fraction of each task's own
+    /// period (0 under synchronous releases) — the `jitter` CSV column.
+    pub jitter: f64,
     /// Mean utilization actually achieved by the generated sets.
     pub achieved_utilization: f64,
     /// Acceptance percentage per method, in [`Method::ALL`] order.
@@ -415,6 +453,10 @@ pub struct ValidatePoint {
     pub tightness_mean: [f64; 4],
     /// Maximum of the per-set worst `sim/bound` ratio, per method.
     pub tightness_max: [f64; 4],
+    /// Counterexample witness traces truncated at the bounded-trace
+    /// capacity at this point (not a CSV column; `repro validate` prints
+    /// a warning when any panel reports a nonzero total).
+    pub truncated_traces: u64,
 }
 
 impl ValidatePoint {
@@ -423,6 +465,7 @@ impl ValidatePoint {
         let mut cells = vec![
             format!("{:.4}", self.x),
             self.release.label().to_string(),
+            format!("{:.1}", self.jitter),
             format!("{:.4}", self.achieved_utilization),
             format!("{:.2}", self.accepted_pct[0]),
             format!("{:.2}", self.accepted_pct[1]),
@@ -440,13 +483,14 @@ impl ValidatePoint {
     }
 }
 
-/// The CSV header of a validation sweep: the release pattern, acceptance
-/// percentages, the violation/finding counters, then `(mean, max)`
-/// tightness per method.
-pub fn csv_header(x_label: &str) -> [&str; 18] {
+/// The CSV header of a validation sweep: the release pattern and its
+/// per-task jitter fraction, acceptance percentages, the
+/// violation/finding counters, then `(mean, max)` tightness per method.
+pub fn csv_header(x_label: &str) -> [&str; 19] {
     [
         x_label,
         "release",
+        "jitter",
         "achieved_utilization",
         "fp_ideal_pct",
         "lp_ilp_pct",
@@ -492,12 +536,19 @@ impl ValidateResult {
         self.points.iter().map(|p| p.lp_misses).sum()
     }
 
+    /// Total counterexample witness traces the bounded trace truncated
+    /// across the panel (the CLI warns when this is nonzero).
+    pub fn total_truncated_traces(&self) -> u64 {
+        self.points.iter().map(|p| p.truncated_traces).sum()
+    }
+
     /// ASCII rendering: acceptance, violation/finding counters and
     /// worst-case tightness.
     pub fn render(&self, x_label: &str) -> String {
         let header = [
             x_label,
             "rel",
+            "jit",
             "achieved U",
             "FP-ideal %",
             "LP-ILP %",
@@ -518,6 +569,7 @@ impl ValidateResult {
                 vec![
                     format!("{:.2}", p.x),
                     p.release.label().to_string(),
+                    format!("{:.1}", p.jitter),
                     format!("{:.2}", p.achieved_utilization),
                     format!("{:.1}", p.accepted_pct[0]),
                     format!("{:.1}", p.accepted_pct[1]),
@@ -698,6 +750,7 @@ impl ValidatePanel {
         let mut tight_sum = [0.0f64; 4];
         let mut tight_n = [0usize; 4];
         let mut tight_max = [0.0f64; 4];
+        let mut truncated = 0u64;
         exec::stream_indexed(
             xs.len() * sets,
             jobs,
@@ -717,6 +770,7 @@ impl ValidatePanel {
                 violations += outcome.hard_violations;
                 lp_exceedances += outcome.lp_exceedances;
                 lp_misses += outcome.lp_misses;
+                truncated += outcome.truncated_traces;
                 for mi in 0..4 {
                     if outcome.accepted[mi] {
                         accepted[mi] += 1;
@@ -739,6 +793,7 @@ impl ValidatePanel {
                     on_point(&ValidatePoint {
                         x: xs[index / sets],
                         release,
+                        jitter: release.jitter_fraction(),
                         achieved_utilization: achieved / sets as f64,
                         accepted_pct: [
                             pct(accepted[0]),
@@ -751,6 +806,7 @@ impl ValidatePanel {
                         lp_misses,
                         tightness_mean: [mean(0), mean(1), mean(2), mean(3)],
                         tightness_max: tight_max,
+                        truncated_traces: truncated,
                     });
                     accepted = [0; 4];
                     achieved = 0.0;
@@ -760,6 +816,7 @@ impl ValidatePanel {
                     tight_sum = [0.0; 4];
                     tight_n = [0; 4];
                     tight_max = [0.0; 4];
+                    truncated = 0;
                 }
             },
         );
@@ -815,7 +872,7 @@ mod tests {
             DagTask::with_implicit_deadline(b.build().unwrap(), period).unwrap()
         };
         let ts = TaskSet::new(vec![single(2, 2), single(2, 2)]);
-        let sim = simulate(&ts, &SimConfig::new(1, 20));
+        let sim = SimRequest::new(1, 20).evaluate(&ts);
         assert!(sim.total_deadline_misses() > 0, "overload must miss");
         let v = validate_set(&ts, 1, 10, PolicyChoice::Both, ReleaseChoice::Sync);
         assert_eq!(v.accepted, [false, false, false, false]);
@@ -842,10 +899,9 @@ mod tests {
         // top task (Δ² = 189, p = 0), yet the simulator legally observes
         // a response of 304: blocking NPRs that *start mid-job* on cores
         // idled by the hp-DAG's own precedence structure.
-        let sim = simulate(
-            &ts,
-            &SimConfig::new(2, 3 * 1216).with_policy(PreemptionPolicy::LimitedPreemptive),
-        );
+        let sim = SimRequest::new(2, 3 * 1216)
+            .with_policy(PreemptionPolicy::LimitedPreemptive)
+            .evaluate(&ts);
         assert_eq!(sim.max_response(0), 304);
 
         let v = validate_set(&ts, 2, 3, PolicyChoice::Both, ReleaseChoice::Sync);
@@ -879,10 +935,9 @@ mod tests {
             .with_bounds(true)
             .evaluate(&ts);
         let verdict = outcome.outcome(Method::LpSound).expect("LP-sound answered");
-        let sim = simulate(
-            &ts,
-            &SimConfig::new(2, 3 * 1216).with_policy(PreemptionPolicy::LimitedPreemptive),
-        );
+        let sim = SimRequest::new(2, 3 * 1216)
+            .with_policy(PreemptionPolicy::LimitedPreemptive)
+            .evaluate(&ts);
         assert_eq!(sim.max_response(0), 304);
         if verdict.schedulable {
             let bound = verdict.bound(0).expect("task 0 analyzed");
@@ -1056,6 +1111,39 @@ mod tests {
         }
         let csv = result.to_csv("utilization");
         assert_eq!(csv.lines().count(), result.points.len() + 1);
-        assert!(csv.starts_with("utilization,release,achieved_utilization,fp_ideal_pct"));
+        assert!(csv.starts_with("utilization,release,jitter,achieved_utilization,fp_ideal_pct"));
+    }
+
+    /// The jitter column carries the per-task fraction of each release
+    /// pattern, and the release panels report their own pattern's value.
+    #[test]
+    fn jitter_column_reflects_the_release_pattern() {
+        assert_eq!(ReleaseChoice::Sync.jitter_fraction(), 0.0);
+        assert_eq!(ReleaseChoice::Jitter.jitter_fraction(), 0.1);
+        assert_eq!(ReleaseChoice::Sporadic.jitter_fraction(), 1.0);
+        let options = ValidateOptions {
+            sets_per_point: 2,
+            ..ValidateOptions::default()
+        };
+        let result = ValidatePanel::Release(ReleaseChoice::Sporadic).run(&options, Jobs::serial());
+        assert!(result.points.iter().all(|p| p.jitter == 1.0));
+        for p in &result.points {
+            assert_eq!(p.csv_cells()[2], "1.0");
+        }
+    }
+
+    /// Satellite bugfix pinning: a counterexample witness longer than the
+    /// bounded trace is flagged as truncated; a short witness is not.
+    #[test]
+    fn truncated_counterexample_traces_are_counted() {
+        let ts = counterexample_task_set();
+        // The eager-LP exceedance reproduces at any horizon; at 2500 max
+        // periods its witness trace overflows the bounded capacity.
+        let long = validate_set(&ts, 2, 2500, PolicyChoice::Eager, ReleaseChoice::Sync);
+        assert!(long.lp_exceedances > 0);
+        assert!(long.truncated_traces > 0, "long witness must be truncated");
+        let short = validate_set(&ts, 2, 3, PolicyChoice::Eager, ReleaseChoice::Sync);
+        assert!(short.lp_exceedances > 0);
+        assert_eq!(short.truncated_traces, 0, "short witness fits the trace");
     }
 }

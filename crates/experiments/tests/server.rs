@@ -170,6 +170,70 @@ fn verdicts_match_the_library_and_repeats_hit_the_cache() {
 }
 
 #[test]
+fn simulate_frames_answer_with_library_identical_results() {
+    use rta_experiments::serve::sim_json;
+    use rta_model::json::task_set_from_json;
+    use rta_sim::{PreemptionPolicy, SimRequest};
+
+    let handle = test_server(1 << 20);
+    let mut client = Client::connect(&handle);
+    let frame = format!(
+        "{{\"v\":1,\"id\":9,\"simulate\":{{\"cores\":4,\"horizon\":2000,\
+         \"policy\":\"lazy\",\"seed\":7,\"task_set\":{}}}}}",
+        FIGURE1_SET.replace('\n', " ")
+    );
+    let response = client.send(&frame);
+    assert!(response.contains("\"ok\":true"), "{response}");
+    assert!(response.contains("\"id\":9"), "{response}");
+    // The wire result is the library result, byte for byte.
+    let ts = task_set_from_json(FIGURE1_SET).expect("test set parses");
+    let outcome = SimRequest::new(4, 2000)
+        .with_policy(PreemptionPolicy::LazyPreemptive)
+        .with_seed(7)
+        .evaluate(&ts);
+    let expected = format!("\"sim\":{}", sim_json(&outcome));
+    assert!(response.contains(&expected), "{response} vs {expected}");
+    // Horizons above the server-side cap are refused with a structured
+    // error, and the connection survives.
+    let refused = client.send(&format!(
+        "{{\"simulate\":{{\"cores\":4,\"horizon\":99999999,\"task_set\":{}}}}}",
+        FIGURE1_SET.replace('\n', " ")
+    ));
+    assert!(refused.contains("\"kind\":\"protocol\""), "{refused}");
+    let stats = client.send("{\"stats\":true}");
+    assert!(stat_field(&stats, "\"sim_requests\":") >= 1, "{stats}");
+    handle.shutdown();
+}
+
+#[test]
+fn loadgen_simulate_mix_drives_the_simulate_frame() {
+    let handle = test_server(1 << 20);
+    let report = loadgen::run(&LoadgenOptions {
+        addr: handle.addr().to_string(),
+        connections: 2,
+        requests_per_connection: 20,
+        repeat_percent: 50,
+        simulate_percent: 40,
+        pool_size: 4,
+        cores: 2,
+        target: 1.0,
+        ..Default::default()
+    })
+    .expect("loadgen run");
+    assert_eq!(report.errors, 0);
+    assert_eq!(report.requests, 40);
+    assert!(report.sims > 0, "40% simulate mix produced no sims");
+    assert_eq!(
+        report.hits + report.near_hits + report.misses + report.sims,
+        40
+    );
+    assert!(report
+        .to_bench_json(&LoadgenOptions::default())
+        .contains("\"sim_requests\""));
+    handle.shutdown();
+}
+
+#[test]
 fn wire_shutdown_stops_the_server() {
     let handle = test_server(4096);
     let addr = handle.addr();

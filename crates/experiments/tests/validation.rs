@@ -16,7 +16,7 @@ use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use rta_analysis::{AnalysisRequest, Method};
 use rta_experiments::validate::{validate_set, PolicyChoice, ReleaseChoice};
-use rta_sim::{simulate, PreemptionPolicy, SimConfig};
+use rta_sim::{PreemptionPolicy, SimRequest};
 use rta_taskgen::{chain_mix, generate_task_set, group1, group2};
 
 proptest! {
@@ -79,13 +79,11 @@ proptest! {
         let verdict = outcome.outcome(Method::FpIdeal).expect("FP-ideal answered");
         prop_assume!(verdict.schedulable);
         let max_period = ts.tasks().iter().map(|t| t.period()).max().unwrap();
-        let sim = simulate(
-            &ts,
-            &SimConfig::new(4, horizon_factor * max_period)
-                .with_policy(PreemptionPolicy::FullyPreemptive),
-        );
+        let sim = SimRequest::new(4, horizon_factor * max_period)
+            .with_policy(PreemptionPolicy::FullyPreemptive)
+            .evaluate(&ts);
         prop_assert!(sim.all_deadlines_met());
-        for (stats, &bound) in sim.per_task.iter().zip(verdict.bounds.iter().flatten()) {
+        for (stats, &bound) in sim.per_task().iter().zip(verdict.bounds.iter().flatten()) {
             prop_assert!(
                 (stats.max_response as u128) * bound.cores() as u128 <= bound.scaled(),
                 "seed {}: sim {} exceeds bound {}",

@@ -1,4 +1,12 @@
-//! Simulation configuration.
+//! Legacy simulation configuration.
+//!
+//! [`SimConfig`] (and the `simulate` entry point consuming it) predate the
+//! unified request API and survive as deprecated wrappers, pinned
+//! bit-identical to the original engine by the equivalence proptests. New
+//! code builds a [`crate::SimRequest`] instead; [`PreemptionPolicy`] and
+//! [`ExecutionModel`] remain first-class vocabulary shared with the
+//! request API, while [`ReleaseModel`] is subsumed by the richer
+//! [`crate::scenario::Release`].
 
 use rta_model::Time;
 
@@ -73,6 +81,11 @@ pub enum ExecutionModel {
 ///     .with_trace(true);
 /// assert_eq!(config.cores, 8);
 /// ```
+#[deprecated(
+    since = "0.1.0",
+    note = "superseded by the unified request API: build a `SimRequest` instead — \
+            see the migration table in the crate docs"
+)]
 #[derive(Clone, Debug, PartialEq)]
 pub struct SimConfig {
     /// Number of identical cores.
@@ -92,6 +105,7 @@ pub struct SimConfig {
     pub record_trace: bool,
 }
 
+#[allow(deprecated)]
 impl SimConfig {
     /// Creates a configuration with the default models.
     ///
@@ -150,6 +164,10 @@ impl SimConfig {
 
 #[cfg(test)]
 mod tests {
+    // The legacy configuration stays under test: it is deprecated, not
+    // removed.
+    #![allow(deprecated)]
+
     use super::*;
 
     #[test]

@@ -1,86 +1,62 @@
-//! The event-driven scheduler simulator.
+//! The event-driven scheduler state machine.
 //!
-//! Two event kinds drive the simulation: job releases and node completions.
-//! After draining all events at an instant, the scheduler runs:
+//! The engine is the *dispatcher* only: it pulls [`Event`]s from the
+//! [`EventQueue`], mutates job state held in the
+//! [`JobSlab`](crate::topology), and fills cores from the
+//! [`ReadySet`](crate::topology). Everything scenario-specific — when jobs
+//! arrive, how long nodes suspend — lives in [`crate::scenario`]; everything
+//! structural about the task set — successor lists, predecessor counts,
+//! WCETs — is precomputed in [`crate::topology`]. The engine itself is the
+//! policy state machine:
 //!
-//! 1. free cores are filled with the highest-priority ready nodes
+//! 1. drain every event scheduled at the current instant;
+//! 2. fill free cores with the highest-priority ready nodes
 //!    (priority = task index, then job sequence, then node index);
-//! 2. under the fully-preemptive policy, remaining higher-priority ready
+//! 3. under the fully-preemptive policy, remaining higher-priority ready
 //!    nodes displace the lowest-priority running nodes.
 //!
-//! Under the limited-preemptive policy step 2 never happens — running
+//! Under the limited-preemptive policy step 3 never happens — running
 //! non-preemptive regions keep their cores until completion, which is
 //! exactly the paper's eager-preemption model: a higher-priority task takes
 //! over at the first preemption point (node boundary) reached by any
 //! lower-priority task.
 //!
 //! Under the **lazy** limited-preemptive policy (Nasri, Nelissen &
-//! Brandenburg, ECRTS 2019) step 1 is refined: a job reaching one of its
+//! Brandenburg, ECRTS 2019) step 2 is refined: a job reaching one of its
 //! node boundaries keeps the core for its own next ready node whenever a
 //! higher-priority job is waiting but a *lower-priority* job is still
 //! running elsewhere — the waiting job preempts only the lowest-priority
-//! running job, at that job's next boundary. Cores whose freeing job has
-//! no ready continuation fall back to the globally highest-priority ready
-//! node, so the policy remains work-conserving.
+//! running job, at that job's next boundary. Each honoured continuation
+//! schedules an explicit [`Event::PreemptionBoundary`] marker at the
+//! victim's boundary (counted in the outcome as a deferred preemption);
+//! the marker is provably stale when it fires, so it never perturbs the
+//! schedule. Cores whose freeing job has no ready continuation fall back
+//! to the globally highest-priority ready node, so the policy remains
+//! work-conserving.
 //!
 //! Preempted nodes (fully-preemptive only) re-enter the ready set with
 //! their remaining execution; stale completion events are invalidated by an
 //! assignment-id check, so preemption is O(log n) without heap surgery.
+//!
+//! The legacy [`simulate`] entry point survives as a deprecated thin
+//! wrapper over [`SimRequest`], pinned bit-identical
+//! (stats *and* trace) to the pre-redesign engine by the equivalence
+//! proptests in `tests/equivalence.rs`.
 
-use crate::config::{ExecutionModel, PreemptionPolicy, ReleaseModel, SimConfig};
+#[allow(deprecated)]
+use crate::config::SimConfig;
+use crate::config::{ExecutionModel, PreemptionPolicy};
+use crate::event::{Event, EventQueue};
+use crate::request::{SimOutcome, SimRequest};
+use crate::scenario::ScenarioState;
 use crate::stats::{SimResult, TaskStats};
+use crate::topology::{JobSlab, NodeRec, NodeState, ReadyKey, ReadySet, Topology};
 use crate::trace::{Trace, TraceEvent, TraceEventKind};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use rta_model::{TaskSet, Time};
-use std::cmp::Reverse;
-use std::collections::{BTreeSet, BinaryHeap};
 
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-enum Event {
-    Release { task: usize },
-    Completion { core: usize, assignment: u64 },
-}
-
-/// Heap entry ordered by time, with a monotone tie-breaker for determinism.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-struct Scheduled {
-    time: Time,
-    tie: u64,
-    event: Event,
-}
-
-impl Ord for Scheduled {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.time, self.tie).cmp(&(other.time, other.tie))
-    }
-}
-
-impl PartialOrd for Scheduled {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-enum NodeState {
-    Waiting,
-    Ready,
-    Running,
-    Done,
-}
-
-struct Job {
-    task: usize,
-    seq: u64,
-    release: Time,
-    abs_deadline: Time,
-    state: Vec<NodeState>,
-    waiting_preds: Vec<usize>,
-    remaining: Vec<Time>,
-    unfinished: usize,
-}
-
+/// A node occupying a core.
 #[derive(Clone, Copy)]
 struct Running {
     job: usize,
@@ -89,69 +65,104 @@ struct Running {
     start: Time,
 }
 
-/// Priority-ordered key of a ready node: `(task, job seq, node, job index)`.
-type ReadyKey = (usize, u64, usize, usize);
-
+/// The dispatcher. Borrows the precomputed topology; owns all mutable run
+/// state.
 struct Engine<'a> {
-    task_set: &'a TaskSet,
-    config: &'a SimConfig,
+    topo: &'a Topology,
+    policy: PreemptionPolicy,
+    execution: ExecutionModel,
+    horizon: Time,
     rng: SmallRng,
-    heap: BinaryHeap<Reverse<Scheduled>>,
-    tie: u64,
-    jobs: Vec<Job>,
-    ready: BTreeSet<ReadyKey>,
+    queue: EventQueue,
+    scenario: ScenarioState,
+    slab: JobSlab,
+    ready: ReadySet,
     cores: Vec<Option<Running>>,
     /// Which job `(task, seq)` freed each core at the current instant —
     /// the lazy policy's continuation claim, cleared after scheduling.
     freed_by: Vec<Option<(usize, u64)>>,
+    /// `true` while some `freed_by` entry is set, so instants without a
+    /// completion skip the clearing pass.
+    any_freed: bool,
+    /// Number of unoccupied cores, so instants that freed none skip the
+    /// core-fill scan.
+    idle_cores: usize,
+    /// Cached [`ScenarioState::never_suspends`], selecting the inline
+    /// ready-transition fast path.
+    no_suspension: bool,
     next_assignment: u64,
     seq_counters: Vec<u64>,
     stats: Vec<TaskStats>,
     trace: Option<Trace>,
     makespan: Time,
+    deferred_preemptions: u64,
+    events_processed: u64,
 }
 
-/// Runs one simulation of `task_set` under `config` and returns the
-/// collected statistics (and trace, if enabled).
+/// Runs `request` against `task_set` and returns the full outcome. This is
+/// the engine behind [`SimRequest::evaluate`]; use that instead of calling
+/// into this module.
+pub(crate) fn run(task_set: &TaskSet, request: &SimRequest) -> SimOutcome {
+    let topo = Topology::new(task_set);
+    let scenario = ScenarioState::new(&request.release, request.suspension, &topo);
+    let no_suspension = scenario.never_suspends();
+    let mut engine = Engine {
+        topo: &topo,
+        policy: request.policy,
+        execution: request.execution,
+        horizon: request.horizon,
+        rng: SmallRng::seed_from_u64(request.seed),
+        queue: EventQueue::new(),
+        scenario,
+        slab: JobSlab::new(),
+        ready: ReadySet::new(),
+        cores: vec![None; request.cores],
+        freed_by: vec![None; request.cores],
+        any_freed: false,
+        idle_cores: request.cores,
+        no_suspension,
+        next_assignment: 0,
+        seq_counters: vec![0; task_set.len()],
+        stats: vec![TaskStats::default(); task_set.len()],
+        trace: request.record_trace.then(Trace::new),
+        makespan: 0,
+        deferred_preemptions: 0,
+        events_processed: 0,
+    };
+    engine.run();
+    let trace_dropped = engine.trace.as_ref().map_or(0, Trace::dropped);
+    SimOutcome::new(
+        SimResult {
+            per_task: engine.stats,
+            makespan: engine.makespan,
+            trace: engine.trace,
+        },
+        trace_dropped,
+        engine.deferred_preemptions,
+        engine.events_processed,
+        engine.slab.peak(),
+    )
+}
+
+/// Runs one simulation of `task_set` under the legacy `config` and returns
+/// the collected statistics (and trace, if enabled).
 ///
 /// Jobs are released strictly before `config.horizon`; the run then drains
 /// until every released job has completed (the scheduler is
 /// work-conserving, so this always terminates).
+#[deprecated(
+    since = "0.1.0",
+    note = "superseded by the unified request API: build a `SimRequest` and call \
+            `evaluate` — see the migration table in the crate docs"
+)]
+#[allow(deprecated)]
 pub fn simulate(task_set: &TaskSet, config: &SimConfig) -> SimResult {
-    let mut engine = Engine {
-        task_set,
-        config,
-        rng: SmallRng::seed_from_u64(config.seed),
-        heap: BinaryHeap::new(),
-        tie: 0,
-        jobs: Vec::new(),
-        ready: BTreeSet::new(),
-        cores: vec![None; config.cores],
-        freed_by: vec![None; config.cores],
-        next_assignment: 0,
-        seq_counters: vec![0; task_set.len()],
-        stats: vec![TaskStats::default(); task_set.len()],
-        trace: config.record_trace.then(Trace::new),
-        makespan: 0,
-    };
-    engine.run();
-    SimResult {
-        per_task: engine.stats,
-        makespan: engine.makespan,
-        trace: engine.trace,
-    }
+    SimRequest::for_config(config)
+        .evaluate(task_set)
+        .into_result()
 }
 
 impl Engine<'_> {
-    fn push_event(&mut self, time: Time, event: Event) {
-        self.tie += 1;
-        self.heap.push(Reverse(Scheduled {
-            time,
-            tie: self.tie,
-            event,
-        }));
-    }
-
     fn record(&mut self, event: TraceEvent) {
         if let Some(trace) = &mut self.trace {
             trace.push(event);
@@ -159,73 +170,99 @@ impl Engine<'_> {
     }
 
     fn run(&mut self) {
-        // Initial releases.
-        for task in 0..self.task_set.len() {
-            let first = match self.config.release {
-                ReleaseModel::SynchronousPeriodic => 0,
-                ReleaseModel::Sporadic { jitter } => {
-                    if jitter > 0 {
-                        self.rng.gen_range(0..=jitter)
-                    } else {
-                        0
-                    }
-                }
-            };
-            if first < self.config.horizon {
-                self.push_event(first, Event::Release { task });
+        // Initial releases, drawn per task in task order.
+        for task in 0..self.topo.len() {
+            let first = self.scenario.first_release(task, &mut self.rng);
+            if first < self.horizon {
+                self.queue.push(first, Event::Release { task: task as u32 });
             }
         }
 
-        while let Some(&Reverse(next)) = self.heap.peek() {
-            let now = next.time;
+        while let Some(now) = self.queue.peek_time() {
             self.makespan = self.makespan.max(now);
             // Drain every event at this instant before scheduling.
-            while let Some(&Reverse(entry)) = self.heap.peek() {
-                if entry.time != now {
-                    break;
-                }
-                let Reverse(entry) = self.heap.pop().expect("peeked");
+            while let Some(entry) = self.queue.pop_at(now) {
                 match entry.event {
-                    Event::Release { task } => self.handle_release(task, now),
-                    Event::Completion { core, assignment } => {
-                        self.handle_completion(core, assignment, now)
+                    Event::Release { task } => self.handle_release(task as usize, now),
+                    Event::NodeCompletion { core, assignment } => {
+                        self.handle_completion(core as usize, assignment, now)
+                    }
+                    Event::PreemptionBoundary { core, assignment } => {
+                        // The victim's own completion at this instant has an
+                        // earlier tie, so by the time the marker fires the
+                        // core has been freed or reassigned: always stale.
+                        debug_assert!(
+                            self.cores[core as usize].is_none_or(|r| r.assignment != assignment),
+                            "a preemption-boundary marker fired before its victim's completion"
+                        );
+                        let _ = (core, assignment);
+                    }
+                    Event::SuspensionExpiry { job, node } => {
+                        self.handle_suspension_expiry(job as usize, node as usize)
                     }
                 }
             }
             self.schedule(now);
         }
+        // The loop drains the queue completely, so every event ever
+        // scheduled was processed.
+        debug_assert!(self.queue.is_empty());
+        self.events_processed = self.queue.scheduled_total();
     }
 
     fn handle_release(&mut self, task: usize, now: Time) {
-        let t = self.task_set.task(task);
-        let dag = t.dag();
         let seq = self.seq_counters[task];
         self.seq_counters[task] += 1;
         self.stats[task].jobs_released += 1;
 
-        let n = dag.node_count();
-        let mut job = Job {
-            task,
-            seq,
-            release: now,
-            abs_deadline: now + t.deadline(),
-            state: vec![NodeState::Waiting; n],
-            waiting_preds: (0..n)
-                .map(|v| dag.predecessors(rta_model::NodeId::new(v)).len())
-                .collect(),
-            remaining: (0..n)
-                .map(|v| self.draw_execution(dag.wcet(rta_model::NodeId::new(v))))
-                .collect(),
-            unfinished: n,
-        };
-        let job_idx = self.jobs.len();
-        for v in 0..n {
-            if job.waiting_preds[v] == 0 {
-                job.state[v] = NodeState::Ready;
-                self.ready.insert((task, seq, v, job_idx));
+        // `self.topo` is a shared borrow with the engine's outer lifetime,
+        // so the task view can be held across the mutations below.
+        let topo = self.topo.task(task);
+        let n = topo.node_count();
+        let job_idx = self.slab.acquire(topo, task, seq, now);
+        // Per-node records and execution draws, in node order (the legacy
+        // draw order). WCET execution makes no draws, so the whole vector
+        // is built in one zipped pass.
+        match self.execution {
+            ExecutionModel::Wcet => {
+                let job = self.slab.job_mut(job_idx);
+                job.nodes
+                    .extend(
+                        topo.wcets()
+                            .iter()
+                            .zip(topo.pred_counts())
+                            .map(|(&wcet, &preds)| NodeRec {
+                                remaining: wcet,
+                                waiting: preds,
+                                state: NodeState::Waiting,
+                            }),
+                    );
+            }
+            ExecutionModel::Randomized { .. } => {
+                for v in 0..n {
+                    let c = self.draw_execution(topo.wcet(v));
+                    self.slab.job_mut(job_idx).nodes.push(NodeRec {
+                        remaining: c,
+                        waiting: topo.pred_counts()[v],
+                        state: NodeState::Waiting,
+                    });
+                }
             }
         }
-        self.jobs.push(job);
+        // Source nodes become ready (or start a self-suspension), in node
+        // order.
+        if self.no_suspension {
+            let job = self.slab.job_mut(job_idx);
+            for &v in topo.sources() {
+                let v = v as usize;
+                job.nodes[v].state = NodeState::Ready;
+                self.ready.insert(ReadyKey::new(task, seq, v, job_idx));
+            }
+        } else {
+            for &v in topo.sources() {
+                self.ready_node(job_idx, v as usize, now);
+            }
+        }
         self.record(TraceEvent {
             time: now,
             task,
@@ -236,24 +273,45 @@ impl Engine<'_> {
         });
 
         // Schedule the next release of this task.
-        let next = match self.config.release {
-            ReleaseModel::SynchronousPeriodic => now + t.period(),
-            ReleaseModel::Sporadic { jitter } => {
-                let extra = if jitter > 0 {
-                    self.rng.gen_range(0..=jitter)
-                } else {
-                    0
-                };
-                now + t.period() + extra
-            }
-        };
-        if next < self.config.horizon {
-            self.push_event(next, Event::Release { task });
+        let next = self.scenario.next_release(task, now, &mut self.rng);
+        if next < self.horizon {
+            self.queue.push(next, Event::Release { task: task as u32 });
         }
     }
 
+    /// A node whose precedence constraints are satisfied: it becomes ready
+    /// now, or after a scenario-drawn self-suspension.
+    fn ready_node(&mut self, job_idx: usize, node: usize, now: Time) {
+        let delay = self.scenario.suspension_delay(&mut self.rng);
+        let job = self.slab.job_mut(job_idx);
+        if delay == 0 {
+            job.nodes[node].state = NodeState::Ready;
+            let key = ReadyKey::new(job.task, job.seq, node, job_idx);
+            self.ready.insert(key);
+        } else {
+            job.nodes[node].state = NodeState::Suspended;
+            self.queue.push(
+                now + delay,
+                Event::SuspensionExpiry {
+                    job: job_idx as u32,
+                    node: node as u32,
+                },
+            );
+        }
+    }
+
+    fn handle_suspension_expiry(&mut self, job_idx: usize, node: usize) {
+        let job = self.slab.job_mut(job_idx);
+        // A pending expiry keeps its job alive (the node is not Done), so
+        // the slot cannot have been recycled under it.
+        debug_assert_eq!(job.nodes[node].state, NodeState::Suspended);
+        job.nodes[node].state = NodeState::Ready;
+        let key = ReadyKey::new(job.task, job.seq, node, job_idx);
+        self.ready.insert(key);
+    }
+
     fn draw_execution(&mut self, wcet: Time) -> Time {
-        match self.config.execution {
+        match self.execution {
             ExecutionModel::Wcet => wcet,
             ExecutionModel::Randomized { fraction } => {
                 assert!(
@@ -278,10 +336,22 @@ impl Engine<'_> {
             return;
         }
         self.cores[core] = None;
+        self.idle_cores += 1;
         let job_idx = running.job;
-        self.freed_by[core] = Some((self.jobs[job_idx].task, self.jobs[job_idx].seq));
         let node = running.node;
-        let (task, seq) = (self.jobs[job_idx].task, self.jobs[job_idx].seq);
+        // One slab lookup covers the whole node-completion mutation.
+        let job = self.slab.job_mut(job_idx);
+        let (task, seq) = (job.task, job.seq);
+        job.nodes[node].state = NodeState::Done;
+        job.nodes[node].remaining = 0;
+        job.unfinished -= 1;
+        let job_done = job.unfinished == 0;
+        let (release, abs_deadline) = (job.release, job.abs_deadline);
+        // Continuation claims are only ever consulted by the lazy fill.
+        if self.policy == PreemptionPolicy::LazyPreemptive {
+            self.freed_by[core] = Some((task, seq));
+            self.any_freed = true;
+        }
         self.record(TraceEvent {
             time: now,
             task,
@@ -291,30 +361,35 @@ impl Engine<'_> {
             kind: TraceEventKind::Finish,
         });
 
-        let dag = self.task_set.task(task).dag();
-        let successors: Vec<usize> = dag
-            .successors(rta_model::NodeId::new(node))
-            .iter()
-            .collect();
-        {
-            let job = &mut self.jobs[job_idx];
-            job.state[node] = NodeState::Done;
-            job.remaining[node] = 0;
-            job.unfinished -= 1;
-        }
-        for s in successors {
-            let job = &mut self.jobs[job_idx];
-            job.waiting_preds[s] -= 1;
-            if job.waiting_preds[s] == 0 {
-                job.state[s] = NodeState::Ready;
-                self.ready.insert((task, seq, s, job_idx));
+        let successors = self.topo.task(task).successors(node);
+        if self.no_suspension {
+            // Fast path: nodes ready inline (no suspension draw is ever
+            // made, so skipping `ready_node` cannot shift the RNG stream),
+            // under a single slab borrow.
+            let job = self.slab.job_mut(job_idx);
+            for &s in successors {
+                let s = s as usize;
+                let rec = &mut job.nodes[s];
+                rec.waiting -= 1;
+                if rec.waiting == 0 {
+                    rec.state = NodeState::Ready;
+                    self.ready.insert(ReadyKey::new(task, seq, s, job_idx));
+                }
+            }
+        } else {
+            for &s in successors {
+                let s = s as usize;
+                let rec = &mut self.slab.job_mut(job_idx).nodes[s];
+                rec.waiting -= 1;
+                if rec.waiting == 0 {
+                    self.ready_node(job_idx, s, now);
+                }
             }
         }
 
-        if self.jobs[job_idx].unfinished == 0 {
-            let job = &self.jobs[job_idx];
-            let response = now - job.release;
-            let missed = now > job.abs_deadline;
+        if job_done {
+            let response = now - release;
+            let missed = now > abs_deadline;
             let stats = &mut self.stats[task];
             stats.jobs_completed += 1;
             stats.max_response = stats.max_response.max(response);
@@ -330,40 +405,54 @@ impl Engine<'_> {
                 core: usize::MAX,
                 kind: TraceEventKind::JobComplete,
             });
+            self.slab.recycle(job_idx);
         }
     }
 
     fn schedule(&mut self, now: Time) {
+        // Nothing dispatchable: only expire this instant's continuation
+        // claims (both fill flavours and the preemption pass would no-op).
+        if self.ready.is_empty() {
+            if self.any_freed {
+                self.freed_by.fill(None);
+                self.any_freed = false;
+            }
+            return;
+        }
         // Step 1: fill free cores with the highest-priority ready nodes —
         // except under lazy preemption, where a freeing job may keep its
         // core for its own continuation.
-        if self.config.policy == PreemptionPolicy::LazyPreemptive {
-            self.fill_lazily(now);
-        } else {
+        if self.policy == PreemptionPolicy::LazyPreemptive {
+            if self.idle_cores > 0 {
+                self.fill_lazily(now);
+            }
+        } else if self.idle_cores > 0 {
             for core in 0..self.cores.len() {
                 if self.cores[core].is_some() {
                     continue;
                 }
-                let Some(&key) = self.ready.first() else {
+                let Some(key) = self.ready.pop_first() else {
                     break;
                 };
-                self.ready.remove(&key);
                 self.assign(core, key, now);
             }
         }
         // Continuation claims only live within the scheduling instant.
-        self.freed_by.fill(None);
+        if self.any_freed {
+            self.freed_by.fill(None);
+            self.any_freed = false;
+        }
 
         // Step 2 (fully preemptive only): displace lower-priority running
         // nodes.
-        if self.config.policy == PreemptionPolicy::FullyPreemptive {
-            while let Some(&key) = self.ready.first() {
+        if self.policy == PreemptionPolicy::FullyPreemptive {
+            while let Some(key) = self.ready.first() {
                 let Some((victim_core, victim_prio)) = self.lowest_priority_running() else {
                     break;
                 };
                 // Compare job priorities: (task, seq). Nodes of the same job
                 // never preempt each other.
-                if (key.0, key.1) < victim_prio {
+                if key.owner() < victim_prio {
                     self.preempt(victim_core, now);
                     self.ready.remove(&key);
                     self.assign(victim_core, key, now);
@@ -382,28 +471,27 @@ impl Engine<'_> {
     /// (the lazy victim the waiting job must preempt instead). Without a
     /// claim the core takes the globally highest-priority ready node, so
     /// no core idles while work is ready.
+    ///
+    /// Each honoured claim is a *deferred preemption*: the waiting job's
+    /// takeover moves to the victim's next node boundary, which the engine
+    /// marks with an explicit [`Event::PreemptionBoundary`] in the queue.
     fn fill_lazily(&mut self, now: Time) {
         for core in 0..self.cores.len() {
             if self.cores[core].is_some() {
                 continue;
             }
-            let Some(&global_best) = self.ready.first() else {
+            let Some(global_best) = self.ready.first() else {
                 break;
             };
             let key = match self.freed_by[core] {
                 Some(owner) => {
-                    let own_next = self
-                        .ready
-                        .range(
-                            (owner.0, owner.1, 0, 0)..=(owner.0, owner.1, usize::MAX, usize::MAX),
-                        )
-                        .next()
-                        .copied();
+                    let own_next = self.ready.first_of_job(owner);
                     match own_next {
                         Some(own)
-                            if (global_best.0, global_best.1) < owner
+                            if global_best.owner() < owner
                                 && self.lower_priority_job_running(owner) =>
                         {
+                            self.mark_deferred_preemption();
                             own
                         }
                         _ => global_best,
@@ -416,12 +504,34 @@ impl Engine<'_> {
         }
     }
 
+    /// Records a lazy continuation claim: counts it and schedules the
+    /// preemption-boundary marker at the current lowest-priority victim's
+    /// node boundary. The marker carries the victim's assignment id, so it
+    /// is provably stale when it fires (the victim's completion at the
+    /// same instant has an earlier tie) — inserting it shifts absolute tie
+    /// values but never the relative order of other events, which is why
+    /// the legacy equivalence holds under the lazy policy too.
+    fn mark_deferred_preemption(&mut self) {
+        self.deferred_preemptions += 1;
+        if let Some((victim_core, _)) = self.lowest_priority_running() {
+            let r = self.cores[victim_core].expect("victim is running");
+            let boundary = r.start + self.slab.job(r.job).nodes[r.node].remaining;
+            self.queue.push(
+                boundary,
+                Event::PreemptionBoundary {
+                    core: victim_core as u32,
+                    assignment: r.assignment,
+                },
+            );
+        }
+    }
+
     /// `true` when some currently-running job has lower priority than
     /// `job` — the lazy policy's victim check.
     fn lower_priority_job_running(&self, job: (usize, u64)) -> bool {
         self.cores.iter().any(|slot| {
             slot.is_some_and(|r| {
-                let running = &self.jobs[r.job];
+                let running = self.slab.job(r.job);
                 (running.task, running.seq) > job
             })
         })
@@ -435,7 +545,7 @@ impl Engine<'_> {
             .enumerate()
             .filter_map(|(c, slot)| {
                 slot.map(|r| {
-                    let job = &self.jobs[r.job];
+                    let job = self.slab.job(r.job);
                     (c, (job.task, job.seq))
                 })
             })
@@ -443,19 +553,27 @@ impl Engine<'_> {
     }
 
     fn assign(&mut self, core: usize, key: ReadyKey, now: Time) {
-        let (task, seq, node, job_idx) = key;
-        debug_assert_eq!(self.jobs[job_idx].state[node], NodeState::Ready);
-        self.jobs[job_idx].state[node] = NodeState::Running;
+        let (task, seq, node, job_idx) = (key.task(), key.seq(), key.node(), key.slot());
+        let job = self.slab.job_mut(job_idx);
+        debug_assert_eq!(job.nodes[node].state, NodeState::Ready);
+        job.nodes[node].state = NodeState::Running;
+        let finish = now + job.nodes[node].remaining;
         self.next_assignment += 1;
         let assignment = self.next_assignment;
+        self.idle_cores -= 1;
         self.cores[core] = Some(Running {
             job: job_idx,
             node,
             assignment,
             start: now,
         });
-        let finish = now + self.jobs[job_idx].remaining[node];
-        self.push_event(finish, Event::Completion { core, assignment });
+        self.queue.push(
+            finish,
+            Event::NodeCompletion {
+                core: core as u32,
+                assignment,
+            },
+        );
         self.record(TraceEvent {
             time: now,
             task,
@@ -468,15 +586,16 @@ impl Engine<'_> {
 
     fn preempt(&mut self, core: usize, now: Time) {
         let running = self.cores[core].take().expect("preempting an idle core");
-        let job = &mut self.jobs[running.job];
+        self.idle_cores += 1;
+        let job = self.slab.job_mut(running.job);
         let executed = now - running.start;
         debug_assert!(
-            executed < job.remaining[running.node],
+            executed < job.nodes[running.node].remaining,
             "a node finishing now would have completed before scheduling"
         );
-        job.remaining[running.node] -= executed;
-        job.state[running.node] = NodeState::Ready;
-        let key = (job.task, job.seq, running.node, running.job);
+        job.nodes[running.node].remaining -= executed;
+        job.nodes[running.node].state = NodeState::Ready;
+        let key = ReadyKey::new(job.task, job.seq, running.node, running.job);
         let (task, seq) = (job.task, job.seq);
         self.ready.insert(key);
         self.record(TraceEvent {
@@ -492,7 +611,13 @@ impl Engine<'_> {
 
 #[cfg(test)]
 mod tests {
+    // These scenarios predate the redesign and now run through the
+    // deprecated wrapper on purpose: they pin the new core to the original
+    // hand-computed schedules.
+    #![allow(deprecated)]
+
     use super::*;
+    use crate::config::ReleaseModel;
     use rta_model::{DagBuilder, DagTask, NodeId};
 
     fn single(wcet: Time, period: Time) -> DagTask {
@@ -540,13 +665,8 @@ mod tests {
 
     #[test]
     fn lp_blocking_observed() {
-        // Lower-priority long NPR grabs the single core at t = 0; the
-        // higher-priority task released simultaneously must wait (limited
-        // preemption): response = 9 + 2 = 11... but both release at 0 and
-        // the scheduler picks the高priority first. Delay the hp release via
-        // a phase: use sporadic seed? Simpler: hp task period 10, lp NPR 9;
-        // second hp job at t = 10 finds the lp NPR (started at t = 2)
-        // running until 11 → response 3.
+        // hp task period 10, lp NPR 9; the second hp job at t = 10 finds
+        // the lp NPR (started at t = 2) running until 11 → response 3.
         let hp = single(2, 10);
         let lp = single(9, 100);
         let ts = TaskSet::new(vec![hp, lp]);
@@ -620,6 +740,19 @@ mod tests {
         // Work is conserved under both policies.
         assert_eq!(eager.per_task[2].jobs_completed, 1);
         assert_eq!(lazy.per_task[2].jobs_completed, 1);
+    }
+
+    /// The same scenario through the request API: the honoured
+    /// continuation claim is surfaced as a deferred-preemption count.
+    #[test]
+    fn deferred_preemptions_are_counted() {
+        let ts = TaskSet::new(vec![single(2, 10), chain(&[5, 5, 5], 100), single(9, 100)]);
+        let lazy = SimRequest::new(2, 20)
+            .with_policy(PreemptionPolicy::LazyPreemptive)
+            .evaluate(&ts);
+        assert!(lazy.deferred_preemptions() > 0);
+        let eager = SimRequest::new(2, 20).evaluate(&ts);
+        assert_eq!(eager.deferred_preemptions(), 0);
     }
 
     #[test]
@@ -728,5 +861,42 @@ mod tests {
         let result = simulate(&ts, &cfg);
         assert!(result.per_task[0].max_response <= 10);
         assert!(result.per_task[0].max_response >= 3);
+    }
+
+    #[test]
+    fn suspension_delays_readiness() {
+        use crate::scenario::Suspension;
+        // A single 3-unit node that always suspends exactly 4 units after
+        // release: response = 4 + 3 = 7.
+        let ts = TaskSet::new(vec![single(3, 100)]);
+        let out = SimRequest::new(1, 50)
+            .with_suspension(Suspension::Uniform { max: 4 })
+            .with_execution(ExecutionModel::Wcet)
+            .with_seed(1)
+            .evaluate(&ts);
+        let r = out.per_task()[0].max_response;
+        assert!(
+            (3..=7).contains(&r),
+            "suspended response {r} outside [3, 7]"
+        );
+        assert!(out.all_deadlines_met());
+    }
+
+    #[test]
+    fn bursty_releases_compress_interference() {
+        use crate::scenario::Release;
+        // Three jobs per burst spaced 1 apart on one core: the third job of
+        // a burst waits behind the first two.
+        let ts = TaskSet::new(vec![single(2, 10)]);
+        let out = SimRequest::new(1, 30)
+            .with_release(Release::Bursty {
+                burst: 3,
+                spread: 1,
+            })
+            .evaluate(&ts);
+        // Releases at 0,1,2 then 30 (≥ horizon): 3 jobs; the last starts at
+        // 4 (after 2+2 units) and finishes at 6 → response 4.
+        assert_eq!(out.per_task()[0].jobs_released, 3);
+        assert_eq!(out.per_task()[0].max_response, 4);
     }
 }

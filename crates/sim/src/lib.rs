@@ -7,6 +7,35 @@
 //! simulated response times must never exceed the analytical bounds of a
 //! schedulable configuration.
 //!
+//! # Architecture
+//!
+//! The simulator is a discrete-event core in four layers:
+//!
+//! * [`event`] — the indexed binary-heap event queue: releases, node
+//!   completions, preemption-boundary markers and suspension expiries,
+//!   totally ordered by `(time, insertion tie)` for bit-exact determinism;
+//! * [`topology`] — the task set flattened once per run into CSR successor
+//!   lists, predecessor counts and WCET arrays, plus the free-list job
+//!   slab that keeps memory proportional to *in-flight* jobs (horizons can
+//!   grow orders of magnitude without the footprint following);
+//! * [`scenario`] — release models ([`Release`]: synchronous, per-task
+//!   release jitter, sporadic, bursty) and self-suspension
+//!   ([`Suspension`]) as event *generators* plugged into the queue, not
+//!   branches inside the scheduling loop;
+//! * [`engine`] — the policy state machine that drains each instant and
+//!   fills cores.
+//!
+//! The single entry point is [`SimRequest`] (mirroring
+//! `rta_core::AnalysisRequest` on the analysis side), resolved by
+//! [`SimRequest::evaluate`] into a [`SimOutcome`]. The legacy
+//! `simulate(&TaskSet, &SimConfig)` path survives as a `#[deprecated]`
+//! thin wrapper, pinned bit-identical — same [`SimResult`] statistics,
+//! same trace bytes — by the equivalence proptests in
+//! `tests/equivalence.rs`, which compare it against the frozen
+//! pre-redesign engine across all three preemption policies and all
+//! legacy release models. See the [`request`] module docs for the
+//! migration table.
+//!
 //! That validation actually runs, at campaign scale, in
 //! `rta_experiments::validate` (the `repro validate` CLI command): every
 //! generated task set is analyzed with per-task bounds
@@ -16,8 +45,9 @@
 //! misses, per-task [`TaskStats::max_response`] never exceeds the bound,
 //! the fully-preemptive baseline cross-checks FP-ideal — are asserted on
 //! hundreds of sets per sweep point. The per-task statistics
-//! ([`SimResult::max_responses`]) are always collected; the execution
-//! trace is opt-in ([`SimConfig::with_trace`], off by default), so
+//! ([`SimOutcome::per_task`]) are always collected; the execution trace is
+//! opt-in ([`SimRequest::with_trace`], off by default) and bounded, with
+//! truncation surfaced through [`SimOutcome::trace_dropped`], so
 //! campaign-scale simulation pays nothing for it.
 //!
 //! Three preemption policies are implemented (see
@@ -30,25 +60,27 @@
 //! * **limited preemptive (lazy)** — the alternative flavour of Nasri,
 //!   Nelissen & Brandenburg (ECRTS 2019): a waiting higher-priority job
 //!   preempts only the *lowest*-priority running job, at that job's next
-//!   node boundary; other jobs reaching a boundary continue;
+//!   node boundary; other jobs reaching a boundary continue (each such
+//!   deferred boundary is a first-class queue event, counted in
+//!   [`SimOutcome::deferred_preemptions`]);
 //! * **fully preemptive** — the FP baseline: running nodes can be suspended
 //!   at any instant and resumed later.
-//!
-//! The simulator is deterministic, event-driven (job releases and node
-//! completions), work-conserving, and records per-task response-time
-//! statistics and (optionally) a full execution trace.
 //!
 //! # Example
 //!
 //! ```
-//! use rta_sim::{simulate, PreemptionPolicy, SimConfig};
+//! use rta_sim::{Jitter, PreemptionPolicy, Release, SimRequest};
 //! use rta_model::examples::figure1_task_set;
 //!
 //! let ts = figure1_task_set();
-//! let config = SimConfig::new(4, 10_000).with_policy(PreemptionPolicy::LimitedPreemptive);
-//! let result = simulate(&ts, &config);
-//! assert_eq!(result.total_deadline_misses(), 0);
-//! assert!(result.per_task[0].jobs_completed > 0);
+//! let outcome = SimRequest::new(4, 10_000)
+//!     .with_policy(PreemptionPolicy::LimitedPreemptive)
+//!     .with_release(Release::Sporadic {
+//!         jitter: Jitter::PeriodFraction { percent: 10 },
+//!     })
+//!     .evaluate(&ts);
+//! assert_eq!(outcome.total_deadline_misses(), 0);
+//! assert!(outcome.per_task()[0].jobs_completed > 0);
 //! ```
 
 #![forbid(unsafe_code)]
@@ -56,10 +88,21 @@
 
 pub mod config;
 pub mod engine;
+pub mod event;
+pub mod request;
+pub mod scenario;
 pub mod stats;
+#[doc(hidden)]
+pub mod step_loop;
+pub mod topology;
 pub mod trace;
 
-pub use config::{ExecutionModel, PreemptionPolicy, ReleaseModel, SimConfig};
+#[allow(deprecated)]
+pub use config::SimConfig;
+pub use config::{ExecutionModel, PreemptionPolicy, ReleaseModel};
+#[allow(deprecated)]
 pub use engine::simulate;
+pub use request::{SimOutcome, SimRequest};
+pub use scenario::{Jitter, Release, Suspension};
 pub use stats::{SimResult, TaskStats};
 pub use trace::{Trace, TraceEvent, TraceEventKind};

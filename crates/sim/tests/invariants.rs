@@ -1,11 +1,13 @@
 //! Simulator invariants on random workloads: work conservation, causality
-//! and policy sanity.
+//! and policy sanity — exercised through the unified request API.
 
 use proptest::prelude::*;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use rta_model::Time;
-use rta_sim::{simulate, PreemptionPolicy, SimConfig, TraceEventKind};
+use rta_sim::{
+    ExecutionModel, Jitter, PreemptionPolicy, Release, SimRequest, Suspension, TraceEventKind,
+};
 use rta_taskgen::{generate_task_set, group1};
 
 proptest! {
@@ -19,10 +21,9 @@ proptest! {
         let mut rng = SmallRng::seed_from_u64(seed);
         let ts = generate_task_set(&mut rng, &group1(1.5));
         let horizon = ts.tasks().iter().map(|t| t.period()).max().unwrap_or(1) * 4;
-        let config = SimConfig::new(4, horizon).with_trace(true);
-        let result = simulate(&ts, &config);
-        let trace = result.trace.as_ref().expect("trace enabled");
-        prop_assume!(trace.dropped() == 0);
+        let outcome = SimRequest::new(4, horizon).with_trace(true).evaluate(&ts);
+        prop_assume!(outcome.trace_dropped() == 0);
+        let trace = outcome.trace().expect("trace enabled");
 
         // Busy time from Start/Finish pairs per core.
         let mut started: Vec<Option<Time>> = vec![None; 4];
@@ -38,30 +39,35 @@ proptest! {
             }
         }
         // Total work: every released job executes its full volume.
-        let expected: u128 = result
-            .per_task
+        let expected: u128 = outcome
+            .per_task()
             .iter()
             .enumerate()
             .map(|(k, stats)| stats.jobs_completed as u128 * ts.task(k).dag().volume() as u128)
             .sum();
         prop_assert_eq!(busy, expected);
         // Everything released was completed (the run drains).
-        for stats in &result.per_task {
+        for stats in outcome.per_task() {
             prop_assert_eq!(stats.jobs_released, stats.jobs_completed);
         }
     }
 
     /// Precedence causality: within a job, a node never starts before all
-    /// of its predecessors have finished.
+    /// of its predecessors have finished — including under self-suspension
+    /// and bursty releases, which only ever *delay* readiness.
     #[test]
     fn nodes_respect_precedence(seed in any::<u64>()) {
         let mut rng = SmallRng::seed_from_u64(seed);
         let ts = generate_task_set(&mut rng, &group1(1.0));
         let horizon = ts.tasks().iter().map(|t| t.period()).max().unwrap_or(1) * 3;
-        let config = SimConfig::new(4, horizon).with_trace(true);
-        let result = simulate(&ts, &config);
-        let trace = result.trace.as_ref().expect("trace enabled");
-        prop_assume!(trace.dropped() == 0);
+        let outcome = SimRequest::new(4, horizon)
+            .with_release(Release::Bursty { burst: 2, spread: 1 })
+            .with_suspension(Suspension::Uniform { max: 3 })
+            .with_seed(seed)
+            .with_trace(true)
+            .evaluate(&ts);
+        prop_assume!(outcome.trace_dropped() == 0);
+        let trace = outcome.trace().expect("trace enabled");
 
         use std::collections::BTreeMap;
         let mut finish: BTreeMap<(usize, u64, usize), Time> = BTreeMap::new();
@@ -95,23 +101,24 @@ proptest! {
         let mut rng = SmallRng::seed_from_u64(seed);
         let ts = generate_task_set(&mut rng, &group1(1.5));
         let horizon = ts.tasks().iter().map(|t| t.period()).max().unwrap_or(1) * 4;
-        let lp = simulate(&ts, &SimConfig::new(4, horizon));
-        let fp = simulate(
-            &ts,
-            &SimConfig::new(4, horizon).with_policy(PreemptionPolicy::FullyPreemptive),
-        );
-        prop_assert!(fp.per_task[0].max_response <= lp.per_task[0].max_response);
+        let lp = SimRequest::new(4, horizon).evaluate(&ts);
+        let fp = SimRequest::new(4, horizon)
+            .with_policy(PreemptionPolicy::FullyPreemptive)
+            .evaluate(&ts);
+        prop_assert!(fp.per_task()[0].max_response <= lp.per_task()[0].max_response);
     }
 
-    /// Determinism of the full simulation (config includes the seed).
+    /// Determinism of the full simulation (the request includes the seed),
+    /// across the scenario generators that draw from the RNG.
     #[test]
     fn simulation_is_deterministic(seed in any::<u64>()) {
         let mut rng = SmallRng::seed_from_u64(seed);
         let ts = generate_task_set(&mut rng, &group1(1.0));
-        let config = SimConfig::new(2, 5_000)
-            .with_release(rta_sim::ReleaseModel::Sporadic { jitter: 9 })
-            .with_execution(rta_sim::ExecutionModel::Randomized { fraction: 0.4 })
+        let request = SimRequest::new(2, 5_000)
+            .with_release(Release::Sporadic { jitter: Jitter::PeriodFraction { percent: 10 } })
+            .with_execution(ExecutionModel::Randomized { fraction: 0.4 })
+            .with_suspension(Suspension::Uniform { max: 2 })
             .with_seed(seed);
-        prop_assert_eq!(simulate(&ts, &config), simulate(&ts, &config));
+        prop_assert_eq!(request.evaluate(&ts), request.evaluate(&ts));
     }
 }

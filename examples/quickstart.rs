@@ -48,15 +48,14 @@ fn main() -> Result<(), ModelError> {
 
     // Empirical cross-check: simulate 100k time units of synchronous
     // periodic execution under limited preemption.
-    let sim = simulate(
-        &task_set,
-        &SimConfig::new(2, 100_000).with_policy(PreemptionPolicy::LimitedPreemptive),
-    );
+    let sim = SimRequest::new(2, 100_000)
+        .with_policy(PreemptionPolicy::LimitedPreemptive)
+        .evaluate(&task_set);
     println!(
         "\nsimulation: {} deadline misses",
         sim.total_deadline_misses()
     );
-    for (k, stats) in sim.per_task.iter().enumerate() {
+    for (k, stats) in sim.per_task().iter().enumerate() {
         println!(
             "  {}: max observed response = {} over {} jobs",
             task_set.task(k).name().unwrap_or("task"),

@@ -9,7 +9,7 @@
 //! Run with `cargo run --example simulation_trace`.
 
 use dag_lp_rta::prelude::*;
-use dag_lp_rta::sim::{ExecutionModel, ReleaseModel};
+use dag_lp_rta::sim::{ExecutionModel, Release};
 
 fn main() -> Result<(), ModelError> {
     let mut b = DagBuilder::new();
@@ -26,16 +26,16 @@ fn main() -> Result<(), ModelError> {
         PreemptionPolicy::LimitedPreemptive,
         PreemptionPolicy::FullyPreemptive,
     ] {
-        let config = SimConfig::new(1, 25)
+        let outcome = SimRequest::new(1, 25)
             .with_policy(policy)
-            .with_release(ReleaseModel::SynchronousPeriodic)
+            .with_release(Release::Synchronous)
             .with_execution(ExecutionModel::Wcet)
-            .with_trace(true);
-        let result = simulate(&task_set, &config);
-        let trace = result.trace.as_ref().expect("trace enabled");
+            .with_trace(true)
+            .evaluate(&task_set);
+        let trace = outcome.trace().expect("trace enabled");
         println!("{policy:?}: (1 = hp task, 2 = lp task, . = idle)");
         print!("{}", trace.gantt(1, 25));
-        for (k, stats) in result.per_task.iter().enumerate() {
+        for (k, stats) in outcome.per_task().iter().enumerate() {
             println!(
                 "  task {}: max response {} ({} jobs)",
                 k + 1,

@@ -8,7 +8,7 @@
 //! independent implementations can give each other.
 
 use dag_lp_rta::prelude::*;
-use dag_lp_rta::sim::{ExecutionModel, ReleaseModel};
+use dag_lp_rta::sim::{ExecutionModel, Jitter};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
@@ -17,7 +17,7 @@ fn horizon_for(ts: &TaskSet) -> u64 {
     ts.tasks().iter().map(|t| t.period()).max().unwrap_or(1) * 12
 }
 
-fn check_set(ts: &TaskSet, cores: usize, method: Method, sim_config: &SimConfig) -> bool {
+fn check_set(ts: &TaskSet, cores: usize, method: Method, sim: &SimRequest) -> bool {
     let report = analyze(
         ts,
         &AnalysisConfig::new(cores, method).with_scenario_space(ScenarioSpace::Extended),
@@ -25,13 +25,13 @@ fn check_set(ts: &TaskSet, cores: usize, method: Method, sim_config: &SimConfig)
     if !report.schedulable {
         return false;
     }
-    let result = simulate(ts, sim_config);
+    let result = sim.evaluate(ts);
     assert_eq!(
         result.total_deadline_misses(),
         0,
         "{method}: analysis accepted a set that missed deadlines in simulation"
     );
-    for (k, stats) in result.per_task.iter().enumerate() {
+    for (k, stats) in result.per_task().iter().enumerate() {
         let bound = report.tasks[k].response_bound;
         assert!(
             (stats.max_response as u128) * bound.cores() as u128 <= bound.scaled(),
@@ -50,7 +50,7 @@ fn lp_bounds_hold_under_synchronous_wcet_execution() {
         let mut rng = SmallRng::seed_from_u64(seed);
         let ts = generate_task_set(&mut rng, &group1(2.0));
         let sim =
-            SimConfig::new(4, horizon_for(&ts)).with_policy(PreemptionPolicy::LimitedPreemptive);
+            SimRequest::new(4, horizon_for(&ts)).with_policy(PreemptionPolicy::LimitedPreemptive);
         if check_set(&ts, 4, Method::LpIlp, &sim) {
             accepted += 1;
         }
@@ -68,7 +68,7 @@ fn lp_max_bounds_hold_too() {
         let mut rng = SmallRng::seed_from_u64(seed);
         let ts = generate_task_set(&mut rng, &group1(1.5));
         let sim =
-            SimConfig::new(4, horizon_for(&ts)).with_policy(PreemptionPolicy::LimitedPreemptive);
+            SimRequest::new(4, horizon_for(&ts)).with_policy(PreemptionPolicy::LimitedPreemptive);
         if check_set(&ts, 4, Method::LpMax, &sim) {
             accepted += 1;
         }
@@ -83,7 +83,7 @@ fn fp_ideal_bounds_hold_under_full_preemption() {
         let mut rng = SmallRng::seed_from_u64(seed);
         let ts = generate_task_set(&mut rng, &group1(2.5));
         let sim =
-            SimConfig::new(4, horizon_for(&ts)).with_policy(PreemptionPolicy::FullyPreemptive);
+            SimRequest::new(4, horizon_for(&ts)).with_policy(PreemptionPolicy::FullyPreemptive);
         if check_set(&ts, 4, Method::FpIdeal, &sim) {
             accepted += 1;
         }
@@ -99,9 +99,11 @@ fn lp_bounds_hold_under_sporadic_jittered_releases() {
     for seed in 300..330u64 {
         let mut rng = SmallRng::seed_from_u64(seed);
         let ts = generate_task_set(&mut rng, &group1(2.0));
-        let sim = SimConfig::new(4, horizon_for(&ts))
+        let sim = SimRequest::new(4, horizon_for(&ts))
             .with_policy(PreemptionPolicy::LimitedPreemptive)
-            .with_release(ReleaseModel::Sporadic { jitter: 17 })
+            .with_release(Release::Sporadic {
+                jitter: Jitter::Uniform(17),
+            })
             .with_seed(seed);
         if check_set(&ts, 4, Method::LpIlp, &sim) {
             accepted += 1;
@@ -118,7 +120,7 @@ fn lp_bounds_hold_under_randomized_execution_times() {
     for seed in 400..430u64 {
         let mut rng = SmallRng::seed_from_u64(seed);
         let ts = generate_task_set(&mut rng, &group1(2.0));
-        let sim = SimConfig::new(4, horizon_for(&ts))
+        let sim = SimRequest::new(4, horizon_for(&ts))
             .with_policy(PreemptionPolicy::LimitedPreemptive)
             .with_execution(ExecutionModel::Randomized { fraction: 0.6 })
             .with_seed(seed * 7 + 1);
@@ -136,7 +138,7 @@ fn eight_core_platform() {
         let mut rng = SmallRng::seed_from_u64(seed);
         let ts = generate_task_set(&mut rng, &group1(3.0));
         let sim =
-            SimConfig::new(8, horizon_for(&ts)).with_policy(PreemptionPolicy::LimitedPreemptive);
+            SimRequest::new(8, horizon_for(&ts)).with_policy(PreemptionPolicy::LimitedPreemptive);
         if check_set(&ts, 8, Method::LpIlp, &sim) {
             accepted += 1;
         }

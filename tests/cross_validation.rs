@@ -125,9 +125,9 @@ proptest! {
         }
         if refined.schedulable {
             let horizon = ts.tasks().iter().map(|t| t.period()).max().unwrap_or(1) * 8;
-            let sim = simulate(&ts, &SimConfig::new(4, horizon));
+            let sim = SimRequest::new(4, horizon).evaluate(&ts);
             prop_assert_eq!(sim.total_deadline_misses(), 0);
-            for (k, stats) in sim.per_task.iter().enumerate() {
+            for (k, stats) in sim.per_task().iter().enumerate() {
                 let bound = refined.tasks[k].response_bound;
                 prop_assert!((stats.max_response as u128) * 4 <= bound.scaled());
             }
