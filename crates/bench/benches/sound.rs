@@ -7,9 +7,12 @@
 //! Measured, each as the median of [`SAMPLES`] runs over a Figure 2(a)
 //! grid population:
 //!
-//! * **verdicts, paper 3 methods** vs **all 4 methods** — the marginal
-//!   cost of adding LP-sound to every sweep cell (its fixed point runs no
-//!   combinatorial blocking machinery, so the overhead should be small);
+//! * **verdicts, paper 3 methods** vs **+ LP-sound** vs **all 6 methods**
+//!   — the marginal cost of adding LP-sound to every sweep cell (its
+//!   fixed point runs no combinatorial blocking machinery, so the
+//!   overhead should be small), and on top of that the marginal cost of
+//!   the two published fully-preemptive competitor bounds (Long-paths,
+//!   Gen-sporadic) the comparison panel evaluates per cell;
 //! * **LP-ILP analysis, warm per-thread scratch** — the blocking-heavy
 //!   workload whose inner allocations the thread-local scratch removes;
 //!   the absolute median is the point future PRs track;
@@ -100,16 +103,23 @@ fn main() {
     let total_sets = sets.len();
 
     let paper = configs(&Method::PAPER);
-    let all4 = configs(&Method::ALL);
+    let sound4 = configs(&[
+        Method::FpIdeal,
+        Method::LpIlp,
+        Method::LpMax,
+        Method::LpSound,
+    ]);
+    let all6 = configs(&Method::ALL);
 
-    // Sanity before timing: the 4-method verdict path agrees with full
-    // reports on every set (the dominance chain with LP-sound included).
+    // Sanity before timing: the 6-method verdict path agrees with full
+    // reports on every set (the dominance chain with LP-sound and the
+    // competitor methods included).
     for ts in sets.iter().take(100) {
-        let expected: Vec<bool> = analyze_all(ts, &all4)
+        let expected: Vec<bool> = analyze_all(ts, &all6)
             .iter()
             .map(|r| r.schedulable)
             .collect();
-        assert_eq!(analyze_verdicts(ts, &all4), expected, "verdict path exact");
+        assert_eq!(analyze_verdicts(ts, &all6), expected, "verdict path exact");
     }
 
     println!(
@@ -121,11 +131,16 @@ fn main() {
         sets.iter()
             .for_each(|ts| drop(black_box(analyze_verdicts(ts, &paper))))
     });
-    let verdicts_all4_ns = measure(|| {
+    let verdicts_sound4_ns = measure(|| {
         sets.iter()
-            .for_each(|ts| drop(black_box(analyze_verdicts(ts, &all4))))
+            .for_each(|ts| drop(black_box(analyze_verdicts(ts, &sound4))))
     });
-    let lp_sound_overhead_pct = 100.0 * (verdicts_all4_ns / verdicts_paper3_ns - 1.0);
+    let verdicts_all6_ns = measure(|| {
+        sets.iter()
+            .for_each(|ts| drop(black_box(analyze_verdicts(ts, &all6))))
+    });
+    let lp_sound_overhead_pct = 100.0 * (verdicts_sound4_ns / verdicts_paper3_ns - 1.0);
+    let competitors_overhead_pct = 100.0 * (verdicts_all6_ns / verdicts_sound4_ns - 1.0);
     println!(
         "{:<52} {:>12}",
         "verdicts, paper 3 methods",
@@ -133,8 +148,13 @@ fn main() {
     );
     println!(
         "{:<52} {:>12}   (+{lp_sound_overhead_pct:.1}%)",
-        "verdicts, all 4 methods (LP-sound added)",
-        scale(verdicts_all4_ns)
+        "verdicts, 4 methods (LP-sound added)",
+        scale(verdicts_sound4_ns)
+    );
+    println!(
+        "{:<52} {:>12}   (+{competitors_overhead_pct:.1}%)",
+        "verdicts, all 6 methods (competitors added)",
+        scale(verdicts_all6_ns)
     );
 
     // The blocking-heavy workload the per-thread scratch serves: every
@@ -196,10 +216,15 @@ fn main() {
     let _ = writeln!(json, "  \"total_sets\": {total_sets},");
     let _ = writeln!(json, "  \"samples\": {SAMPLES},");
     let _ = writeln!(json, "  \"verdicts_paper3_ns\": {verdicts_paper3_ns:.0},");
-    let _ = writeln!(json, "  \"verdicts_all4_ns\": {verdicts_all4_ns:.0},");
+    let _ = writeln!(json, "  \"verdicts_sound4_ns\": {verdicts_sound4_ns:.0},");
+    let _ = writeln!(json, "  \"verdicts_all6_ns\": {verdicts_all6_ns:.0},");
     let _ = writeln!(
         json,
         "  \"lp_sound_overhead_pct\": {lp_sound_overhead_pct:.2},"
+    );
+    let _ = writeln!(
+        json,
+        "  \"competitors_overhead_pct\": {competitors_overhead_pct:.2},"
     );
     let _ = writeln!(
         json,

@@ -54,7 +54,7 @@
 //! let cache = TaskSetCache::new(&task_set, 4);
 //! // µ of τ3 (Table I), computed once and shared by every query below.
 //! assert_eq!(cache.mu(3, MuSolver::default()), &[6, 7, 9, 11]);
-//! // All four methods answered from the shared tables in one request.
+//! // All six methods answered from the shared tables in one request.
 //! let outcome = AnalysisRequest::new(4).with_bounds(true).evaluate_with(&cache);
 //! assert!(outcome.verdicts().iter().all(|&ok| ok));
 //! ```
@@ -135,6 +135,11 @@ pub struct TaskSetCache<'ts> {
     /// NPR WCETs — `prefix[c]` is Eq. (5)'s `Δ^c` for `c` up to the pool
     /// size (clamped at `max_cores`).
     lp_max: Vec<OnceCell<Vec<Time>>>,
+    /// `long_paths[k]`: the vertex-disjoint chain decomposition of task
+    /// `k`'s DAG ([`rta_model::Dag::long_path_decomposition`]) — the
+    /// platform-independent input of [`Method::LongPaths`], computed on
+    /// first use and shared across core slices.
+    long_paths: Vec<OnceCell<Vec<Time>>>,
 }
 
 impl<'ts> TaskSetCache<'ts> {
@@ -199,6 +204,7 @@ impl<'ts> TaskSetCache<'ts> {
             mu: mu_slots,
             rho: rho_slots,
             lp_max: (0..n).map(|_| OnceCell::new()).collect(),
+            long_paths: (0..n).map(|_| OnceCell::new()).collect(),
         }
     }
 
@@ -249,6 +255,13 @@ impl<'ts> TaskSetCache<'ts> {
     /// the quantity the final-NPR preemption-window refinement subtracts.
     pub fn single_sink_wcet(&self, k: usize) -> Option<Time> {
         self.facts[k].single_sink_wcet
+    }
+
+    /// The long-chain decomposition `ℓ1 ≥ … ≥ ℓp` of task `k`'s DAG,
+    /// computed on first use — what [`Method::LongPaths`]'s stall bound
+    /// consumes. Platform-independent, so one cell serves every core slice.
+    pub fn long_path_decomposition(&self, k: usize) -> &[Time] {
+        self.long_paths[k].get_or_init(|| self.task_set.task(k).dag().long_path_decomposition())
     }
 
     /// The symmetric "can execute in parallel" adjacency of task `k`'s DAG,
@@ -491,8 +504,9 @@ impl<'ts> TaskSetCache<'ts> {
     pub fn blocking_for(&self, k: usize, config: &AnalysisConfig) -> Option<BlockingBounds> {
         match config.method {
             // LP-sound's corrected term is window-dependent, not a
-            // (Δ^m, Δ^{m−1}) pair: see [`Self::sound_blocking_for`].
-            Method::FpIdeal | Method::LpSound => None,
+            // (Δ^m, Δ^{m−1}) pair: see [`Self::sound_blocking_for`]. The
+            // fully-preemptive competitor methods carry no blocking at all.
+            Method::FpIdeal | Method::LpSound | Method::LongPaths | Method::GenSporadic => None,
             Method::LpMax => Some(self.lp_max_blocking(k, config.cores)),
             Method::LpIlp => Some(self.lp_ilp_blocking(
                 k,

@@ -1,0 +1,169 @@
+//! The generalized-sporadic GFP interference bound ([`Method::GenSporadic`]).
+//!
+//! A fully-preemptive competitor analysis in the spirit of Dinh, Gill &
+//! Agrawal, *"Analysis of Global Fixed-Priority Scheduling for Generalized
+//! Sporadic DAG Tasks"* (arXiv 1905.05119): instead of anchoring each
+//! higher-priority task's carry-in window at its *analyzed response bound*
+//! — which requires the recurrence to thread per-task results through the
+//! priority order — the interfering workload is characterized from the
+//! task's **contract alone** (period, deadline, volume). That makes the
+//! bound valid for generalized sporadic release patterns: any release
+//! sequence with inter-arrivals of at least `T_i` whose jobs execute
+//! within their deadline windows, with no assumption about where inside
+//! `[release, release + D_i]` the work actually lands.
+//!
+//! # The interfering-workload characterization
+//!
+//! For a higher-priority task `τ_i` and an interference window of length
+//! `t`, the workload `τ_i` executes inside the window is bounded by the
+//! Melani window bound ([`crate::workload::interfering_workload`])
+//! evaluated with `R_i := D_i`:
+//!
+//! ```text
+//! W_i^GS(t) = W_i^Melani(t; R_i = D_i)
+//! ```
+//!
+//! Any job with execution inside the window was released after
+//! `window start − D_i` (it would have missed its deadline otherwise),
+//! which is exactly the carry-in alignment the Melani bound captures with
+//! `R_i = D_i`. Soundness follows by the standard assume-and-verify
+//! argument: consider the earliest deadline miss of a legal schedule —
+//! every job completed before it met its deadline, so the bound holds for
+//! the window of the job under analysis, and an accepted set therefore
+//! admits no first miss (the same argument [`crate::blocking::sound`]
+//! spells out for the lower-priority direction). The response-time
+//! recurrence is otherwise the fully-preemptive Eq. (1) shape: no
+//! lower-priority blocking term.
+//!
+//! The release-*counting* characterization of the generalized-sporadic
+//! model — at most `⌊(t + D_i)/T_i⌋ + 1` jobs can touch the window, each
+//! contributing at most `vol_i` — is **implied** by the bound above and
+//! is therefore not taken as an extra `min` leg: with
+//! `x = m·t + m·D_i − vol_i`,
+//!
+//! ```text
+//! W_i^GS = ⌊x/(m·T_i)⌋·vol_i + min(vol_i, x mod m·T_i)
+//!        ≤ (⌊x/(m·T_i)⌋ + 1)·vol_i
+//!        ≤ (⌊(t + D_i)/T_i⌋ + 1)·vol_i ,
+//! ```
+//!
+//! pinned by `release_counting_bound_is_implied` below.
+//!
+//! # Provable dominance: FP-ideal ⇒ Gen-sporadic (per task)
+//!
+//! On any prefix of the priority order that FP-ideal accepts, every
+//! per-task Gen-sporadic bound is **at least** FP-ideal's: FP-ideal's
+//! interference term is `W_i^Melani(t; R_i = r_i)` with `r_i ≤ D_i` on an
+//! accepted prefix, the Melani bound is monotone in its response
+//! argument, each Gen-sporadic interference term therefore dominates the
+//! FP-ideal term pointwise, the shared fixed point is monotone in its
+//! interference term, and induction over the priority order gives
+//! per-task `R_FP ≤ R_GS` — hence the verdict edge **Gen-sporadic
+//! schedulable ⇒ FP-ideal schedulable**, which the dominance chain of
+//! [`crate::AnalysisRequest`] exploits (an FP-ideal failure settles
+//! Gen-sporadic negatively without evaluating it).
+//!
+//! # Scaled arithmetic
+//!
+//! As everywhere in this crate, windows flow in scaled units of `1/m`
+//! (`w = m·t`), so `R_i = D_i` enters as the scaled `m·D_i` and no
+//! floating point is involved.
+//!
+//! [`Method::GenSporadic`]: crate::config::Method::GenSporadic
+
+use crate::workload::interfering_workload;
+use rta_model::Time;
+
+/// `W_i^GS(t)`: the generalized-sporadic workload bound of one interfering
+/// task over a window of scaled length `window_scaled` (`m·t`), in plain
+/// execution units. See the [module docs](self) for the derivation.
+///
+/// # Panics
+///
+/// Panics if `period == 0` or `cores == 0` (via the Melani bound).
+pub fn gen_sporadic_workload(
+    window_scaled: u128,
+    volume: Time,
+    period: Time,
+    deadline: Time,
+    cores: usize,
+) -> u128 {
+    let deadline_scaled = cores as u128 * deadline as u128;
+    interfering_workload(window_scaled, deadline_scaled, volume, period, cores)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_core_hand_computed() {
+        // m = 1, vol = 4, T = 10, D = 10, window 16: x = 16 + 10 − 4 = 22
+        // → 2 full jobs (8) + min(4, 2) = 10.
+        assert_eq!(gen_sporadic_workload(16, 4, 10, 10, 1), 10);
+    }
+
+    #[test]
+    fn constrained_deadline_shrinks_the_carry_in() {
+        // m = 1, vol = 6, T = 20, window 1: with D = 8 the carry job can
+        // reach at most x = 1 + 8 − 6 = 3 units into the window; with the
+        // implicit D = 20 it reaches min(6, 15) = 6.
+        assert_eq!(gen_sporadic_workload(1, 6, 20, 8, 1), 3);
+        assert_eq!(gen_sporadic_workload(1, 6, 20, 20, 1), 6);
+    }
+
+    #[test]
+    fn dominates_response_anchored_melani() {
+        // For every r_i ≤ m·D_i the deadline-anchored GS bound is at least
+        // the FP-ideal term — the per-term half of the dominance proof.
+        let (volume, period, deadline, cores) = (9u64, 14u64, 11u64, 3usize);
+        let m = cores as u128;
+        for window in 0..200u128 {
+            let gs = gen_sporadic_workload(window, volume, period, deadline, cores);
+            for r_scaled in [volume as u128, 17, 23, m * deadline as u128] {
+                let fp = interfering_workload(window, r_scaled, volume, period, cores);
+                assert!(
+                    gs >= fp,
+                    "window {window}, r_i {r_scaled}: GS {gs} < FP {fp}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn release_counting_bound_is_implied() {
+        // The generalized-sporadic job-counting bound (⌊(t + D)/T⌋ + 1)
+        // releases, vol each — never falls below the Melani-with-deadline
+        // bound, so taking their min would be a no-op.
+        for (volume, period, deadline, cores) in
+            [(6u64, 20u64, 8u64, 1usize), (9, 14, 11, 3), (40, 13, 13, 4)]
+        {
+            let m = cores as u128;
+            for window in 0..300u128 {
+                let gs = gen_sporadic_workload(window, volume, period, deadline, cores);
+                let releases = (window + m * deadline as u128) / (m * period as u128) + 1;
+                assert!(
+                    gs <= releases * volume as u128,
+                    "vol={volume} T={period} D={deadline} m={cores} w={window}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn monotone_in_window() {
+        let mut last = 0;
+        for window in 0..500u128 {
+            let w = gen_sporadic_workload(window, 12, 7, 6, 3);
+            assert!(w >= last, "W^GS must be non-decreasing in the window");
+            last = w;
+        }
+    }
+
+    #[test]
+    fn zero_window_still_charges_carry_in() {
+        // A zero-length window can still contain carry-in execution of a
+        // job released D_i before it.
+        assert!(gen_sporadic_workload(0, 5, 10, 10, 2) > 0);
+    }
+}

@@ -89,6 +89,8 @@
 pub mod blocking;
 pub mod cache;
 pub mod config;
+pub mod gen_sporadic;
+pub mod long_paths;
 pub mod lru;
 pub mod report;
 pub mod request;

@@ -1,0 +1,227 @@
+//! The long-path response-time refinement ([`Method::LongPaths`]).
+//!
+//! A fully-preemptive competitor analysis in the spirit of He, Guan et
+//! al., *"Bounding the Response Time of DAG Tasks Using Long Paths"*
+//! (arXiv 2211.08800): the Graham-style term `(vol − L)/m` charges the
+//! task's entire non-critical workload as if it could stall the critical
+//! path at full parallelism, but whatever executes while the critical
+//! path stalls comes from **chains** of the DAG — sequential by
+//! precedence — and a chain of length `ℓ` can contribute at most
+//! `min(ℓ, S)` work to stall intervals of total measure `S`. Decomposing
+//! the DAG into long chains and charging each at most its length turns
+//! the stall-time bound into a fixed-point constraint that is strictly
+//! tighter than Graham's whenever the DAG has fewer (or shorter) chains
+//! than the platform has cores.
+//!
+//! # The bound
+//!
+//! Take a vertex-disjoint chain decomposition `ℓ1 ≥ ℓ2 ≥ … ≥ ℓp` with
+//! `ℓ1 = L` and `Σ ℓi = vol`
+//! ([`Dag::long_path_decomposition`](rta_model::Dag)). In any
+//! work-conserving schedule there is a chain `λ` through the job under
+//! analysis such that whenever no node of `λ` executes, all `m` cores are
+//! busy with interfering workload or with the job's own non-`λ` nodes
+//! (the standard construction: walk backwards from the last-finishing
+//! node through each node's latest-finishing predecessor). Let `x =
+//! len(λ)` and let `S` be the total measure of the stall intervals, so
+//! `R ≤ x + S` and
+//!
+//! ```text
+//! m·S ≤ I + min( vol − x , Σ_{i=1}^{p} min(ℓi, S) )            (†)
+//! ```
+//!
+//! where `I` bounds the interfering workload in the response window: the
+//! stall intervals carry `m·S` units of non-`λ` work; at most `vol − x`
+//! of it is the job's own; and the job's own share coming from chain
+//! `P_i` is at most `min(ℓi, S)` (a chain executes sequentially, so over
+//! intervals of total measure `S` it advances at most `S`, and never past
+//! its length). The sum ranges over **all** chains, `ℓ1` included: `λ` is
+//! generally *not* the decomposition's first chain, so `P_1 \ λ` may
+//! execute during stalls and only the `vol − x` cap accounts for the
+//! overlap exactly.
+//!
+//! Substituting `x = ℓ1` is sound because the combined bound is
+//! non-decreasing in `x`: raising `x` by `δ` lowers the right side of (†)
+//! by at most `δ`, hence `S` by at most `δ/m`, so `x + S` changes by at
+//! least `δ(1 − 1/m) ≥ 0` — the same monotonicity that lets the Graham
+//! bound replace `len(λ)` by `L`.
+//!
+//! # Greatest fixed point, not least
+//!
+//! (†) constrains `S` from **above** (`S ≤ f(S)` with `f` monotone): it
+//! says nothing about small `S`, so the valid upper bound on the true
+//! stall time is the *greatest* `S` satisfying (†), found by iterating
+//! `S ← f(S)` **downward** from the a-priori cap `S0 = (I + vol − ℓ1)/m`
+//! (every feasible `S` is below `S0` because the inner `min` never
+//! exceeds `vol − ℓ1`). Iterating **upward from zero** — the habit the
+//! least-fixed-point recurrences everywhere else in this crate instill —
+//! would be unsound: for the DAG of four unit nodes in a chain plus eight
+//! isolated unit nodes on `m = 2`, upward iteration stabilizes at `S = 0`
+//! (`R = 4`) while an adversarial work-conserving scheduler runs the
+//! eight isolated nodes first, four time units on both cores, and only
+//! then the chain: `R = 8`. The greatest fixed point yields exactly
+//! `S = 4`, `R = 8`. Pinned by
+//! `least_fixed_point_would_undershoot_the_adversary` below.
+//!
+//! Every feasible point lies below every iterate (by induction: `z ≤ y`
+//! and `z ≤ f(z) ≤ f(y)` give `z ≤ min(y, f(y))`), the iterates decrease
+//! strictly until feasible, and integers bounded below terminate — so the
+//! iteration returns an upper bound on the true stall time, reaching the
+//! greatest feasible point itself whenever the feasible set is an
+//! interval.
+//!
+//! # How the method uses it
+//!
+//! [`Method::LongPaths`] first runs the fully-preemptive fixed point of
+//! Eq. (1) with its **own** higher-priority bounds (valid by induction:
+//! they are themselves sound LongPaths bounds). If it converges to
+//! `r_fp ≤ m·D_k`, the interference `I` inside the true response window
+//! is bounded by the converged window's interference, and the reported
+//! bound is `min(r_fp, ℓ1 + S*)` — both terms sound, so their minimum is,
+//! and the `min` makes per-task dominance `R_LongPaths ≤ R_Graham`
+//! structural. If the fixed point *diverges past the deadline*, the
+//! refinement gets one rescue attempt with `I` evaluated over the
+//! deadline window `m·D_k` (assume-and-verify: before the earliest miss
+//! the job's window is contained in its deadline window); a refined
+//! bound at or below the deadline accepts the task where the Graham
+//! recurrence could not — so an FP-ideal *failure* does **not** settle
+//! LongPaths, unlike every other edge in the dominance chain.
+//!
+//! # Scaled arithmetic
+//!
+//! With `y = m·S` (scaled stall time; numerically the stall intervals'
+//! workload capacity) the constraint (†) becomes pure integers:
+//!
+//! ```text
+//! m·y ≤ m·I + min( m·(vol − ℓ1) , Σ_i min(m·ℓi, y) )
+//! ```
+//!
+//! and the reported scaled bound is `m·ℓ1 + y*`. No rounding happens
+//! anywhere, so no direction-of-rounding argument is needed.
+//!
+//! [`Method::LongPaths`]: crate::config::Method::LongPaths
+
+use rta_model::Time;
+
+/// The long-path stall bound: `m·ℓ1 + y*` (scaled by `m`), where `y*`
+/// upper-bounds `m·S` over every stall time `S` feasible for (†) — see
+/// the [module docs](self).
+///
+/// * `interference` — plain-unit bound `I` on the interfering workload in
+///   the response window the caller certified (converged window or
+///   deadline window).
+/// * `decomposition` — chain lengths `ℓ1 ≥ … ≥ ℓp`, summing to `volume`.
+/// * `volume`, `cores` — `vol(G_k)` and `m`.
+///
+/// # Panics
+///
+/// Panics if `decomposition` is empty, unsorted, or does not sum to
+/// `volume` (debug builds), or if `cores == 0`.
+pub fn long_path_bound(
+    interference: u128,
+    decomposition: &[Time],
+    volume: Time,
+    cores: usize,
+) -> u128 {
+    assert!(cores >= 1, "at least one core required");
+    let longest = *decomposition.first().expect("decomposition is non-empty");
+    debug_assert!(
+        decomposition.windows(2).all(|w| w[0] >= w[1]),
+        "chain lengths must be non-increasing"
+    );
+    debug_assert_eq!(
+        decomposition.iter().sum::<Time>(),
+        volume,
+        "chains must partition the volume"
+    );
+    let m = cores as u128;
+    let slack = (volume - longest) as u128;
+    // Downward iteration from the a-priori cap: every feasible y is below
+    // I + (vol − ℓ1) because the inner min never exceeds m·(vol − ℓ1).
+    let mut y = interference + slack;
+    loop {
+        let own: u128 = decomposition.iter().map(|&l| (m * l as u128).min(y)).sum();
+        let h = (m * interference + own.min(m * slack)) / m;
+        if y <= h {
+            break;
+        }
+        y = h;
+    }
+    m * longest as u128 + y
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_chains_on_three_cores_cost_only_the_critical_path() {
+        // Chains of 10 and 6 on m = 3, no interference: both run in
+        // parallel on a work-conserving scheduler, so R = 10 exactly —
+        // the Graham term would add (16 − 10)/3 = 2.
+        assert_eq!(long_path_bound(0, &[10, 6], 16, 3), 30);
+    }
+
+    #[test]
+    fn least_fixed_point_would_undershoot_the_adversary() {
+        // Four unit nodes in a chain + eight isolated unit nodes, m = 2:
+        // the adversary runs all eight isolated nodes first (four time
+        // units, both cores busy — work conservation is respected because
+        // chain work *is* ready, just not chosen), then the chain alone:
+        // R = 8. Upward iteration from S = 0 would stop at S = 0 (R = 4);
+        // the greatest fixed point finds S = 4.
+        let decomposition = [4, 1, 1, 1, 1, 1, 1, 1, 1];
+        assert_eq!(long_path_bound(0, &decomposition, 12, 2), 16); // m·R = 16 → R = 8
+    }
+
+    #[test]
+    fn never_exceeds_the_graham_term() {
+        // m·L + (vol − L) + m·⌊I/m⌋ is the Graham/Melani value the
+        // fully-preemptive recurrence would produce from the same inputs;
+        // the long-path bound never exceeds the un-floored version.
+        for (decomposition, volume, cores) in [
+            (vec![10u64, 6], 16u64, 3usize),
+            (vec![4, 1, 1, 1, 1, 1, 1, 1, 1], 12, 2),
+            (vec![7, 7, 7], 21, 2),
+            (vec![30], 30, 4),
+        ] {
+            for interference in [0u128, 1, 5, 40, 1000] {
+                let m = cores as u128;
+                let graham = m * decomposition[0] as u128
+                    + (volume - decomposition[0]) as u128
+                    + interference;
+                let lp = long_path_bound(interference, &decomposition, volume, cores);
+                assert!(
+                    lp <= graham,
+                    "I={interference} m={cores} {decomposition:?}: {lp} > {graham}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn single_chain_is_exactly_its_length_plus_interference_delay() {
+        // One chain (a sequential DAG): no self-interference at all, so
+        // R = L + I/m.
+        assert_eq!(long_path_bound(0, &[30], 30, 4), 120);
+        assert_eq!(long_path_bound(8, &[30], 30, 4), 128);
+    }
+
+    #[test]
+    fn interference_reopens_the_stall_window() {
+        // The two-chain DAG of the first test: with interference the
+        // second chain can legally stall the first again.
+        let with_i = long_path_bound(9, &[10, 6], 16, 3);
+        assert!(with_i > 30, "interference must increase the bound");
+        // Feasibility at the returned point: m·y ≤ m·I + min(m·slack, Σ).
+        let y = with_i - 30;
+        let own = (3 * 10u128).min(y) + (3 * 6u128).min(y);
+        assert!(3 * y <= 3 * 9 + own.min(3 * 6));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one core")]
+    fn zero_cores_rejected() {
+        let _ = long_path_bound(0, &[1], 1, 0);
+    }
+}

@@ -39,7 +39,7 @@
 //!
 //! let task_set = figure1_task_set();
 //! let outcome = AnalysisRequest::new(4).evaluate(&task_set);
-//! // All four methods accept the paper's running example on 4 cores.
+//! // All six methods accept the paper's running example on 4 cores.
 //! assert!(outcome.verdicts().iter().all(|&ok| ok));
 //! assert_eq!(outcome.verdict(Method::LpSound), Some(true));
 //!
@@ -86,7 +86,7 @@ pub struct AnalysisRequest {
 }
 
 impl AnalysisRequest {
-    /// A verdict-only request for all four methods with default solvers.
+    /// A verdict-only request for all six methods with default solvers.
     ///
     /// # Panics
     ///
@@ -213,7 +213,7 @@ impl AnalysisRequest {
     /// The bound-carrying shape: each distinct method runs its own fixed
     /// point once; duplicates share the evaluation.
     fn evaluate_bounds(&self, cache: &TaskSetCache<'_>) -> Vec<MethodOutcome> {
-        let mut memo: [Option<(bool, Vec<ResponseBound>)>; 4] = [const { None }; 4];
+        let mut memo: [Option<(bool, Vec<ResponseBound>)>; 6] = [const { None }; 6];
         self.methods
             .iter()
             .map(|&method| {
@@ -232,27 +232,36 @@ impl AnalysisRequest {
 
     /// The verdict-only shape: the method-dominance chain.
     ///
-    /// All four methods iterate the identical monotone fixed point and
-    /// differ only in the lower-priority term it consumes, giving (see the
-    /// extended argument on the legacy `analyze_verdicts`):
+    /// All six methods iterate the same monotone fixed-point shape and
+    /// differ only in the interference terms it consumes, giving (see the
+    /// extended argument on the legacy `analyze_verdicts`, the dominance
+    /// sections of [`crate::gen_sporadic`] and [`crate::long_paths`]):
     ///
     /// ```text
     /// LP-max schedulable ⇒ LP-ILP schedulable ⇒ FP-ideal schedulable
     /// LP-sound schedulable ⇒ FP-ideal schedulable
+    /// Gen-sporadic schedulable ⇒ FP-ideal schedulable
+    /// FP-ideal schedulable ⇒ Long-paths schedulable
     /// ```
     ///
     /// FP-ideal is therefore always evaluated first — it touches no
     /// blocking machinery at all, and a negative verdict settles every
-    /// method of the request. LP-ILP is answered from LP-max's cheap
-    /// positive verdict when possible; its own combinatorial blocking runs
-    /// only when FP-ideal passes and LP-max fails. LP-sound, when requested
-    /// and not settled by FP-ideal, runs its own combinatorics-free fixed
-    /// point (no edge connects it to LP-ILP/LP-max in either direction).
+    /// method of the request except Long-paths. LP-ILP is answered from
+    /// LP-max's cheap positive verdict when possible; its own combinatorial
+    /// blocking runs only when FP-ideal passes and LP-max fails. LP-sound
+    /// and Gen-sporadic, when requested and not settled by FP-ideal, run
+    /// their own (combinatorics-free) fixed points. Long-paths is the one
+    /// method FP-ideal dominates in the *opposite* direction: its per-task
+    /// bound never exceeds FP-ideal's, so an FP-ideal **pass** settles it
+    /// positively — while an FP-ideal *failure* settles nothing (the
+    /// deadline-window rescue of [`crate::long_paths`] can accept sets the
+    /// Graham recurrence diverges on), so only then does it run its own
+    /// fixed point.
     fn evaluate_verdicts(&self, cache: &TaskSetCache<'_>) -> Vec<MethodOutcome> {
         let wants = |method: Method| self.methods.contains(&method);
         let fp = rta::verdict_with(cache, &self.config_for(Method::FpIdeal));
-        let (ilp, max, sound) = if !fp {
-            (false, false, false)
+        let (ilp, max, sound, gen) = if !fp {
+            (false, false, false, false)
         } else {
             let max = if wants(Method::LpMax) || wants(Method::LpIlp) {
                 rta::verdict_with(cache, &self.config_for(Method::LpMax))
@@ -268,8 +277,12 @@ impl AnalysisRequest {
             };
             let sound = wants(Method::LpSound)
                 && rta::verdict_with(cache, &self.config_for(Method::LpSound));
-            (ilp, max, sound)
+            let gen = wants(Method::GenSporadic)
+                && rta::verdict_with(cache, &self.config_for(Method::GenSporadic));
+            (ilp, max, sound, gen)
         };
+        let long = wants(Method::LongPaths)
+            && (fp || rta::verdict_with(cache, &self.config_for(Method::LongPaths)));
         self.methods
             .iter()
             .map(|&method| MethodOutcome {
@@ -279,6 +292,8 @@ impl AnalysisRequest {
                     Method::LpIlp => ilp,
                     Method::LpMax => max,
                     Method::LpSound => sound,
+                    Method::LongPaths => long,
+                    Method::GenSporadic => gen,
                 },
                 bounds: None,
             })
@@ -371,7 +386,7 @@ mod tests {
         let ts = figure1_task_set();
         let outcome = AnalysisRequest::new(4).evaluate(&ts);
         assert_eq!(outcome.cores, 4);
-        assert_eq!(outcome.outcomes().len(), 4);
+        assert_eq!(outcome.outcomes().len(), 6);
         for (mo, &method) in outcome.outcomes().iter().zip(Method::ALL.iter()) {
             assert_eq!(mo.method, method);
             assert!(mo.schedulable);

@@ -20,6 +20,8 @@ use crate::blocking::sound::SoundBlocking;
 use crate::blocking::BlockingBounds;
 use crate::cache::TaskSetCache;
 use crate::config::{AnalysisConfig, Method};
+use crate::gen_sporadic::gen_sporadic_workload;
+use crate::long_paths::long_path_bound;
 use crate::report::{AnalysisReport, ResponseBound, TaskReport};
 use crate::request::AnalysisRequest;
 use crate::workload::interfering_workload;
@@ -246,15 +248,26 @@ pub fn verdict_with(cache: &TaskSetCache<'_>, config: &AnalysisConfig) -> bool {
             preemption_points: cache.preemption_points(k),
             single_sink_wcet: cache.single_sink_wcet(k),
         };
-        let outcome = fixed_point(
-            &task,
-            task_set,
-            k,
-            &hp_bounds,
-            blocking.as_ref(),
-            sound.as_ref(),
-            config,
-        );
+        let outcome = if config.method == Method::LongPaths {
+            long_paths_outcome(
+                &task,
+                task_set,
+                k,
+                &hp_bounds,
+                cache.long_path_decomposition(k),
+                config,
+            )
+        } else {
+            fixed_point(
+                &task,
+                task_set,
+                k,
+                &hp_bounds,
+                blocking.as_ref(),
+                sound.as_ref(),
+                config,
+            )
+        };
         if !outcome.schedulable {
             return false;
         }
@@ -321,15 +334,26 @@ pub(crate) fn analyze_with_impl(
             preemption_points: cache.preemption_points(k),
             single_sink_wcet: cache.single_sink_wcet(k),
         };
-        let outcome = fixed_point(
-            &task,
-            task_set,
-            k,
-            &hp_bounds,
-            blocking.as_ref(),
-            sound.as_ref(),
-            config,
-        );
+        let outcome = if config.method == Method::LongPaths {
+            long_paths_outcome(
+                &task,
+                task_set,
+                k,
+                &hp_bounds,
+                cache.long_path_decomposition(k),
+                config,
+            )
+        } else {
+            fixed_point(
+                &task,
+                task_set,
+                k,
+                &hp_bounds,
+                blocking.as_ref(),
+                sound.as_ref(),
+                config,
+            )
+        };
         let report = TaskReport {
             task: TaskId::new(k),
             response_bound: ResponseBound::from_scaled(outcome.scaled, config.cores as u32),
@@ -386,15 +410,26 @@ pub fn analyze_uncached(task_set: &TaskSet, config: &AnalysisConfig) -> Analysis
                 _ => None,
             },
         };
-        let outcome = fixed_point(
-            &task,
-            task_set,
-            k,
-            &hp_bounds,
-            blocking.as_ref(),
-            sound.as_ref(),
-            config,
-        );
+        let outcome = if config.method == Method::LongPaths {
+            long_paths_outcome(
+                &task,
+                task_set,
+                k,
+                &hp_bounds,
+                &dag.long_path_decomposition(),
+                config,
+            )
+        } else {
+            fixed_point(
+                &task,
+                task_set,
+                k,
+                &hp_bounds,
+                blocking.as_ref(),
+                sound.as_ref(),
+                config,
+            )
+        };
         let report = TaskReport {
             task: TaskId::new(k),
             response_bound: ResponseBound::from_scaled(outcome.scaled, config.cores as u32),
@@ -428,8 +463,9 @@ fn blocking_for_uncached(
     let lp = task_set.lower_priority(k);
     match config.method {
         // LP-sound has no (Δ^m, Δ^{m−1}) pair — its window-dependent term
-        // is built separately and evaluated per fixed-point iterate.
-        Method::FpIdeal | Method::LpSound => None,
+        // is built separately and evaluated per fixed-point iterate. The
+        // two fully-preemptive competitor methods have no blocking at all.
+        Method::FpIdeal | Method::LpSound | Method::LongPaths | Method::GenSporadic => None,
         Method::LpMax => Some(lp_max_blocking(lp, config.cores)),
         Method::LpIlp => Some(lp_ilp_blocking(
             lp,
@@ -460,6 +496,71 @@ struct FixedPointOutcome {
     iterations: u32,
 }
 
+/// The total higher-priority interfering workload (plain execution units)
+/// over a window of scaled length `window_scaled`, Melani-bounded with the
+/// analyzed response bounds — the `I` the long-path refinement consumes.
+fn hp_interference(
+    task_set: &TaskSet,
+    k: usize,
+    hp_bounds: &[u128],
+    window_scaled: u128,
+    cores: usize,
+) -> u128 {
+    task_set
+        .higher_priority(k)
+        .iter()
+        .zip(hp_bounds)
+        .map(|(t, &r_i)| {
+            interfering_workload(window_scaled, r_i, t.dag().volume(), t.period(), cores)
+        })
+        .sum()
+}
+
+/// The [`Method::LongPaths`] driver: the fully-preemptive fixed point —
+/// fed this method's **own** higher-priority bounds — post-refined by the
+/// long-path stall bound of [`crate::long_paths`], with one
+/// deadline-window rescue attempt when the Graham-shaped recurrence
+/// diverges (see the module docs there for why both windows are sound and
+/// why an FP-ideal failure does not settle this method).
+fn long_paths_outcome(
+    task: &FixedPointTask,
+    task_set: &TaskSet,
+    k: usize,
+    hp_bounds: &[u128],
+    decomposition: &[Time],
+    config: &AnalysisConfig,
+) -> FixedPointOutcome {
+    let m = config.cores as u128;
+    let deadline_scaled = m * task.deadline as u128;
+    let base = fixed_point(task, task_set, k, hp_bounds, None, None, config);
+    if base.schedulable {
+        // The converged window certifies its own interference; the `min`
+        // makes per-task dominance over the Graham value structural.
+        let i = hp_interference(task_set, k, hp_bounds, base.scaled, config.cores);
+        let refined = long_path_bound(i, decomposition, task.volume, config.cores).min(base.scaled);
+        FixedPointOutcome {
+            scaled: refined,
+            ..base
+        }
+    } else {
+        // Rescue: assume-and-verify over the deadline window — before the
+        // earliest miss every response window fits inside its deadline
+        // window, so a refined bound at or below `m·D_k` is sound even
+        // though the Graham recurrence never converged.
+        let i = hp_interference(task_set, k, hp_bounds, deadline_scaled, config.cores);
+        let refined = long_path_bound(i, decomposition, task.volume, config.cores);
+        if refined <= deadline_scaled {
+            FixedPointOutcome {
+                scaled: refined,
+                schedulable: true,
+                ..base
+            }
+        } else {
+            base
+        }
+    }
+}
+
 fn fixed_point(
     task: &FixedPointTask,
     task_set: &TaskSet,
@@ -488,11 +589,18 @@ fn fixed_point(
 
     // Loop-invariant higher-priority quantities, hoisted out of the
     // iteration: the scaled period `m·T_i` behind every ⌈·⌉, plus the
-    // volume and period the workload bound reads.
-    let hp_invariants: Vec<(u128, Time, Time)> = task_set
+    // volume, period and deadline the workload bounds read.
+    let hp_invariants: Vec<(u128, Time, Time, Time)> = task_set
         .higher_priority(k)
         .iter()
-        .map(|t| (m * t.period() as u128, t.dag().volume(), t.period()))
+        .map(|t| {
+            (
+                m * t.period() as u128,
+                t.dag().volume(),
+                t.period(),
+                t.deadline(),
+            )
+        })
         .collect();
 
     let mut r = base;
@@ -504,20 +612,32 @@ fn fixed_point(
         let window = r.saturating_sub(preemption_window_shrink);
         let h: u128 = hp_invariants
             .iter()
-            .map(|&(scaled_period, _, _)| window.div_ceil(scaled_period))
+            .map(|&(scaled_period, ..)| window.div_ceil(scaled_period))
             .sum();
         let p = q.min(h);
         // Event-counted blocking (LP-ILP / LP-max) or the sound
         // window-workload term (LP-sound) — at most one is present.
         let i_lp: u128 =
             blocking.map_or(0, |b| b.interference(p)) + sound.map_or(0, |s| s.interference(r));
-        let i_hp: u128 = hp_invariants
-            .iter()
-            .zip(hp_bounds)
-            .map(|(&(_, vol, period), &r_i)| {
-                interfering_workload(r, r_i, vol, period, config.cores)
-            })
-            .sum();
+        let i_hp: u128 = if config.method == Method::GenSporadic {
+            // Contract-anchored interference ([`crate::gen_sporadic`]):
+            // deadline-anchored Melani windows, independent of the
+            // analyzed higher-priority response bounds.
+            hp_invariants
+                .iter()
+                .map(|&(_, vol, period, deadline)| {
+                    gen_sporadic_workload(r, vol, period, deadline, config.cores)
+                })
+                .sum()
+        } else {
+            hp_invariants
+                .iter()
+                .zip(hp_bounds)
+                .map(|(&(_, vol, period, _), &r_i)| {
+                    interfering_workload(r, r_i, vol, period, config.cores)
+                })
+                .sum()
+        };
         let r_new = base + m * ((i_lp + i_hp) / m);
         debug_assert!(r_new >= r, "fixed-point iteration must be monotone");
         let preemptions = u64::try_from(p).expect("preemption bound fits u64");
@@ -671,6 +791,99 @@ mod tests {
                     s.response_bound.scaled() >= f.response_bound.scaled(),
                     "m = {cores}: LP-sound below FP-ideal"
                 );
+            }
+        }
+    }
+
+    #[test]
+    fn long_paths_never_exceeds_fp_ideal_per_task() {
+        // The `min` against the Graham value in `long_paths_outcome`, plus
+        // the hp-bound induction, makes per-task R_LongPaths ≤ R_FpIdeal
+        // structural on any prefix both methods accept.
+        let ts = figure1_task_set();
+        for cores in [1usize, 2, 4, 8] {
+            let fp = analyze(&ts, &AnalysisConfig::new(cores, Method::FpIdeal));
+            let lp = analyze(&ts, &AnalysisConfig::new(cores, Method::LongPaths));
+            for (f, l) in fp.tasks.iter().zip(&lp.tasks) {
+                if !f.schedulable || !l.schedulable {
+                    break;
+                }
+                assert!(
+                    l.response_bound.scaled() <= f.response_bound.scaled(),
+                    "m = {cores}: Long-paths above FP-ideal"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn gen_sporadic_dominates_fp_ideal_per_task() {
+        // Deadline-anchored carry-in windows are at least the analyzed
+        // response windows of an accepted prefix, so per-task
+        // R_FpIdeal ≤ R_GenSporadic (the verdict edge the request layer
+        // exploits in the other direction).
+        let ts = figure1_task_set();
+        for cores in [1usize, 2, 4, 8] {
+            let fp = analyze(&ts, &AnalysisConfig::new(cores, Method::FpIdeal));
+            let gs = analyze(&ts, &AnalysisConfig::new(cores, Method::GenSporadic));
+            for (f, g) in fp.tasks.iter().zip(&gs.tasks) {
+                if !f.schedulable || !g.schedulable {
+                    break;
+                }
+                assert!(
+                    g.response_bound.scaled() >= f.response_bound.scaled(),
+                    "m = {cores}: Gen-sporadic below FP-ideal"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn long_paths_tightens_a_two_chain_dag() {
+        // Two independent nodes of 10 and 6 on m = 3: Graham charges
+        // R = 10 + (16 − 10)/3 = 12; both chains fit on the 3 cores, so
+        // the long-path bound is exactly the critical path, R = 10.
+        let mut b = DagBuilder::new();
+        b.add_node(10);
+        b.add_node(6);
+        let ts = TaskSet::new(vec![DagTask::with_implicit_deadline(
+            b.build().unwrap(),
+            100,
+        )
+        .unwrap()]);
+        let fp = analyze(&ts, &AnalysisConfig::new(3, Method::FpIdeal));
+        let lp = analyze(&ts, &AnalysisConfig::new(3, Method::LongPaths));
+        assert_eq!(fp.tasks[0].response_bound.ceil(), 12);
+        assert_eq!(lp.tasks[0].response_bound.ceil(), 10);
+    }
+
+    #[test]
+    fn long_paths_rescues_where_graham_diverges() {
+        // Same DAG with deadline 10: the Graham recurrence lands at 12 > D
+        // and FP-ideal rejects, but the deadline-window rescue evaluates
+        // the stall bound (I = 0, both chains parallel) to exactly 10 ≤ D.
+        let mut b = DagBuilder::new();
+        b.add_node(10);
+        b.add_node(6);
+        let ts = TaskSet::new(vec![DagTask::with_implicit_deadline(
+            b.build().unwrap(),
+            10,
+        )
+        .unwrap()]);
+        let fp = analyze(&ts, &AnalysisConfig::new(3, Method::FpIdeal));
+        let lp = analyze(&ts, &AnalysisConfig::new(3, Method::LongPaths));
+        assert!(!fp.schedulable, "Graham must diverge past the deadline");
+        assert!(lp.schedulable, "the deadline-window rescue must accept");
+        assert_eq!(lp.tasks[0].response_bound.ceil(), 10);
+    }
+
+    #[test]
+    fn gen_sporadic_carries_no_blocking_pair() {
+        let ts = figure1_task_set();
+        for method in [Method::LongPaths, Method::GenSporadic] {
+            let report = analyze(&ts, &AnalysisConfig::new(4, method));
+            for t in &report.tasks {
+                assert!(t.blocking.is_none(), "{method} must carry no blocking");
             }
         }
     }

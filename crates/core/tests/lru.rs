@@ -15,11 +15,13 @@ use rta_taskgen::{generate_task_set, group1};
 /// A request shape chosen by the proptest strategy: which methods, which
 /// platform slice, bounds or not.
 fn shaped_request(cores: usize, shape: u8, bounds: bool) -> AnalysisRequest {
-    let methods: &[Method] = match shape % 5 {
+    let methods: &[Method] = match shape % 7 {
         0 => &Method::ALL,
         1 => &[Method::FpIdeal],
         2 => &[Method::LpSound],
         3 => &[Method::LpIlp, Method::LpMax],
+        4 => &[Method::LongPaths, Method::GenSporadic],
+        5 => &[Method::GenSporadic, Method::FpIdeal, Method::LongPaths],
         _ => &[Method::LpSound, Method::FpIdeal, Method::LpSound],
     };
     AnalysisRequest::new(cores)
@@ -59,6 +61,30 @@ proptest! {
             script.len()
         );
     }
+}
+
+#[test]
+fn competitor_requests_recombine_from_cached_facts() {
+    // The new fully-preemptive competitor methods participate in the
+    // per-set fact store like the paper's four: a set first analyzed for
+    // FP-ideal answers a later Long-paths/Gen-sporadic request as a
+    // near-hit (set cached, competitor facts evaluated on demand), a
+    // repeat as a pure hit — and every answer equals a cold evaluation.
+    let mut rng = SmallRng::seed_from_u64(23);
+    let ts = generate_task_set(&mut rng, &group1(2.0));
+    let fp_only = AnalysisRequest::new(4).with_methods([Method::FpIdeal]);
+    let competitors =
+        AnalysisRequest::new(4).with_methods([Method::LongPaths, Method::GenSporadic]);
+    let mut lru = AnalysisLru::new(4);
+    assert_eq!(lru.analyze(&ts, &fp_only).1, CacheOutcome::Miss);
+    let (near, outcome) = lru.analyze(&ts, &competitors);
+    assert_eq!(outcome, CacheOutcome::Near);
+    assert_eq!(near, competitors.evaluate(&ts));
+    let (hot, outcome) = lru.analyze(&ts, &competitors);
+    assert_eq!(outcome, CacheOutcome::Hit);
+    assert_eq!(hot, near);
+    let stats = lru.stats();
+    assert_eq!((stats.hits, stats.near_hits, stats.misses), (1, 1, 1));
 }
 
 #[test]

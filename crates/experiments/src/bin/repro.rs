@@ -20,17 +20,24 @@
 //!                  chains    chain-heavy task mixtures
 //!                  cores     m ∈ {2, 8, 16} utilization sweeps
 //!                  cross     PeriodModel × deadline_factor cross panels
+//!                  compare   competitor panel: re-streams the deadline/
+//!                            chain/core sweeps with per-point acceptance
+//!                            CSVs for all six methods (compare_*.csv)
+//!                            and folds every cell into the pairwise
+//!                            wins/losses matrix (method_matrix.csv);
+//!                            byte-identical for any --jobs value
 //!                  all       every panel (default); also aggregates the
 //!                            LP-ILP vs LP-sound acceptance gap into
 //!                            soundness_cost.csv
 //!   validate     simulation-backed soundness campaign: analyze each
-//!                generated set (per-task bounds, all four methods) AND
+//!                generated set (per-task bounds, all six methods) AND
 //!                simulate it under the eager-/lazy-limited and fully
 //!                preemptive policies, check the invariants (accepted ⇒
-//!                zero misses, sim max RT ≤ bound; FP-ideal and LP-sound
-//!                legs are hard), report bound tightness; panels
-//!                m ∈ {2,4,8,16} + deadline/chain mixtures + release
-//!                models; optional selector:
+//!                zero misses, sim max RT ≤ bound; the FP-ideal, LP-sound,
+//!                Long-paths and Gen-sporadic legs are hard), report bound
+//!                tightness; panels m ∈ {2,4,8,16} + deadline/chain
+//!                mixtures + release models (incl. the bursty probe);
+//!                optional selector:
 //!                cores | deadline | chains | release | all.
 //!                Exits non-zero on any hard invariant violation
 //!                (including any LP-sound exceedance).
@@ -61,12 +68,14 @@
 //!                largest period (default 3)
 //!   --policy P   validate: limited | eager | lazy | full | both
 //!                (default both)
-//!   --release R  validate: sync | jitter | sporadic — overrides each
-//!                panel's own release pattern (default: sync everywhere
-//!                except the release panels); jitter magnitudes are
-//!                per-task fractions of each task's own period (T_i/10
+//!   --release R  validate: sync | jitter | sporadic | bursty — overrides
+//!                each panel's own release pattern (default: sync
+//!                everywhere except the release panels); jitter magnitudes
+//!                are per-task fractions of each task's own period (T_i/10
 //!                for jitter, T_i for sporadic), reported in the CSV
-//!                jitter column
+//!                jitter column. bursty (3 simultaneous releases, rate
+//!                preserved) violates the sporadic contract: all findings
+//!                become soft probe counters, never hard violations
 //!   --addr A     serve/loadgen: socket address (default 127.0.0.1:7431)
 //!   --lru N      serve: task sets kept in the admission cache (default 128)
 //!   --conns N    loadgen: concurrent connections      (default 8)
@@ -74,6 +83,9 @@
 //!   --repeat P   loadgen: percent of repeat requests  (default 80)
 //!   --simulate P loadgen: percent of requests sent as {"simulate":...}
 //!                frames (event-driven simulation on the server; default 0)
+//!   --competitors P loadgen: percent of analysis frames restricted to the
+//!                published competitor bounds (Long-paths, Gen-sporadic;
+//!                default 0)
 //!   --bounds     loadgen: request per-task bounds on every frame
 //!   --bench P    loadgen: also write the flat BENCH JSON report to P
 //!   --shutdown   loadgen: stop the server after the burst
@@ -94,7 +106,7 @@
 //! (`rta_experiments::csv::CsvSink` fed by the order-preserving worker
 //! channel), no panel buffers its rows in memory.
 
-use rta_experiments::campaign::PanelKind;
+use rta_experiments::campaign::{self, MethodMatrix, PanelKind};
 use rta_experiments::csv::CsvSink;
 use rta_experiments::exec::Jobs;
 use rta_experiments::figure2::{self, SweepConfig, SweepPoint, SweepResult};
@@ -123,6 +135,7 @@ struct Options {
     requests: usize,
     repeat: u32,
     simulate: u32,
+    competitors: u32,
     bounds: bool,
     bench: Option<PathBuf>,
     shutdown: bool,
@@ -166,6 +179,7 @@ fn main() {
         requests: 200,
         repeat: 80,
         simulate: 0,
+        competitors: 0,
         bounds: false,
         bench: None,
         shutdown: false,
@@ -229,7 +243,9 @@ fn main() {
                 options.release = Some(
                     it.next()
                         .and_then(|v| ReleaseChoice::from_flag(v))
-                        .unwrap_or_else(|| usage("--release must be sync, jitter or sporadic")),
+                        .unwrap_or_else(|| {
+                            usage("--release must be sync, jitter, sporadic or bursty")
+                        }),
                 );
             }
             "--jobs" => {
@@ -282,6 +298,13 @@ fn main() {
                     .and_then(|v| v.parse().ok())
                     .filter(|&n| n <= 100)
                     .unwrap_or_else(|| usage("--simulate needs a percentage (0..=100)"));
+            }
+            "--competitors" => {
+                options.competitors = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n <= 100)
+                    .unwrap_or_else(|| usage("--competitors needs a percentage (0..=100)"));
             }
             "--bounds" => {
                 options.bounds = true;
@@ -537,6 +560,7 @@ fn run_campaign(options: &Options, selector: &str) {
             .into_iter()
             .filter(|k| matches!(k, PanelKind::Cross(_)))
             .collect(),
+        "compare" => return run_campaign_compare(options),
         "all" => PanelKind::all(),
         other => usage(&format!("unknown campaign panel: {other}")),
     };
@@ -574,7 +598,7 @@ fn run_campaign(options: &Options, selector: &str) {
         );
         println!("{}", result.render(kind.x_label()));
         println!(
-            "dominance (LP-max ≤ LP-ILP ≤ FP-ideal ≥ LP-sound): {}",
+            "dominance (LP-max ≤ LP-ILP ≤ FP-ideal ≥ LP-sound; Gen-sporadic ≤ FP-ideal ≤ Long-paths): {}",
             result.dominance_holds()
         );
         println!(
@@ -589,6 +613,59 @@ fn run_campaign(options: &Options, selector: &str) {
             options.out.join("soundness_cost.csv").display()
         );
     }
+}
+
+/// The `repro campaign compare` driver: re-streams the core/deadline/
+/// chain panels with all six methods' per-point acceptance ratios
+/// (`compare_*.csv`, same schema as the ordinary campaign CSVs) while
+/// folding every cell's verdicts into one pairwise wins/losses matrix,
+/// written to `method_matrix.csv`. Both outputs are byte-identical for
+/// every worker count: the point fold runs in coordinate order and the
+/// matrix is a sum of per-set indicator contributions.
+fn run_campaign_compare(options: &Options) {
+    let jobs = options.sweep_jobs();
+    let sets = options.sets;
+    let mut matrix = MethodMatrix::default();
+    for kind in campaign::compare_panels() {
+        println!(
+            "== campaign/{}: {} — {} sets/point, {} worker(s) ==",
+            kind.compare_name(),
+            kind.title(),
+            sets,
+            jobs.worker_count()
+        );
+        let mut sink = open_sink(
+            options,
+            kind.compare_name(),
+            &figure2::csv_header(kind.x_label()),
+        );
+        let mut points = Vec::new();
+        kind.run_compare_into(sets, jobs, &mut matrix, &mut |p: &SweepPoint| {
+            sink.row(&p.csv_cells()).expect("write CSV row");
+            points.push(p.clone());
+        });
+        sink.finish().expect("flush CSV");
+        let result = SweepResult {
+            cores: kind.cores(),
+            points,
+        };
+        println!("{}", result.render(kind.x_label()));
+        println!(
+            "wrote {}\n",
+            options
+                .out
+                .join(format!("{}.csv", kind.compare_name()))
+                .display()
+        );
+    }
+    println!(
+        "== pairwise wins/losses over {} task sets (row accepts what the column rejects) ==",
+        matrix.sets
+    );
+    println!("{}", matrix.render());
+    let path = options.out.join("method_matrix.csv");
+    std::fs::write(&path, matrix.to_csv()).expect("write method matrix CSV");
+    println!("wrote {}\n", path.display());
 }
 
 /// Streams one schedulability sweep into its CSV file (row per completed
@@ -673,6 +750,7 @@ fn run_loadgen(options: &Options) {
         requests_per_connection: options.requests,
         repeat_percent: options.repeat,
         simulate_percent: options.simulate,
+        competitor_percent: options.competitors,
         bounds: options.bounds,
         seed: options.seed,
         target: options.target,
@@ -729,13 +807,14 @@ fn usage(msg: &str) -> ! {
     eprintln!("error: {msg}\n");
     eprintln!(
         "usage: repro <table1|table2|table3|fig2a|fig2b|fig2c|fig2c-tasks|group2|timing|\
-         campaign [deadline|chains|cores|cross|all]|\
+         campaign [deadline|chains|cores|cross|compare|all]|\
          validate [cores|deadline|chains|release|all]|serve|loadgen|all> \
          [--sets N] [--samples N] [--out DIR] [--jobs N] [--serial] \
          [--horizon N] [--policy limited|eager|lazy|full|both] \
-         [--release sync|jitter|sporadic] \
+         [--release sync|jitter|sporadic|bursty] \
          [--addr HOST:PORT] [--lru N] [--conns N] [--requests N] \
-         [--repeat PCT] [--simulate PCT] [--bounds] [--bench PATH] [--shutdown] \
+         [--repeat PCT] [--simulate PCT] [--competitors PCT] [--bounds] \
+         [--bench PATH] [--shutdown] \
          [--max-conns N] [--watermark N] [--idle-ms N] [--frame-ms N] \
          [--drain-ms N] [--retries N] [--chaos]"
     );
@@ -795,7 +874,7 @@ fn sweep(name: &str, config: SweepConfig, options: &Options) {
     );
     println!("{}", result.render("U"));
     println!(
-        "dominance (LP-max ≤ LP-ILP ≤ FP-ideal): {}; computed in {:.1}s",
+        "dominance (LP-max ≤ LP-ILP ≤ FP-ideal; Gen-sporadic ≤ FP-ideal ≤ Long-paths): {}; computed in {:.1}s",
         result.dominance_holds(),
         start.elapsed().as_secs_f64()
     );

@@ -40,17 +40,31 @@
 //! `f` swept), a chain-heavy/control-flow mixture panel, an `m ∈ {2, 8,
 //! 16}` core-count panel, and the `PeriodModel × deadline_factor` cross
 //! panels ([`PanelKind::Cross`]) that re-run the deadline sweep under each
-//! period-derivation family. Every panel charts all four methods,
-//! including the corrected [`rta_analysis::Method::LpSound`] bound — the
-//! CLI aggregates
-//! the LP-ILP/LP-sound acceptance gap into `soundness_cost.csv`.
+//! period-derivation family. Every panel charts all six methods — the
+//! paper's three, the corrected [`rta_analysis::Method::LpSound`] bound,
+//! and the published fully-preemptive competitors
+//! ([`rta_analysis::Method::LongPaths`],
+//! [`rta_analysis::Method::GenSporadic`]) — and the CLI aggregates the
+//! LP-ILP/LP-sound acceptance gap into `soundness_cost.csv`.
+//!
+//! # The competitor comparison (`repro campaign compare`)
+//!
+//! [`PanelKind::run_compare_into`] re-streams the core/deadline/chain
+//! panels ([`compare_panels`]) while folding every cell's six verdicts
+//! into a pairwise **wins/losses matrix** ([`MethodMatrix`]):
+//! `wins[a][b]` counts the task sets method `a` accepted and method `b`
+//! rejected. The fold is a sum of per-set indicator contributions, so the
+//! matrix is independent of both worker count and fold order — `repro
+//! campaign compare` emits the same `method_matrix.csv` bytes serially
+//! and in parallel, and the per-point acceptance CSVs stream through the
+//! ordinary coordinate-ordered point fold alongside it.
 
 use crate::exec::{self, Jobs};
-use crate::figure2::{SweepPoint, SweepResult};
+use crate::figure2::{SweepPoint, SweepResult, METHODS};
 use crate::set_seed;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
-use rta_analysis::{AnalysisRequest, ScenarioSpace};
+use rta_analysis::{AnalysisRequest, Method, ScenarioSpace};
 use rta_model::TaskSet;
 use rta_taskgen::{chain_mix, group1, TaskSetConfig, TaskSetGenerator};
 use std::cell::RefCell;
@@ -146,6 +160,23 @@ pub fn sweep_into<F>(spec: &SweepSpec<'_, F>, jobs: Jobs, on_point: &mut dyn FnM
 where
     F: Fn(u64, f64) -> TaskSet + Sync,
 {
+    sweep_cells_into(spec, jobs, &mut |_| {}, on_point);
+}
+
+/// As [`sweep_into`], additionally handing every cell's per-method
+/// verdicts (in [`Method::ALL`] order) to `on_cell` before they fold into
+/// the point — the hook the comparison matrix of `repro campaign compare`
+/// accumulates through. Cells reach `on_cell` in coordinate order (the
+/// same order the fold consumes them), so even order-sensitive consumers
+/// see identical sequences for every worker count.
+pub fn sweep_cells_into<F>(
+    spec: &SweepSpec<'_, F>,
+    jobs: Jobs,
+    on_cell: &mut dyn FnMut(&[bool]),
+    on_point: &mut dyn FnMut(&SweepPoint),
+) where
+    F: Fn(u64, f64) -> TaskSet + Sync,
+{
     let sets = spec.sets_per_point;
     if sets == 0 {
         return;
@@ -155,7 +186,7 @@ where
     // Rolling accumulator of the point currently being folded; cells
     // arrive in coordinate order, so a point completes exactly when its
     // last set index is consumed.
-    let mut counts = [0usize; 4];
+    let mut counts = [0usize; METHODS];
     let mut achieved = 0.0f64;
     exec::stream_indexed(
         spec.xs.len() * sets,
@@ -167,6 +198,7 @@ where
             (ts.total_utilization(), schedulable)
         },
         |index, (utilization, schedulable)| {
+            on_cell(&schedulable);
             achieved += utilization;
             for (mi, &ok) in schedulable.iter().enumerate() {
                 if ok {
@@ -178,18 +210,126 @@ where
                 on_point(&SweepPoint {
                     x: spec.xs[index / sets],
                     achieved_utilization: achieved / sets as f64,
-                    schedulable_pct: [
-                        pct(counts[0]),
-                        pct(counts[1]),
-                        pct(counts[2]),
-                        pct(counts[3]),
-                    ],
+                    schedulable_pct: std::array::from_fn(|mi| pct(counts[mi])),
                 });
-                counts = [0; 4];
+                counts = [0; METHODS];
                 achieved = 0.0;
             }
         },
     );
+}
+
+/// The pairwise wins/losses matrix of `repro campaign compare`:
+/// `wins[a][b]` counts the task sets method `a` (row, [`Method::ALL`]
+/// order) declared schedulable while method `b` (column) rejected them,
+/// over every cell folded into the matrix. The diagonal is always zero; a
+/// provable dominance edge shows up as a structurally zero entry (e.g.
+/// `wins[LP-max][LP-ILP] = 0`: LP-max never accepts a set LP-ILP
+/// rejects).
+///
+/// The accumulation is a sum of per-set indicator contributions, so the
+/// final matrix is independent of fold order — serial and parallel runs
+/// emit byte-identical CSVs.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct MethodMatrix {
+    /// `wins[a][b]` = sets accepted by `Method::ALL[a]`, rejected by
+    /// `Method::ALL[b]`.
+    pub wins: [[u64; METHODS]; METHODS],
+    /// Total cells folded in.
+    pub sets: u64,
+}
+
+/// The CSV column slug of `Method::ALL[mi]` — shared by every per-method
+/// column header in the experiment CSVs.
+pub fn method_slug(mi: usize) -> &'static str {
+    match Method::ALL[mi] {
+        Method::FpIdeal => "fp_ideal",
+        Method::LpIlp => "lp_ilp",
+        Method::LpMax => "lp_max",
+        Method::LpSound => "lp_sound",
+        Method::LongPaths => "long_paths",
+        Method::GenSporadic => "gen_sporadic",
+    }
+}
+
+impl MethodMatrix {
+    /// Folds one cell's verdicts (in [`Method::ALL`] order) into the
+    /// matrix.
+    pub fn record(&mut self, verdicts: &[bool]) {
+        debug_assert_eq!(verdicts.len(), METHODS);
+        self.sets += 1;
+        for a in 0..METHODS {
+            for b in 0..METHODS {
+                if verdicts[a] && !verdicts[b] {
+                    self.wins[a][b] += 1;
+                }
+            }
+        }
+    }
+
+    /// Net score of method `mi`: total wins minus total losses across all
+    /// pairings — the single-number ranking the CLI prints.
+    pub fn net(&self, mi: usize) -> i64 {
+        let wins: u64 = self.wins[mi].iter().sum();
+        let losses: u64 = (0..METHODS).map(|b| self.wins[b][mi]).sum();
+        wins as i64 - losses as i64
+    }
+
+    /// The `method_matrix.csv` header: the row method, one wins column per
+    /// opponent, then the row totals.
+    pub fn csv_header() -> [&'static str; METHODS + 3] {
+        [
+            "method",
+            "vs_fp_ideal",
+            "vs_lp_ilp",
+            "vs_lp_max",
+            "vs_lp_sound",
+            "vs_long_paths",
+            "vs_gen_sporadic",
+            "wins_total",
+            "net",
+        ]
+    }
+
+    /// The matrix as CSV rows, one per method in [`Method::ALL`] order.
+    pub fn csv_rows(&self) -> Vec<Vec<String>> {
+        (0..METHODS)
+            .map(|a| {
+                let mut row = vec![method_slug(a).to_string()];
+                for b in 0..METHODS {
+                    row.push(format!("{}", self.wins[a][b]));
+                }
+                row.push(format!("{}", self.wins[a].iter().sum::<u64>()));
+                row.push(format!("{}", self.net(a)));
+                row
+            })
+            .collect()
+    }
+
+    /// CSV rendering (the `method_matrix.csv` bytes).
+    pub fn to_csv(&self) -> String {
+        crate::csv::to_string(&Self::csv_header(), self.csv_rows())
+    }
+
+    /// ASCII rendering for the CLI.
+    pub fn render(&self) -> String {
+        let mut header = vec!["wins \\ losses"];
+        for mi in 0..METHODS {
+            header.push(Method::ALL[mi].label());
+        }
+        header.push("net");
+        let rows: Vec<Vec<String>> = (0..METHODS)
+            .map(|a| {
+                let mut row = vec![Method::ALL[a].label().to_string()];
+                for b in 0..METHODS {
+                    row.push(format!("{}", self.wins[a][b]));
+                }
+                row.push(format!("{:+}", self.net(a)));
+                row
+            })
+            .collect();
+        crate::ascii::table(&header, &rows)
+    }
 }
 
 /// One named campaign panel: a sweep plus its presentation metadata.
@@ -310,6 +450,23 @@ impl PanelKind {
         }
     }
 
+    /// CSV file stem of the panel's `repro campaign compare` acceptance
+    /// sweep (same rows as the ordinary panel CSV, fresh file so the two
+    /// runs never clobber each other).
+    pub fn compare_name(self) -> &'static str {
+        match self {
+            PanelKind::Deadline => "compare_deadline",
+            PanelKind::Chains => "compare_chains",
+            PanelKind::Cores(2) => "compare_cores_m2",
+            PanelKind::Cores(8) => "compare_cores_m8",
+            PanelKind::Cores(16) => "compare_cores_m16",
+            PanelKind::Cores(_) => "compare_cores",
+            PanelKind::Cross(PeriodFamily::SlackFactor) => "compare_cross_slack",
+            PanelKind::Cross(PeriodFamily::CommonScale) => "compare_cross_common",
+            PanelKind::Cross(PeriodFamily::PerTaskUtilization) => "compare_cross_pertask",
+        }
+    }
+
     /// Human-readable description printed above the table.
     pub fn title(self) -> &'static str {
         match self {
@@ -355,10 +512,40 @@ impl PanelKind {
         jobs: Jobs,
         on_point: &mut dyn FnMut(&SweepPoint),
     ) {
+        self.stream(sets_per_point, jobs, &mut |_| {}, on_point);
+    }
+
+    /// As [`Self::run_into`], additionally folding every cell's six verdicts
+    /// into `matrix` — the streaming engine behind `repro campaign
+    /// compare` (see [`MethodMatrix`]).
+    pub fn run_compare_into(
+        self,
+        sets_per_point: usize,
+        jobs: Jobs,
+        matrix: &mut MethodMatrix,
+        on_point: &mut dyn FnMut(&SweepPoint),
+    ) {
+        self.stream(
+            sets_per_point,
+            jobs,
+            &mut |verdicts| matrix.record(verdicts),
+            on_point,
+        );
+    }
+
+    /// The single match over the panel variants both streaming entries
+    /// share.
+    fn stream(
+        self,
+        sets_per_point: usize,
+        jobs: Jobs,
+        on_cell: &mut dyn FnMut(&[bool]),
+        on_point: &mut dyn FnMut(&SweepPoint),
+    ) {
         match self {
             PanelKind::Deadline => {
                 let factors = deadline_factor_grid();
-                sweep_into(
+                sweep_cells_into(
                     &SweepSpec {
                         cores: 4,
                         xs: &factors,
@@ -371,12 +558,13 @@ impl PanelKind {
                         },
                     },
                     jobs,
+                    on_cell,
                     on_point,
                 );
             }
             PanelKind::Chains => {
                 let shares = chain_share_grid();
-                sweep_into(
+                sweep_cells_into(
                     &SweepSpec {
                         cores: 4,
                         xs: &shares,
@@ -386,12 +574,13 @@ impl PanelKind {
                         make_set: |seed, share| generate_on_worker(seed, &chain_mix(2.0, share)),
                     },
                     jobs,
+                    on_cell,
                     on_point,
                 );
             }
             PanelKind::Cores(cores) => {
                 let xs = utilization_grid(cores);
-                sweep_into(
+                sweep_cells_into(
                     &SweepSpec {
                         cores,
                         xs: &xs,
@@ -401,13 +590,14 @@ impl PanelKind {
                         make_set: |seed, target| generate_on_worker(seed, &group1(target)),
                     },
                     jobs,
+                    on_cell,
                     on_point,
                 );
             }
             PanelKind::Cross(family) => {
                 let factors = deadline_factor_grid();
                 let base = family.config();
-                sweep_into(
+                sweep_cells_into(
                     &SweepSpec {
                         cores: 4,
                         xs: &factors,
@@ -419,6 +609,7 @@ impl PanelKind {
                         },
                     },
                     jobs,
+                    on_cell,
                     on_point,
                 );
             }
@@ -497,6 +688,44 @@ pub fn run_all(sets_per_point: usize, jobs: Jobs) -> Vec<Panel> {
         .collect()
 }
 
+/// The panels `repro campaign compare` streams its wins/losses matrix
+/// over: the deadline, chain-mixture and core-count sweeps (the cross
+/// panels re-use the deadline population and would double-count it).
+pub fn compare_panels() -> Vec<PanelKind> {
+    vec![
+        PanelKind::Deadline,
+        PanelKind::Chains,
+        PanelKind::Cores(2),
+        PanelKind::Cores(8),
+        PanelKind::Cores(16),
+    ]
+}
+
+/// Runs the full comparison: every [`compare_panels`] sweep streamed into
+/// one shared [`MethodMatrix`], the per-panel acceptance sweeps collected
+/// alongside. The collecting counterpart of the CLI's streaming loop
+/// (which feeds each panel's points to a CSV sink as they complete).
+pub fn run_compare(sets_per_point: usize, jobs: Jobs) -> (Vec<Panel>, MethodMatrix) {
+    let mut matrix = MethodMatrix::default();
+    let mut panels = Vec::new();
+    for kind in compare_panels() {
+        let mut points = Vec::new();
+        kind.run_compare_into(sets_per_point, jobs, &mut matrix, &mut |p: &SweepPoint| {
+            points.push(p.clone())
+        });
+        panels.push(Panel {
+            name: kind.compare_name(),
+            title: kind.title(),
+            x_label: kind.x_label(),
+            result: SweepResult {
+                cores: kind.cores(),
+                points,
+            },
+        });
+    }
+    (panels, matrix)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -568,6 +797,55 @@ mod tests {
         // population, not a re-analysis.
         let deadline = deadline_panel(4, Jobs::serial());
         assert_ne!(panels[0].result, deadline.result);
+    }
+
+    #[test]
+    fn method_matrix_counts_pairwise_wins() {
+        let mut m = MethodMatrix::default();
+        // Set 1: FP-ideal and Long-paths accept, everyone else rejects.
+        m.record(&[true, false, false, false, true, false]);
+        // Set 2: only Long-paths accepts (a Graham-divergence rescue).
+        m.record(&[false, false, false, false, true, false]);
+        assert_eq!(m.sets, 2);
+        assert_eq!(m.wins[4][0], 1, "Long-paths beats FP-ideal once");
+        assert_eq!(m.wins[0][4], 0, "FP-ideal never beats Long-paths");
+        assert_eq!(m.wins[0][1], 1);
+        assert_eq!(m.wins[4][1], 2);
+        for a in 0..METHODS {
+            assert_eq!(m.wins[a][a], 0, "diagonal is structurally zero");
+        }
+        assert_eq!(m.net(4), 1 + 2 + 2 + 2 + 2);
+        assert_eq!(m.net(5), -3, "loses to FP-ideal once and Long-paths twice");
+        let csv = m.to_csv();
+        assert!(csv.starts_with("method,vs_fp_ideal,vs_lp_ilp"));
+        assert_eq!(csv.lines().count(), METHODS + 1);
+        assert!(m.render().contains("Long-paths"));
+    }
+
+    #[test]
+    fn compare_matrix_respects_the_dominance_edges() {
+        let (panels, matrix) = run_compare(4, Jobs::serial());
+        assert_eq!(panels.len(), 5);
+        assert_eq!(panels[0].name, "compare_deadline");
+        let total_cells: usize = panels.iter().map(|p| p.result.points.len() * 4).sum();
+        assert_eq!(matrix.sets, total_cells as u64);
+        // Provable edges are structurally zero columns of the winner:
+        // nobody ever beats Long-paths' superset-acceptance over FP-ideal,
+        // and the paper-internal chain holds.
+        let mi = |m: Method| Method::ALL.iter().position(|&x| x == m).unwrap();
+        assert_eq!(matrix.wins[mi(Method::FpIdeal)][mi(Method::LongPaths)], 0);
+        assert_eq!(matrix.wins[mi(Method::LpMax)][mi(Method::LpIlp)], 0);
+        assert_eq!(matrix.wins[mi(Method::LpIlp)][mi(Method::FpIdeal)], 0);
+        assert_eq!(matrix.wins[mi(Method::GenSporadic)][mi(Method::FpIdeal)], 0);
+        // The comparison is deterministic: a second serial run folds the
+        // same bytes, and the parallel run must match it (the per-set
+        // indicator sum is order-independent).
+        let (panels2, matrix2) = run_compare(4, Jobs::Count(3));
+        assert_eq!(matrix2, matrix);
+        assert_eq!(panels2.len(), panels.len());
+        for (a, b) in panels.iter().zip(&panels2) {
+            assert_eq!(a.result, b.result, "{}", a.name);
+        }
     }
 
     #[test]

@@ -4,10 +4,12 @@
 //! generated **and analyzed in the same streaming cell** of the campaign
 //! engine ([`crate::campaign`]): the worker that claims a coordinate
 //! generates its task set on a reusable per-worker scratch and evaluates
-//! the three analyses (FP-ideal, LP-ILP, LP-max) through the
-//! dominance-short-circuited verdict path, sharing one analysis cache per
-//! set; the reported value is the percentage of schedulable sets — exactly
-//! the paper's Figure 2 (300 sets per point there). Results are
+//! all six analyses (the paper's FP-ideal, LP-ILP and LP-max, the
+//! corrected LP-sound, and the published fully-preemptive competitors
+//! Long-paths and Gen-sporadic) through the dominance-short-circuited
+//! verdict path, sharing one analysis cache per set; the reported value is
+//! the percentage of schedulable sets — exactly the paper's Figure 2 (300
+//! sets per point there), extended by the competitor columns. Results are
 //! reproducible bit-for-bit regardless of parallelism; the worker budget
 //! is a [`Jobs`] value ([`run_with_jobs`]), surfaced on the `repro` CLI as
 //! `--jobs`.
@@ -17,6 +19,10 @@ use crate::campaign::{self, SweepSpec};
 use crate::exec::Jobs;
 use rta_analysis::{Method, ScenarioSpace};
 use rta_taskgen::TaskSetConfig;
+
+/// Number of analysis methods every per-method array in this module spans
+/// (always [`Method::ALL`] order).
+pub(crate) const METHODS: usize = Method::ALL.len();
 
 /// Configuration of one sweep.
 #[derive(Clone, Debug)]
@@ -63,7 +69,8 @@ impl SweepConfig {
 }
 
 /// One point of the sweep: the percentage of schedulable task sets per
-/// method, in [`Method::ALL`] order (FP-ideal, LP-ILP, LP-max, LP-sound).
+/// method, in [`Method::ALL`] order (FP-ideal, LP-ILP, LP-max, LP-sound,
+/// Long-paths, Gen-sporadic).
 #[derive(Clone, Debug, PartialEq)]
 pub struct SweepPoint {
     /// X coordinate (nominal target utilization, or task count for the
@@ -74,7 +81,7 @@ pub struct SweepPoint {
     /// saturates; see `rta_taskgen::PeriodModel::SlackFactor`).
     pub achieved_utilization: f64,
     /// Schedulable percentage per method.
-    pub schedulable_pct: [f64; 4],
+    pub schedulable_pct: [f64; METHODS],
 }
 
 impl SweepPoint {
@@ -82,19 +89,19 @@ impl SweepPoint {
     /// the in-memory [`SweepResult::to_csv`] and the streaming
     /// [`CsvSink`](crate::csv::CsvSink) path so both emit identical bytes.
     pub fn csv_cells(&self) -> Vec<String> {
-        vec![
+        let mut cells = vec![
             format!("{:.4}", self.x),
             format!("{:.4}", self.achieved_utilization),
-            format!("{:.2}", self.schedulable_pct[0]),
-            format!("{:.2}", self.schedulable_pct[1]),
-            format!("{:.2}", self.schedulable_pct[2]),
-            format!("{:.2}", self.schedulable_pct[3]),
-        ]
+        ];
+        for mi in 0..METHODS {
+            cells.push(format!("{:.2}", self.schedulable_pct[mi]));
+        }
+        cells
     }
 }
 
 /// The CSV header of a schedulability sweep, with the given x-axis label.
-pub fn csv_header(x_label: &str) -> [&str; 6] {
+pub fn csv_header(x_label: &str) -> [&str; 8] {
     [
         x_label,
         "achieved_utilization",
@@ -102,6 +109,8 @@ pub fn csv_header(x_label: &str) -> [&str; 6] {
         "lp_ilp_pct",
         "lp_max_pct",
         "lp_sound_pct",
+        "long_paths_pct",
+        "gen_sporadic_pct",
     ]
 }
 
@@ -223,19 +232,21 @@ impl SweepResult {
             "LP-ILP %",
             "LP-max %",
             "LP-sound %",
+            "Long-p %",
+            "Gen-sp %",
         ];
         let rows: Vec<Vec<String>> = self
             .points
             .iter()
             .map(|p| {
-                vec![
+                let mut row = vec![
                     format!("{:.2}", p.x),
                     format!("{:.2}", p.achieved_utilization),
-                    format!("{:.1}", p.schedulable_pct[0]),
-                    format!("{:.1}", p.schedulable_pct[1]),
-                    format!("{:.1}", p.schedulable_pct[2]),
-                    format!("{:.1}", p.schedulable_pct[3]),
-                ]
+                ];
+                for mi in 0..METHODS {
+                    row.push(format!("{:.1}", p.schedulable_pct[mi]));
+                }
+                row
             })
             .collect();
         let mut out = ascii::table(&header, &rows);
@@ -262,12 +273,18 @@ impl SweepResult {
     /// Checks the theorem-backed qualitative shape: at every point,
     /// `LP-max ≤ LP-ILP ≤ FP-ideal` and `LP-sound ≤ FP-ideal` (percentage
     /// of schedulable sets; no per-point ordering connects LP-sound to the
-    /// paper's two LP bounds).
+    /// paper's two LP bounds), plus the competitor edges `FP-ideal ≤
+    /// Long-paths` (the long-path refinement only ever tightens the Graham
+    /// bound, and its rescue can accept sets Graham diverges on) and
+    /// `Gen-sporadic ≤ FP-ideal` (its deadline-anchored carry-in dominates
+    /// the response-anchored one on accepted prefixes).
     pub fn dominance_holds(&self) -> bool {
         self.points.iter().all(|p| {
             p.schedulable_pct[2] <= p.schedulable_pct[1] + 1e-9
                 && p.schedulable_pct[1] <= p.schedulable_pct[0] + 1e-9
                 && p.schedulable_pct[3] <= p.schedulable_pct[0] + 1e-9
+                && p.schedulable_pct[0] <= p.schedulable_pct[4] + 1e-9
+                && p.schedulable_pct[5] <= p.schedulable_pct[0] + 1e-9
         })
     }
 }

@@ -81,6 +81,13 @@ pub struct LoadgenOptions {
     /// of analyses (0 disables the simulate leg entirely, leaving the
     /// request stream byte-identical to earlier releases).
     pub simulate_percent: u32,
+    /// Percentage of *analysis* requests that ask only for the published
+    /// competitor bounds (`"methods":["Long-paths","Gen-sporadic"]`)
+    /// instead of the default all-methods frame. Exercises the server's
+    /// method-subset path and the per-DAG path-decomposition cache under
+    /// load; 0 disables the leg entirely (no extra RNG draw, request
+    /// stream byte-identical to earlier releases).
+    pub competitor_percent: u32,
     /// Size of the shared repeat pool.
     pub pool_size: usize,
     /// Platform size every request asks about.
@@ -111,6 +118,7 @@ impl Default for LoadgenOptions {
             requests_per_connection: 200,
             repeat_percent: 80,
             simulate_percent: 0,
+            competitor_percent: 0,
             pool_size: 16,
             cores: 4,
             bounds: false,
@@ -570,10 +578,20 @@ fn run_worker(options: &LoadgenOptions, worker: usize, pool: &[String]) -> io::R
                 rta_taskgen::generate_task_set(&mut set_rng, &rta_taskgen::group1(options.target));
             task_set_to_json_compact(&ts)
         };
+        // Gated like the simulate draw: a 0% run makes no extra draw.
+        let competitors = !simulate
+            && options.competitor_percent > 0
+            && rng.gen_range(0..100u32) < options.competitor_percent;
         let frame = if simulate {
             format!(
                 "{{\"v\":1,\"simulate\":{{\"cores\":{},\"horizon\":{},\"task_set\":{}}}}}\n",
                 options.cores, SIM_HORIZON, set_json
+            )
+        } else if competitors {
+            format!(
+                "{{\"v\":1,\"cores\":{},\"methods\":[\"Long-paths\",\"Gen-sporadic\"],\
+                 \"bounds\":{},\"task_set\":{}}}\n",
+                options.cores, options.bounds, set_json
             )
         } else {
             format!(

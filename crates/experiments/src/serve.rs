@@ -23,7 +23,8 @@
 //!   can pipeline frames.
 //! * `cores` — required platform size (`1..=MAX_CORES`).
 //! * `methods` — optional array of method labels (`"FP-ideal"`,
-//!   `"LP-ILP"`, `"LP-max"`, `"LP-sound"`); omitted means all four.
+//!   `"LP-ILP"`, `"LP-max"`, `"LP-sound"`, `"Long-paths"`,
+//!   `"Gen-sporadic"`); omitted means all six.
 //! * `bounds` — optional, default `false`; `true` materializes per-task
 //!   response bounds.
 //! * `task_set` — required, the versioned task-set payload of
@@ -82,8 +83,13 @@
 //! ```json
 //! {"v":1,"id":9,"ok":true,"micros":2140,"sim":{"makespan":20125,
 //!  "deadline_misses":0,"events":1843,"deferred_preemptions":0,
-//!  "peak_live_jobs":3,"max_responses":[9,41]}}
+//!  "peak_live_jobs":3,"trace_dropped":0,"max_responses":[9,41]}}
 //! ```
+//!
+//! `trace_dropped` mirrors [`rta_sim::SimOutcome::trace_dropped`]: wire
+//! runs never record a trace, so it is 0 today, but the field is part of
+//! the frame contract so a client can always tell a complete observation
+//! from a truncated one if tracing ever crosses the wire.
 //!
 //! Simulate frames obey the same robustness rules as analyze frames:
 //! past the shed watermark they are refused with `overloaded` (there is
@@ -945,7 +951,8 @@ fn parse_frame(text: &str) -> Result<Frame, WireError> {
                 item.as_str().and_then(method_from_label).ok_or_else(|| {
                     WireError::protocol(format!(
                         "unknown method {item:?}; expected one of \
-                         \"FP-ideal\", \"LP-ILP\", \"LP-max\", \"LP-sound\""
+                         \"FP-ideal\", \"LP-ILP\", \"LP-max\", \"LP-sound\", \
+                         \"Long-paths\", \"Gen-sporadic\""
                     ))
                 })
             })
@@ -1159,12 +1166,14 @@ pub fn sim_json(outcome: &SimOutcome) -> String {
     let _ = write!(
         out,
         "\"makespan\":{},\"deadline_misses\":{},\"events\":{},\
-         \"deferred_preemptions\":{},\"peak_live_jobs\":{},\"max_responses\":[",
+         \"deferred_preemptions\":{},\"peak_live_jobs\":{},\
+         \"trace_dropped\":{},\"max_responses\":[",
         outcome.makespan(),
         outcome.total_deadline_misses(),
         outcome.events_processed(),
         outcome.deferred_preemptions(),
         outcome.peak_live_jobs(),
+        outcome.trace_dropped(),
     );
     for (i, stats) in outcome.per_task().iter().enumerate() {
         if i > 0 {
@@ -1341,6 +1350,20 @@ mod tests {
         assert!(json.contains("\"deadline_misses\":0"), "{json}");
         assert!(json.contains("\"max_responses\":[2]"), "{json}");
         assert!(json.contains("\"peak_live_jobs\":"), "{json}");
+        // Wire runs never record a trace, so the dropped counter is 0 —
+        // but it must be *present*, not silently omitted (the satellite
+        // bug this pins: the field used to be swallowed entirely).
+        assert!(json.contains("\"trace_dropped\":0"), "{json}");
+        // A traced run that overflows the bounded capacity reports its
+        // nonzero drop count through the same JSON path.
+        let traced = SimRequest::new(1, 2_000_000).with_trace(true).evaluate(&ts);
+        if traced.trace_dropped() > 0 {
+            let json = sim_json(&traced);
+            assert!(
+                json.contains(&format!("\"trace_dropped\":{}", traced.trace_dropped())),
+                "{json}"
+            );
+        }
     }
 
     #[test]

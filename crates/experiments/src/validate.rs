@@ -77,13 +77,33 @@
 //! `jitter` — every inter-arrival of task `i` stretched by a uniform
 //! random delay of up to a tenth of *its own* period `T_i` — and
 //! `sporadic` — inter-arrivals stretched by up to a full own period),
-//! and two dedicated panels ([`ValidatePanel::Release`]) run the `m = 4`
+//! and dedicated panels ([`ValidatePanel::Release`]) run the `m = 4`
 //! utilization sweep under each non-synchronous pattern. Jitter is
 //! first-class and per-task ([`rta_sim::Jitter::PeriodFraction`]); the
-//! relative fraction is reported in the `jitter` CSV column. Every
-//! pattern keeps inter-arrivals at or above the period, so all four
-//! analyses remain on the hook: a violation under any release model is
-//! real.
+//! relative fraction of *random* release jitter is reported in the
+//! `jitter` CSV column (0 for the deterministic patterns — synchronous
+//! and bursty). The `sync`, `jitter` and `sporadic` patterns keep
+//! inter-arrivals at or above the period, so every analysis remains on
+//! the hook: a violation under any of them is real.
+//!
+//! [`ReleaseChoice::Bursty`] is different in kind: deterministic bursts
+//! of 3 simultaneous releases (`burst = 3`, `spread = 0`, long-run rate
+//! preserved) **violate** the sporadic minimum inter-arrival every
+//! analysis assumes, so its panel is a *probe*, not a validation — every
+//! method's findings are counted in the soft columns
+//! (`lp_bound_exceedances` / `lp_deadline_misses`) and the hard gate
+//! stays clean by construction ([`ReleaseChoice::validates_sporadic`]).
+//! It charts how far outside their contract the six bounds degrade.
+//!
+//! # The competitor panel
+//!
+//! The two published fully-preemptive competitor methods
+//! ([`rta_analysis::Method::LongPaths`], the long-path stall refinement,
+//! and [`rta_analysis::Method::GenSporadic`], the deadline-anchored
+//! generalized-sporadic characterization) join the campaign as **sound**
+//! legs: both are checked against the fully-preemptive simulator, and —
+//! like FP-ideal and LP-sound — any miss or bound exceedance on a set
+//! they accept is a hard violation with a non-zero exit.
 //!
 //! The analysis side runs through a bounds-carrying
 //! [`rta_analysis::AnalysisRequest`]: the dominance-short-circuited
@@ -110,6 +130,10 @@ use rta_taskgen::{chain_mix, group1};
 /// Base seed of the validation panels (a fresh population, distinct from
 /// both the Figure 2 and the campaign seeds).
 const VALIDATE_SEED: u64 = 0x51A1_DA7E;
+
+/// Number of analysis methods every per-method array in this module spans
+/// (always [`Method::ALL`] order).
+const METHODS: usize = Method::ALL.len();
 
 /// Default [`ValidateOptions::horizon_factor`]: simulate releases over
 /// three spans of the set's largest period, then drain.
@@ -164,9 +188,11 @@ impl PolicyChoice {
 
 /// Which release pattern the simulator drives — the `--release` CLI knob.
 ///
-/// Every choice keeps inter-arrivals at or above the period (the sporadic
-/// task model all four analyses assume), so the soundness invariants
-/// apply unchanged under each of them.
+/// Every choice except [`Bursty`](Self::Bursty) keeps inter-arrivals at
+/// or above the period (the sporadic task model every analysis assumes),
+/// so the soundness invariants apply unchanged under each of them; the
+/// bursty probe steps outside the contract and demotes every finding to
+/// the soft counters ([`Self::validates_sporadic`]).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub enum ReleaseChoice {
     /// Synchronous-periodic releases — the classic WCET adversary and the
@@ -180,6 +206,11 @@ pub enum ReleaseChoice {
     /// Strongly sporadic: per-task inter-arrivals stretched by up to a
     /// full own period — the low-interference end of the legal patterns.
     Sporadic,
+    /// Deterministic bursts of 3 simultaneous releases (long-run rate
+    /// preserved). **Violates** the sporadic minimum inter-arrival inside
+    /// a burst, so every method's findings become soft probe counters —
+    /// see [`Self::validates_sporadic`] and the module docs.
+    Bursty,
 }
 
 impl ReleaseChoice {
@@ -189,6 +220,7 @@ impl ReleaseChoice {
             "sync" => Some(ReleaseChoice::Sync),
             "jitter" => Some(ReleaseChoice::Jitter),
             "sporadic" => Some(ReleaseChoice::Sporadic),
+            "bursty" => Some(ReleaseChoice::Bursty),
             _ => None,
         }
     }
@@ -199,7 +231,16 @@ impl ReleaseChoice {
             ReleaseChoice::Sync => "sync",
             ReleaseChoice::Jitter => "jitter",
             ReleaseChoice::Sporadic => "sporadic",
+            ReleaseChoice::Bursty => "bursty",
         }
+    }
+
+    /// Whether the pattern stays inside the sporadic task model every
+    /// analysis assumes (inter-arrivals ≥ the period). When `false`, no
+    /// method is on the hook for its bounds: every finding is counted in
+    /// the soft probe columns and never in the hard gate.
+    pub fn validates_sporadic(self) -> bool {
+        self != ReleaseChoice::Bursty
     }
 
     /// The simulator release scenario: jitter is a first-class per-task
@@ -215,14 +256,23 @@ impl ReleaseChoice {
             ReleaseChoice::Sporadic => Release::Sporadic {
                 jitter: Jitter::PeriodFraction { percent: 100 },
             },
+            // Three simultaneous releases per burst (spread 0 is legal for
+            // any period), then a 3·T_i gap — rate-preserving.
+            ReleaseChoice::Bursty => Release::Bursty {
+                burst: 3,
+                spread: 0,
+            },
         }
     }
 
-    /// The per-task jitter magnitude as a fraction of the period — the
-    /// scalar reported in the `jitter` CSV column.
+    /// The per-task *random* jitter magnitude as a fraction of the period
+    /// — the scalar reported in the `jitter` CSV column. Deterministic
+    /// patterns (synchronous, bursty) report 0: the column measures
+    /// release randomness, not sporadic-model legality (that is the
+    /// `release` column's job).
     pub fn jitter_fraction(self) -> f64 {
         match self {
-            ReleaseChoice::Sync => 0.0,
+            ReleaseChoice::Sync | ReleaseChoice::Bursty => 0.0,
             ReleaseChoice::Jitter => 0.1,
             ReleaseChoice::Sporadic => 1.0,
         }
@@ -263,7 +313,7 @@ pub struct SetValidation {
     /// Total utilization of the set.
     pub utilization: f64,
     /// Schedulability verdict per method, in [`Method::ALL`] order.
-    pub accepted: [bool; 4],
+    pub accepted: [bool; METHODS],
     /// Hard soundness violations — the FP-ideal and LP-sound
     /// (sound-analysis) legs: a miss or bound exceedance here is a
     /// definite bug in this repository. 0 on a correct implementation
@@ -282,7 +332,7 @@ pub struct SetValidation {
     /// and over every policy the method was checked under, when the
     /// method accepted the set and at least one of its simulator policies
     /// ran.
-    pub tightness: [Option<f64>; 4],
+    pub tightness: [Option<f64>; METHODS],
     /// Counterexample witness traces that hit the bounded-trace capacity:
     /// whenever a policy run produced any finding (hard violation,
     /// exceedance or miss), the cell re-simulates with tracing enabled to
@@ -293,27 +343,37 @@ pub struct SetValidation {
 }
 
 /// The simulator policies whose schedules method `mi`'s bounds must
-/// dominate: FP-ideal speaks about the fully-preemptive baseline
-/// (Eq. (1)); the three limited-preemption methods are checked under both
-/// the eager and the lazy flavour.
+/// dominate: the fully-preemptive analyses (FP-ideal, Long-paths,
+/// Gen-sporadic) speak about the fully-preemptive baseline simulator; the
+/// three limited-preemption methods are checked under both the eager and
+/// the lazy flavour.
 fn policies_of(mi: usize) -> &'static [PreemptionPolicy] {
-    if Method::ALL[mi] == Method::FpIdeal {
-        &[PreemptionPolicy::FullyPreemptive]
-    } else {
-        &[
+    match Method::ALL[mi] {
+        Method::FpIdeal | Method::LongPaths | Method::GenSporadic => {
+            &[PreemptionPolicy::FullyPreemptive]
+        }
+        Method::LpIlp | Method::LpMax | Method::LpSound => &[
             PreemptionPolicy::LimitedPreemptive,
             PreemptionPolicy::LazyPreemptive,
-        ]
+        ],
     }
 }
 
 /// Whether an exceedance or miss on method `mi`'s leg is a hard violation
-/// (a sound analysis failed) rather than a documented-optimism finding.
-fn is_sound(mi: usize) -> bool {
-    matches!(Method::ALL[mi], Method::FpIdeal | Method::LpSound)
+/// (a sound analysis failed) rather than a soft finding. Two ways to be
+/// soft: the method's bound is documented-optimistic (the paper's LP-ILP /
+/// LP-max), or the release pattern steps outside the sporadic contract
+/// every analysis assumes (the bursty probe) — then *no* method is on the
+/// hook and every finding is a probe data point.
+fn is_sound(mi: usize, release: ReleaseChoice) -> bool {
+    release.validates_sporadic()
+        && matches!(
+            Method::ALL[mi],
+            Method::FpIdeal | Method::LpSound | Method::LongPaths | Method::GenSporadic
+        )
 }
 
-/// Analyzes `ts` with all four methods (bounds included) and simulates it
+/// Analyzes `ts` with all six methods (bounds included) and simulates it
 /// under the selected policies and release pattern, checking every
 /// soundness invariant — the campaign cell, exposed for tests and ad-hoc
 /// use.
@@ -335,19 +395,14 @@ pub fn validate_set(
         .with_bounds(true)
         .evaluate(ts)
         .into_outcomes();
-    let accepted = [
-        verdicts[0].schedulable,
-        verdicts[1].schedulable,
-        verdicts[2].schedulable,
-        verdicts[3].schedulable,
-    ];
+    let accepted: [bool; METHODS] = std::array::from_fn(|mi| verdicts[mi].schedulable);
     let max_period = ts.tasks().iter().map(|t| t.period()).max().unwrap_or(1);
     let horizon = horizon_factor.saturating_mul(max_period).max(1);
 
     let mut hard_violations = 0u64;
     let mut lp_exceedances = 0u64;
     let mut lp_misses = 0u64;
-    let mut tightness = [None; 4];
+    let mut tightness = [None; METHODS];
     let mut truncated_traces = 0u64;
     for policy in [
         PreemptionPolicy::LimitedPreemptive,
@@ -357,7 +412,7 @@ pub fn validate_set(
         if !policies.includes(policy) {
             continue;
         }
-        if !(0..4).any(|mi| policies_of(mi).contains(&policy) && verdicts[mi].schedulable) {
+        if !(0..METHODS).any(|mi| policies_of(mi).contains(&policy) && verdicts[mi].schedulable) {
             // No accepted method speaks about this policy: nothing to
             // validate, skip the simulation entirely.
             continue;
@@ -371,7 +426,7 @@ pub fn validate_set(
             if !policies_of(mi).contains(&policy) || !verdict.schedulable {
                 continue;
             }
-            let sound = is_sound(mi);
+            let sound = is_sound(mi, release);
             // Invariant 1: an accepted set never misses a deadline.
             if outcome.total_deadline_misses() > 0 {
                 if sound {
@@ -440,7 +495,7 @@ pub struct ValidatePoint {
     /// Mean utilization actually achieved by the generated sets.
     pub achieved_utilization: f64,
     /// Acceptance percentage per method, in [`Method::ALL`] order.
-    pub accepted_pct: [f64; 4],
+    pub accepted_pct: [f64; METHODS],
     /// Total hard (sound-analysis) violations at this point — must be 0.
     pub violations: u64,
     /// Simulated responses above an LP-ILP/LP-max bound at this point
@@ -450,9 +505,9 @@ pub struct ValidatePoint {
     pub lp_misses: u64,
     /// Mean of the per-set worst `sim/bound` ratio over accepted sets, per
     /// method (0 when no set was both accepted and simulated).
-    pub tightness_mean: [f64; 4],
+    pub tightness_mean: [f64; METHODS],
     /// Maximum of the per-set worst `sim/bound` ratio, per method.
-    pub tightness_max: [f64; 4],
+    pub tightness_max: [f64; METHODS],
     /// Counterexample witness traces truncated at the bounded-trace
     /// capacity at this point (not a CSV column; `repro validate` prints
     /// a warning when any panel reports a nonzero total).
@@ -467,15 +522,14 @@ impl ValidatePoint {
             self.release.label().to_string(),
             format!("{:.1}", self.jitter),
             format!("{:.4}", self.achieved_utilization),
-            format!("{:.2}", self.accepted_pct[0]),
-            format!("{:.2}", self.accepted_pct[1]),
-            format!("{:.2}", self.accepted_pct[2]),
-            format!("{:.2}", self.accepted_pct[3]),
-            format!("{}", self.violations),
-            format!("{}", self.lp_exceedances),
-            format!("{}", self.lp_misses),
         ];
-        for mi in 0..4 {
+        for mi in 0..METHODS {
+            cells.push(format!("{:.2}", self.accepted_pct[mi]));
+        }
+        cells.push(format!("{}", self.violations));
+        cells.push(format!("{}", self.lp_exceedances));
+        cells.push(format!("{}", self.lp_misses));
+        for mi in 0..METHODS {
             cells.push(format!("{:.4}", self.tightness_mean[mi]));
             cells.push(format!("{:.4}", self.tightness_max[mi]));
         }
@@ -486,7 +540,7 @@ impl ValidatePoint {
 /// The CSV header of a validation sweep: the release pattern and its
 /// per-task jitter fraction, acceptance percentages, the
 /// violation/finding counters, then `(mean, max)` tightness per method.
-pub fn csv_header(x_label: &str) -> [&str; 19] {
+pub fn csv_header(x_label: &str) -> [&str; 25] {
     [
         x_label,
         "release",
@@ -496,6 +550,8 @@ pub fn csv_header(x_label: &str) -> [&str; 19] {
         "lp_ilp_pct",
         "lp_max_pct",
         "lp_sound_pct",
+        "long_paths_pct",
+        "gen_sporadic_pct",
         "violations",
         "lp_bound_exceedances",
         "lp_deadline_misses",
@@ -507,6 +563,10 @@ pub fn csv_header(x_label: &str) -> [&str; 19] {
         "lp_max_tightness_max",
         "lp_sound_tightness_mean",
         "lp_sound_tightness_max",
+        "long_paths_tightness_mean",
+        "long_paths_tightness_max",
+        "gen_sporadic_tightness_mean",
+        "gen_sporadic_tightness_max",
     ]
 }
 
@@ -554,6 +614,8 @@ impl ValidateResult {
             "LP-ILP %",
             "LP-max %",
             "LP-sound %",
+            "Long-p %",
+            "Gen-sp %",
             "viol",
             "lp-exc",
             "lp-miss",
@@ -561,28 +623,29 @@ impl ValidateResult {
             "tight ILP",
             "tight MAX",
             "tight SOUND",
+            "tight LONG",
+            "tight GEN",
         ];
         let rows: Vec<Vec<String>> = self
             .points
             .iter()
             .map(|p| {
-                vec![
+                let mut row = vec![
                     format!("{:.2}", p.x),
                     p.release.label().to_string(),
                     format!("{:.1}", p.jitter),
                     format!("{:.2}", p.achieved_utilization),
-                    format!("{:.1}", p.accepted_pct[0]),
-                    format!("{:.1}", p.accepted_pct[1]),
-                    format!("{:.1}", p.accepted_pct[2]),
-                    format!("{:.1}", p.accepted_pct[3]),
-                    format!("{}", p.violations),
-                    format!("{}", p.lp_exceedances),
-                    format!("{}", p.lp_misses),
-                    format!("{:.3}", p.tightness_max[0]),
-                    format!("{:.3}", p.tightness_max[1]),
-                    format!("{:.3}", p.tightness_max[2]),
-                    format!("{:.3}", p.tightness_max[3]),
-                ]
+                ];
+                for mi in 0..METHODS {
+                    row.push(format!("{:.1}", p.accepted_pct[mi]));
+                }
+                row.push(format!("{}", p.violations));
+                row.push(format!("{}", p.lp_exceedances));
+                row.push(format!("{}", p.lp_misses));
+                for mi in 0..METHODS {
+                    row.push(format!("{:.3}", p.tightness_max[mi]));
+                }
+                row
             })
             .collect();
         ascii::table(&header, &rows)
@@ -626,6 +689,7 @@ impl ValidatePanel {
             ValidatePanel::Chains,
             ValidatePanel::Release(ReleaseChoice::Jitter),
             ValidatePanel::Release(ReleaseChoice::Sporadic),
+            ValidatePanel::Release(ReleaseChoice::Bursty),
         ]
     }
 
@@ -640,6 +704,7 @@ impl ValidatePanel {
             ValidatePanel::Chains => "validate_chains",
             ValidatePanel::Release(ReleaseChoice::Jitter) => "validate_release_jitter",
             ValidatePanel::Release(ReleaseChoice::Sporadic) => "validate_release_sporadic",
+            ValidatePanel::Release(ReleaseChoice::Bursty) => "validate_release_bursty",
             ValidatePanel::Release(ReleaseChoice::Sync) => "validate_release_sync",
         }
     }
@@ -655,6 +720,9 @@ impl ValidatePanel {
             ValidatePanel::Chains => "bounds vs simulation: m = 4, U = 2, chain share swept",
             ValidatePanel::Release(ReleaseChoice::Jitter) => {
                 "bounds vs simulation: m = 4 sweep, sporadic releases with small jitter"
+            }
+            ValidatePanel::Release(ReleaseChoice::Bursty) => {
+                "bounds vs simulation (probe): m = 4 sweep, bursty releases outside the sporadic contract"
             }
             ValidatePanel::Release(_) => {
                 "bounds vs simulation: m = 4 sweep, strongly sporadic releases"
@@ -706,6 +774,7 @@ impl ValidatePanel {
             ValidatePanel::Deadline => VALIDATE_SEED ^ 0x1_0000,
             ValidatePanel::Chains => VALIDATE_SEED ^ 0x2_0000,
             ValidatePanel::Release(ReleaseChoice::Jitter) => VALIDATE_SEED ^ 0x3_0000,
+            ValidatePanel::Release(ReleaseChoice::Bursty) => VALIDATE_SEED ^ 0x5_0000,
             ValidatePanel::Release(_) => VALIDATE_SEED ^ 0x4_0000,
         }
     }
@@ -742,14 +811,14 @@ impl ValidatePanel {
         let release = options.release.unwrap_or_else(|| self.default_release());
 
         // Rolling per-point accumulator (see `campaign::sweep_into`).
-        let mut accepted = [0usize; 4];
+        let mut accepted = [0usize; METHODS];
         let mut achieved = 0.0f64;
         let mut violations = 0u64;
         let mut lp_exceedances = 0u64;
         let mut lp_misses = 0u64;
-        let mut tight_sum = [0.0f64; 4];
-        let mut tight_n = [0usize; 4];
-        let mut tight_max = [0.0f64; 4];
+        let mut tight_sum = [0.0f64; METHODS];
+        let mut tight_n = [0usize; METHODS];
+        let mut tight_max = [0.0f64; METHODS];
         let mut truncated = 0u64;
         exec::stream_indexed(
             xs.len() * sets,
@@ -771,7 +840,7 @@ impl ValidatePanel {
                 lp_exceedances += outcome.lp_exceedances;
                 lp_misses += outcome.lp_misses;
                 truncated += outcome.truncated_traces;
-                for mi in 0..4 {
+                for mi in 0..METHODS {
                     if outcome.accepted[mi] {
                         accepted[mi] += 1;
                     }
@@ -795,27 +864,22 @@ impl ValidatePanel {
                         release,
                         jitter: release.jitter_fraction(),
                         achieved_utilization: achieved / sets as f64,
-                        accepted_pct: [
-                            pct(accepted[0]),
-                            pct(accepted[1]),
-                            pct(accepted[2]),
-                            pct(accepted[3]),
-                        ],
+                        accepted_pct: std::array::from_fn(|mi| pct(accepted[mi])),
                         violations,
                         lp_exceedances,
                         lp_misses,
-                        tightness_mean: [mean(0), mean(1), mean(2), mean(3)],
+                        tightness_mean: std::array::from_fn(mean),
                         tightness_max: tight_max,
                         truncated_traces: truncated,
                     });
-                    accepted = [0; 4];
+                    accepted = [0; METHODS];
                     achieved = 0.0;
                     violations = 0;
                     lp_exceedances = 0;
                     lp_misses = 0;
-                    tight_sum = [0.0; 4];
-                    tight_n = [0; 4];
-                    tight_max = [0.0; 4];
+                    tight_sum = [0.0; METHODS];
+                    tight_n = [0; METHODS];
+                    tight_max = [0.0; METHODS];
                     truncated = 0;
                 }
             },
@@ -848,11 +912,11 @@ mod tests {
     fn figure1_set_validates_cleanly() {
         let ts = figure1_task_set();
         let v = validate_set(&ts, 4, 3, PolicyChoice::Both, ReleaseChoice::Sync);
-        assert_eq!(v.accepted, [true, true, true, true]);
+        assert_eq!(v.accepted, [true; 6]);
         assert_eq!(v.hard_violations, 0);
         assert_eq!(v.lp_exceedances, 0);
         assert_eq!(v.lp_misses, 0);
-        for mi in 0..4 {
+        for mi in 0..METHODS {
             let t = v.tightness[mi].expect("accepted and simulated");
             assert!(t > 0.0 && t <= 1.0, "tightness {t} out of (0, 1]");
         }
@@ -875,11 +939,11 @@ mod tests {
         let sim = SimRequest::new(1, 20).evaluate(&ts);
         assert!(sim.total_deadline_misses() > 0, "overload must miss");
         let v = validate_set(&ts, 1, 10, PolicyChoice::Both, ReleaseChoice::Sync);
-        assert_eq!(v.accepted, [false, false, false, false]);
+        assert_eq!(v.accepted, [false; 6]);
         assert_eq!(v.hard_violations, 0);
         assert_eq!(v.lp_exceedances, 0);
         assert_eq!(v.lp_misses, 0);
-        assert_eq!(v.tightness, [None, None, None, None]);
+        assert_eq!(v.tightness, [None; 6]);
     }
 
     /// The frozen m = 2 counterexample to the paper's LP blocking bound
@@ -1001,10 +1065,18 @@ mod tests {
             limited.tightness[3].is_some(),
             "LP-sound runs on the LP legs"
         );
+        assert!(
+            limited.tightness[4].is_none() && limited.tightness[5].is_none(),
+            "the fully-preemptive competitor legs must be skipped too"
+        );
         let fully = validate_set(&ts, 4, 3, PolicyChoice::Fully, ReleaseChoice::Sync);
         assert!(fully.tightness[0].is_some());
         assert!(fully.tightness[1].is_none(), "LP legs must be skipped");
         assert!(fully.tightness[3].is_none());
+        assert!(
+            fully.tightness[4].is_some() && fully.tightness[5].is_some(),
+            "Long-paths and Gen-sporadic validate on the FP leg"
+        );
         // Eager-only and lazy-only both exercise the LP legs; their
         // per-policy worst ratios can only be dominated by the combined
         // run's.
@@ -1036,6 +1108,43 @@ mod tests {
                 );
             }
         }
+    }
+
+    /// The bursty pattern violates the sporadic contract, so *no* finding
+    /// it produces may ever land in the hard counter — whatever the
+    /// simulator observes is a probe data point in the soft columns.
+    #[test]
+    fn bursty_probe_never_counts_hard_violations() {
+        assert!(!ReleaseChoice::Bursty.validates_sporadic());
+        for mi in 0..METHODS {
+            assert!(
+                !is_sound(mi, ReleaseChoice::Bursty),
+                "{}: no method is on the hook outside the sporadic model",
+                Method::ALL[mi]
+            );
+        }
+        for seed in 0..10u64 {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let ts = generate_task_set(&mut rng, &group1(2.0));
+            let v = validate_set(&ts, 4, 3, PolicyChoice::Both, ReleaseChoice::Bursty);
+            assert_eq!(
+                v.hard_violations, 0,
+                "seed {seed}: bursty findings are soft"
+            );
+        }
+    }
+
+    #[test]
+    fn bursty_panel_is_registered_with_its_own_seed() {
+        let panel = ValidatePanel::Release(ReleaseChoice::Bursty);
+        assert!(ValidatePanel::all().contains(&panel));
+        assert_eq!(panel.name(), "validate_release_bursty");
+        assert_eq!(panel.default_release(), ReleaseChoice::Bursty);
+        let seeds: Vec<u64> = ValidatePanel::all().iter().map(|p| p.seed()).collect();
+        let mut unique = seeds.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        assert_eq!(unique.len(), seeds.len(), "panel seed collision");
     }
 
     #[test]
@@ -1121,6 +1230,9 @@ mod tests {
         assert_eq!(ReleaseChoice::Sync.jitter_fraction(), 0.0);
         assert_eq!(ReleaseChoice::Jitter.jitter_fraction(), 0.1);
         assert_eq!(ReleaseChoice::Sporadic.jitter_fraction(), 1.0);
+        // Bursty is deterministic: the jitter column reports *random*
+        // jitter only, the release column carries the pattern.
+        assert_eq!(ReleaseChoice::Bursty.jitter_fraction(), 0.0);
         let options = ValidateOptions {
             sets_per_point: 2,
             ..ValidateOptions::default()

@@ -141,14 +141,22 @@ fn verdicts_match_the_library_and_repeats_hit_the_cache() {
     let mut client = Client::connect(&handle);
     let cold = client.send(&analyze_frame(FIGURE1_SET));
     assert!(cold.contains("\"cache\":\"miss\""), "{cold}");
-    // All four methods accept the Figure-1-style set on 4 cores (the
-    // library agrees; this is the wire rendering of the same outcome).
-    for method in ["FP-ideal", "LP-ILP", "LP-max", "LP-sound"] {
+    // The paper's four methods accept the Figure-1-style set on 4 cores
+    // (the library agrees; this is the wire rendering of the same
+    // outcome), and so does Long-paths — FP-ideal acceptance implies it.
+    for method in ["FP-ideal", "LP-ILP", "LP-max", "LP-sound", "Long-paths"] {
         assert!(
             cold.contains(&format!("{{\"method\":\"{method}\",\"schedulable\":true}}")),
             "{cold}"
         );
     }
+    // Gen-sporadic's verdict is not implied by FP-ideal's (the dominance
+    // edge runs the other way); only its presence in the default frame is
+    // part of the contract.
+    assert!(
+        cold.contains("{\"method\":\"Gen-sporadic\",\"schedulable\":"),
+        "{cold}"
+    );
     let warm = client.send(&analyze_frame(FIGURE1_SET));
     assert!(warm.contains("\"cache\":\"hit\""), "{warm}");
     // Bounds on request: near-hit (same set, new shape), per-task arrays.
@@ -193,6 +201,10 @@ fn simulate_frames_answer_with_library_identical_results() {
         .evaluate(&ts);
     let expected = format!("\"sim\":{}", sim_json(&outcome));
     assert!(response.contains(&expected), "{response} vs {expected}");
+    // The trace-truncation counter is part of the frame contract (0 for
+    // wire runs, which never record a trace) — pinned explicitly so the
+    // field can never be silently dropped from the response again.
+    assert!(response.contains("\"trace_dropped\":0"), "{response}");
     // Horizons above the server-side cap are refused with a structured
     // error, and the connection survives.
     let refused = client.send(&format!(
@@ -230,6 +242,33 @@ fn loadgen_simulate_mix_drives_the_simulate_frame() {
     assert!(report
         .to_bench_json(&LoadgenOptions::default())
         .contains("\"sim_requests\""));
+    handle.shutdown();
+}
+
+#[test]
+fn loadgen_competitor_mix_round_trips_the_method_subset() {
+    let handle = test_server(1 << 20);
+    let report = loadgen::run(&LoadgenOptions {
+        addr: handle.addr().to_string(),
+        connections: 2,
+        requests_per_connection: 15,
+        repeat_percent: 60,
+        competitor_percent: 50,
+        pool_size: 4,
+        cores: 2,
+        target: 1.0,
+        ..Default::default()
+    })
+    .expect("loadgen run");
+    // Every competitor-subset frame is a well-formed analysis request: a
+    // mix heavy in them still completes without a single error frame.
+    assert_eq!(report.errors, 0);
+    assert_eq!(report.requests, 30);
+    assert_eq!(report.hits + report.near_hits + report.misses, 30);
+    // Repeated pool sets alternate between the all-methods and the
+    // competitor-subset shape, so the subset path must produce near-hits
+    // (same cached set, different requested shape), not just misses.
+    assert!(report.near_hits > 0, "{report:?}");
     handle.shutdown();
 }
 

@@ -52,7 +52,9 @@ proptest! {
             // tightness never exceeds 1.
             let lp_above_one = (1..3).any(|mi| v.tightness[mi].is_some_and(|t| t > 1.0));
             prop_assert_eq!(lp_above_one, v.lp_exceedances > 0);
-            for mi in [0usize, 3] {
+            // All four sound legs: the paper's FP-ideal, the corrected
+            // LP-sound, and the published fully-preemptive competitors.
+            for mi in [0usize, 3, 4, 5] {
                 if let Some(t) = v.tightness[mi] {
                     prop_assert!(t <= 1.0, "sound leg {} tightness {} > 1", mi, t);
                 }
@@ -88,6 +90,44 @@ proptest! {
                 (stats.max_response as u128) * bound.cores() as u128 <= bound.scaled(),
                 "seed {}: sim {} exceeds bound {}",
                 seed,
+                stats.max_response,
+                bound
+            );
+        }
+    }
+
+    /// The same direct bound invariant for the two published
+    /// fully-preemptive competitor methods: on a set Long-paths (resp.
+    /// Gen-sporadic) accepts, every task's simulated max response under
+    /// full preemption stays at or below that method's own per-task bound.
+    /// This is the per-method statement of the hard zero-exceedance gate
+    /// the validation campaign enforces in aggregate.
+    #[test]
+    fn competitor_bounds_dominate_fully_preemptive_simulation(
+        seed in 0u64..1_000_000,
+        horizon_factor in 1u64..=4,
+        method_index in 0usize..2,
+    ) {
+        let method = [Method::LongPaths, Method::GenSporadic][method_index];
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let ts = generate_task_set(&mut rng, &group2(2.0));
+        let outcome = AnalysisRequest::new(4)
+            .with_methods([method])
+            .with_bounds(true)
+            .evaluate(&ts);
+        let verdict = outcome.outcome(method).expect("competitor answered");
+        prop_assume!(verdict.schedulable);
+        let max_period = ts.tasks().iter().map(|t| t.period()).max().unwrap();
+        let sim = SimRequest::new(4, horizon_factor * max_period)
+            .with_policy(PreemptionPolicy::FullyPreemptive)
+            .evaluate(&ts);
+        prop_assert!(sim.all_deadlines_met());
+        for (stats, &bound) in sim.per_task().iter().zip(verdict.bounds.iter().flatten()) {
+            prop_assert!(
+                (stats.max_response as u128) * bound.cores() as u128 <= bound.scaled(),
+                "seed {}: {:?} sim {} exceeds bound {}",
+                seed,
+                method,
                 stats.max_response,
                 bound
             );

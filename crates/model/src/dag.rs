@@ -219,6 +219,67 @@ impl Dag {
         })
     }
 
+    /// Greedy decomposition of the node set into vertex-disjoint **chains**
+    /// (totally precedence-ordered node sets), longest first: repeatedly
+    /// peel the maximum-WCET chain of the remaining induced sub-poset.
+    ///
+    /// Returns the chain lengths `ℓ1 ≥ ℓ2 ≥ … ≥ ℓp` with
+    /// `ℓ1 = L` (the critical path is a chain, and no chain can outweigh
+    /// it: a chain's nodes lie on a real path, whose length bounds the
+    /// chain's WCET sum from above) and `Σ ℓi = vol(G)` (every node lands
+    /// in exactly one chain). The sequence is non-increasing because a
+    /// chain of the remaining sub-poset is a chain of the original poset,
+    /// so each peel's optimum is feasible for — and therefore bounded by —
+    /// the previous peel's.
+    ///
+    /// Chains rather than paths on purpose: peeling may disconnect a
+    /// direct path (`u → v → w` loses `v` to an earlier chain), but `u`
+    /// and `w` stay precedence-ordered and still execute sequentially,
+    /// which is the only property the long-paths response-time refinement
+    /// needs. The chain DP runs over the transitive closure
+    /// ([`ancestors`](Self::ancestors)) for exactly that reason.
+    pub fn long_path_decomposition(&self) -> Vec<Time> {
+        let n = self.node_count();
+        let mut alive = vec![true; n];
+        let mut remaining = n;
+        let mut lengths = Vec::new();
+        // Scratch for the weighted-chain DP: best chain WCET ending at v,
+        // and the chain predecessor that achieved it.
+        let mut best = vec![0 as Time; n];
+        let mut prev: Vec<Option<usize>> = vec![None; n];
+        while remaining > 0 {
+            let mut top: Option<usize> = None;
+            for &v in &self.topo {
+                let v = v.index();
+                if !alive[v] {
+                    continue;
+                }
+                let mut chain_best: Time = 0;
+                let mut chain_prev = None;
+                for a in self.ancestors(NodeId::new(v)).iter() {
+                    if alive[a] && best[a] > chain_best {
+                        chain_best = best[a];
+                        chain_prev = Some(a);
+                    }
+                }
+                best[v] = chain_best + self.wcets[v];
+                prev[v] = chain_prev;
+                if top.is_none_or(|t| best[v] > best[t]) {
+                    top = Some(v);
+                }
+            }
+            let top = top.expect("remaining > 0 leaves a live node");
+            lengths.push(best[top]);
+            let mut cursor = Some(top);
+            while let Some(v) = cursor {
+                alive[v] = false;
+                remaining -= 1;
+                cursor = prev[v];
+            }
+        }
+        lengths
+    }
+
     /// The maximum number of nodes that can execute simultaneously: the size
     /// of the largest antichain of the precedence order.
     ///
@@ -586,6 +647,47 @@ mod tests {
         let mut b = DagBuilder::new();
         b.add_node(5);
         assert_eq!(b.build().unwrap().longest_path_node_count(), 1);
+    }
+
+    #[test]
+    fn long_path_decomposition_covers_the_diamond() {
+        let dag = diamond();
+        let lengths = dag.long_path_decomposition();
+        // First chain is the critical path; the rest are non-increasing
+        // and the chains partition the node set by WCET.
+        assert_eq!(lengths[0], dag.longest_path());
+        assert!(lengths.windows(2).all(|w| w[0] >= w[1]));
+        assert_eq!(lengths.iter().sum::<Time>(), dag.volume());
+    }
+
+    #[test]
+    fn long_path_decomposition_of_a_chain_is_one_path() {
+        let mut b = DagBuilder::new();
+        let v = b.add_nodes([1, 2, 3]);
+        b.add_chain(&v).unwrap();
+        assert_eq!(b.build().unwrap().long_path_decomposition(), vec![6]);
+    }
+
+    #[test]
+    fn long_path_decomposition_of_independent_nodes_is_singletons() {
+        let mut b = DagBuilder::new();
+        b.add_nodes([4, 9, 1]);
+        assert_eq!(b.build().unwrap().long_path_decomposition(), vec![9, 4, 1]);
+    }
+
+    #[test]
+    fn long_path_decomposition_peels_chains_not_direct_paths() {
+        // u(4) → v(10) → w(4), x(5) → v → y(5). The first peel takes the
+        // heaviest chain x·v·y (20) and removes v; u and w then lose their
+        // connecting node but stay precedence-ordered through the closure,
+        // so the second peel is the chain u·w (8) — a direct-edge DP would
+        // strand them as two singleton paths instead.
+        let mut b = DagBuilder::new();
+        let n = b.add_nodes([4, 10, 4, 5, 5]);
+        b.add_chain(&n[..3]).unwrap();
+        b.add_edge(n[3], n[1]).unwrap();
+        b.add_edge(n[1], n[4]).unwrap();
+        assert_eq!(b.build().unwrap().long_path_decomposition(), vec![20, 8]);
     }
 
     #[test]
