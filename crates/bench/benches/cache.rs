@@ -217,6 +217,7 @@ fn json_point(out: &mut String, key: &str, point: &PointResult) {
 }
 
 fn main() {
+    let bench_started = std::time::Instant::now();
     let configs = sweep_configs();
     println!("cache bench: m = {CORES}, {SETS_PER_POINT} sets/point, median of {SAMPLES} samples");
     let utilization = measure_point(
@@ -259,7 +260,8 @@ fn main() {
     json_point(&mut json, "task_count_point", &task_count);
     let _ = write!(
         json,
-        ",\n  \"serial_sweep_point_ns\": {serial_point_ns:.0},\n  \"parallel_sweep_point_ns\": {parallel_point_ns:.0},\n  \"parallel_speedup\": {parallel_speedup:.3}\n}}\n"
+        ",\n  \"serial_sweep_point_ns\": {serial_point_ns:.0},\n  \"parallel_sweep_point_ns\": {parallel_point_ns:.0},\n  \"parallel_speedup\": {parallel_speedup:.3},\n{}\n}}\n",
+        rta_bench::host_json_fields(Jobs::Auto.worker_count(), bench_started)
     );
     // Default to the workspace root (cargo runs benches from the package
     // directory), overridable for CI artifact staging.

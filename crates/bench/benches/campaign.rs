@@ -82,6 +82,7 @@ fn scale(ns: f64) -> String {
 }
 
 fn main() {
+    let bench_started = std::time::Instant::now();
     let panel = SweepConfig::paper_panel(CORES).with_sets_per_point(SETS);
     let coords: Vec<(usize, usize)> = (0..panel.utilizations.len())
         .flat_map(|p| (0..SETS).map(move |s| (p, s)))
@@ -227,7 +228,15 @@ fn main() {
     );
     let _ = writeln!(json, "  \"parallel_speedup\": {parallel_speedup:.3},");
     let _ = writeln!(json, "  \"pr2_serial_grid_ns\": {PR2_SERIAL_GRID_NS:.0},");
-    let _ = writeln!(json, "  \"end_to_end_speedup_vs_pr2\": {speedup_vs_pr2:.3}");
+    let _ = writeln!(
+        json,
+        "  \"end_to_end_speedup_vs_pr2\": {speedup_vs_pr2:.3},"
+    );
+    let _ = writeln!(
+        json,
+        "{}",
+        rta_bench::host_json_fields(Jobs::Auto.worker_count(), bench_started)
+    );
     let _ = writeln!(json, "}}");
 
     // Default to the workspace root (cargo runs benches from the package

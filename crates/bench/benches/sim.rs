@@ -127,6 +127,7 @@ fn measure_cell(sets: &[(TaskSet, Time)], stretch: Time) -> (f64, f64) {
 }
 
 fn main() {
+    let bench_started = std::time::Instant::now();
     let sets = cell_sets();
     println!(
         "sim bench: m = {CORES}, {SETS_PER_CELL} sets/cell, best of {SAMPLES} interleaved \
@@ -192,7 +193,8 @@ fn main() {
          \"speedup_1x\": {speedup_1x:.3},\n  \
          \"step_loop_10x_ns\": {step_10x:.0},\n  \"event_core_10x_ns\": {event_10x:.0},\n  \
          \"speedup_10x\": {speedup_10x:.3},\n  \
-         \"validate_cell_10x_ns\": {validate_10x:.0}\n}}\n"
+         \"validate_cell_10x_ns\": {validate_10x:.0},\n{}\n}}\n",
+        rta_bench::host_json_fields(1, bench_started)
     );
     // Default to the workspace root (cargo runs benches from the package
     // directory), overridable for CI artifact staging.

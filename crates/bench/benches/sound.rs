@@ -84,6 +84,7 @@ fn configs(methods: &[Method]) -> Vec<AnalysisConfig> {
 }
 
 fn main() {
+    let bench_started = std::time::Instant::now();
     // The Figure 2(a) utilization grid population, generated once.
     let utilizations: Vec<f64> = (0..13).map(|i| 1.0 + 3.0 * f64::from(i) / 12.0).collect();
     let mut generator = TaskSetGenerator::new();
@@ -238,8 +239,9 @@ fn main() {
     );
     let _ = writeln!(
         json,
-        "  \"validate_policies_overhead\": {policies_overhead:.3}"
+        "  \"validate_policies_overhead\": {policies_overhead:.3},"
     );
+    let _ = writeln!(json, "{}", rta_bench::host_json_fields(1, bench_started));
     let _ = writeln!(json, "}}");
 
     let path = std::env::var("BENCH_JSON")

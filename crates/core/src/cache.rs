@@ -196,6 +196,7 @@ impl<'ts> TaskSetCache<'ts> {
                 });
             }
         }
+        crate::metrics::CACHE_BUILDS.inc();
         Self {
             task_set,
             max_cores,
@@ -282,22 +283,27 @@ impl<'ts> TaskSetCache<'ts> {
         let per_task = slot
             .per_task
             .get_or_init(|| (0..self.task_set.len()).map(|_| OnceCell::new()).collect());
-        per_task[k].get_or_init(|| match solver {
-            MuSolver::Clique => {
-                let adjacency = self.parallel_adjacency(k);
-                CLIQUE_SCRATCH.with(|scratch| {
-                    mu::mu_array_with(
-                        self.task_set.task(k).dag(),
-                        adjacency,
-                        self.max_cores,
-                        solver,
-                        &mut scratch.borrow_mut(),
-                    )
-                })
+        per_task[k].get_or_init(|| {
+            crate::metrics::CACHE_MU_BUILDS.inc();
+            match solver {
+                MuSolver::Clique => {
+                    let adjacency = self.parallel_adjacency(k);
+                    CLIQUE_SCRATCH.with(|scratch| {
+                        mu::mu_array_with(
+                            self.task_set.task(k).dag(),
+                            adjacency,
+                            self.max_cores,
+                            solver,
+                            &mut scratch.borrow_mut(),
+                        )
+                    })
+                }
+                // The ILP solver reads the DAG directly; don't touch the
+                // adjacency cell (or the clique scratch) on its behalf.
+                MuSolver::PaperIlp => {
+                    mu::mu_array(self.task_set.task(k).dag(), self.max_cores, solver)
+                }
             }
-            // The ILP solver reads the DAG directly; don't touch the
-            // adjacency cell (or the clique scratch) on its behalf.
-            MuSolver::PaperIlp => mu::mu_array(self.task_set.task(k).dag(), self.max_cores, solver),
         })
     }
 
@@ -335,6 +341,7 @@ impl<'ts> TaskSetCache<'ts> {
                 .collect()
         });
         *per_task[k][cores - 1].get_or_init(|| {
+            crate::metrics::CACHE_RHO_BUILDS.inc();
             // Scenario lists come from the process-global partition table:
             // enumerated once per process, not once per task set (let alone
             // once per query) — see `rta_combinatorics::PartitionTable`.

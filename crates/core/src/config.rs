@@ -75,6 +75,20 @@ impl Method {
             Method::GenSporadic => "Gen-sporadic",
         }
     }
+
+    /// The machine-readable slug used in CSV columns and metric names
+    /// (`analysis_verdict_ns_<slug>`): lowercase, underscore-separated,
+    /// stable across releases.
+    pub fn slug(self) -> &'static str {
+        match self {
+            Method::FpIdeal => "fp_ideal",
+            Method::LpMax => "lp_max",
+            Method::LpIlp => "lp_ilp",
+            Method::LpSound => "lp_sound",
+            Method::LongPaths => "long_paths",
+            Method::GenSporadic => "gen_sporadic",
+        }
+    }
 }
 
 impl std::fmt::Display for Method {

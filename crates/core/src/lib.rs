@@ -92,6 +92,7 @@ pub mod config;
 pub mod gen_sporadic;
 pub mod long_paths;
 pub mod lru;
+mod metrics;
 pub mod report;
 pub mod request;
 pub mod rta;

@@ -211,6 +211,7 @@ impl AnalysisLru {
             .find(|e| e.key == key && e.task_set == *task_set)
         else {
             self.stats.misses += 1;
+            crate::metrics::LRU_MISSES.inc();
             return (None, CacheOutcome::Miss);
         };
         entry.last_used = self.clock;
@@ -222,6 +223,7 @@ impl AnalysisLru {
         match answers {
             Some(outcomes) => {
                 self.stats.hits += 1;
+                crate::metrics::LRU_HITS.inc();
                 (
                     Some(AnalysisOutcome::from_parts(request.cores, outcomes)),
                     CacheOutcome::Hit,
@@ -229,6 +231,7 @@ impl AnalysisLru {
             }
             None => {
                 self.stats.near_hits += 1;
+                crate::metrics::LRU_NEAR_HITS.inc();
                 (None, CacheOutcome::Near)
             }
         }
@@ -258,6 +261,7 @@ impl AnalysisLru {
         self.clock += 1;
         entry.last_used = self.clock;
         self.stats.hits += 1;
+        crate::metrics::LRU_HITS.inc();
         Some(AnalysisOutcome::from_parts(request.cores, outcomes))
     }
 
@@ -288,6 +292,7 @@ impl AnalysisLru {
                         .expect("capacity >= 1, so a full cache is non-empty");
                     self.entries.swap_remove(lru);
                     self.stats.evictions += 1;
+                    crate::metrics::LRU_EVICTIONS.inc();
                 }
                 self.entries.push(Entry {
                     key,

@@ -1,0 +1,92 @@
+//! The Long-paths deadline-window rescue — the **only** accept-where-
+//! Graham-diverges path in the analysis.
+//!
+//! Every other method in the dominance chain is settled negatively by an
+//! FP-ideal failure: their fixed points all sit at or above the
+//! fully-preemptive Graham recurrence, so once it diverges past the
+//! deadline they cannot accept. [`Method::LongPaths`] is the exception.
+//! Its stall-time refinement (He, Guan et al., arXiv 2211.08800) charges
+//! the non-critical workload through the DAG's chain decomposition
+//! instead of Graham's `(vol − L)/m` term, and when the Graham recurrence
+//! diverges it gets one assume-and-verify rescue attempt: before the
+//! earliest possible miss, every response window is contained in its
+//! deadline window, so evaluating the higher-priority interference over
+//! `m·D_k` and refining is sound — a refined bound at or below the
+//! deadline accepts the task the recurrence could not.
+//!
+//! These tests pin that path end to end: the rescue accepting, the
+//! rescue declining, and the request-API dominance chain *not* settling
+//! LongPaths from an FP-ideal failure.
+
+use rta_analysis::{analyze, AnalysisConfig, AnalysisRequest, Method};
+use rta_model::{DagBuilder, DagTask, TaskSet};
+
+/// Two parallel chains, lengths 10 and 6: `L = 10`, `vol = 16`.
+fn two_chain_task(deadline_and_period: u64) -> TaskSet {
+    let mut b = DagBuilder::new();
+    b.add_node(10);
+    b.add_node(6);
+    TaskSet::new(vec![DagTask::with_implicit_deadline(
+        b.build().unwrap(),
+        deadline_and_period,
+    )
+    .unwrap()])
+}
+
+/// On 3 cores the Graham recurrence lands at `R = 10 + (16 − 10)/3 = 12`.
+/// With `D = 10` it diverges past the deadline and FP-ideal rejects, but
+/// the chains fit the cores side by side (`I = 0`), so the rescue's
+/// refined bound is exactly the critical path: `10 ≤ D`, accepted.
+#[test]
+fn rescue_accepts_where_graham_diverges() {
+    let ts = two_chain_task(10);
+    let fp = analyze(&ts, &AnalysisConfig::new(3, Method::FpIdeal));
+    let lp = analyze(&ts, &AnalysisConfig::new(3, Method::LongPaths));
+    assert!(!fp.schedulable, "Graham must diverge past the deadline");
+    assert!(lp.schedulable, "the deadline-window rescue must accept");
+    assert_eq!(lp.tasks[0].response_bound.ceil(), 10);
+}
+
+/// The rescue is assume-and-verify, not assume-and-hope: when even the
+/// refined bound crosses the deadline (`D = 9` is below the critical
+/// path itself), the task stays rejected.
+#[test]
+fn rescue_declines_when_the_refined_bound_still_misses() {
+    let ts = two_chain_task(9);
+    let lp = analyze(&ts, &AnalysisConfig::new(3, Method::LongPaths));
+    assert!(!lp.schedulable, "no bound below L = 10 exists");
+}
+
+/// The verdict-only dominance chain must treat LongPaths as the exception
+/// it is: an FP-ideal failure settles every other method negatively, but
+/// LongPaths still runs its own fixed point and can come back positive.
+#[test]
+fn dominance_chain_does_not_settle_long_paths_from_fp_failure() {
+    let ts = two_chain_task(10);
+    let outcome = AnalysisRequest::new(3)
+        .with_methods([
+            Method::FpIdeal,
+            Method::LpIlp,
+            Method::LpMax,
+            Method::LongPaths,
+        ])
+        .evaluate(&ts);
+    let verdict = |m| outcome.outcome(m).expect("method answered").schedulable;
+    assert!(!verdict(Method::FpIdeal));
+    assert!(!verdict(Method::LpIlp), "settled by the FP-ideal failure");
+    assert!(!verdict(Method::LpMax), "settled by the FP-ideal failure");
+    assert!(verdict(Method::LongPaths), "must run its own rescue path");
+}
+
+/// With a generous deadline the recurrence converges and no rescue is
+/// needed — the refinement then takes the `min` with the Graham value,
+/// so per-task dominance over FP-ideal stays structural.
+#[test]
+fn converged_path_dominates_graham() {
+    let ts = two_chain_task(100);
+    let fp = analyze(&ts, &AnalysisConfig::new(3, Method::FpIdeal));
+    let lp = analyze(&ts, &AnalysisConfig::new(3, Method::LongPaths));
+    assert!(fp.schedulable && lp.schedulable);
+    assert!(lp.tasks[0].response_bound.scaled() <= fp.tasks[0].response_bound.scaled());
+    assert_eq!(lp.tasks[0].response_bound.ceil(), 10);
+}

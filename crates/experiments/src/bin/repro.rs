@@ -41,6 +41,13 @@
 //!                cores | deadline | chains | release | all.
 //!                Exits non-zero on any hard invariant violation
 //!                (including any LP-sound exceedance).
+//!   trace        counterexample forensics: simulate the frozen task set
+//!                that beats the paper's LP bound (LP-ILP/LP-max 300.5 vs
+//!                an observed response of 304 under limited-preemptive
+//!                scheduling on m = 2) and render the witness schedule as
+//!                a deterministic ASCII Gantt chart — per-core lanes,
+//!                preemption markers, release/completion/deadline-miss
+//!                rows — to stdout and trace_counterexample.txt in --out
 //!   dump-set     print one generated task set as JSON (--seed N --target U)
 //!   serve        admission-control daemon: answer accept/reject verdicts
 //!                over line-delimited JSON frames on a TCP socket, with a
@@ -88,6 +95,11 @@
 //!                default 0)
 //!   --bounds     loadgen: request per-task bounds on every frame
 //!   --bench P    loadgen: also write the flat BENCH JSON report to P
+//!   --metrics P  loadgen: scrape {"metrics":true} after the burst (before
+//!                any --shutdown) and write the JSON response to P
+//!   --metrics-dump P serve: write the metrics registry to P in Prometheus
+//!                text format when the server drains
+//!   --width N    trace: chart width in columns            (default 96)
 //!   --shutdown   loadgen: stop the server after the burst
 //!   --max-conns N serve: connection-pool bound          (default 64)
 //!   --watermark N serve: shed-mode threshold            (default 3/4 of
@@ -138,6 +150,9 @@ struct Options {
     competitors: u32,
     bounds: bool,
     bench: Option<PathBuf>,
+    metrics: Option<PathBuf>,
+    metrics_dump: Option<PathBuf>,
+    width: usize,
     shutdown: bool,
     max_conns: usize,
     /// `None` derives the shed watermark as 3/4 of `max_conns`.
@@ -182,6 +197,9 @@ fn main() {
         competitors: 0,
         bounds: false,
         bench: None,
+        metrics: None,
+        metrics_dump: None,
+        width: 96,
         shutdown: false,
         max_conns: rta_experiments::serve::DEFAULT_MAX_CONNS,
         watermark: None,
@@ -316,6 +334,27 @@ fn main() {
                         .unwrap_or_else(|| usage("--bench needs a path")),
                 );
             }
+            "--metrics" => {
+                options.metrics = Some(
+                    it.next()
+                        .map(PathBuf::from)
+                        .unwrap_or_else(|| usage("--metrics needs a path")),
+                );
+            }
+            "--metrics-dump" => {
+                options.metrics_dump = Some(
+                    it.next()
+                        .map(PathBuf::from)
+                        .unwrap_or_else(|| usage("--metrics-dump needs a path")),
+                );
+            }
+            "--width" => {
+                options.width = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n >= 16)
+                    .unwrap_or_else(|| usage("--width needs a number of columns (>= 16)"));
+            }
             "--shutdown" => {
                 options.shutdown = true;
             }
@@ -402,6 +441,7 @@ fn main() {
         "campaign" => run_campaign(&options, selector.as_deref().unwrap_or("all")),
         "validate" => run_validate(&options, selector.as_deref().unwrap_or("all")),
         "dump-set" => dump_set(&options),
+        "trace" => run_trace(&options),
         "serve" => run_serve(&options),
         "loadgen" => run_loadgen(&options),
         "all" => {
@@ -626,6 +666,11 @@ fn run_campaign_compare(options: &Options) {
     let jobs = options.sweep_jobs();
     let sets = options.sets;
     let mut matrix = MethodMatrix::default();
+    // Analysis-cost accounting: delta the process-global verdict-latency
+    // histograms across the whole compare run. The verdict *counts* are
+    // deterministic; the nanosecond columns are measurements, so they live
+    // in their own method_costs.csv outside the byte-pinned goldens.
+    let costs_before = rta_obs::snapshot();
     for kind in campaign::compare_panels() {
         println!(
             "== campaign/{}: {} — {} sets/point, {} worker(s) ==",
@@ -666,6 +711,12 @@ fn run_campaign_compare(options: &Options) {
     let path = options.out.join("method_matrix.csv");
     std::fs::write(&path, matrix.to_csv()).expect("write method matrix CSV");
     println!("wrote {}\n", path.display());
+    let costs = campaign::MethodCosts::from_snapshot(&rta_obs::snapshot().since(&costs_before));
+    println!("== per-method analysis cost (wall-clock per verdict; not golden-pinned) ==");
+    println!("{}", costs.render());
+    let path = options.out.join("method_costs.csv");
+    std::fs::write(&path, costs.to_csv()).expect("write method costs CSV");
+    println!("wrote {}\n", path.display());
 }
 
 /// Streams one schedulability sweep into its CSV file (row per completed
@@ -702,6 +753,36 @@ fn sensitivity(options: &Options) {
     }
 }
 
+/// Renders the frozen LP counterexample's witness schedule (see
+/// `rta_experiments::forensics`): the paper's LP bound says 300.5, the
+/// limited-preemptive schedule shows 304.
+fn run_trace(options: &Options) {
+    use rta_experiments::forensics;
+    println!(
+        "== trace: frozen LP counterexample — m = 2, horizon {}x the blocking task's period ==",
+        forensics::HORIZON_SPANS
+    );
+    let report = forensics::counterexample_trace(options.width);
+    print!("{}", report.chart);
+    println!(
+        "\nLP-ILP/LP-max response bound: {}  observed response: {}{}",
+        forensics::LP_BOUND,
+        report.observed_response,
+        if report.observed_response as f64 > 300.5 {
+            "  — BOUND EXCEEDED (the documented optimism of the eager-LP blocking bound)"
+        } else {
+            ""
+        }
+    );
+    println!(
+        "deadline misses: {} (the counterexample beats the bound, not the deadline)",
+        report.deadline_misses
+    );
+    let path = options.out.join("trace_counterexample.txt");
+    std::fs::write(&path, &report.chart).expect("write trace chart");
+    println!("wrote {}", path.display());
+}
+
 /// Runs the admission-control daemon in the foreground until a client's
 /// `{"shutdown":true}` frame stops it.
 fn run_serve(options: &Options) {
@@ -714,6 +795,7 @@ fn run_serve(options: &Options) {
         idle_timeout: Duration::from_millis(options.idle_ms),
         frame_timeout: Duration::from_millis(options.frame_ms),
         drain_timeout: Duration::from_millis(options.drain_ms),
+        metrics_dump: options.metrics_dump.clone(),
         ..Default::default()
     };
     let handle = rta_experiments::serve::spawn(&serve_options)
@@ -754,6 +836,7 @@ fn run_loadgen(options: &Options) {
         bounds: options.bounds,
         seed: options.seed,
         target: options.target,
+        metrics: options.metrics.clone(),
         shutdown: options.shutdown,
         retries: options.retries,
         chaos: options.chaos,
@@ -808,13 +891,14 @@ fn usage(msg: &str) -> ! {
     eprintln!(
         "usage: repro <table1|table2|table3|fig2a|fig2b|fig2c|fig2c-tasks|group2|timing|\
          campaign [deadline|chains|cores|cross|compare|all]|\
-         validate [cores|deadline|chains|release|all]|serve|loadgen|all> \
+         validate [cores|deadline|chains|release|all]|trace|serve|loadgen|all> \
          [--sets N] [--samples N] [--out DIR] [--jobs N] [--serial] \
          [--horizon N] [--policy limited|eager|lazy|full|both] \
          [--release sync|jitter|sporadic|bursty] \
          [--addr HOST:PORT] [--lru N] [--conns N] [--requests N] \
          [--repeat PCT] [--simulate PCT] [--competitors PCT] [--bounds] \
-         [--bench PATH] [--shutdown] \
+         [--bench PATH] [--metrics PATH] [--metrics-dump PATH] [--width N] \
+         [--shutdown] \
          [--max-conns N] [--watermark N] [--idle-ms N] [--frame-ms N] \
          [--drain-ms N] [--retries N] [--chaos]"
     );

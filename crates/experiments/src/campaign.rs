@@ -242,14 +242,7 @@ pub struct MethodMatrix {
 /// The CSV column slug of `Method::ALL[mi]` — shared by every per-method
 /// column header in the experiment CSVs.
 pub fn method_slug(mi: usize) -> &'static str {
-    match Method::ALL[mi] {
-        Method::FpIdeal => "fp_ideal",
-        Method::LpIlp => "lp_ilp",
-        Method::LpMax => "lp_max",
-        Method::LpSound => "lp_sound",
-        Method::LongPaths => "long_paths",
-        Method::GenSporadic => "gen_sporadic",
-    }
+    Method::ALL[mi].slug()
 }
 
 impl MethodMatrix {
@@ -326,6 +319,79 @@ impl MethodMatrix {
                 }
                 row.push(format!("{:+}", self.net(a)));
                 row
+            })
+            .collect();
+        crate::ascii::table(&header, &rows)
+    }
+}
+
+/// Per-method analysis cost over one compare run, read back from the
+/// process-global metrics registry (`analysis_verdict_ns_*` histograms).
+///
+/// The counts are deterministic — every verdict the sweep evaluates lands
+/// exactly once — but the nanosecond figures are wall-clock measurements
+/// and vary run to run. The CLI therefore writes them to their own
+/// `method_costs.csv`, which the CI golden diff excludes, instead of
+/// folding them into the byte-pinned `compare_*`/`method_matrix` files.
+#[derive(Clone, Debug)]
+pub struct MethodCosts {
+    /// Per method in [`Method::ALL`] order: verdicts measured, mean
+    /// verdict cost (ns), worst verdict cost (ns).
+    pub rows: [(u64, f64, u64); METHODS],
+}
+
+impl MethodCosts {
+    /// Reads the per-method cost out of a snapshot **delta**
+    /// ([`rta_obs::Snapshot::since`]), so concurrent servers or earlier
+    /// panels in the same process don't leak into the figures.
+    pub fn from_snapshot(delta: &rta_obs::Snapshot) -> Self {
+        let rows = std::array::from_fn(|mi| {
+            let name = format!("analysis_verdict_ns_{}", Method::ALL[mi].slug());
+            match delta.histogram(&name) {
+                Some(h) => (h.count, h.mean(), h.max),
+                None => (0, 0.0, 0),
+            }
+        });
+        Self { rows }
+    }
+
+    /// The `method_costs.csv` header.
+    pub fn csv_header() -> [&'static str; 4] {
+        ["method", "verdicts", "mean_verdict_ns", "max_verdict_ns"]
+    }
+
+    /// The matrix as CSV rows, one per method in [`Method::ALL`] order.
+    pub fn csv_rows(&self) -> Vec<Vec<String>> {
+        (0..METHODS)
+            .map(|mi| {
+                let (count, mean, max) = self.rows[mi];
+                vec![
+                    method_slug(mi).to_string(),
+                    count.to_string(),
+                    format!("{mean:.0}"),
+                    max.to_string(),
+                ]
+            })
+            .collect()
+    }
+
+    /// CSV rendering (the `method_costs.csv` bytes).
+    pub fn to_csv(&self) -> String {
+        crate::csv::to_string(&Self::csv_header(), self.csv_rows())
+    }
+
+    /// ASCII rendering for the CLI compare summary.
+    pub fn render(&self) -> String {
+        let header = ["method", "verdicts", "mean ns", "max ns"];
+        let rows: Vec<Vec<String>> = (0..METHODS)
+            .map(|mi| {
+                let (count, mean, max) = self.rows[mi];
+                vec![
+                    Method::ALL[mi].label().to_string(),
+                    count.to_string(),
+                    format!("{mean:.0}"),
+                    max.to_string(),
+                ]
             })
             .collect();
         crate::ascii::table(&header, &rows)

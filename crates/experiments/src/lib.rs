@@ -46,6 +46,7 @@ pub mod campaign;
 pub mod csv;
 pub mod exec;
 pub mod figure2;
+pub mod forensics;
 pub mod loadgen;
 pub mod sensitivity;
 pub mod serve;

@@ -98,6 +98,10 @@ pub struct LoadgenOptions {
     pub seed: u64,
     /// Target utilization of generated sets.
     pub target: f64,
+    /// Scrape the server's `{"metrics":true}` frame after the burst (and
+    /// before any `shutdown`) and write the JSON response line to this
+    /// path.
+    pub metrics: Option<std::path::PathBuf>,
     /// Send `{"shutdown":true}` after the run (stops the server).
     pub shutdown: bool,
     /// Transient-failure retries per request (0 disables retrying).
@@ -124,6 +128,7 @@ impl Default for LoadgenOptions {
             bounds: false,
             seed: 0xC0FFEE,
             target: 2.0,
+            metrics: None,
             shutdown: false,
             retries: 4,
             backoff_micros: 500,
@@ -327,6 +332,16 @@ impl LoadgenReport {
     /// The flat BENCH JSON format of this repository (one scalar per
     /// line, greppable).
     pub fn to_bench_json(&self, options: &LoadgenOptions) -> String {
+        let host = rta_obs::host_info();
+        let host_fields = format!(
+            "\"host_parallelism\": {},\n  \"jobs\": {},\n  \
+             \"wall_ms\": {:.0},\n  \"cpu_ms\": {}",
+            host.available_parallelism,
+            options.connections,
+            self.elapsed_secs * 1000.0,
+            host.cpu_time_ms
+                .map_or_else(|| "null".into(), |ms| ms.to_string()),
+        );
         if let Some(chaos) = &self.chaos {
             return format!(
                 "{{\n  \"bench\": \"serve-chaos\",\n  \"connections\": {},\n  \
@@ -334,7 +349,7 @@ impl LoadgenReport {
                  \"mid_frame_disconnects\": {},\n  \"malformed_bursts\": {},\n  \
                  \"oversized\": {},\n  \"connect_and_idle\": {},\n  \
                  \"error_frames_seen\": {},\n  \"server_closes\": {},\n  \
-                 \"failed_connects\": {},\n  \"errors\": {}\n}}\n",
+                 \"failed_connects\": {},\n  \"errors\": {},\n  {host_fields}\n}}\n",
                 options.connections,
                 chaos.actions,
                 chaos.slowloris,
@@ -361,7 +376,7 @@ impl LoadgenReport {
              \"latency_p99_micros\": {},\n  \"latency_p999_micros\": {},\n  \
              \"hit_p50_micros\": {},\n  \"miss_p50_micros\": {},\n  \
              \"sim_p50_micros\": {},\n  \
-             \"repeat_speedup\": {:.1}\n}}\n",
+             \"repeat_speedup\": {:.1},\n  {host_fields}\n}}\n",
             options.connections,
             self.requests,
             options.repeat_percent,
@@ -408,6 +423,18 @@ struct WorkerTally {
     miss_micros: Vec<u64>,
     sim_micros: Vec<u64>,
     chaos: ChaosTally,
+}
+
+/// Fetches one `{"metrics":true}` response line over a fresh connection.
+fn scrape_metrics(addr: &str) -> io::Result<String> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.write_all(b"{\"v\":1,\"metrics\":true}\n")?;
+    let mut line = String::new();
+    BufReader::new(&stream).read_line(&mut line)?;
+    if line.is_empty() {
+        return Err(io::Error::other("server closed without answering"));
+    }
+    Ok(line)
 }
 
 /// Runs the burst (or chaos script) and aggregates the report. Fails
@@ -463,6 +490,16 @@ pub fn run(options: &LoadgenOptions) -> io::Result<LoadgenReport> {
         merge_chaos(&mut tally.chaos, &part.chaos);
     }
     let elapsed = started.elapsed().as_secs_f64();
+    if let Some(path) = &options.metrics {
+        // Scrape before any shutdown: the registry lives in the server
+        // process and the frame needs a live socket.
+        match scrape_metrics(&options.addr) {
+            Ok(line) => {
+                std::fs::write(path, line)?;
+            }
+            Err(e) => eprintln!("warning: metrics scrape from {} failed: {e}", options.addr),
+        }
+    }
     if options.shutdown {
         // Separate control connection; best effort (the burst is done).
         if let Ok(mut stream) = TcpStream::connect(&options.addr) {

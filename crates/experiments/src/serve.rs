@@ -51,9 +51,15 @@
 //! ```
 //!
 //! `kind` is one of `syntax`, `schema`, `version`, `model`, `protocol`,
-//! `too_large`, `overloaded`, `timeout`. Two special frames bypass
-//! analysis: `{"stats":true}` reports counters, `{"shutdown":true}`
-//! acknowledges and stops the server.
+//! `too_large`, `overloaded`, `timeout`. Three special frames bypass
+//! analysis: `{"stats":true}` reports counters, `{"metrics":true}`
+//! returns the process-global [`rta_obs`] registry (per-method verdict
+//! latency histograms, cache counters, simulator and server telemetry)
+//! as `{"v":1,"ok":true,"metrics":{...}}`, and `{"shutdown":true}`
+//! acknowledges and stops the server. When
+//! [`ServeOptions::metrics_dump`] names a path, the same registry is
+//! additionally written there in Prometheus text exposition format when
+//! the server drains.
 //!
 //! # Simulation frames
 //!
@@ -235,6 +241,9 @@ pub struct ServeOptions {
     pub drain_timeout: Duration,
     /// Seeded fault injection (test-only); `None` in production.
     pub fault: Option<FaultPlan>,
+    /// When set, the process-global metrics registry is written to this
+    /// path in Prometheus text exposition format when the server drains.
+    pub metrics_dump: Option<std::path::PathBuf>,
 }
 
 impl Default for ServeOptions {
@@ -249,8 +258,38 @@ impl Default for ServeOptions {
             frame_timeout: Duration::from_secs(10),
             drain_timeout: Duration::from_secs(5),
             fault: None,
+            metrics_dump: None,
         }
     }
+}
+
+/// The server's handles into the process-global [`rta_obs`] registry —
+/// counters mirroring the per-server atomics (the registry aggregates
+/// across server instances and alongside the analysis/sim metrics; the
+/// atomics stay authoritative for the `stats` frame), plus per-frame-kind
+/// latency histograms.
+mod obs {
+    use rta_obs::{Counter, Histogram};
+    use std::sync::LazyLock;
+
+    pub static REQUESTS: LazyLock<Counter> =
+        LazyLock::new(|| rta_obs::counter("serve_requests_total"));
+    pub static SIM_REQUESTS: LazyLock<Counter> =
+        LazyLock::new(|| rta_obs::counter("serve_sim_requests_total"));
+    pub static ERRORS: LazyLock<Counter> = LazyLock::new(|| rta_obs::counter("serve_errors_total"));
+    pub static SHED: LazyLock<Counter> = LazyLock::new(|| rta_obs::counter("serve_shed_total"));
+    pub static TIMEOUTS: LazyLock<Counter> =
+        LazyLock::new(|| rta_obs::counter("serve_timeouts_total"));
+    pub static OVERRUNS: LazyLock<Counter> =
+        LazyLock::new(|| rta_obs::counter("serve_overruns_total"));
+    pub static FRAME_NS_ANALYZE: LazyLock<Histogram> =
+        LazyLock::new(|| rta_obs::histogram("serve_frame_ns_analyze"));
+    pub static FRAME_NS_SIMULATE: LazyLock<Histogram> =
+        LazyLock::new(|| rta_obs::histogram("serve_frame_ns_simulate"));
+    pub static FRAME_NS_STATS: LazyLock<Histogram> =
+        LazyLock::new(|| rta_obs::histogram("serve_frame_ns_stats"));
+    pub static FRAME_NS_METRICS: LazyLock<Histogram> =
+        LazyLock::new(|| rta_obs::histogram("serve_frame_ns_metrics"));
 }
 
 /// Gauge of live connections: the pool bound, the shed signal, and the
@@ -430,6 +469,16 @@ impl ServerHandle {
     /// server (the foreground `repro serve` mode), then reports the drain.
     pub fn join(self) -> DrainReport {
         let _ = self.acceptor.join();
+        if let Some(path) = &self.state.options.metrics_dump {
+            // Best effort: a failed dump must not turn a clean drain into
+            // a crash, but it should not be silent either.
+            if let Err(e) = std::fs::write(path, rta_obs::snapshot().to_prometheus()) {
+                eprintln!(
+                    "warning: could not write metrics dump {}: {e}",
+                    path.display()
+                );
+            }
+        }
         DrainReport {
             drained: self.state.drained.load(Ordering::Relaxed),
             cut_off: self.state.cut_off.load(Ordering::Relaxed),
@@ -441,6 +490,18 @@ impl ServerHandle {
 /// Binds the listener and spawns the accept loop (thread per connection,
 /// bounded by the pool).
 pub fn spawn(options: &ServeOptions) -> io::Result<ServerHandle> {
+    // Register the server's counter families up front so a metrics scrape
+    // reports explicit zeros rather than absent names.
+    for counter in [
+        &obs::REQUESTS,
+        &obs::SIM_REQUESTS,
+        &obs::ERRORS,
+        &obs::SHED,
+        &obs::TIMEOUTS,
+        &obs::OVERRUNS,
+    ] {
+        counter.add(0);
+    }
     let listener = TcpListener::bind(&options.addr)?;
     listener.set_nonblocking(true)?;
     let state = Arc::new(ServerState {
@@ -498,6 +559,7 @@ fn accept_loop(state: &Arc<ServerState>, listener: TcpListener) {
                     }));
                 } else {
                     state.shed.fetch_add(1, Ordering::Relaxed);
+                    obs::SHED.inc();
                     refuse_overloaded(stream, state.options.frame_timeout);
                 }
             }
@@ -574,6 +636,9 @@ enum Frame {
         request: SimRequest,
     },
     Stats {
+        id: Option<u64>,
+    },
+    Metrics {
         id: Option<u64>,
     },
     Shutdown {
@@ -653,6 +718,7 @@ fn serve_connection(state: &Arc<ServerState>, stream: TcpStream) -> io::Result<(
             FrameRead::Closed | FrameRead::Stopped => return Ok(()),
             FrameRead::IdleTimeout => {
                 state.timeouts.fetch_add(1, Ordering::Relaxed);
+                obs::TIMEOUTS.inc();
                 let _ = respond_error(
                     &mut writer,
                     None,
@@ -665,6 +731,7 @@ fn serve_connection(state: &Arc<ServerState>, stream: TcpStream) -> io::Result<(
             }
             FrameRead::Stalled => {
                 state.timeouts.fetch_add(1, Ordering::Relaxed);
+                obs::TIMEOUTS.inc();
                 let _ = respond_error(
                     &mut writer,
                     None,
@@ -680,6 +747,7 @@ fn serve_connection(state: &Arc<ServerState>, stream: TcpStream) -> io::Result<(
                 // oversized line so the connection re-synchronizes at the
                 // next newline.
                 state.errors.fetch_add(1, Ordering::Relaxed);
+                obs::ERRORS.inc();
                 respond_error(
                     &mut writer,
                     None,
@@ -711,9 +779,11 @@ fn handle_frame(state: &Arc<ServerState>, writer: &mut TcpStream, text: &str) ->
     match parse_frame(text) {
         Err(error) => {
             state.errors.fetch_add(1, Ordering::Relaxed);
+            obs::ERRORS.inc();
             respond_error(writer, None, &error)?;
         }
         Ok(Frame::Stats { id }) => {
+            let started = Instant::now();
             let (stats, cached) = {
                 let lru = state.lru.lock().expect("lru lock");
                 (lru.stats(), lru.len())
@@ -722,6 +792,17 @@ fn handle_frame(state: &Arc<ServerState>, writer: &mut TcpStream, text: &str) ->
             push_id(&mut out, id);
             let _ = write_stats(&mut out, state, cached, stats);
             writeln_frame(writer, out)?;
+            obs::FRAME_NS_STATS.observe_since(started);
+        }
+        Ok(Frame::Metrics { id }) => {
+            let started = Instant::now();
+            let mut out = String::from("{\"v\":1,");
+            push_id(&mut out, id);
+            out.push_str("\"ok\":true,\"metrics\":");
+            out.push_str(&rta_obs::snapshot().to_json());
+            out.push('}');
+            writeln_frame(writer, out)?;
+            obs::FRAME_NS_METRICS.observe_since(started);
         }
         Ok(Frame::Shutdown { id }) => {
             let mut out = String::from("{\"v\":1,");
@@ -737,6 +818,7 @@ fn handle_frame(state: &Arc<ServerState>, writer: &mut TcpStream, text: &str) ->
             request,
         }) => {
             state.requests.fetch_add(1, Ordering::Relaxed);
+            obs::REQUESTS.inc();
             if let Some(delay) = state.inject_delay() {
                 thread::sleep(delay);
             }
@@ -756,9 +838,11 @@ fn handle_frame(state: &Arc<ServerState>, writer: &mut TcpStream, text: &str) ->
                     }
                     None => {
                         state.shed.fetch_add(1, Ordering::Relaxed);
+                        obs::SHED.inc();
                         respond_error(writer, id, &WireError::overloaded())?;
                     }
                 }
+                obs::FRAME_NS_ANALYZE.observe_since(started);
                 return Ok(true);
             }
             // Hold the cache lock only for the O(lookup) parts; the
@@ -784,7 +868,9 @@ fn handle_frame(state: &Arc<ServerState>, writer: &mut TcpStream, text: &str) ->
             let elapsed = started.elapsed();
             if elapsed > state.options.frame_timeout {
                 state.overruns.fetch_add(1, Ordering::Relaxed);
+                obs::OVERRUNS.inc();
             }
+            obs::FRAME_NS_ANALYZE.observe(elapsed.as_nanos().min(u128::from(u64::MAX)) as u64);
             respond_outcome(writer, id, status, elapsed.as_micros(), &outcome)?;
         }
         Ok(Frame::Simulate {
@@ -793,6 +879,7 @@ fn handle_frame(state: &Arc<ServerState>, writer: &mut TcpStream, text: &str) ->
             request,
         }) => {
             state.sim_requests.fetch_add(1, Ordering::Relaxed);
+            obs::SIM_REQUESTS.inc();
             if let Some(delay) = state.inject_delay() {
                 thread::sleep(delay);
             }
@@ -801,6 +888,7 @@ fn handle_frame(state: &Arc<ServerState>, writer: &mut TcpStream, text: &str) ->
             // pressure there is no degraded answer to give: shed outright.
             if state.active.current() >= state.options.shed_watermark {
                 state.shed.fetch_add(1, Ordering::Relaxed);
+                obs::SHED.inc();
                 respond_error(writer, id, &WireError::overloaded())?;
                 return Ok(true);
             }
@@ -809,7 +897,9 @@ fn handle_frame(state: &Arc<ServerState>, writer: &mut TcpStream, text: &str) ->
             let elapsed = started.elapsed();
             if elapsed > state.options.frame_timeout {
                 state.overruns.fetch_add(1, Ordering::Relaxed);
+                obs::OVERRUNS.inc();
             }
+            obs::FRAME_NS_SIMULATE.observe(elapsed.as_nanos().min(u128::from(u64::MAX)) as u64);
             respond_sim(writer, id, elapsed.as_micros(), &outcome)?;
         }
     }
@@ -887,6 +977,7 @@ fn drain_to_newline(state: &ServerState, reader: &mut BufReader<TcpStream>) -> i
         let now = Instant::now();
         if now >= deadline {
             state.timeouts.fetch_add(1, Ordering::Relaxed);
+            obs::TIMEOUTS.inc();
             return Ok(false);
         }
         let wait = (deadline - now).min(STOP_TICK).max(MIN_SOCKET_TIMEOUT);
@@ -933,6 +1024,9 @@ fn parse_frame(text: &str) -> Result<Frame, WireError> {
     };
     if doc.get("stats").and_then(Value::as_bool) == Some(true) {
         return Ok(Frame::Stats { id });
+    }
+    if doc.get("metrics").and_then(Value::as_bool) == Some(true) {
+        return Ok(Frame::Metrics { id });
     }
     if doc.get("shutdown").and_then(Value::as_bool) == Some(true) {
         return Ok(Frame::Shutdown { id });

@@ -904,7 +904,7 @@ mod tests {
     use super::*;
     use rand::rngs::SmallRng;
     use rand::SeedableRng;
-    use rta_model::examples::figure1_task_set;
+    use rta_model::examples::{figure1_task_set, lp_counterexample_task_set};
     use rta_model::{DagBuilder, DagTask};
     use rta_taskgen::generate_task_set;
 
@@ -957,7 +957,7 @@ mod tests {
     /// counterexample at all).
     #[test]
     fn known_lp_counterexample_is_classified_as_exceedance() {
-        let ts = counterexample_task_set();
+        let ts = lp_counterexample_task_set();
 
         // The analysis accepts the set with an LP bound of 300.5 for the
         // top task (Δ² = 189, p = 0), yet the simulator legally observes
@@ -992,7 +992,7 @@ mod tests {
     #[test]
     fn lp_sound_covers_the_frozen_counterexample() {
         use rta_analysis::Method;
-        let ts = counterexample_task_set();
+        let ts = lp_counterexample_task_set();
         let outcome = AnalysisRequest::new(2)
             .with_methods([Method::LpSound])
             .with_scenario_space(ScenarioSpace::Extended)
@@ -1014,45 +1014,6 @@ mod tests {
         // bound admits the mid-job lp workload the paper's bound misses,
         // crosses D = 502, and rejects the set.
         assert!(!verdict.schedulable, "LP-sound rejects the counterexample");
-    }
-
-    fn counterexample_task_set() -> TaskSet {
-        let task = |period: u64, wcets: &[u64], edges: &[(usize, usize)]| {
-            let mut b = DagBuilder::new();
-            let nodes: Vec<rta_model::NodeId> = wcets.iter().map(|&w| b.add_node(w)).collect();
-            for &(u, v) in edges {
-                b.add_edge(nodes[u], nodes[v]).unwrap();
-            }
-            DagTask::with_implicit_deadline(b.build().unwrap(), period).unwrap()
-        };
-        // Found by `repro validate` on the m = 2 utilization sweep
-        // (generator seed population, U target 4/3).
-        let hp = task(
-            502,
-            &[15, 62, 72, 17, 85],
-            &[(0, 2), (0, 3), (0, 4), (2, 1), (3, 1), (4, 1)],
-        );
-        let lp = task(
-            1216,
-            &[18, 15, 36, 42, 96, 93, 79, 26, 91, 60, 52],
-            &[
-                (0, 2),
-                (0, 3),
-                (0, 5),
-                (0, 7),
-                (0, 8),
-                (2, 1),
-                (3, 4),
-                (4, 1),
-                (5, 6),
-                (6, 1),
-                (7, 1),
-                (8, 9),
-                (9, 10),
-                (10, 1),
-            ],
-        );
-        TaskSet::new(vec![hp, lp])
     }
 
     #[test]
@@ -1248,7 +1209,7 @@ mod tests {
     /// bounded trace is flagged as truncated; a short witness is not.
     #[test]
     fn truncated_counterexample_traces_are_counted() {
-        let ts = counterexample_task_set();
+        let ts = lp_counterexample_task_set();
         // The eager-LP exceedance reproduces at any horizon; at 2500 max
         // periods its witness trace overflows the bounded capacity.
         let long = validate_set(&ts, 2, 2500, PolicyChoice::Eager, ReleaseChoice::Sync);

@@ -157,3 +157,24 @@ fn timing_accepts_the_same_samples_under_any_driver() {
         assert_eq!(s.samples, p.samples, "m = {}", s.cores);
     }
 }
+
+#[test]
+fn counterexample_trace_render_matches_the_committed_golden() {
+    // The witness-schedule rendering of the frozen LP counterexample is a
+    // pure function of frozen inputs (seeded simulation, no clocks, fixed
+    // tie-breaks), so its bytes are pinned like the CSV goldens: a
+    // simulator, policy or renderer change that moves the schedule must
+    // show up as a reviewed golden update, never as silent drift.
+    let rendered = rta_experiments::forensics::counterexample_trace(96).chart;
+    let golden_path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../ci/golden/trace_counterexample.txt"
+    );
+    let golden = std::fs::read_to_string(golden_path)
+        .unwrap_or_else(|e| panic!("read {golden_path}: {e} — regenerate with `repro trace`"));
+    assert_eq!(
+        rendered, golden,
+        "trace render drifted from ci/golden/trace_counterexample.txt; \
+         if the change is intended, regenerate the golden with `repro trace`"
+    );
+}

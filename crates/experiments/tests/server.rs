@@ -515,3 +515,81 @@ fn loadgen_round_trip_reports_hits_and_no_errors() {
     assert!(report.verdicts_per_sec > 0.0);
     handle.shutdown();
 }
+
+#[test]
+fn metrics_frame_round_trips_the_registry_and_counts_the_burst() {
+    let handle = test_server(1 << 20);
+    let mut client = Client::connect(&handle);
+    // The registry is process-global and other tests in this binary run
+    // concurrently, so every count assertion is a >= on a scrape delta.
+    let before = client.send("{\"v\":1,\"metrics\":true}");
+    assert!(before.contains("\"ok\":true"), "{before}");
+    assert!(
+        before.contains("\"metrics\":{\"schema\":1,\"counters\":{"),
+        "{before}"
+    );
+    let fp_before = stat_field(&before, "\"analysis_verdict_ns_fp_ideal\":{\"count\":");
+    let req_before = stat_field(&before, "\"serve_requests_total\":");
+    const BURST: u64 = 5;
+    for i in 0..BURST {
+        // Distinct single-node sets, one method each: every frame misses
+        // the LRU and lands exactly one FP-ideal verdict observation.
+        let frame = format!(
+            "{{\"v\":1,\"cores\":2,\"methods\":[\"FP-ideal\"],\"task_set\":{{\"tasks\":[\
+             {{\"period\":{p},\"deadline\":{p},\"dag\":{{\"wcets\":[{w}],\"edges\":[]}}}}]}}}}",
+            p = 50 + i,
+            w = 5 + i,
+        );
+        let response = client.send(&frame);
+        assert!(response.contains("\"ok\":true"), "{response}");
+    }
+    let after = client.send("{\"v\":1,\"id\":9,\"metrics\":true}");
+    assert!(after.contains("\"id\":9"), "{after}");
+    let fp_after = stat_field(&after, "\"analysis_verdict_ns_fp_ideal\":{\"count\":");
+    let req_after = stat_field(&after, "\"serve_requests_total\":");
+    assert!(
+        fp_after >= fp_before + BURST,
+        "verdict histogram missed the burst: {fp_before} -> {fp_after}\n{after}"
+    );
+    assert!(
+        req_after >= req_before + BURST,
+        "request counter missed the burst: {req_before} -> {req_after}\n{after}"
+    );
+    // The full histogram shape survives the wire: quantile estimates and
+    // sparse [le, count] buckets, and the per-frame-kind serve histograms
+    // count the scrape itself.
+    assert!(after.contains("\"p99\":"), "{after}");
+    assert!(after.contains("\"buckets\":[["), "{after}");
+    assert!(
+        stat_field(&after, "\"serve_frame_ns_metrics\":{\"count\":") >= 1,
+        "{after}"
+    );
+    handle.shutdown();
+}
+
+#[test]
+fn metrics_dump_writes_prometheus_text_on_drain() {
+    let path = std::env::temp_dir().join(format!(
+        "rta_metrics_dump_{}_{:?}.prom",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_file(&path);
+    let handle = serve_with(|options| options.metrics_dump = Some(path.clone()));
+    let mut client = Client::connect(&handle);
+    let response = client.send(&analyze_frame(FIGURE1_SET));
+    assert!(response.contains("\"ok\":true"), "{response}");
+    drop(client);
+    handle.shutdown();
+    let text = std::fs::read_to_string(&path).expect("metrics dump written on drain");
+    assert!(
+        text.contains("# TYPE serve_requests_total counter"),
+        "{text}"
+    );
+    assert!(
+        text.contains("# TYPE analysis_verdict_ns_fp_ideal histogram"),
+        "{text}"
+    );
+    assert!(text.contains("_bucket{le="), "{text}");
+    let _ = std::fs::remove_file(&path);
+}

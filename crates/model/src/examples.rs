@@ -165,6 +165,59 @@ pub fn figure1_task_set() -> TaskSet {
     TaskSet::new(tasks)
 }
 
+/// The frozen `m = 2` counterexample to the paper's lower-priority
+/// blocking bound (Eqs. 5–8) — the eager-LP unsoundness witness this
+/// repository's validation campaign found and pinned.
+///
+/// Two implicit-deadline tasks. The analysis accepts the set with an LP
+/// bound of `300.5` for the higher-priority task (`Δ² = 189`, `p = 0`),
+/// yet an eager limited-preemptive simulation over `3 · T_lp = 3648` time
+/// units legally observes a response of `304`: lower-priority
+/// non-preemptive regions that *start mid-job* on cores the hp-DAG's own
+/// precedence structure leaves idle are invisible to the event-counted
+/// blocking term. Found by `repro validate` on the `m = 2` utilization
+/// sweep (generator seed population, `U` target 4/3); the exceedance is
+/// re-asserted by the validation tests and rendered by `repro trace`.
+pub fn lp_counterexample_task_set() -> TaskSet {
+    let task = |period: u64, wcets: &[u64], edges: &[(usize, usize)]| {
+        let mut b = DagBuilder::new();
+        let nodes: Vec<crate::NodeId> = wcets.iter().map(|&w| b.add_node(w)).collect();
+        for &(u, v) in edges {
+            b.add_edge(nodes[u], nodes[v]).expect("valid edge");
+        }
+        DagTask::with_implicit_deadline(b.build().expect("valid DAG"), period).expect("valid task")
+    };
+    let hp = task(
+        502,
+        &[15, 62, 72, 17, 85],
+        &[(0, 2), (0, 3), (0, 4), (2, 1), (3, 1), (4, 1)],
+    );
+    let lp = task(
+        1216,
+        &[18, 15, 36, 42, 96, 93, 79, 26, 91, 60, 52],
+        &[
+            (0, 2),
+            (0, 3),
+            (0, 5),
+            (0, 7),
+            (0, 8),
+            (2, 1),
+            (3, 4),
+            (4, 1),
+            (5, 6),
+            (6, 1),
+            (7, 1),
+            (8, 9),
+            (9, 10),
+            (10, 1),
+        ],
+    );
+    TaskSet::new(vec![
+        hp.named("τ_hp (under analysis)"),
+        lp.named("τ_lp (blocking)"),
+    ])
+}
+
 /// Table I of the paper: `µ_i[c]` for `c = 1..4`, for each Figure 1 task.
 /// Used as golden values by tests in this workspace.
 pub const TABLE_I: [[u64; 4]; 4] = [

@@ -1,0 +1,78 @@
+//! Registry merge determinism under concurrent shards.
+//!
+//! The scrape-side merge (sum for counters and histogram buckets, max for
+//! gauges) is commutative and associative, so a snapshot must depend only
+//! on the multiset of recorded operations — never on which thread
+//! recorded what, or how the threads interleaved. The property test below
+//! drives an arbitrary operation list through (a) one thread and (b) a
+//! round-robin split over several concurrent threads, and requires
+//! identical snapshots.
+
+use proptest::prelude::*;
+use rta_obs::Registry;
+
+/// One recorded operation, as sampled integers (the vendored proptest has
+/// no enum strategies): `op % 3` selects counter/gauge/histogram, `metric`
+/// selects one of a few names per kind, `value` is the operand.
+#[derive(Clone, Copy, Debug)]
+struct Op {
+    op: u8,
+    metric: u8,
+    value: u64,
+}
+
+fn apply(registry: &'static Registry, ops: &[Op]) {
+    for op in ops {
+        let name = format!("m{}_{}", op.op % 3, op.metric % 3);
+        match op.op % 3 {
+            0 => registry.counter(name).add(op.value),
+            1 => registry.gauge(name).record(op.value),
+            _ => registry.histogram(name).observe(op.value),
+        }
+    }
+}
+
+fn fresh() -> &'static Registry {
+    Box::leak(Box::new(Registry::new()))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+    #[test]
+    fn concurrent_shards_merge_like_one_thread(
+        ops in proptest::collection::vec((0u8..3, 0u8..3, 0u64..1_000_000), 0..64),
+        threads in 1usize..5,
+    ) {
+        let ops: Vec<Op> = ops
+            .into_iter()
+            .map(|(op, metric, value)| Op { op, metric, value })
+            .collect();
+
+        // Reference: everything on the calling thread.
+        let serial = fresh();
+        apply(serial, &ops);
+        let expected = serial.snapshot();
+
+        // Same multiset of operations, round-robined over N threads that
+        // all record concurrently (each gets its own shard).
+        let concurrent = fresh();
+        std::thread::scope(|scope| {
+            for t in 0..threads {
+                let slice: Vec<Op> = ops
+                    .iter()
+                    .copied()
+                    .enumerate()
+                    .filter(|(i, _)| i % threads == t)
+                    .map(|(_, op)| op)
+                    .collect();
+                scope.spawn(move || apply(concurrent, &slice));
+            }
+        });
+        let merged = concurrent.snapshot();
+
+        prop_assert_eq!(&merged, &expected);
+        // And the rendering (what goes over the wire) is byte-identical.
+        prop_assert_eq!(merged.to_json(), expected.to_json());
+        prop_assert_eq!(merged.to_prometheus(), expected.to_prometheus());
+    }
+}

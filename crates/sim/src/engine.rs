@@ -131,7 +131,7 @@ pub(crate) fn run(task_set: &TaskSet, request: &SimRequest) -> SimOutcome {
     };
     engine.run();
     let trace_dropped = engine.trace.as_ref().map_or(0, Trace::dropped);
-    SimOutcome::new(
+    let outcome = SimOutcome::new(
         SimResult {
             per_task: engine.stats,
             makespan: engine.makespan,
@@ -141,7 +141,10 @@ pub(crate) fn run(task_set: &TaskSet, request: &SimRequest) -> SimOutcome {
         engine.deferred_preemptions,
         engine.events_processed,
         engine.slab.peak(),
-    )
+        engine.queue.high_water(),
+    );
+    crate::metrics::record_run(&outcome);
+    outcome
 }
 
 /// Runs one simulation of `task_set` under the legacy `config` and returns

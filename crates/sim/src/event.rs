@@ -84,6 +84,7 @@ pub struct Scheduled {
 pub struct EventQueue {
     heap: Vec<Scheduled>,
     tie: u64,
+    high_water: usize,
 }
 
 impl EventQueue {
@@ -107,6 +108,12 @@ impl EventQueue {
         self.tie
     }
 
+    /// Largest number of events ever pending at once — the queue's memory
+    /// footprint high-water mark.
+    pub fn high_water(&self) -> usize {
+        self.high_water
+    }
+
     /// Schedules `event` at `time`, after every event already scheduled
     /// for the same instant.
     pub fn push(&mut self, time: Time, event: Event) {
@@ -119,6 +126,7 @@ impl EventQueue {
         // Hole-based sift-up: shift larger parents down and write the new
         // entry once, instead of swapping it level by level.
         self.heap.push(entry);
+        self.high_water = self.high_water.max(self.heap.len());
         let mut i = self.heap.len() - 1;
         let key = (time, self.tie);
         while i > 0 {

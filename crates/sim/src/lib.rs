@@ -89,6 +89,7 @@
 pub mod config;
 pub mod engine;
 pub mod event;
+mod metrics;
 pub mod request;
 pub mod scenario;
 pub mod stats;
@@ -105,4 +106,4 @@ pub use engine::simulate;
 pub use request::{SimOutcome, SimRequest};
 pub use scenario::{Jitter, Release, Suspension};
 pub use stats::{SimResult, TaskStats};
-pub use trace::{Trace, TraceEvent, TraceEventKind};
+pub use trace::{ChartOptions, Trace, TraceEvent, TraceEventKind};

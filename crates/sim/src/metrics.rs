@@ -1,0 +1,37 @@
+//! The observability handles the simulator records into — one flush per
+//! finished run, from aggregates the engine already tracks, so the
+//! per-event hot loop never touches a metric.
+
+use crate::request::SimOutcome;
+use rta_obs::{Counter, Gauge};
+use std::sync::LazyLock;
+
+/// Simulation runs completed.
+static RUNS: LazyLock<Counter> = LazyLock::new(|| rta_obs::counter("sim_runs_total"));
+
+/// Events processed across all runs.
+static EVENTS: LazyLock<Counter> = LazyLock::new(|| rta_obs::counter("sim_events_total"));
+
+/// Trace events discarded by the bounded trace across all runs.
+static TRACE_DROPPED: LazyLock<Counter> =
+    LazyLock::new(|| rta_obs::counter("sim_trace_dropped_total"));
+
+/// Lazy continuation claims honoured across all runs.
+static DEFERRED_PREEMPTIONS: LazyLock<Counter> =
+    LazyLock::new(|| rta_obs::counter("sim_deferred_preemptions_total"));
+
+/// High-water mark of simultaneously in-flight jobs, across all runs.
+static PEAK_LIVE_JOBS: LazyLock<Gauge> = LazyLock::new(|| rta_obs::gauge("sim_peak_live_jobs"));
+
+/// High-water mark of pending events in the queue, across all runs.
+static HEAP_HIGH_WATER: LazyLock<Gauge> = LazyLock::new(|| rta_obs::gauge("sim_heap_high_water"));
+
+/// Folds one finished run into the process-global registry.
+pub(crate) fn record_run(outcome: &SimOutcome) {
+    RUNS.inc();
+    EVENTS.add(outcome.events_processed());
+    TRACE_DROPPED.add(outcome.trace_dropped());
+    DEFERRED_PREEMPTIONS.add(outcome.deferred_preemptions());
+    PEAK_LIVE_JOBS.record(outcome.peak_live_jobs() as u64);
+    HEAP_HIGH_WATER.record(outcome.heap_high_water() as u64);
+}

@@ -178,6 +178,7 @@ pub struct SimOutcome {
     deferred_preemptions: u64,
     events_processed: u64,
     peak_live_jobs: usize,
+    heap_high_water: usize,
 }
 
 impl SimOutcome {
@@ -187,6 +188,7 @@ impl SimOutcome {
         deferred_preemptions: u64,
         events_processed: u64,
         peak_live_jobs: usize,
+        heap_high_water: usize,
     ) -> Self {
         Self {
             result,
@@ -194,6 +196,7 @@ impl SimOutcome {
             deferred_preemptions,
             events_processed,
             peak_live_jobs,
+            heap_high_water,
         }
     }
 
@@ -264,6 +267,13 @@ impl SimOutcome {
     /// engine's footprint grew with jobs *ever released* instead).
     pub fn peak_live_jobs(&self) -> usize {
         self.peak_live_jobs
+    }
+
+    /// Largest number of events ever pending in the queue at once — the
+    /// other half of the memory footprint (see
+    /// [`peak_live_jobs`](Self::peak_live_jobs)).
+    pub fn heap_high_water(&self) -> usize {
+        self.heap_high_water
     }
 }
 
